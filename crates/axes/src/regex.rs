@@ -1,0 +1,273 @@
+//! Table I axis definitions as limited regular expressions over the
+//! primitive tree relations, evaluated by Algorithm 3.2.
+//!
+//! The paper defines every axis in terms of `firstchild`, `nextsibling` and
+//! their inverses:
+//!
+//! ```text
+//! child             := firstchild.nextsibling*
+//! parent            := (nextsibling⁻¹)*.firstchild⁻¹
+//! descendant        := firstchild.(firstchild ∪ nextsibling)*
+//! ancestor          := (firstchild⁻¹ ∪ nextsibling⁻¹)*.firstchild⁻¹
+//! descendant-or-self := descendant ∪ self
+//! ancestor-or-self  := ancestor ∪ self
+//! following         := ancestor-or-self.nextsibling.nextsibling*.descendant-or-self
+//! preceding         := ancestor-or-self.nextsibling⁻¹.(nextsibling⁻¹)*.descendant-or-self
+//! following-sibling := nextsibling.nextsibling*
+//! preceding-sibling := (nextsibling⁻¹)*.nextsibling⁻¹
+//! ```
+//!
+//! These are the *untyped* axes `χ0` of §3; [`crate::typed`] layers the §4
+//! node-type filtering on top. The evaluation functions mirror Algorithm 3.2
+//! case by case and run in `O(|dom|)` (Lemma 3.3).
+
+use xpath_syntax::Axis;
+use xpath_xml::{Document, NodeId};
+
+/// A primitive tree relation or its inverse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Prim {
+    /// `firstchild`
+    FirstChild,
+    /// `nextsibling`
+    NextSibling,
+    /// `firstchild⁻¹`
+    FirstChildInv,
+    /// `nextsibling⁻¹`
+    NextSiblingInv,
+}
+
+impl Prim {
+    /// Apply the (partial) function to a node.
+    #[inline]
+    pub fn apply(self, doc: &Document, n: NodeId) -> Option<NodeId> {
+        match self {
+            Prim::FirstChild => doc.first_child(n),
+            Prim::NextSibling => doc.next_sibling(n),
+            Prim::FirstChildInv => doc.first_child_inverse(n),
+            Prim::NextSiblingInv => doc.prev_sibling(n),
+        }
+    }
+}
+
+/// The limited regular expressions of Table I. `Star` is only ever applied
+/// to a union of primitive relations, exactly as in the paper.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AxisRegex {
+    /// The identity relation `self`.
+    SelfRel,
+    /// A primitive relation.
+    Rel(Prim),
+    /// Reference to another (earlier-defined) axis; the definitions are
+    /// acyclic ("some axes are defined in terms of other axes, but these
+    /// definitions are acyclic").
+    Axis(Axis),
+    /// Concatenation `e1.e2`.
+    Concat(Vec<AxisRegex>),
+    /// Union `χ1 ∪ χ2`.
+    Union(Vec<AxisRegex>),
+    /// `(R1 ∪ … ∪ Rn)*` — reflexive-transitive closure over primitive
+    /// relations only.
+    Star(Vec<Prim>),
+}
+
+/// `E(χ)`: the Table I regular expression defining axis `χ`.
+///
+/// # Panics
+/// Panics for `Axis::Attribute`, `Axis::Namespace` and `Axis::Id`, which are
+/// not defined by Table I (they are typed variants of `child` / a derived
+/// relation; see [`crate::typed`]).
+pub fn definition(axis: Axis) -> AxisRegex {
+    use AxisRegex::{Concat, Rel, SelfRel, Star, Union};
+    use Prim::*;
+    match axis {
+        Axis::SelfAxis => SelfRel,
+        Axis::Child => Concat(vec![Rel(FirstChild), Star(vec![NextSibling])]),
+        Axis::Parent => Concat(vec![Star(vec![NextSiblingInv]), Rel(FirstChildInv)]),
+        Axis::Descendant => Concat(vec![Rel(FirstChild), Star(vec![FirstChild, NextSibling])]),
+        Axis::Ancestor => {
+            Concat(vec![Star(vec![FirstChildInv, NextSiblingInv]), Rel(FirstChildInv)])
+        }
+        Axis::DescendantOrSelf => Union(vec![AxisRegex::Axis(Axis::Descendant), SelfRel]),
+        Axis::AncestorOrSelf => Union(vec![AxisRegex::Axis(Axis::Ancestor), SelfRel]),
+        Axis::Following => Concat(vec![
+            AxisRegex::Axis(Axis::AncestorOrSelf),
+            Rel(NextSibling),
+            Star(vec![NextSibling]),
+            AxisRegex::Axis(Axis::DescendantOrSelf),
+        ]),
+        Axis::Preceding => Concat(vec![
+            AxisRegex::Axis(Axis::AncestorOrSelf),
+            Rel(NextSiblingInv),
+            Star(vec![NextSiblingInv]),
+            AxisRegex::Axis(Axis::DescendantOrSelf),
+        ]),
+        Axis::FollowingSibling => Concat(vec![Rel(NextSibling), Star(vec![NextSibling])]),
+        Axis::PrecedingSibling => Concat(vec![Star(vec![NextSiblingInv]), Rel(NextSiblingInv)]),
+        Axis::Attribute | Axis::Namespace | Axis::Id => {
+            panic!("{axis:?} is not defined by Table I; use the typed axis engine")
+        }
+    }
+}
+
+/// Algorithm 3.2: evaluate the *untyped* axis function
+/// `χ0(S) = {x | ∃x0 ∈ S : x0 χ x}` via the Table I regular expression.
+/// Runs in `O(|dom|)` (Lemma 3.3); the result is sorted in document order.
+pub fn eval_axis_untyped(doc: &Document, axis: Axis, set: &[NodeId]) -> Vec<NodeId> {
+    let mut out = eval_regex(doc, &definition(axis), set);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `eval_E(χ)(S)` — dispatch on the regex shape, mirroring the cases of
+/// Algorithm 3.2 (`eval_self`, `eval_R`, `eval_{e1.e2}`, `eval_{χ1∪χ2}`,
+/// `eval_{(R1∪…∪Rn)*}`). Intermediate results may be unsorted.
+fn eval_regex(doc: &Document, re: &AxisRegex, set: &[NodeId]) -> Vec<NodeId> {
+    match re {
+        // function eval_self(S) := S.
+        AxisRegex::SelfRel => set.to_vec(),
+        // function eval_R(S) := {R(x) | x ∈ S}.
+        AxisRegex::Rel(r) => set.iter().filter_map(|&x| r.apply(doc, x)).collect(),
+        AxisRegex::Axis(ax) => eval_regex(doc, &definition(*ax), set),
+        // function eval_{e1.e2}(S) := eval_{e2}(eval_{e1}(S)).
+        AxisRegex::Concat(parts) => {
+            let mut cur = set.to_vec();
+            for p in parts {
+                cur = eval_regex(doc, p, &cur);
+            }
+            cur
+        }
+        // function eval_{χ1∪χ2}(S) := eval_{χ1}(S) ∪ eval_{χ2}(S).
+        AxisRegex::Union(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(eval_regex(doc, p, set));
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        // function eval_{(R1∪…∪Rn)*}(S): worklist closure with a
+        // direct-access membership structure ("naively, this could be an
+        // array of bits, one for each member of dom").
+        AxisRegex::Star(rels) => {
+            let mut in_set = vec![false; doc.len()];
+            let mut list: Vec<NodeId> = Vec::with_capacity(set.len());
+            for &x in set {
+                if !in_set[x.index()] {
+                    in_set[x.index()] = true;
+                    list.push(x);
+                }
+            }
+            let mut i = 0;
+            // "while there is a next element x in S' do append
+            //  {Ri(x) | Ri(x) ≠ null, Ri(x) ∉ S'} to S'".
+            while i < list.len() {
+                let x = list[i];
+                i += 1;
+                for r in rels {
+                    if let Some(y) = r.apply(doc, x) {
+                        if !in_set[y.index()] {
+                            in_set[y.index()] = true;
+                            list.push(y);
+                        }
+                    }
+                }
+            }
+            list
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_xml::generate::{doc_figure8, doc_flat};
+
+    fn ids(v: &[NodeId]) -> Vec<u32> {
+        v.iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn child_of_root_doc2() {
+        let d = doc_flat(2); // root=0, a=1, b=2, b=3
+        let c = eval_axis_untyped(&d, Axis::Child, &[NodeId(0)]);
+        assert_eq!(ids(&c), vec![1]);
+        let c = eval_axis_untyped(&d, Axis::Child, &[NodeId(1)]);
+        assert_eq!(ids(&c), vec![2, 3]);
+    }
+
+    #[test]
+    fn descendant_and_ancestor_are_inverse() {
+        let d = doc_figure8();
+        for x in d.all_nodes() {
+            let desc = eval_axis_untyped(&d, Axis::Descendant, &[x]);
+            for &y in &desc {
+                let anc = eval_axis_untyped(&d, Axis::Ancestor, &[y]);
+                assert!(anc.contains(&x), "{x:?} should be ancestor of {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn following_preceding_partition() {
+        // For any two distinct nodes x ≠ y in a document without attributes,
+        // exactly one of: y ancestor of x, y descendant of x, y following x,
+        // y preceding x.
+        let d = doc_flat(4);
+        for x in d.all_nodes() {
+            let anc = eval_axis_untyped(&d, Axis::Ancestor, &[x]);
+            let desc = eval_axis_untyped(&d, Axis::Descendant, &[x]);
+            let fol = eval_axis_untyped(&d, Axis::Following, &[x]);
+            let pre = eval_axis_untyped(&d, Axis::Preceding, &[x]);
+            let total = anc.len() + desc.len() + fol.len() + pre.len();
+            assert_eq!(total, d.len() - 1, "partition failed at {x:?}");
+        }
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let d = doc_flat(4); // b's are 2,3,4,5
+        let f = eval_axis_untyped(&d, Axis::FollowingSibling, &[NodeId(3)]);
+        assert_eq!(ids(&f), vec![4, 5]);
+        let p = eval_axis_untyped(&d, Axis::PrecedingSibling, &[NodeId(3)]);
+        assert_eq!(ids(&p), vec![2]);
+    }
+
+    #[test]
+    fn self_axis() {
+        let d = doc_flat(2);
+        let s = eval_axis_untyped(&d, Axis::SelfAxis, &[NodeId(1), NodeId(3)]);
+        assert_eq!(ids(&s), vec![1, 3]);
+    }
+
+    #[test]
+    fn parent_of_root_is_empty() {
+        let d = doc_flat(2);
+        assert!(eval_axis_untyped(&d, Axis::Parent, &[NodeId(0)]).is_empty());
+        assert_eq!(ids(&eval_axis_untyped(&d, Axis::Parent, &[NodeId(2)])), vec![1]);
+    }
+
+    #[test]
+    fn or_self_variants() {
+        let d = doc_flat(2);
+        let dos = eval_axis_untyped(&d, Axis::DescendantOrSelf, &[NodeId(1)]);
+        assert_eq!(ids(&dos), vec![1, 2, 3]);
+        let aos = eval_axis_untyped(&d, Axis::AncestorOrSelf, &[NodeId(3)]);
+        assert_eq!(ids(&aos), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn set_input_unions_results() {
+        let d = doc_flat(4);
+        let f = eval_axis_untyped(&d, Axis::FollowingSibling, &[NodeId(2), NodeId(4)]);
+        assert_eq!(ids(&f), vec![3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined by Table I")]
+    fn attribute_panics() {
+        definition(Axis::Attribute);
+    }
+}

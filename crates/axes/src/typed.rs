@@ -1,0 +1,63 @@
+//! Typed axis evaluation via Algorithm 3.2 — the reference path.
+//!
+//! §4 lifts the untyped axes `χ0` of §3 to XPath's typed axes:
+//!
+//! ```text
+//! attribute(S) := child0(S) ∩ T(attribute())
+//! namespace(S) := child0(S) ∩ T(namespace())
+//! χ(S)         := χ0(S) − (T(attribute()) ∪ T(namespace()))   otherwise
+//! ```
+//!
+//! The fast implementation in [`crate::fast`] is the production equivalent;
+//! this module exists so the faithful Table-I/Algorithm-3.2 pipeline is
+//! runnable end-to-end and testable against it.
+
+use xpath_syntax::Axis;
+use xpath_xml::{Document, NodeId, NodeKind};
+
+use crate::regex::eval_axis_untyped;
+
+/// Typed `χ(S)` computed through Algorithm 3.2 (Lemma 3.3: `O(|dom|)`).
+/// The result is sorted in document order.
+pub fn eval_axis_alg32(doc: &Document, axis: Axis, set: &[NodeId]) -> Vec<NodeId> {
+    match axis {
+        Axis::Attribute => {
+            let mut v = eval_axis_untyped(doc, Axis::Child, set);
+            v.retain(|&n| doc.kind(n) == NodeKind::Attribute);
+            v
+        }
+        Axis::Namespace => {
+            let mut v = eval_axis_untyped(doc, Axis::Child, set);
+            v.retain(|&n| doc.kind(n) == NodeKind::Namespace);
+            v
+        }
+        Axis::Id => crate::id::id_set_exact(doc, set),
+        _ => {
+            let mut v = eval_axis_untyped(doc, axis, set);
+            v.retain(|&n| !doc.kind(n).is_special_child());
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8};
+
+    #[test]
+    fn alg32_equals_fast_everywhere() {
+        for doc in [doc_figure8(), doc_bookstore()] {
+            for axis in Axis::STANDARD {
+                for x in doc.all_nodes() {
+                    assert_eq!(
+                        eval_axis_alg32(&doc, axis, &[x]),
+                        fast::eval_axis(&doc, axis, &[x]),
+                        "{axis:?} at {x:?}"
+                    );
+                }
+            }
+        }
+    }
+}

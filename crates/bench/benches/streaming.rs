@@ -1,0 +1,49 @@
+//! Streaming (single-pass) evaluation of the forward Core XPath fragment
+//! against the tree-based Core XPath algebra (Theorem 10.5), over growing
+//! documents. Both are linear-time; the streaming matcher trades a small
+//! constant factor for `O(depth · |Q|)` working memory, reproducing the
+//! data-stream line of related work the paper cites in §1–§2.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpath_core::corexpath::{compile_xpatterns, CoreXPathEvaluator};
+use xpath_core::streaming;
+use xpath_syntax::parse_normalized;
+use xpath_xml::generate::{doc_random, RandomDocConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_vs_tree");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    let queries: &[(&str, &str)] = &[
+        ("spine", "//a/b//c"),
+        ("exists-pred", "//b[child::c]"),
+        ("negation", "//b[not(descendant::d)]"),
+        ("eq", "//b[child::c = '7']"),
+    ];
+
+    for &size in &[1_000usize, 10_000, 50_000] {
+        let cfg = RandomDocConfig { elements: size, max_depth: 12, ..RandomDocConfig::default() };
+        let doc = doc_random(3, &cfg);
+        for (name, q) in queries {
+            let expr = parse_normalized(q).unwrap();
+            let core = compile_xpatterns(&expr).unwrap();
+            let sq = streaming::compile(&core).unwrap();
+            let ev = CoreXPathEvaluator::new(&doc);
+
+            g.bench_with_input(BenchmarkId::new(format!("stream/{name}"), size), &size, |b, _| {
+                b.iter(|| streaming::evaluate_stream(&sq, &doc))
+            });
+            g.bench_with_input(BenchmarkId::new(format!("tree/{name}"), size), &size, |b, _| {
+                b.iter(|| ev.evaluate(&core, &[doc.root()]))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Growth-shape diagnostics: the experiments reproduce the *shape* of the
+//! paper's curves (exponential vs. polynomial, crossover points), not the
+//! 2002-era absolute numbers. These helpers quantify the shape.
+
+use std::time::Duration;
+
+use crate::Sample;
+
+/// Geometric mean of consecutive ratios `t[i+1]/t[i]` over the samples with
+/// `time ≥ floor` (tiny timings are dominated by noise — the paper's curves
+/// show the same "sharp bend" from constant overhead).
+pub fn mean_growth_ratio(samples: &[Sample], floor: Duration) -> Option<f64> {
+    let meaningful: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.time >= floor)
+        .map(|s| s.time.as_secs_f64())
+        .collect();
+    if meaningful.len() < 2 {
+        return None;
+    }
+    let ratios: Vec<f64> =
+        meaningful.windows(2).map(|w| w[1] / w[0]).filter(|r| r.is_finite() && *r > 0.0).collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    Some((log_sum / ratios.len() as f64).exp())
+}
+
+/// Estimate the polynomial degree `d` from two points: `t ∝ x^d` gives
+/// `d = ln(t2/t1) / ln(x2/x1)`.
+pub fn polynomial_degree(x1: usize, t1: Duration, x2: usize, t2: Duration) -> f64 {
+    (t2.as_secs_f64() / t1.as_secs_f64()).ln() / (x2 as f64 / x1 as f64).ln()
+}
+
+/// First and second finite differences of a timing series — the `f'` and
+/// `f''` curves of Experiment 4 (a quadratic `f` has roughly linear `f'`
+/// and roughly constant `f''`).
+pub fn finite_differences(samples: &[Sample]) -> (Vec<f64>, Vec<f64>) {
+    let times: Vec<f64> = samples.iter().map(|s| s.time.as_secs_f64()).collect();
+    let d1: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let d2: Vec<f64> = d1.windows(2).map(|w| w[1] - w[0]).collect();
+    (d1, d2)
+}
+
+/// Does the series grow at least geometrically (ratio ≥ `threshold`) over
+/// its meaningful suffix? Used to assert exponential blowup of the naive
+/// engine.
+pub fn is_exponential(samples: &[Sample], threshold: f64) -> bool {
+    mean_growth_ratio(samples, Duration::from_millis(2)).is_some_and(|r| r >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(times_ms: &[u64]) -> Vec<Sample> {
+        times_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Sample { x: i + 1, time: Duration::from_millis(t), value: None })
+            .collect()
+    }
+
+    #[test]
+    fn growth_ratio_of_doubling_series() {
+        let s = series(&[4, 8, 16, 32, 64]);
+        let r = mean_growth_ratio(&s, Duration::from_millis(1)).unwrap();
+        assert!((r - 2.0).abs() < 1e-9);
+        assert!(is_exponential(&s, 1.8));
+    }
+
+    #[test]
+    fn growth_ratio_ignores_noise_floor() {
+        // Constant overhead then doubling — the "sharp bend".
+        let s = series(&[1, 1, 1, 8, 16, 32]);
+        let r = mean_growth_ratio(&s, Duration::from_millis(4)).unwrap();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polynomial_degree_estimation() {
+        // Quadratic: x 10→20 means t ×4.
+        let d = polynomial_degree(10, Duration::from_millis(100), 20, Duration::from_millis(400));
+        assert!((d - 2.0).abs() < 0.01);
+        // Linear.
+        let d = polynomial_degree(10, Duration::from_millis(100), 20, Duration::from_millis(200));
+        assert!((d - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn finite_differences_of_quadratic() {
+        // f(x) = x² in ms.
+        let s = series(&[1, 4, 9, 16, 25]);
+        let (d1, d2) = finite_differences(&s);
+        assert_eq!(d1.len(), 4);
+        assert_eq!(d2.len(), 3);
+        // f'' constant = 2ms.
+        for v in d2 {
+            assert!((v - 0.002).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_series_is_not_exponential() {
+        let s = series(&[10, 20, 30, 40, 50]);
+        assert!(!is_exponential(&s, 1.8));
+    }
+}

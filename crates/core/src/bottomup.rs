@@ -1,0 +1,470 @@
+//! Bottom-up evaluation of XPath (paper §6): the **context-value table
+//! principle** and Algorithm 6.3.
+//!
+//! For every subexpression of the query — traversing the parse tree from
+//! the leaves to the root — the evaluator materializes a *context-value
+//! table* holding the expression's value for **every** context, so no
+//! subexpression is ever evaluated twice for the same context. This gives
+//! the polynomial combined-complexity bound of Theorem 6.6
+//! (`O(|D|⁵·|Q|²)` time, improvable per Remark 6.7).
+//!
+//! Tables are keyed by the *relevant* projection of the context (footnote 8
+//! / §8.2): a table for `position() != last()` has `O(|D|²)` rows keyed by
+//! `(k, n)`; a table for a relative location path has `O(|D|)` rows keyed
+//! by the context node. This is exactly the reduction the paper applies in
+//! Example 6.4 ("the k and n columns have been omitted ... full tables are
+//! obtained by computing the Cartesian product").
+//!
+//! The hallmark of the bottom-up strategy — and why §7 then derives the
+//! top-down algorithm — is that tables are computed for all of `dom` even
+//! where only a few contexts are reachable.
+
+use std::collections::HashMap;
+
+use xpath_syntax::{BinaryOp, Expr, LocationPath, PathStart, Step};
+use xpath_xml::{Document, NodeId};
+
+use crate::context::{Context, EvalError, EvalResult};
+use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
+use crate::functions;
+use crate::nodeset::{self, NodeSet};
+use crate::relev::{relev, Relev};
+use crate::value::Value;
+
+/// A context-value table: the relation `E↑[[e]]` restricted to the relevant
+/// context components (Definition 6.1, Table IV).
+#[derive(Clone, Debug)]
+pub struct CvTable {
+    relev: Relev,
+    rows: HashMap<(u32, u32, u32), Value>,
+}
+
+impl CvTable {
+    /// An empty table keyed by the given relevance projection.
+    pub fn new(relev: Relev) -> CvTable {
+        CvTable { relev, rows: HashMap::new() }
+    }
+
+    /// Record the value at (the relevant projection of) `ctx`.
+    pub fn insert(&mut self, ctx: Context, v: Value) {
+        self.rows.insert(self.relev.project(ctx), v);
+    }
+
+    /// The value of the expression at `ctx`, if the context was enumerated.
+    pub fn value_at(&self, ctx: Context) -> Option<&Value> {
+        self.rows.get(&self.relev.project(ctx))
+    }
+
+    /// Number of materialized rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Tables always have at least one row.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The relevance set this table is keyed by.
+    pub fn relevance(&self) -> Relev {
+        self.relev
+    }
+}
+
+/// The bottom-up evaluator (Algorithm 6.3).
+pub struct BottomUpEvaluator<'d> {
+    doc: &'d Document,
+    /// Maximum rows per context-value table; exceeded → [`EvalError::Capacity`].
+    row_cap: usize,
+}
+
+impl<'d> BottomUpEvaluator<'d> {
+    /// Default row cap: 2 million rows per table.
+    pub fn new(doc: &'d Document) -> Self {
+        BottomUpEvaluator { doc, row_cap: 2_000_000 }
+    }
+
+    /// Evaluator with a custom per-table row cap.
+    pub fn with_row_cap(doc: &'d Document, row_cap: usize) -> Self {
+        BottomUpEvaluator { doc, row_cap }
+    }
+
+    /// Evaluate `query` at `ctx` by building the full context-value tables
+    /// bottom-up and reading the result out of the root table
+    /// (Theorem 6.2: the value at `ctx` is the unique `v` with
+    /// `⟨x,k,n,v⟩ ∈ E↑[[e]]`).
+    pub fn evaluate(&self, query: &Expr, ctx: Context) -> EvalResult<Value> {
+        let t = self.table(query)?;
+        t.value_at(ctx)
+            .cloned()
+            .ok_or_else(|| EvalError::Capacity(format!("context {ctx} not enumerated")))
+    }
+
+    /// Compute `E↑[[e]]` — public so tests can replicate the tables of
+    /// Example 6.4 and Figure 9.
+    pub fn table(&self, e: &Expr) -> EvalResult<CvTable> {
+        match e {
+            Expr::Number(v) => self.const_table(Value::Number(*v)),
+            Expr::Literal(s) => self.const_table(Value::String(s.clone())),
+            Expr::Var(name) => Err(EvalError::UnboundVariable(name.clone())),
+            Expr::Path(p) => self.path_table(p),
+            Expr::Filter { primary, predicates } => self.filter_table(primary, predicates),
+            Expr::Neg(inner) => {
+                let t = self.table(inner)?;
+                let rows = t
+                    .rows
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::Number(-v.to_number(self.doc))))
+                    .collect();
+                Ok(CvTable { relev: t.relev, rows })
+            }
+            Expr::Binary { op, left, right } => {
+                let lt = self.table(left)?;
+                let rt = self.table(right)?;
+                let rel = relev(e);
+                let mut rows = HashMap::new();
+                for ctx in self.contexts_for(rel)? {
+                    let l = lt.value_at(ctx).expect("child table covers context").clone();
+                    let r = rt.value_at(ctx).expect("child table covers context").clone();
+                    let v = match op {
+                        BinaryOp::And => Value::Boolean(l.to_boolean() && r.to_boolean()),
+                        BinaryOp::Or => Value::Boolean(l.to_boolean() || r.to_boolean()),
+                        _ => apply_binary(self.doc, *op, l, r)?,
+                    };
+                    rows.insert(rel.project(ctx), v);
+                }
+                Ok(CvTable { relev: rel, rows })
+            }
+            Expr::Call { name, args } => {
+                let arg_tables: Vec<CvTable> =
+                    args.iter().map(|a| self.table(a)).collect::<Result<_, _>>()?;
+                let rel = relev(e);
+                let mut rows = HashMap::new();
+                for ctx in self.contexts_for(rel)? {
+                    let argv: Vec<Value> = arg_tables
+                        .iter()
+                        .map(|t| t.value_at(ctx).expect("child table covers context").clone())
+                        .collect();
+                    rows.insert(rel.project(ctx), functions::apply(self.doc, name, argv, &ctx)?);
+                }
+                Ok(CvTable { relev: rel, rows })
+            }
+        }
+    }
+
+    fn const_table(&self, v: Value) -> EvalResult<CvTable> {
+        let mut rows = HashMap::new();
+        rows.insert((0, 0, 0), v);
+        Ok(CvTable { relev: Relev::NONE, rows })
+    }
+
+    /// Enumerate the contexts spanning the relevant components: all of
+    /// `dom` for `cn`, all `1 ≤ k ≤ n ≤ |dom|` for `cp`/`cs`.
+    fn contexts_for(&self, rel: Relev) -> EvalResult<Vec<Context>> {
+        let n = self.doc.len() as u32;
+        let nodes: Vec<NodeId> = if rel.has_cn() {
+            self.doc.all_nodes().collect()
+        } else {
+            vec![NodeId(0)]
+        };
+        let positions: Vec<(u32, u32)> = match (rel.has_cp(), rel.has_cs()) {
+            (false, false) => vec![(1, 1)],
+            (true, false) => (1..=n).map(|k| (k, n)).collect(),
+            (false, true) => (1..=n).map(|s| (1, s)).collect(),
+            (true, true) => {
+                let mut v = Vec::with_capacity((n * (n + 1) / 2) as usize);
+                for s in 1..=n {
+                    for k in 1..=s {
+                        v.push((k, s));
+                    }
+                }
+                v
+            }
+        };
+        let count = nodes.len() * positions.len();
+        if count > self.row_cap {
+            return Err(EvalError::Capacity(format!(
+                "table would need {count} rows (cap {}); |D| = {}",
+                self.row_cap,
+                self.doc.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for &x in &nodes {
+            for &(k, s) in &positions {
+                out.push(Context::new(x, k, s));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `E↑` for location paths (Table IV): compute, for **every** node of
+    /// the document, the set reachable via the path — the bottom-up
+    /// hallmark.
+    fn path_table(&self, p: &LocationPath) -> EvalResult<CvTable> {
+        // Per-step tables S_i : dom → 2^dom with predicates already applied.
+        let step_tables: Vec<Vec<NodeSet>> = p
+            .steps
+            .iter()
+            .map(|s| self.step_table(s))
+            .collect::<Result<_, _>>()?;
+        // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y).
+        let n = self.doc.len();
+        let mut reach: Vec<NodeSet> = (0..n as u32).map(|i| vec![NodeId(i)]).collect();
+        for st in step_tables.iter().rev() {
+            let mut next: Vec<NodeSet> = Vec::with_capacity(n);
+            for step_result in st.iter().take(n) {
+                let mut acc: NodeSet = Vec::new();
+                for &y in step_result {
+                    acc = nodeset::union(&acc, &reach[y.index()]);
+                }
+                next.push(acc);
+            }
+            reach = next;
+        }
+        match &p.start {
+            PathStart::Root => {
+                // E↑[[/π]] = C × {S | ⟨root, k, n, S⟩ ∈ E↑[[π]]}.
+                let mut rows = HashMap::new();
+                rows.insert((0, 0, 0), Value::NodeSet(reach[0].clone()));
+                Ok(CvTable { relev: Relev::NONE, rows })
+            }
+            PathStart::ContextNode => {
+                let mut rows = HashMap::new();
+                for x in self.doc.all_nodes() {
+                    rows.insert(
+                        Relev::CN.project(Context::of(x)),
+                        Value::NodeSet(reach[x.index()].clone()),
+                    );
+                }
+                Ok(CvTable { relev: Relev::CN, rows })
+            }
+            PathStart::Expr(head) => {
+                let ht = self.table(head)?;
+                let rel = ht.relev;
+                let mut rows = HashMap::new();
+                for (key, v) in &ht.rows {
+                    let Some(set) = v.as_node_set() else {
+                        return Err(EvalError::TypeMismatch(
+                            "path start must evaluate to a node set".into(),
+                        ));
+                    };
+                    let mut acc: NodeSet = Vec::new();
+                    for &y in set {
+                        acc = nodeset::union(&acc, &reach[y.index()]);
+                    }
+                    rows.insert(*key, Value::NodeSet(acc));
+                }
+                Ok(CvTable { relev: rel, rows })
+            }
+        }
+    }
+
+    /// The table of one location step `χ::t[e1]…[em]`: for every node `x`,
+    /// the candidate set with all predicates applied (Table IV's
+    /// "location step E[e] over axis χ" row, iterated over the predicates).
+    fn step_table(&self, step: &Step) -> EvalResult<Vec<NodeSet>> {
+        let pred_tables: Vec<CvTable> =
+            step.predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
+        let mut out = Vec::with_capacity(self.doc.len());
+        for x in self.doc.all_nodes() {
+            let mut s = step_candidates(self.doc, step.axis, &step.test, x);
+            for pt in &pred_tables {
+                let len = s.len();
+                let mut kept = Vec::with_capacity(len);
+                for (j, &y) in s.iter().enumerate() {
+                    let pos = position_of(step.axis, j, len);
+                    let ctx = Context::new(y, pos, len.max(1) as u32);
+                    let v = pt
+                        .value_at(ctx)
+                        .ok_or_else(|| EvalError::Capacity(format!("missing context {ctx}")))?;
+                    if predicate_holds(v, pos) {
+                        kept.push(y);
+                    }
+                }
+                s = kept;
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    /// Filter expressions `(e)[p1]…[pm]` evaluated table-wise.
+    fn filter_table(&self, primary: &Expr, predicates: &[Expr]) -> EvalResult<CvTable> {
+        let base = self.table(primary)?;
+        let pred_tables: Vec<CvTable> =
+            predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
+        let mut rows = HashMap::new();
+        for (key, v) in &base.rows {
+            let Some(set) = v.as_node_set() else {
+                return Err(EvalError::TypeMismatch(
+                    "predicates require a node-set primary expression".into(),
+                ));
+            };
+            let mut s = set.clone();
+            for pt in &pred_tables {
+                let len = s.len();
+                let mut kept = Vec::with_capacity(len);
+                for (j, &y) in s.iter().enumerate() {
+                    let pos = (j + 1) as u32;
+                    let ctx = Context::new(y, pos, len.max(1) as u32);
+                    let v = pt
+                        .value_at(ctx)
+                        .ok_or_else(|| EvalError::Capacity(format!("missing context {ctx}")))?;
+                    if predicate_holds(v, pos) {
+                        kept.push(y);
+                    }
+                }
+                s = kept;
+            }
+            rows.insert(*key, Value::NodeSet(s));
+        }
+        Ok(CvTable { relev: base.relev, rows })
+    }
+}
+
+/// Convenience: evaluate a query string bottom-up.
+pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
+    let e = xpath_syntax::parse_normalized(query)
+        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    BottomUpEvaluator::new(doc).evaluate(&e, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEvaluator;
+    use xpath_syntax::parse_normalized;
+    use xpath_xml::generate::{doc_figure8, doc_flat, doc_flat_text};
+
+    #[test]
+    fn example_6_4_tables_and_result() {
+        // DOC(4): dom = {r, a, b1..b4}; query
+        // descendant::b/following-sibling::*[position() != last()].
+        let d = doc_flat(4);
+        let a = d.document_element().unwrap();
+        let bs: Vec<NodeId> = d.children(a).collect();
+        let ev = BottomUpEvaluator::new(&d);
+
+        // E1 = descendant::b : at r and a the full {b1..b4}, at b's ∅.
+        let e1 = parse_normalized("descendant::b").unwrap();
+        let t1 = ev.table(&e1).unwrap();
+        assert_eq!(
+            t1.value_at(Context::of(d.root())).unwrap(),
+            &Value::NodeSet(bs.clone())
+        );
+        assert_eq!(t1.value_at(Context::of(a)).unwrap(), &Value::NodeSet(bs.clone()));
+        assert_eq!(t1.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![]));
+
+        // E3 = following-sibling::* : b1 → {b2,b3,b4}, b2 → {b3,b4}, …
+        let e3 = parse_normalized("following-sibling::*").unwrap();
+        let t3 = ev.table(&e3).unwrap();
+        assert_eq!(
+            t3.value_at(Context::of(bs[0])).unwrap(),
+            &Value::NodeSet(bs[1..].to_vec())
+        );
+        assert_eq!(
+            t3.value_at(Context::of(bs[2])).unwrap(),
+            &Value::NodeSet(vec![bs[3]])
+        );
+        assert_eq!(t3.value_at(Context::of(bs[3])).unwrap(), &Value::NodeSet(vec![]));
+
+        // E4 = position() != last() : table keyed by (k, n).
+        let e4 = parse_normalized("position() != last()").unwrap();
+        let t4 = ev.table(&e4).unwrap();
+        assert_eq!(t4.relevance(), Relev::CP.union(Relev::CS));
+        assert_eq!(
+            t4.value_at(Context::new(d.root(), 2, 3)).unwrap(),
+            &Value::Boolean(true)
+        );
+        assert_eq!(
+            t4.value_at(Context::new(d.root(), 3, 3)).unwrap(),
+            &Value::Boolean(false)
+        );
+
+        // E2 = E3[E4] : b1 → {b2,b3} (the paper's most interesting step).
+        let q = parse_normalized("following-sibling::*[position() != last()]").unwrap();
+        let t2 = ev.table(&q).unwrap();
+        assert_eq!(
+            t2.value_at(Context::of(bs[0])).unwrap(),
+            &Value::NodeSet(vec![bs[1], bs[2]])
+        );
+        assert_eq!(
+            t2.value_at(Context::of(bs[1])).unwrap(),
+            &Value::NodeSet(vec![bs[2]])
+        );
+
+        // Full query from context ⟨a,1,1⟩ = {b2, b3}.
+        let full =
+            parse_normalized("descendant::b/following-sibling::*[position() != last()]").unwrap();
+        let v = ev.evaluate(&full, Context::of(a)).unwrap();
+        assert_eq!(v, Value::NodeSet(vec![bs[1], bs[2]]));
+    }
+
+    #[test]
+    fn example_8_1_query() {
+        let d = doc_figure8();
+        let v = evaluate_str(
+            &d,
+            "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']",
+            Context::of(d.element_by_id("10").unwrap()),
+        )
+        .unwrap();
+        let expect: Vec<NodeId> =
+            ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+        assert_eq!(v, Value::NodeSet(expect));
+    }
+
+    #[test]
+    fn agrees_with_naive_on_corpus() {
+        let docs = [doc_flat(4), doc_flat_text(3), doc_figure8()];
+        let queries = [
+            "//a/b",
+            "//b[2]",
+            "//*[parent::a/child::* = 'c']",
+            "//a/b[count(parent::a/b) > 1]",
+            "count(//b)",
+            "(//c | //d)[2]",
+            "id('12 24')",
+            "//d/ancestor::b",
+            "//b[position() = last()]",
+            "sum(//d) + 1",
+        ];
+        for d in &docs {
+            for q in queries {
+                let e = parse_normalized(q).unwrap();
+                let naive = NaiveEvaluator::new(d).evaluate(&e, Context::of(d.root())).unwrap();
+                let bu = BottomUpEvaluator::new(d).evaluate(&e, Context::of(d.root())).unwrap();
+                assert!(naive.semantically_equal(&bu), "query {q}: {naive:?} vs {bu:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let d = doc_flat(200);
+        let ev = BottomUpEvaluator::with_row_cap(&d, 1000);
+        // position() over a 202-node document needs only 202 rows → fine.
+        let e = parse_normalized("//b[position() != last()]").unwrap();
+        // (k,n) pairs = 202*203/2 ≈ 20503 > 1000 → capacity error.
+        assert!(matches!(
+            ev.evaluate(&e, Context::of(d.root())),
+            Err(EvalError::Capacity(_))
+        ));
+        // With the default cap it succeeds.
+        let ev = BottomUpEvaluator::new(&d);
+        let v = ev.evaluate(&e, Context::of(d.root())).unwrap();
+        assert_eq!(v.as_node_set().unwrap().len(), 199);
+    }
+
+    #[test]
+    fn polynomial_on_experiment1_family() {
+        let d = doc_flat(2);
+        let mut q = String::from("//a/b");
+        for _ in 0..25 {
+            q.push_str("/parent::a/b");
+        }
+        let v = evaluate_str(&d, &q, Context::of(d.root())).unwrap();
+        assert_eq!(v.as_node_set().unwrap().len(), 2);
+    }
+}

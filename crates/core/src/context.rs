@@ -1,0 +1,118 @@
+//! Evaluation contexts (paper §5: `~c = ⟨x, k, n⟩`) and evaluation errors.
+
+use std::fmt;
+
+use xpath_xml::NodeId;
+
+/// An XPath evaluation context: context node `x`, context position `k`,
+/// context size `n` with `1 ≤ k ≤ n` (paper §5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Context {
+    /// The context node `x`.
+    pub node: NodeId,
+    /// The context position `k` (1-based).
+    pub position: u32,
+    /// The context size `n`.
+    pub size: u32,
+}
+
+impl Context {
+    /// A context with position = size = 1 (the usual top-level context).
+    pub fn of(node: NodeId) -> Context {
+        Context { node, position: 1, size: 1 }
+    }
+
+    /// A full context.
+    pub fn new(node: NodeId, position: u32, size: u32) -> Context {
+        debug_assert!(position >= 1 && position <= size.max(1));
+        Context { node, position, size }
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}, {}⟩", self.node, self.position, self.size)
+    }
+}
+
+/// Errors raised during query evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// An unknown function was called.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    WrongArity {
+        /// Function name.
+        function: String,
+        /// Number of arguments supplied.
+        got: usize,
+        /// Expected arity description (e.g. "2" or "2..=3").
+        expected: &'static str,
+    },
+    /// An operand had a type the operation does not accept (e.g. applying a
+    /// location step to a number).
+    TypeMismatch(String),
+    /// A variable had no binding (the paper assumes bindings are inlined by
+    /// normalization).
+    UnboundVariable(String),
+    /// The evaluator's step budget was exhausted. Only the exponential-time
+    /// baseline evaluators use budgets, so experiment harnesses can bound
+    /// runaway queries the way the paper's experiments bounded wall-clock
+    /// time.
+    BudgetExhausted,
+    /// A context-value table would exceed the configured capacity (the
+    /// bottom-up algorithm materializes `O(|D|)`–`O(|D|³)` rows per
+    /// subexpression; see Theorem 6.6).
+    Capacity(String),
+    /// The query is outside the fragment this evaluator supports (e.g. a
+    /// non-Core-XPath query given to the Core XPath engine).
+    UnsupportedFragment(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            EvalError::WrongArity { function, got, expected } => {
+                write!(f, "{function}() expects {expected} argument(s), got {got}")
+            }
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            EvalError::BudgetExhausted => write!(f, "evaluation step budget exhausted"),
+            EvalError::Capacity(m) => write!(f, "capacity exceeded: {m}"),
+            EvalError::UnsupportedFragment(m) => write!(f, "unsupported fragment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_of() {
+        let c = Context::of(NodeId(3));
+        assert_eq!(c.position, 1);
+        assert_eq!(c.size, 1);
+        assert_eq!(c.to_string(), "⟨n3, 1, 1⟩");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            EvalError::UnknownFunction("frob".into()).to_string(),
+            "unknown function frob()"
+        );
+        assert_eq!(
+            EvalError::WrongArity { function: "concat".into(), got: 1, expected: "2 or more" }
+                .to_string(),
+            "concat() expects 2 or more argument(s), got 1"
+        );
+        assert_eq!(EvalError::BudgetExhausted.to_string(), "evaluation step budget exhausted");
+    }
+}

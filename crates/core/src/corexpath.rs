@@ -1,0 +1,661 @@
+//! **Core XPath** (paper §10.1): the clean logical core of XPath, evaluated
+//! in `O(|D|·|Q|)` time (Theorem 10.5).
+//!
+//! Queries are compiled to the algebra over `∩`, `∪`, `−`, the axis
+//! functions `χ`, and the operation
+//! `dom/root(S) = dom if root ∈ S else ∅`, with semantics `S→` (forward,
+//! for the query spine), `S←` (backward, for predicate paths) and `E1`
+//! (boolean connectives on node sets) of Definition 10.2.
+//!
+//! The same compiled representation also serves **XPatterns** (§10.2):
+//! Core XPath extended with
+//! * the `id` axis (`π1/id(π2)/π3 ≡ π1/π2/id/π3`, Lemma 10.6), evaluated in
+//!   linear time via the `ref` relation (Theorem 10.7);
+//! * `id(c)` path heads;
+//! * the `=s` string-comparison feature of Table VI, realized as a
+//!   precomputed unary predicate `{x | strval(x) = s}`.
+//!
+//! [`compile`] accepts the pure Core XPath fragment;
+//! [`compile_xpatterns`] additionally accepts the XPatterns features.
+
+
+use xpath_syntax::{Axis, BinaryOp, Expr, LocationPath, NodeTest, PathStart};
+use xpath_xml::{Document, NodeId};
+
+use crate::context::{EvalError, EvalResult};
+use crate::node_test;
+use crate::nodeset::{self, NodeSet};
+use crate::value::str_to_number;
+
+/// A compiled Core XPath / XPatterns query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreQuery {
+    /// The query spine.
+    pub path: CorePath,
+}
+
+/// Where a compiled path starts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreStart {
+    /// Relative: the input context nodes.
+    Context,
+    /// Absolute: the document root.
+    Root,
+    /// `id('c')/…` — XPatterns only ("id(c) may only occur at the beginning
+    /// of a path", §10.2).
+    Ids(String),
+}
+
+/// A compiled location path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorePath {
+    /// Start point.
+    pub start: CoreStart,
+    /// Steps in order.
+    pub steps: Vec<CoreStep>,
+    /// Optional `=s` restriction on the path's result nodes (XPatterns).
+    pub eq: Option<EqTest>,
+}
+
+/// One compiled step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreStep {
+    /// The axis, possibly [`Axis::Id`] after the Lemma 10.6 rewriting.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// The predicates (each with ∃-semantics, `E1`).
+    pub preds: Vec<CorePred>,
+}
+
+/// A compiled predicate (Definition 10.2 `pred`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CorePred {
+    /// `pred and pred`
+    And(Box<CorePred>, Box<CorePred>),
+    /// `pred or pred`
+    Or(Box<CorePred>, Box<CorePred>),
+    /// `not(pred)`
+    Not(Box<CorePred>),
+    /// A location path with ∃-semantics (optionally `= s`-restricted).
+    Path(CorePath),
+}
+
+/// The `=s` comparison of Table VI: string or numeric matching against the
+/// node's string value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EqTest {
+    /// `π = 'literal'` — string-value equality.
+    Str(String),
+    /// `π = number` — numeric equality of `to_number(strval)`.
+    Num(f64),
+}
+
+/// Which language the compiler accepts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreDialect {
+    /// Pure Core XPath (Definition 10.2).
+    CoreXPath,
+    /// XPatterns: Core XPath + id axis + `=s` predicates (§10.2).
+    XPatterns,
+}
+
+/// Compile a (normalized or raw) expression into pure Core XPath, or report
+/// why it is outside the fragment.
+pub fn compile(e: &Expr) -> EvalResult<CoreQuery> {
+    compile_dialect(e, CoreDialect::CoreXPath)
+}
+
+/// Compile into XPatterns.
+pub fn compile_xpatterns(e: &Expr) -> EvalResult<CoreQuery> {
+    compile_dialect(e, CoreDialect::XPatterns)
+}
+
+/// Compile with an explicit dialect.
+pub fn compile_dialect(e: &Expr, dialect: CoreDialect) -> EvalResult<CoreQuery> {
+    match e {
+        Expr::Path(p) => Ok(CoreQuery { path: compile_path(p, dialect)? }),
+        // A bare `id(...)` call is a step-less path in XPatterns.
+        Expr::Call { name, .. } if name == "id" && dialect == CoreDialect::XPatterns => {
+            let p = LocationPath {
+                start: PathStart::Expr(Box::new(e.clone())),
+                steps: Vec::new(),
+            };
+            Ok(CoreQuery { path: compile_path(&p, dialect)? })
+        }
+        _ => Err(unsupported("query must be a location path")),
+    }
+}
+
+fn unsupported(msg: &str) -> EvalError {
+    EvalError::UnsupportedFragment(msg.to_string())
+}
+
+fn compile_path(p: &LocationPath, dialect: CoreDialect) -> EvalResult<CorePath> {
+    let (start, mut steps) = match &p.start {
+        PathStart::Root => (CoreStart::Root, Vec::new()),
+        PathStart::ContextNode => (CoreStart::Context, Vec::new()),
+        PathStart::Expr(head) => {
+            if dialect != CoreDialect::XPatterns {
+                return Err(unsupported("filter-expression path heads are not Core XPath"));
+            }
+            match &**head {
+                Expr::Call { name, args } if name == "id" && args.len() == 1 => {
+                    match &args[0] {
+                        // id('c')/π.
+                        Expr::Literal(s) => (CoreStart::Ids(s.clone()), Vec::new()),
+                        // id(π2)/π3 ≡ π2/id/π3 (Lemma 10.6).
+                        Expr::Path(p2) => {
+                            let inner = compile_path(p2, dialect)?;
+                            if inner.eq.is_some() {
+                                return Err(unsupported("=s inside id() argument"));
+                            }
+                            let mut steps = inner.steps;
+                            steps.push(CoreStep {
+                                axis: Axis::Id,
+                                test: NodeTest::Kind(xpath_syntax::KindTest::Node),
+                                preds: Vec::new(),
+                            });
+                            (
+                                match inner.start {
+                                    CoreStart::Context => CoreStart::Context,
+                                    CoreStart::Root => CoreStart::Root,
+                                    ids @ CoreStart::Ids(_) => ids,
+                                },
+                                steps,
+                            )
+                        }
+                        _ => return Err(unsupported("id() argument must be a literal or path")),
+                    }
+                }
+                _ => return Err(unsupported("only id(...) path heads are in XPatterns")),
+            }
+        }
+    };
+    for s in &p.steps {
+        let preds = s
+            .predicates
+            .iter()
+            .map(|e| compile_pred(e, dialect))
+            .collect::<Result<Vec<_>, _>>()?;
+        steps.push(CoreStep { axis: s.axis, test: s.test.clone(), preds });
+    }
+    Ok(CorePath { start, steps, eq: None })
+}
+
+fn compile_pred(e: &Expr, dialect: CoreDialect) -> EvalResult<CorePred> {
+    match e {
+        Expr::Binary { op: BinaryOp::And, left, right } => Ok(CorePred::And(
+            Box::new(compile_pred(left, dialect)?),
+            Box::new(compile_pred(right, dialect)?),
+        )),
+        Expr::Binary { op: BinaryOp::Or, left, right } => Ok(CorePred::Or(
+            Box::new(compile_pred(left, dialect)?),
+            Box::new(compile_pred(right, dialect)?),
+        )),
+        Expr::Call { name, args } if name == "not" && args.len() == 1 => {
+            Ok(CorePred::Not(Box::new(compile_pred(&args[0], dialect)?)))
+        }
+        // The normalizer wraps node-set predicates as boolean(π).
+        Expr::Call { name, args } if name == "boolean" && args.len() == 1 => {
+            compile_pred(&args[0], dialect)
+        }
+        Expr::Path(p) => Ok(CorePred::Path(compile_path(p, dialect)?)),
+        // XPatterns `=s`: π = 'literal' / π = number (either side).
+        Expr::Binary { op: BinaryOp::Eq, left, right } if dialect == CoreDialect::XPatterns => {
+            let (path, scalar) = match (&**left, &**right) {
+                (Expr::Path(p), s) => (p, s),
+                (s, Expr::Path(p)) => (p, s),
+                _ => return Err(unsupported("comparison is not π = scalar")),
+            };
+            let eq = match scalar {
+                Expr::Literal(s) => EqTest::Str(s.clone()),
+                Expr::Number(v) => EqTest::Num(*v),
+                _ => return Err(unsupported("=s requires a literal or number")),
+            };
+            let mut cp = compile_path(path, dialect)?;
+            if cp.eq.is_some() {
+                return Err(unsupported("nested =s"));
+            }
+            cp.eq = Some(eq);
+            Ok(CorePred::Path(cp))
+        }
+        _ => Err(unsupported("predicate outside Core XPath / XPatterns")),
+    }
+}
+
+/// Which axis-evaluation technique drives the forward steps. §3: "the
+/// actual techniques for evaluating axes in our efficient XPath processing
+/// algorithms will be interchangeable" — all three produce identical
+/// results (property-tested in `xpath-axes`) within the same `O(|D|)`
+/// per-step bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AxisBackend {
+    /// Direct set algorithms over the preorder/subtree-interval encoding.
+    #[default]
+    Direct,
+    /// Algorithm 3.2: the Table I regular expressions over the primitive
+    /// relations (the paper's reference formulation).
+    Alg32,
+    /// Pre/post-plane windows (Grust et al. 2004), built on first use.
+    Plane,
+}
+
+/// The linear-time evaluator for compiled queries (Theorems 10.5 / 10.8).
+pub struct CoreXPathEvaluator<'d> {
+    doc: &'d Document,
+    all: NodeSet,
+    backend: AxisBackend,
+    /// Lazily-built pre/post plane for [`AxisBackend::Plane`].
+    plane: std::sync::OnceLock<xpath_axes::PrePostPlane>,
+    /// Optional name index accelerating `T(t)` lookups in `S←`.
+    index: Option<xpath_xml::index::NameIndex>,
+}
+
+impl<'d> CoreXPathEvaluator<'d> {
+    /// Create an evaluator over `doc` with the default (direct) axis backend.
+    pub fn new(doc: &'d Document) -> Self {
+        Self::with_backend(doc, AxisBackend::Direct)
+    }
+
+    /// Create an evaluator with an explicit axis backend (§3
+    /// interchangeability; see [`AxisBackend`]).
+    pub fn with_backend(doc: &'d Document, backend: AxisBackend) -> Self {
+        CoreXPathEvaluator {
+            doc,
+            all: doc.all_nodes().collect(),
+            backend,
+            plane: std::sync::OnceLock::new(),
+            index: None,
+        }
+    }
+
+    /// Build a [`NameIndex`](xpath_xml::index::NameIndex) (one `O(|D|)`
+    /// pass) so every `T(t)` lookup of backward evaluation (`S←`) becomes
+    /// `O(1)` instead of an `O(|D|)` scan. Same results, same asymptotic
+    /// bounds, smaller constants when a query has many predicate steps or
+    /// the evaluator is reused across queries.
+    pub fn with_name_index(mut self) -> Self {
+        self.index = Some(xpath_xml::index::NameIndex::new(self.doc));
+        self
+    }
+
+    /// `T(t)` relative to an axis, through the name index when present.
+    fn t_set(&self, axis: Axis, test: &NodeTest) -> NodeSet {
+        match &self.index {
+            Some(ix) => node_test::matching_set_indexed(self.doc, ix, axis, test),
+            None => node_test::matching_set(self.doc, axis, test),
+        }
+    }
+
+    /// Evaluate a compiled query with semantics `S→[[π]](N0)`.
+    pub fn evaluate(&self, q: &CoreQuery, context_nodes: &[NodeId]) -> NodeSet {
+        self.s_forward(&q.path, context_nodes)
+    }
+
+    /// Compile and evaluate a query string.
+    pub fn evaluate_str(
+        &self,
+        query: &str,
+        dialect: CoreDialect,
+        context_nodes: &[NodeId],
+    ) -> EvalResult<NodeSet> {
+        let e = xpath_syntax::parse_normalized(query)
+            .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+        let q = compile_dialect(&e, dialect)?;
+        Ok(self.evaluate(&q, context_nodes))
+    }
+
+    fn axis_forward(&self, axis: Axis, set: &[NodeId]) -> NodeSet {
+        match axis {
+            Axis::Id => xpath_axes::id::id_set_ref(self.doc, set),
+            _ => match self.backend {
+                AxisBackend::Direct => xpath_axes::eval_axis(self.doc, axis, set),
+                AxisBackend::Alg32 => xpath_axes::eval_axis_alg32(self.doc, axis, set),
+                AxisBackend::Plane => self
+                    .plane
+                    .get_or_init(|| xpath_axes::PrePostPlane::new(self.doc))
+                    .eval_axis(self.doc, axis, set),
+            },
+        }
+    }
+
+    /// Backward steps (`S←`, §10.1) go through the inverse-axis functions,
+    /// which all backends share: Lemma 10.1 reduces `χ⁻¹` to the forward
+    /// axis tables, so interchangeability is already exercised above.
+    fn axis_backward(&self, axis: Axis, set: &[NodeId]) -> NodeSet {
+        xpath_axes::inverse_axis_set(self.doc, axis, set)
+    }
+
+    fn start_set(&self, start: &CoreStart, context_nodes: &[NodeId]) -> NodeSet {
+        match start {
+            CoreStart::Context => {
+                let mut v = context_nodes.to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            CoreStart::Root => vec![self.doc.root()],
+            CoreStart::Ids(s) => self.doc.deref_ids(s),
+        }
+    }
+
+    /// `S→` (Definition 10.2): forward evaluation of the query spine.
+    fn s_forward(&self, p: &CorePath, context_nodes: &[NodeId]) -> NodeSet {
+        let mut n = self.start_set(&p.start, context_nodes);
+        for step in &p.steps {
+            // χ(N) ∩ T(t).
+            let mut next = self.axis_forward(step.axis, &n);
+            node_test::filter(self.doc, step.axis, &step.test, &mut next);
+            // π[e] ↦ S→[[π]] ∩ E1[[e]].
+            for pred in &step.preds {
+                let sat = self.e1(pred);
+                next = nodeset::intersect(&next, &sat);
+            }
+            n = next;
+        }
+        if let Some(eq) = &p.eq {
+            n = nodeset::intersect(&n, &self.eq_set(eq));
+        }
+        n
+    }
+
+    /// `E1` (Definition 10.2): the set of nodes satisfying a predicate.
+    fn e1(&self, pred: &CorePred) -> NodeSet {
+        match pred {
+            CorePred::And(l, r) => nodeset::intersect(&self.e1(l), &self.e1(r)),
+            CorePred::Or(l, r) => nodeset::union(&self.e1(l), &self.e1(r)),
+            CorePred::Not(inner) => nodeset::difference(&self.all, &self.e1(inner)),
+            CorePred::Path(p) => self.s_backward(p),
+        }
+    }
+
+    /// `S←` (Definition 10.2): the set of context nodes from which the path
+    /// matches at least one node.
+    fn s_backward(&self, p: &CorePath) -> NodeSet {
+        // Start from the `=s` restriction if present, else unrestricted.
+        let mut acc: Option<NodeSet> = p.eq.as_ref().map(|eq| self.eq_set(eq));
+        for step in p.steps.iter().rev() {
+            // base = T(t) ∩ E1[[e1]] ∩ … (∩ S←[[rest]]).
+            let mut base = self.t_set(step.axis, &step.test);
+            for pred in &step.preds {
+                base = nodeset::intersect(&base, &self.e1(pred));
+            }
+            if let Some(a) = acc {
+                base = nodeset::intersect(&base, &a);
+            }
+            acc = Some(self.axis_backward(step.axis, &base));
+        }
+        let acc = acc.unwrap_or_else(|| self.all.clone());
+        match &p.start {
+            CoreStart::Context => acc,
+            // S←[[/π]] := dom/root(S←[[π]]).
+            CoreStart::Root => {
+                if nodeset::contains(&acc, self.doc.root()) {
+                    self.all.clone()
+                } else {
+                    Vec::new()
+                }
+            }
+            // id(c)/π matches from anywhere iff some id target survives.
+            CoreStart::Ids(s) => {
+                if nodeset::intersect(&acc, &self.doc.deref_ids(s)).is_empty() {
+                    Vec::new()
+                } else {
+                    self.all.clone()
+                }
+            }
+        }
+    }
+
+    /// The set of context nodes from which the compiled query matches at
+    /// least one node — `S←[[π]]` (Definition 10.2), exposed for the XSLT
+    /// pattern-matching use case: "which nodes does this template pattern
+    /// apply to?" in one `O(|D|·|Q|)` pass.
+    pub fn matching_contexts(&self, q: &CoreQuery) -> NodeSet {
+        self.s_backward(&q.path)
+    }
+
+    /// The unary predicate `{x | strval(x) = s}` of Table VI (computed by
+    /// string search over the document, `O(|D|)`).
+    fn eq_set(&self, eq: &EqTest) -> NodeSet {
+        match eq {
+            EqTest::Str(s) => self
+                .doc
+                .all_nodes()
+                .filter(|&n| self.doc.string_value(n) == s.as_str())
+                .collect(),
+            EqTest::Num(v) => self
+                .doc
+                .all_nodes()
+                .filter(|&n| str_to_number(self.doc.string_value(n)) == *v)
+                .collect(),
+        }
+    }
+}
+
+/// Is the expression in the Core XPath fragment?
+pub fn is_core_xpath(e: &Expr) -> bool {
+    compile(e).is_ok()
+}
+
+/// Is the expression in the XPatterns fragment?
+pub fn is_xpatterns(e: &Expr) -> bool {
+    compile_xpatterns(e).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::naive::NaiveEvaluator;
+    use crate::value::Value;
+    use xpath_syntax::parse_normalized;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8, doc_flat, doc_idref_chain};
+
+    fn core_eval(doc: &Document, q: &str) -> NodeSet {
+        let ev = CoreXPathEvaluator::new(doc);
+        ev.evaluate_str(q, CoreDialect::XPatterns, &[doc.root()])
+            .unwrap_or_else(|e| panic!("{q}: {e}"))
+    }
+
+    fn naive_eval(doc: &Document, q: &str) -> NodeSet {
+        let e = parse_normalized(q).unwrap();
+        match NaiveEvaluator::new(doc).evaluate(&e, Context::of(doc.root())).unwrap() {
+            Value::NodeSet(s) => s,
+            other => panic!("expected node set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_10_3_query() {
+        // /descendant::a/child::b[child::c/child::d or not(following::*)].
+        let d = doc_bookstore();
+        let q = "/descendant::section/child::book[child::author/child::last or not(following::*)]";
+        assert_eq!(core_eval(&d, q), naive_eval(&d, q));
+    }
+
+    #[test]
+    fn agrees_with_naive_on_core_corpus() {
+        let docs = [doc_flat(5), doc_figure8(), doc_bookstore()];
+        let queries = [
+            "//a/b",
+            "/descendant::a/child::b",
+            "//b[child::c]",
+            "//b[not(child::c)]",
+            "//*[child::c and child::d]",
+            "//*[child::c or following-sibling::b]",
+            "//d/ancestor::b",
+            "//c/following::d",
+            "//b[descendant::d]/preceding-sibling::*",
+            "//*[not(ancestor::b)]/c",
+            "//book[author]",
+            "//section[book[author[last]]]",
+            "//*[attribute::id]",
+            "child::a/child::b",
+            "//*[self::b]",
+            "//b[following::*[child::d]]",
+        ];
+        for d in &docs {
+            for q in queries {
+                assert_eq!(core_eval(d, q), naive_eval(d, q), "query {q} on {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_predicate_paths() {
+        let d = doc_figure8();
+        // [/descendant::zzz] is false everywhere; [//c] true everywhere.
+        assert_eq!(core_eval(&d, "//b[/descendant::zzz]"), naive_eval(&d, "//b[/descendant::zzz]"));
+        assert_eq!(core_eval(&d, "//b[//c]"), naive_eval(&d, "//b[//c]"));
+    }
+
+    #[test]
+    fn xpatterns_eq_feature() {
+        let d = doc_figure8();
+        for q in [
+            "//*[child::* = '100']",
+            "//*[self::* = 100]",
+            "//b[child::d = '100']/child::c",
+            "//*[descendant::d = 100 and child::c]",
+        ] {
+            assert_eq!(core_eval(&d, q), naive_eval(&d, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn xpatterns_id_head() {
+        let d = doc_figure8();
+        for q in ["id('11')/child::c", "id('11 21')/child::d"] {
+            assert_eq!(core_eval(&d, q), naive_eval(&d, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn xpatterns_id_axis_lemma_10_6() {
+        // id(π)/π3 ≡ π/id/π3 on a document where the ref encoding is exact.
+        let d = doc_idref_chain(6);
+        // "first item" expressed without position(): no preceding sibling.
+        let q = "id(//item[not(preceding-sibling::*)])/self::*";
+        let got = core_eval(&d, q);
+        let want = naive_eval(&d, q);
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 2, "item 0 references items 1 and 2");
+    }
+
+    #[test]
+    fn fragment_rejections() {
+        let core = |q: &str| compile(&parse_normalized(q).unwrap());
+        // Arithmetic, position(), count() are not Core XPath.
+        assert!(core("//a[position() = 2]").is_err());
+        assert!(core("//a[count(b) > 1]").is_err());
+        assert!(core("count(//a)").is_err());
+        assert!(core("//a[b = 'x']").is_err(), "=s is XPatterns, not Core XPath");
+        assert!(core("id('x')/a").is_err(), "id heads are XPatterns, not Core XPath");
+        // But they are fine structurally in XPatterns where applicable.
+        assert!(compile_xpatterns(&parse_normalized("//a[b = 'x']").unwrap()).is_ok());
+        assert!(compile_xpatterns(&parse_normalized("id('x')/a").unwrap()).is_ok());
+        assert!(compile_xpatterns(&parse_normalized("//a[position() = 2]").unwrap()).is_err());
+        // Plain Core XPath accepts the full axis set and boolean closure.
+        assert!(core("//a[not(b) and (c or descendant::d)]").is_ok());
+    }
+
+    #[test]
+    fn name_index_is_transparent() {
+        // The indexed T(t) lookup changes nothing observable.
+        let docs = [doc_flat(5), doc_figure8(), doc_bookstore()];
+        let queries = [
+            "//b[child::c]",
+            "//*[not(descendant::d)]",
+            "//b[following::*[child::d]]",
+            "//*[attribute::id]",
+            "//section[book[author[last]]]",
+        ];
+        for d in &docs {
+            let plain = CoreXPathEvaluator::new(d);
+            let indexed = CoreXPathEvaluator::new(d).with_name_index();
+            for q in queries {
+                let e = parse_normalized(q).unwrap();
+                let c = compile(&e).unwrap();
+                assert_eq!(
+                    indexed.evaluate(&c, &[d.root()]),
+                    plain.evaluate(&c, &[d.root()]),
+                    "{q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axis_backends_agree() {
+        // §3 interchangeability at the evaluator level: all three backends
+        // produce identical results on a mixed corpus.
+        let docs = [doc_flat(5), doc_figure8(), doc_bookstore()];
+        let queries = [
+            "//a/b",
+            "//b[child::c]",
+            "//d/ancestor::b",
+            "//c/following::d",
+            "//b[descendant::d]/preceding-sibling::*",
+            "//*[attribute::id]",
+        ];
+        for d in &docs {
+            let direct = CoreXPathEvaluator::with_backend(d, AxisBackend::Direct);
+            let alg32 = CoreXPathEvaluator::with_backend(d, AxisBackend::Alg32);
+            let plane = CoreXPathEvaluator::with_backend(d, AxisBackend::Plane);
+            for q in queries {
+                let e = parse_normalized(q).unwrap();
+                let c = compile(&e).unwrap();
+                let want = direct.evaluate(&c, &[d.root()]);
+                assert_eq!(alg32.evaluate(&c, &[d.root()]), want, "alg32 {q}");
+                assert_eq!(plane.evaluate(&c, &[d.root()]), want, "plane {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_queries() {
+        let d = doc_figure8();
+        let ev = CoreXPathEvaluator::new(&d);
+        let x11 = d.element_by_id("11").unwrap();
+        let out = ev
+            .evaluate_str("child::c", CoreDialect::CoreXPath, &[x11])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let out = ev
+            .evaluate_str("following-sibling::b/child::d", CoreDialect::CoreXPath, &[x11])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn linear_scaling_smoke() {
+        // Informal Theorem 10.5 check: 4x data → roughly ≤ 8x time
+        // (allowing noise), far from the naive blowup.
+        use std::time::Instant;
+        let q = "//b[not(following::*)]";
+        let d1 = doc_flat(4000);
+        let d2 = doc_flat(16000);
+        let e = parse_normalized(q).unwrap();
+        let c1 = compile(&e).unwrap();
+        let ev1 = CoreXPathEvaluator::new(&d1);
+        let ev2 = CoreXPathEvaluator::new(&d2);
+        // Warm up.
+        ev1.evaluate(&c1, &[d1.root()]);
+        let t1 = Instant::now();
+        for _ in 0..10 {
+            ev1.evaluate(&c1, &[d1.root()]);
+        }
+        let t1 = t1.elapsed();
+        let t2 = Instant::now();
+        for _ in 0..10 {
+            ev2.evaluate(&c1, &[d2.root()]);
+        }
+        let t2 = t2.elapsed();
+        assert!(
+            t2 < t1 * 40,
+            "expected near-linear scaling, got {t1:?} → {t2:?}"
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Unified engine facade over all evaluation algorithms.
+//!
+//! ```
+//! use xpath_core::engine::{Engine, Strategy};
+//! use xpath_xml::Document;
+//!
+//! let doc = Document::parse_str("<a><b/><b/></a>").unwrap();
+//! let engine = Engine::new(&doc);
+//! let hits = engine.select("//b").unwrap();
+//! assert_eq!(hits.len(), 2);
+//! // Every algorithm of the paper is selectable:
+//! let v = engine.evaluate_with("count(//b)", Strategy::TopDown).unwrap();
+//! assert_eq!(v.to_string(), "2");
+//! ```
+
+use xpath_syntax::{normalize, Bindings, Expr};
+use xpath_xml::{Document, NodeId};
+
+use crate::bottomup::BottomUpEvaluator;
+use crate::context::{Context, EvalError, EvalResult};
+use crate::corexpath::{self, CoreDialect, CoreXPathEvaluator};
+use crate::fragment::{classify, Fragment};
+use crate::mincontext::MinContextEvaluator;
+use crate::naive::NaiveEvaluator;
+use crate::nodeset::NodeSet;
+use crate::optmincontext::OptMinContextEvaluator;
+use crate::pool::PoolEvaluator;
+use crate::topdown::TopDownEvaluator;
+use crate::value::Value;
+
+/// Which of the paper's algorithms to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// §2 baseline: exponential recursive evaluation (models XALAN/XT/
+    /// Saxon/IE6).
+    Naive,
+    /// §9: naive recursion + data pool (Algorithm 9.1).
+    DataPool,
+    /// §6: bottom-up context-value tables (Algorithm 6.3).
+    BottomUp,
+    /// §7: top-down vectorized evaluation (the paper's implementation).
+    TopDown,
+    /// §8: MinContext (Algorithm 8.5).
+    MinContext,
+    /// §11.2: OptMinContext (Algorithm 11.1).
+    OptMinContext,
+    /// §10.1: linear-time Core XPath algebra (rejects other queries).
+    CoreXPath,
+    /// §10.2: linear-time XPatterns (rejects other queries).
+    XPatterns,
+    /// Single-pass streaming matcher for the forward Core XPath fragment
+    /// (§1–§2 related work; rejects non-streamable queries).
+    Streaming,
+    /// Classify via Figure 1 and pick the best algorithm.
+    #[default]
+    Auto,
+}
+
+/// An XPath engine bound to a document.
+pub struct Engine<'d> {
+    doc: &'d Document,
+    optimize: bool,
+}
+
+impl<'d> Engine<'d> {
+    /// Create an engine over `doc`.
+    pub fn new(doc: &'d Document) -> Self {
+        Engine { doc, optimize: false }
+    }
+
+    /// Enable the semantics-preserving rewrite pass
+    /// ([`xpath_syntax::rewrite`]) on every prepared query: `//`-step
+    /// merging, `self::node()` elimination, constant folding.
+    pub fn with_optimizer(doc: &'d Document) -> Self {
+        Engine { doc, optimize: true }
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Parse and normalize a query (no variable bindings), applying the
+    /// rewrite pass if this engine was built with
+    /// [`Engine::with_optimizer`].
+    pub fn prepare(&self, query: &str) -> EvalResult<Expr> {
+        let e = xpath_syntax::parse_normalized(query)
+            .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+        Ok(if self.optimize { xpath_syntax::rewrite::optimize(&e) } else { e })
+    }
+
+    /// Parse and normalize a query with variable bindings.
+    pub fn prepare_with(&self, query: &str, bindings: &Bindings) -> EvalResult<Expr> {
+        let e = xpath_syntax::parse(query).map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+        let e = normalize::normalize_with(&e, bindings)
+            .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+        Ok(if self.optimize { xpath_syntax::rewrite::optimize(&e) } else { e })
+    }
+
+    /// Evaluate a query string at the document root with [`Strategy::Auto`].
+    pub fn evaluate(&self, query: &str) -> EvalResult<Value> {
+        self.evaluate_with(query, Strategy::Auto)
+    }
+
+    /// Evaluate a query string at the document root with a given strategy.
+    pub fn evaluate_with(&self, query: &str, strategy: Strategy) -> EvalResult<Value> {
+        let e = self.prepare(query)?;
+        self.evaluate_expr(&e, strategy, Context::of(self.doc.root()))
+    }
+
+    /// Evaluate a query string at a given context node.
+    pub fn evaluate_at(&self, query: &str, node: NodeId) -> EvalResult<Value> {
+        let e = self.prepare(query)?;
+        self.evaluate_expr(&e, Strategy::Auto, Context::of(node))
+    }
+
+    /// Evaluate a prepared expression.
+    pub fn evaluate_expr(
+        &self,
+        e: &Expr,
+        strategy: Strategy,
+        ctx: Context,
+    ) -> EvalResult<Value> {
+        match strategy {
+            Strategy::Naive => NaiveEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::DataPool => PoolEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::BottomUp => BottomUpEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::TopDown => TopDownEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::MinContext => MinContextEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::OptMinContext => OptMinContextEvaluator::new(self.doc).evaluate(e, ctx),
+            Strategy::CoreXPath => {
+                let q = corexpath::compile_dialect(e, CoreDialect::CoreXPath)?;
+                Ok(Value::NodeSet(
+                    CoreXPathEvaluator::new(self.doc).evaluate(&q, &[ctx.node]),
+                ))
+            }
+            Strategy::XPatterns => {
+                let q = corexpath::compile_dialect(e, CoreDialect::XPatterns)?;
+                Ok(Value::NodeSet(
+                    CoreXPathEvaluator::new(self.doc).evaluate(&q, &[ctx.node]),
+                ))
+            }
+            Strategy::Streaming => {
+                // Streamable queries are absolute, so the context node is
+                // irrelevant to the result (P[[/π]] starts at the root).
+                let sq = crate::streaming::compile_expr(e)?;
+                Ok(Value::NodeSet(crate::streaming::evaluate_stream(&sq, self.doc)))
+            }
+            Strategy::Auto => {
+                let strategy = self.auto_strategy(e);
+                self.evaluate_expr(e, strategy, ctx)
+            }
+        }
+    }
+
+    /// The strategy [`Strategy::Auto`] resolves to for a query, per the
+    /// Figure 1 lattice.
+    pub fn auto_strategy(&self, e: &Expr) -> Strategy {
+        match classify(e).fragment {
+            Fragment::CoreXPath => Strategy::CoreXPath,
+            Fragment::XPatterns => Strategy::XPatterns,
+            // OptMinContext realizes both the Wadler bounds and the general
+            // MinContext bounds (Algorithm 11.1).
+            Fragment::ExtendedWadler | Fragment::FullXPath => Strategy::OptMinContext,
+        }
+    }
+
+    /// Evaluate a node-set query at the root and return the nodes.
+    pub fn select(&self, query: &str) -> EvalResult<NodeSet> {
+        match self.evaluate(query)? {
+            Value::NodeSet(s) => Ok(s),
+            other => Err(EvalError::TypeMismatch(format!(
+                "expected a node set, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Evaluate a node-set query from a given context node.
+    pub fn select_at(&self, query: &str, node: NodeId) -> EvalResult<NodeSet> {
+        match self.evaluate_at(query, node)? {
+            Value::NodeSet(s) => Ok(s),
+            other => Err(EvalError::TypeMismatch(format!(
+                "expected a node set, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Run the same prepared query through every algorithm and check they
+    /// agree — the differential-testing oracle used by the integration
+    /// suite. Returns the common value.
+    ///
+    /// `budget` bounds the naive evaluator (it is exponential by design);
+    /// when exhausted, naive is skipped.
+    pub fn evaluate_all_agree(
+        &self,
+        e: &Expr,
+        ctx: Context,
+        naive_budget: u64,
+    ) -> EvalResult<Value> {
+        let reference = TopDownEvaluator::new(self.doc).evaluate(e, ctx)?;
+        let check = |name: &str, v: EvalResult<Value>| -> EvalResult<()> {
+            match v {
+                Ok(v) if v.semantically_equal(&reference) => Ok(()),
+                Ok(v) => Err(EvalError::TypeMismatch(format!(
+                    "{name} disagrees: {v:?} vs top-down {reference:?}"
+                ))),
+                Err(EvalError::BudgetExhausted) | Err(EvalError::Capacity(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        };
+        check("naive", NaiveEvaluator::with_budget(self.doc, naive_budget).evaluate(e, ctx))?;
+        check("data-pool", PoolEvaluator::new(self.doc).evaluate(e, ctx))?;
+        check("bottom-up", BottomUpEvaluator::new(self.doc).evaluate(e, ctx))?;
+        check("min-context", MinContextEvaluator::new(self.doc).evaluate(e, ctx))?;
+        check("opt-min-context", OptMinContextEvaluator::new(self.doc).evaluate(e, ctx))?;
+        if let Ok(q) = corexpath::compile_dialect(e, CoreDialect::XPatterns) {
+            let v = CoreXPathEvaluator::new(self.doc).evaluate(&q, &[ctx.node]);
+            check("core-xpath", Ok(Value::NodeSet(v)))?;
+        }
+        // The streaming matcher only covers absolute forward queries
+        // (possibly with one positional test); where it applies — and the
+        // context is the root, the only context it models — it must agree.
+        if ctx.node == self.doc.root() {
+            if let Ok(sq) = crate::streaming::compile_expr(e) {
+                let v = crate::streaming::evaluate_stream(&sq, self.doc);
+                check("streaming", Ok(Value::NodeSet(v)))?;
+            }
+        }
+        Ok(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8};
+
+    #[test]
+    fn auto_strategy_dispatch() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        let s = |q: &str| engine.auto_strategy(&engine.prepare(q).unwrap());
+        assert_eq!(s("//book[author]"), Strategy::CoreXPath);
+        assert_eq!(s("//book[title = 'DB Monthly']"), Strategy::XPatterns);
+        assert_eq!(s("//book[position() = last()]"), Strategy::OptMinContext);
+        assert_eq!(s("count(//book)"), Strategy::OptMinContext);
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let d = doc_figure8();
+        let engine = Engine::new(&d);
+        for q in [
+            "//b/c",
+            "//*[d = 100]",
+            "//b[count(c) > 1]",
+            "//*[position() = last()]",
+            "count(//c) + sum(//d)",
+        ] {
+            let e = engine.prepare(q).unwrap();
+            engine
+                .evaluate_all_agree(&e, Context::of(d.root()), 1_000_000)
+                .unwrap_or_else(|err| panic!("{q}: {err}"));
+        }
+    }
+
+    #[test]
+    fn select_and_scalar_queries() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        assert_eq!(engine.select("//book").unwrap().len(), 4);
+        assert!(engine.select("count(//book)").is_err(), "scalar is not a node set");
+        let v = engine.evaluate("count(//book[@year > 2000])").unwrap();
+        assert_eq!(v, Value::Number(2.0));
+    }
+
+    #[test]
+    fn evaluate_at_context_node() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        let b1 = d.element_by_id("b1").unwrap();
+        let v = engine.evaluate_at("count(author)", b1).unwrap();
+        assert_eq!(v, Value::Number(3.0));
+        let titles = engine.select_at("following-sibling::book/title", b1).unwrap();
+        assert_eq!(titles.len(), 1);
+    }
+
+    #[test]
+    fn bindings_through_prepare_with() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        let b = Bindings::new().number("y", 2000.0).string("t", "XPath Processing");
+        let e = engine.prepare_with("//book[@year > $y and title = $t]", &b).unwrap();
+        let v = engine
+            .evaluate_expr(&e, Strategy::Auto, Context::of(d.root()))
+            .unwrap();
+        assert_eq!(v.as_node_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explicit_fragment_strategies_reject_outside_queries() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        assert!(matches!(
+            engine.evaluate_with("count(//book)", Strategy::CoreXPath),
+            Err(EvalError::UnsupportedFragment(_))
+        ));
+        assert!(engine.evaluate_with("//book[title = 'x']", Strategy::CoreXPath).is_err());
+        assert!(engine.evaluate_with("//book[title = 'x']", Strategy::XPatterns).is_ok());
+    }
+
+    #[test]
+    fn streaming_strategy_through_the_engine() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        for q in ["//book[author]", "//book[2]", "//section/book[last()]"] {
+            let got = engine.evaluate_with(q, Strategy::Streaming).unwrap();
+            let want = engine.evaluate_with(q, Strategy::TopDown).unwrap();
+            assert!(got.semantically_equal(&want), "{q}");
+        }
+        // Upward axes are outside the streamable fragment.
+        assert!(matches!(
+            engine.evaluate_with("//author/parent::book", Strategy::Streaming),
+            Err(EvalError::UnsupportedFragment(_))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! Query-plan explanation: make the paper's static analyses visible.
+//!
+//! For a prepared query, [`explain`] reports
+//!
+//! * the Figure 1 fragment classification and the strategy `Auto` picks;
+//! * Extended-Wadler restriction violations, if any;
+//! * the relevant-context set `Relev(N)` (§8.2) of every subexpression;
+//! * which subexpressions OptMinContext will evaluate bottom-up
+//!   (`boolean(π)` / `π RelOp c` occurrences, §11.1);
+//! * the context-value-table row counts the bottom-up algorithm would
+//!   materialize for a given document size (Theorem 6.6 made concrete).
+
+use std::fmt::Write as _;
+
+use xpath_syntax::{Expr, PathStart};
+
+use crate::fragment::{classify, Fragment};
+use crate::relev::relev;
+use crate::wadler;
+
+/// A rendered explanation of how the engines will treat a query.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The Figure 1 fragment.
+    pub fragment: Fragment,
+    /// Human-readable multi-line report.
+    pub report: String,
+    /// Number of bottom-up path occurrences OptMinContext will seed.
+    pub bottomup_paths: usize,
+}
+
+/// Explain a prepared (normalized) query. `doc_size` parameterizes the
+/// table-size estimates; pass the target document's `len()` or an
+/// indicative size.
+pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
+    let c = classify(e);
+    let mut report = String::new();
+    let _ = writeln!(report, "query:     {e}");
+    let _ = writeln!(report, "fragment:  {} ({})", c.fragment.name(), c.fragment.complexity());
+    let strategy = match c.fragment {
+        Fragment::CoreXPath => "CoreXPath (S→/S←/E1 algebra)",
+        Fragment::XPatterns => "XPatterns (Core XPath + id axis + =s predicates)",
+        Fragment::ExtendedWadler | Fragment::FullXPath => {
+            "OptMinContext (Algorithm 11.1: bottom-up paths + MinContext)"
+        }
+    };
+    let _ = writeln!(report, "strategy:  {strategy}");
+    for v in &c.wadler_violations {
+        let _ = writeln!(report, "  wadler:  {v}");
+    }
+    // Streamability (forward Core XPath fragment, §1–§2 related work).
+    match crate::corexpath::compile_xpatterns(e)
+        .and_then(|q| crate::streaming::compile(&q))
+    {
+        Ok(_) => {
+            let _ = writeln!(report, "streaming: yes (single pass, O(depth·|Q|) memory)");
+        }
+        Err(why) => {
+            let _ = writeln!(report, "streaming: no — {why}");
+        }
+    }
+
+    // Per-subexpression relevance and bottom-up candidacy.
+    let mut bottomup_paths = 0usize;
+    let _ = writeln!(report, "subexpressions (Relev, CVT rows @ |D| = {doc_size}):");
+    e.walk(&mut |sub| {
+        let rel = relev(sub);
+        let rows = estimated_rows(doc_size, rel.has_cn(), rel.has_cp(), rel.has_cs());
+        let bu = if wadler::bottomup_candidate(sub).is_some() {
+            bottomup_paths += 1;
+            "  [bottom-up]"
+        } else {
+            ""
+        };
+        let shown = one_line(sub, 52);
+        let _ = writeln!(report, "  {rel:?}  rows≈{rows:<10} {shown}{bu}");
+    });
+    Explanation { fragment: c.fragment, report, bottomup_paths }
+}
+
+fn estimated_rows(n: usize, cn: bool, cp: bool, cs: bool) -> u64 {
+    let n = n as u64;
+    let mut rows = 1u64;
+    if cn {
+        rows = rows.saturating_mul(n);
+    }
+    match (cp, cs) {
+        (true, true) => rows = rows.saturating_mul(n.saturating_mul(n.saturating_add(1)) / 2),
+        (true, false) | (false, true) => rows = rows.saturating_mul(n),
+        (false, false) => {}
+    }
+    rows
+}
+
+fn one_line(e: &Expr, max: usize) -> String {
+    let s = match e {
+        // Paths print with their predicates, which is often the whole
+        // query; abbreviate to the spine.
+        Expr::Path(p) => {
+            let start = match &p.start {
+                PathStart::Root => "/".to_string(),
+                PathStart::ContextNode => String::new(),
+                PathStart::Expr(_) => "(…)/".to_string(),
+            };
+            let steps: Vec<String> = p
+                .steps
+                .iter()
+                .map(|s| {
+                    if s.predicates.is_empty() {
+                        format!("{}::{}", s.axis.name(), s.test)
+                    } else {
+                        format!("{}::{}[…]", s.axis.name(), s.test)
+                    }
+                })
+                .collect();
+            format!("{start}{}", steps.join("/"))
+        }
+        other => other.to_string(),
+    };
+    if s.chars().count() > max {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_syntax::parse_normalized;
+
+    #[test]
+    fn explain_core_query() {
+        let e = parse_normalized("//a[b]").unwrap();
+        let x = explain(&e, 100);
+        assert_eq!(x.fragment, Fragment::CoreXPath);
+        assert!(x.report.contains("CoreXPath"), "{}", x.report);
+        assert_eq!(x.bottomup_paths, 1, "boolean(child::b) is a candidate");
+    }
+
+    #[test]
+    fn explain_full_xpath_query() {
+        let e = parse_normalized("//a[count(b) > 1]").unwrap();
+        let x = explain(&e, 100);
+        assert_eq!(x.fragment, Fragment::FullXPath);
+        assert!(x.report.contains("OptMinContext"), "{}", x.report);
+        assert!(x.report.contains("Restriction 2"), "{}", x.report);
+    }
+
+    #[test]
+    fn row_estimates() {
+        assert_eq!(estimated_rows(10, false, false, false), 1);
+        assert_eq!(estimated_rows(10, true, false, false), 10);
+        assert_eq!(estimated_rows(10, false, true, false), 10);
+        assert_eq!(estimated_rows(10, false, true, true), 55);
+        assert_eq!(estimated_rows(10, true, true, true), 550);
+        // Saturates instead of overflowing.
+        assert!(estimated_rows(usize::MAX, true, true, true) > 0);
+    }
+
+    #[test]
+    fn relevances_listed() {
+        let e = parse_normalized("//a[position() != last()]").unwrap();
+        let x = explain(&e, 50);
+        assert!(x.report.contains("{cp,cs}"), "{}", x.report);
+        assert!(x.report.contains("{cp}"), "{}", x.report);
+        assert!(x.report.contains("{cs}"), "{}", x.report);
+    }
+
+    #[test]
+    fn long_queries_abbreviated() {
+        let e = parse_normalized(
+            "//a[b[c[d[e = 'a very long string literal that goes on and on']]]]",
+        )
+        .unwrap();
+        let x = explain(&e, 10);
+        // Subexpression lines are abbreviated (the header echoes the full
+        // query and is exempt).
+        for line in x.report.lines().filter(|l| l.trim_start().starts_with('{')) {
+            assert!(line.chars().count() < 120, "overlong line: {line}");
+        }
+        assert!(x.report.contains('…'), "{}", x.report);
+    }
+}

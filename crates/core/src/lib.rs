@@ -1,0 +1,50 @@
+//! # xpath-core — the paper's contribution
+//!
+//! Polynomial-time XPath 1.0 processing per Gottlob, Koch & Pichler,
+//! *Efficient Algorithms for Processing XPath Queries* (VLDB 2002 / TODS):
+//!
+//! | Module | Paper | What |
+//! |---|---|---|
+//! | [`value`], [`compare`], [`functions`] | §5, Table II | value model & effective semantics `F[[Op]]` |
+//! | [`naive`] | §2 | exponential baseline (`process-location-step`) |
+//! | [`pool`] | §9 | memoized ("data pool") evaluator, Algorithm 9.1 |
+//! | [`bottomup`] | §6 | context-value tables, Algorithm 6.3 |
+//! | [`topdown`] | §7 | vectorized `S↓`/`E↓` (the "XMLTaskforce" engine) |
+//! | [`mincontext`] | §8, App. A | relevant-context analysis + MinContext |
+//! | [`corexpath`] | §10.1 | linear-time Core XPath algebra |
+//! | [`streaming`] | §1–§2 related work | single-pass matcher for the forward Core XPath fragment |
+//! | [`xpatterns`] | §10.2 | Core XPath + id axis + XSLT-Patterns predicates |
+//! | [`wadler`] | §11.1 | Extended Wadler fragment, bottom-up inner paths |
+//! | [`optmincontext`] | §11.2 | OptMinContext (Algorithm 11.1) |
+//! | [`fragment`] | Fig. 1 | fragment lattice classification |
+//! | [`engine`] | — | unified facade over all algorithms |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottomup;
+pub mod compare;
+pub mod corexpath;
+pub mod engine;
+pub mod fragment;
+pub mod context;
+pub mod eval_common;
+pub mod explain;
+pub mod functions;
+pub mod mincontext;
+pub mod naive;
+pub mod optmincontext;
+pub mod pool;
+pub mod relev;
+pub mod streaming;
+pub mod topdown;
+pub mod node_test;
+pub mod nodeset;
+pub mod value;
+pub mod wadler;
+pub mod xpatterns;
+
+pub use context::{Context, EvalError, EvalResult};
+pub use engine::{Engine, Strategy};
+pub use fragment::{classify, Classification, Fragment};
+pub use value::Value;

@@ -1,0 +1,164 @@
+//! Node tests (paper §4): the function `T` mapping node tests to the subset
+//! of `dom` satisfying them, and per-node matching relative to an axis's
+//! principal node type.
+
+use xpath_syntax::{Axis, KindTest, NodeTest, PrincipalKind};
+use xpath_xml::{Document, NodeId, NodeKind};
+
+/// Does node `n` satisfy node test `test` on axis `axis` (whose principal
+/// node type resolves name/wildcard tests, §4)?
+pub fn matches(doc: &Document, axis: Axis, test: &NodeTest, n: NodeId) -> bool {
+    match test {
+        NodeTest::Kind(k) => kind_matches(doc, k, n),
+        NodeTest::Wildcard => principal_matches(doc, axis, n),
+        NodeTest::Name(name) => {
+            principal_matches(doc, axis, n)
+                && doc.lookup_name(name).is_some_and(|id| doc.name_id(n) == Some(id))
+        }
+        NodeTest::NsWildcard(prefix) => {
+            principal_matches(doc, axis, n)
+                && doc
+                    .name(n)
+                    .and_then(|full| full.split_once(':'))
+                    .is_some_and(|(p, _)| p == prefix)
+        }
+    }
+}
+
+fn principal_matches(doc: &Document, axis: Axis, n: NodeId) -> bool {
+    match axis.principal_kind() {
+        PrincipalKind::Element => doc.kind(n) == NodeKind::Element,
+        PrincipalKind::Attribute => doc.kind(n) == NodeKind::Attribute,
+        PrincipalKind::Namespace => doc.kind(n) == NodeKind::Namespace,
+    }
+}
+
+fn kind_matches(doc: &Document, k: &KindTest, n: NodeId) -> bool {
+    match k {
+        KindTest::Node => true,
+        KindTest::Text => doc.kind(n) == NodeKind::Text,
+        KindTest::Comment => doc.kind(n) == NodeKind::Comment,
+        KindTest::Pi(target) => {
+            doc.kind(n) == NodeKind::ProcessingInstruction
+                && target.as_deref().is_none_or(|t| doc.name(n) == Some(t))
+        }
+    }
+}
+
+/// The set `T(t)` (§4) relative to an axis: all nodes of the document
+/// satisfying the test. Sorted in document order. `O(|D|)`.
+pub fn matching_set(doc: &Document, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+    doc.all_nodes().filter(|&n| matches(doc, axis, test, n)).collect()
+}
+
+/// [`matching_set`] backed by a prebuilt
+/// [`NameIndex`](xpath_xml::index::NameIndex): `O(1)` lookup for the common
+/// test shapes, falling back to the scan for the rest (`node()`, PI
+/// targets, `NCName:*`).
+pub fn matching_set_indexed(
+    doc: &Document,
+    index: &xpath_xml::index::NameIndex,
+    axis: Axis,
+    test: &NodeTest,
+) -> Vec<NodeId> {
+    use xpath_syntax::PrincipalKind;
+    match test {
+        NodeTest::Name(name) => {
+            let Some(id) = doc.lookup_name(name) else { return Vec::new() };
+            match axis.principal_kind() {
+                PrincipalKind::Element => index.elements_named(id).to_vec(),
+                PrincipalKind::Attribute => index.attributes_named(id).to_vec(),
+                PrincipalKind::Namespace => {
+                    // Namespace nodes are few; filter the kind list by name.
+                    index
+                        .namespace_nodes()
+                        .iter()
+                        .copied()
+                        .filter(|&n| doc.name_id(n) == Some(id))
+                        .collect()
+                }
+            }
+        }
+        NodeTest::Wildcard => match axis.principal_kind() {
+            PrincipalKind::Element => index.elements().to_vec(),
+            PrincipalKind::Attribute => index.attributes().to_vec(),
+            PrincipalKind::Namespace => index.namespace_nodes().to_vec(),
+        },
+        NodeTest::Kind(KindTest::Text) => index.text_nodes().to_vec(),
+        NodeTest::Kind(KindTest::Comment) => index.comments().to_vec(),
+        NodeTest::Kind(KindTest::Pi(None)) => index.processing_instructions().to_vec(),
+        NodeTest::Kind(KindTest::Pi(Some(_)))
+        | NodeTest::Kind(KindTest::Node)
+        | NodeTest::NsWildcard(_) => matching_set(doc, axis, test),
+    }
+}
+
+/// Filter a node list in place by a node test.
+pub fn filter(doc: &Document, axis: Axis, test: &NodeTest, nodes: &mut Vec<NodeId>) {
+    nodes.retain(|&n| matches(doc, axis, test, n));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_xml::generate::doc_figure8;
+    use xpath_xml::Document;
+
+    #[test]
+    fn example_4_1_typed_sets() {
+        // T(element()) over DOC(4), expressed via node tests.
+        let d = Document::parse_str("<a><b/><b/><b/><b/></a>").unwrap();
+        let t_node = matching_set(&d, Axis::Child, &NodeTest::Kind(KindTest::Node));
+        assert_eq!(t_node.len(), d.len()); // T(node()) = dom
+        let t_elem = matching_set(&d, Axis::Child, &NodeTest::Wildcard);
+        assert_eq!(t_elem.len(), 5); // a + 4 b's
+        let t_a = matching_set(&d, Axis::Child, &NodeTest::Name("a".into()));
+        assert_eq!(t_a.len(), 1);
+        let t_b = matching_set(&d, Axis::Child, &NodeTest::Name("b".into()));
+        assert_eq!(t_b.len(), 4);
+    }
+
+    #[test]
+    fn principal_type_depends_on_axis() {
+        let d = doc_figure8();
+        let b11 = d.element_by_id("11").unwrap();
+        let id_attr = d.attribute(b11, "id").unwrap();
+        // "id" as a name test matches the attribute on the attribute axis...
+        assert!(matches(&d, Axis::Attribute, &NodeTest::Name("id".into()), id_attr));
+        // ...but not on the child axis (principal type element).
+        assert!(!matches(&d, Axis::Child, &NodeTest::Name("id".into()), id_attr));
+        // Wildcard likewise.
+        assert!(matches(&d, Axis::Attribute, &NodeTest::Wildcard, id_attr));
+        assert!(!matches(&d, Axis::Child, &NodeTest::Wildcard, id_attr));
+        // node() matches anything regardless of axis.
+        assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Node), id_attr));
+    }
+
+    #[test]
+    fn kind_tests() {
+        let d = Document::parse_str("<a>t<!--c--><?p data?></a>").unwrap();
+        let a = d.document_element().unwrap();
+        let kids: Vec<NodeId> = d.children(a).collect();
+        assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Text), kids[0]));
+        assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Comment), kids[1]));
+        assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(None)), kids[2]));
+        assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(Some("p".into()))), kids[2]));
+        assert!(!matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(Some("q".into()))), kids[2]));
+        assert!(!matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Text), kids[1]));
+    }
+
+    #[test]
+    fn ns_wildcard() {
+        let d = Document::parse_str("<a><pre:x/><pre:y/><other:z/><plain/></a>").unwrap();
+        let hits = matching_set(&d, Axis::Child, &NodeTest::NsWildcard("pre".into()));
+        assert_eq!(hits.len(), 2);
+        let misses = matching_set(&d, Axis::Child, &NodeTest::NsWildcard("nope".into()));
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn unknown_name_matches_nothing() {
+        let d = doc_figure8();
+        assert!(matching_set(&d, Axis::Child, &NodeTest::Name("zzz".into())).is_empty());
+    }
+}

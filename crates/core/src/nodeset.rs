@@ -1,0 +1,132 @@
+//! Node-set representation and operations.
+//!
+//! Node sets are `Vec<NodeId>` sorted in document order (which is `NodeId`
+//! order by construction of the arena) without duplicates. Union and
+//! intersection are linear merges; membership is binary search.
+
+use xpath_xml::{Document, NodeId};
+
+/// A set of nodes, sorted in document order, duplicate-free.
+pub type NodeSet = Vec<NodeId>;
+
+/// Merge two sorted node sets (set union).
+pub fn union(a: &[NodeId], b: &[NodeId]) -> NodeSet {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersect two sorted node sets.
+pub fn intersect(a: &[NodeId], b: &[NodeId]) -> NodeSet {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Set difference `a − b` on sorted node sets.
+pub fn difference(a: &[NodeId], b: &[NodeId]) -> NodeSet {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Complement with respect to `dom` (all nodes of the document).
+pub fn complement(doc: &Document, a: &[NodeId]) -> NodeSet {
+    let all: Vec<NodeId> = doc.all_nodes().collect();
+    difference(&all, a)
+}
+
+/// Membership test by binary search.
+pub fn contains(a: &[NodeId], x: NodeId) -> bool {
+    a.binary_search(&x).is_ok()
+}
+
+/// Sort in document order and remove duplicates (normalizing constructor
+/// for sets built out of order).
+pub fn normalize(mut v: Vec<NodeId>) -> NodeSet {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Debug invariant: sorted and duplicate-free.
+pub fn is_normalized(a: &[NodeId]) -> bool {
+    a.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: &[u32]) -> NodeSet {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(union(&ns(&[1, 3, 5]), &ns(&[2, 3, 6])), ns(&[1, 2, 3, 5, 6]));
+        assert_eq!(union(&ns(&[]), &ns(&[1])), ns(&[1]));
+        assert_eq!(union(&ns(&[1]), &ns(&[])), ns(&[1]));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        assert_eq!(intersect(&ns(&[1, 2, 3]), &ns(&[2, 3, 4])), ns(&[2, 3]));
+        assert_eq!(intersect(&ns(&[1]), &ns(&[2])), ns(&[]));
+    }
+
+    #[test]
+    fn difference_removes() {
+        assert_eq!(difference(&ns(&[1, 2, 3, 4]), &ns(&[2, 4])), ns(&[1, 3]));
+        assert_eq!(difference(&ns(&[1, 2]), &ns(&[])), ns(&[1, 2]));
+        assert_eq!(difference(&ns(&[]), &ns(&[1])), ns(&[]));
+    }
+
+    #[test]
+    fn contains_and_normalize() {
+        let s = normalize(vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
+        assert_eq!(s, ns(&[1, 2, 3]));
+        assert!(is_normalized(&s));
+        assert!(contains(&s, NodeId(2)));
+        assert!(!contains(&s, NodeId(4)));
+        assert!(!is_normalized(&ns(&[2, 1])));
+    }
+}

@@ -1,0 +1,200 @@
+//! Relevant-context analysis (paper §8.2).
+//!
+//! `Relev(N) ⊆ {cn, cp, cs}` states which components of a context
+//! `⟨x, p, s⟩` the value of a subexpression can depend on. It is computed
+//! by a single bottom-up traversal of the parse tree in `O(|Q|)` and drives
+//! both the footnote-8 table reduction in the bottom-up algorithm and the
+//! MinContext procedures of Appendix A.
+
+use std::fmt;
+
+use xpath_syntax::{Expr, PathStart};
+
+use crate::context::Context;
+
+/// A subset of `{cn, cp, cs}` — which context components are relevant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Relev(u8);
+
+impl Relev {
+    /// The empty set (constant expressions).
+    pub const NONE: Relev = Relev(0);
+    /// `{cn}` — depends on the context node.
+    pub const CN: Relev = Relev(1);
+    /// `{cp}` — depends on the context position.
+    pub const CP: Relev = Relev(2);
+    /// `{cs}` — depends on the context size.
+    pub const CS: Relev = Relev(4);
+    /// The full set `{cn, cp, cs}`.
+    pub const ALL: Relev = Relev(7);
+
+    /// Set union.
+    pub fn union(self, other: Relev) -> Relev {
+        Relev(self.0 | other.0)
+    }
+
+    /// Does the set contain `cn`?
+    pub fn has_cn(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does the set contain `cp`?
+    pub fn has_cp(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Does the set contain `cs`?
+    pub fn has_cs(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Does the set contain `cp` or `cs`? (The MinContext procedures branch
+    /// on `{‘cp’,‘cs’} ∩ Relev(N) = ∅`.)
+    pub fn has_pos_or_size(self) -> bool {
+        self.0 & 6 != 0
+    }
+
+    /// Is this a subset of `{cn}`? (MinContext only materializes tables for
+    /// such nodes.)
+    pub fn is_cn_only(self) -> bool {
+        self.0 & 6 == 0
+    }
+
+    /// Project a context onto the relevant components, for use as a table
+    /// key; irrelevant components collapse to 0.
+    pub fn project(self, ctx: Context) -> (u32, u32, u32) {
+        (
+            if self.has_cn() { ctx.node.0 + 1 } else { 0 },
+            if self.has_cp() { ctx.position } else { 0 },
+            if self.has_cs() { ctx.size } else { 0 },
+        )
+    }
+}
+
+impl fmt::Debug for Relev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.has_cn() {
+            parts.push("cn");
+        }
+        if self.has_cp() {
+            parts.push("cp");
+        }
+        if self.has_cs() {
+            parts.push("cs");
+        }
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+/// Compute `Relev` for an expression (§8.2).
+///
+/// * constants, `true()`, `false()` → ∅;
+/// * `position()` → {cp}; `last()` → {cs};
+/// * location paths and parameterless context functions (`string()`,
+///   `number()`, …) → {cn} (location steps fix the context node; their
+///   predicates' relevance does **not** propagate upward);
+/// * compound expressions → union of children.
+pub fn relev(e: &Expr) -> Relev {
+    match e {
+        Expr::Path(p) => match &p.start {
+            PathStart::Root => Relev::NONE,
+            PathStart::ContextNode => Relev::CN,
+            PathStart::Expr(head) => relev(head),
+        },
+        Expr::Filter { primary, .. } => relev(primary),
+        Expr::Binary { left, right, .. } => relev(left).union(relev(right)),
+        Expr::Neg(inner) => relev(inner),
+        Expr::Literal(_) | Expr::Number(_) | Expr::Var(_) => Relev::NONE,
+        Expr::Call { name, args } => match name.as_str() {
+            "position" => Relev::CP,
+            "last" => Relev::CS,
+            "true" | "false" => Relev::NONE,
+            // Parameterless context functions refer to the context node.
+            "string" | "number" | "string-length" | "normalize-space" | "name"
+            | "local-name" | "namespace-uri"
+                if args.is_empty() =>
+            {
+                Relev::CN
+            }
+            // lang() always inspects the context node's ancestry.
+            "lang" => args.iter().map(relev).fold(Relev::CN, Relev::union),
+            _ => args.iter().map(relev).fold(Relev::NONE, Relev::union),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_syntax::parse_normalized;
+
+    fn r(q: &str) -> Relev {
+        relev(&parse_normalized(q).unwrap())
+    }
+
+    #[test]
+    fn leaves() {
+        assert_eq!(r("5"), Relev::NONE);
+        assert_eq!(r("'x'"), Relev::NONE);
+        assert_eq!(r("true()"), Relev::NONE);
+        assert_eq!(r("position()"), Relev::CP);
+        assert_eq!(r("last()"), Relev::CS);
+        assert_eq!(r("string()"), Relev::CN);
+        assert_eq!(r("child::a"), Relev::CN);
+        assert_eq!(r("/child::a"), Relev::NONE, "absolute paths ignore the context");
+    }
+
+    #[test]
+    fn example_8_2_relevances() {
+        // From Example 8.2: E9 = last()*0.5 → {cs}; E6 = position() > E9 →
+        // {cp,cs}; E7 = string(self::*) = '100' → {cn};
+        // E5 = E6 or E7 → {cn,cp,cs}; the full query (a location path) → {cn}
+        // relative form / ∅ absolute form.
+        assert_eq!(r("last() * 0.5"), Relev::CS);
+        assert_eq!(r("position() > last() * 0.5"), Relev::CP.union(Relev::CS));
+        assert_eq!(r("string(self::*) = '100'"), Relev::CN);
+        assert_eq!(
+            r("position() > last() * 0.5 or string(self::*) = '100'"),
+            Relev::ALL
+        );
+        assert_eq!(r("descendant::*[position() > last() * 0.5]"), Relev::CN);
+        assert_eq!(r("/descendant::*[position() > last() * 0.5]"), Relev::NONE);
+    }
+
+    #[test]
+    fn predicates_do_not_leak_upward() {
+        // A location step's predicates may depend on position, but the path
+        // itself only depends on the context node.
+        assert_eq!(r("child::a[position() != last()]"), Relev::CN);
+    }
+
+    #[test]
+    fn compound_union() {
+        assert_eq!(r("position() + last()"), Relev::CP.union(Relev::CS));
+        assert_eq!(r("count(child::a) + position()"), Relev::CN.union(Relev::CP));
+        assert_eq!(r("-position()"), Relev::CP);
+        assert_eq!(r("concat('a', 'b')"), Relev::NONE);
+        assert_eq!(r("lang('en')"), Relev::CN);
+    }
+
+    #[test]
+    fn projection_keys() {
+        use xpath_xml::NodeId;
+        let c = Context::new(NodeId(4), 2, 9);
+        assert_eq!(Relev::NONE.project(c), (0, 0, 0));
+        assert_eq!(Relev::CN.project(c), (5, 0, 0));
+        assert_eq!(Relev::CP.union(Relev::CS).project(c), (0, 2, 9));
+        assert_eq!(Relev::ALL.project(c), (5, 2, 9));
+    }
+
+    #[test]
+    fn flags() {
+        assert!(Relev::ALL.has_pos_or_size());
+        assert!(!Relev::CN.has_pos_or_size());
+        assert!(Relev::CN.is_cn_only());
+        assert!(Relev::NONE.is_cn_only());
+        assert!(!Relev::CP.is_cn_only());
+        assert_eq!(format!("{:?}", Relev::ALL), "{cn,cp,cs}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Pretty-printing of ASTs back to (unabbreviated) XPath syntax. Used for
+//! round-trip property tests, error messages and the examples.
+
+use std::fmt;
+
+use crate::ast::{Expr, KindTest, LocationPath, NodeTest, PathStart, Step};
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::NsWildcard(p) => write!(f, "{p}:*"),
+            NodeTest::Kind(KindTest::Node) => f.write_str("node()"),
+            NodeTest::Kind(KindTest::Text) => f.write_str("text()"),
+            NodeTest::Kind(KindTest::Comment) => f.write_str("comment()"),
+            NodeTest::Kind(KindTest::Pi(None)) => f.write_str("processing-instruction()"),
+            NodeTest::Kind(KindTest::Pi(Some(t))) => {
+                write!(f, "processing-instruction('{t}')")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis.name(), self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root => f.write_str("/")?,
+            PathStart::ContextNode => {}
+            PathStart::Expr(e) => {
+                write!(f, "{e}")?;
+                if !self.steps.is_empty() {
+                    f.write_str("/")?;
+                }
+            }
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Filter { primary, predicates } => {
+                write!(f, "({primary})")?;
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                Ok(())
+            }
+            Expr::Binary { op, left, right } => {
+                let prec = op.precedence();
+                let need_parens = prec < parent_prec;
+                if need_parens {
+                    f.write_str("(")?;
+                }
+                left.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // All XPath binary operators are left-associative, so the
+                // right child needs strictly-tighter precedence.
+                right.fmt_prec(f, prec + 1)?;
+                if need_parens {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Neg(e) => {
+                f.write_str("-")?;
+                e.fmt_prec(f, 7)
+            }
+            Expr::Literal(s) => {
+                if s.contains('\'') {
+                    write!(f, "\"{s}\"")
+                } else {
+                    write!(f, "'{s}'")
+                }
+            }
+            Expr::Number(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Var(n) => write!(f, "${n}"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn roundtrip(q: &str) {
+        let e1 = parse(q).unwrap();
+        let printed = e1.to_string();
+        let e2 = parse(&printed).unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
+        assert_eq!(e1, e2, "roundtrip of {q:?} via {printed:?}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for q in [
+            "//a/b",
+            "/descendant::a/child::b",
+            "//a/b[count(parent::a/b) > 1]",
+            "//*[parent::a/child::* = 'c']",
+            "(//a | //b)[1]/c",
+            "id('b1')/title",
+            "1 + 2 * 3",
+            "-(1 + 2)",
+            "a or b and c",
+            "(a or b) and c",
+            "'it'",
+            "\"don't\"",
+            "//a[5]",
+            "string(self::*) = '100'",
+            "count(//b/following::b)",
+            "/child::a/descendant::*[position() > last() * 0.5 or string(self::*) = '100']",
+            "processing-instruction('php')",
+            "child::text()",
+            "$v + 1",
+            "pre:*",
+            "1 div 2 mod 3",
+            "..//.",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn precedence_parens_emitted() {
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn unabbreviated_output() {
+        let e = parse("//a").unwrap();
+        assert_eq!(e.to_string(), "/descendant-or-self::node()/child::a");
+        let e = parse("@x").unwrap();
+        assert_eq!(e.to_string(), "attribute::x");
+        let e = parse("..").unwrap();
+        assert_eq!(e.to_string(), "parent::node()");
+    }
+}

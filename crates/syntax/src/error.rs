@@ -1,0 +1,37 @@
+//! Errors produced while lexing/parsing XPath expressions.
+
+use std::fmt;
+
+/// A syntax error in an XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Byte offset in the query text.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl SyntaxError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> SyntaxError {
+        SyntaxError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SyntaxError::new(3, "unexpected token");
+        assert_eq!(e.to_string(), "XPath syntax error at byte 3: unexpected token");
+    }
+}

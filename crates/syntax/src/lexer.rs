@@ -1,0 +1,526 @@
+//! XPath 1.0 lexer with the disambiguation rules of the W3C recommendation
+//! §3.7: whether `*` is a wildcard or multiplication, and whether an NCName
+//! is an operator (`and or div mod`), a function name, a node-type test, or
+//! an axis name, depends on the preceding token and the following character.
+
+use crate::error::SyntaxError;
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `,`
+    Comma,
+    /// `::`
+    ColonColon,
+    /// `$name`
+    Variable(String),
+    /// String literal without quotes.
+    Literal(String),
+    /// Number literal.
+    Number(f64),
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*` as the multiplication operator.
+    Star,
+    /// `and` as an operator.
+    And,
+    /// `or` as an operator.
+    Or,
+    /// `div` as an operator.
+    Div,
+    /// `mod` as an operator.
+    Mod,
+    /// `*` as a name wildcard.
+    WildcardName,
+    /// `prefix:*`
+    NsWildcard(String),
+    /// An axis name followed by `::` (the `::` is consumed separately).
+    AxisName(String),
+    /// A function name (NCName/QName followed by `(`).
+    FunctionName(String),
+    /// A node-type test name (`comment | text | processing-instruction |
+    /// node`) followed by `(`.
+    NodeType(String),
+    /// Any other name (element/attribute name test).
+    Name(String),
+}
+
+impl Token {
+    /// Whether, when this token precedes `*` or an NCName, that `*`/NCName
+    /// must be interpreted as an operator (W3C XPath §3.7 rule 1: "If there
+    /// is a preceding token and the preceding token is not one of `@`, `::`,
+    /// `(`, `[`, `,` or an Operator...").
+    fn forces_operand(&self) -> bool {
+        matches!(
+            self,
+            Token::At
+                | Token::ColonColon
+                | Token::LParen
+                | Token::LBracket
+                | Token::Comma
+                | Token::Slash
+                | Token::DoubleSlash
+                | Token::Pipe
+                | Token::Plus
+                | Token::Minus
+                | Token::Eq
+                | Token::Ne
+                | Token::Lt
+                | Token::Le
+                | Token::Gt
+                | Token::Ge
+                | Token::Star
+                | Token::And
+                | Token::Or
+                | Token::Div
+                | Token::Mod
+        )
+    }
+}
+
+/// Tokenize a complete XPath expression.
+pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
+    let bytes = input.as_bytes();
+    let mut toks: Vec<(usize, Token)> = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    toks.push((pos, Token::DoubleSlash));
+                    pos += 2;
+                } else {
+                    toks.push((pos, Token::Slash));
+                    pos += 1;
+                }
+            }
+            b'[' => {
+                toks.push((pos, Token::LBracket));
+                pos += 1;
+            }
+            b']' => {
+                toks.push((pos, Token::RBracket));
+                pos += 1;
+            }
+            b'(' => {
+                toks.push((pos, Token::LParen));
+                pos += 1;
+            }
+            b')' => {
+                toks.push((pos, Token::RParen));
+                pos += 1;
+            }
+            b'@' => {
+                toks.push((pos, Token::At));
+                pos += 1;
+            }
+            b',' => {
+                toks.push((pos, Token::Comma));
+                pos += 1;
+            }
+            b'|' => {
+                toks.push((pos, Token::Pipe));
+                pos += 1;
+            }
+            b'+' => {
+                toks.push((pos, Token::Plus));
+                pos += 1;
+            }
+            b'-' => {
+                toks.push((pos, Token::Minus));
+                pos += 1;
+            }
+            b'=' => {
+                toks.push((pos, Token::Eq));
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    toks.push((pos, Token::Ne));
+                    pos += 2;
+                } else {
+                    return Err(SyntaxError::new(pos, "'!' must be followed by '='"));
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    toks.push((pos, Token::Le));
+                    pos += 2;
+                } else {
+                    toks.push((pos, Token::Lt));
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    toks.push((pos, Token::Ge));
+                    pos += 2;
+                } else {
+                    toks.push((pos, Token::Gt));
+                    pos += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    toks.push((pos, Token::ColonColon));
+                    pos += 2;
+                } else {
+                    return Err(SyntaxError::new(pos, "stray ':' (did you mean '::')"));
+                }
+            }
+            b'.' => {
+                if bytes.get(pos + 1) == Some(&b'.') {
+                    toks.push((pos, Token::DotDot));
+                    pos += 2;
+                } else if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    let (tok, next) = lex_number(input, pos)?;
+                    toks.push((pos, tok));
+                    pos = next;
+                } else {
+                    toks.push((pos, Token::Dot));
+                    pos += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b as char;
+                let start = pos + 1;
+                match input[start..].find(quote) {
+                    Some(rel) => {
+                        toks.push((pos, Token::Literal(input[start..start + rel].to_string())));
+                        pos = start + rel + 1;
+                    }
+                    None => return Err(SyntaxError::new(pos, "unterminated string literal")),
+                }
+            }
+            b'$' => {
+                let start = pos + 1;
+                let end = scan_qname(bytes, start);
+                if end == start {
+                    return Err(SyntaxError::new(pos, "expected variable name after '$'"));
+                }
+                toks.push((pos, Token::Variable(input[start..end].to_string())));
+                pos = end;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, pos)?;
+                toks.push((pos, tok));
+                pos = next;
+            }
+            b'*' => {
+                let operand_position =
+                    toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                if operand_position {
+                    toks.push((pos, Token::WildcardName));
+                } else {
+                    toks.push((pos, Token::Star));
+                }
+                pos += 1;
+            }
+            _ if is_name_start(b) => {
+                let end = scan_ncname(bytes, pos);
+                let name = &input[pos..end];
+                let operand_position =
+                    toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                // Operator-name rule.
+                if !operand_position {
+                    let op = match name {
+                        "and" => Some(Token::And),
+                        "or" => Some(Token::Or),
+                        "div" => Some(Token::Div),
+                        "mod" => Some(Token::Mod),
+                        _ => None,
+                    };
+                    if let Some(op) = op {
+                        toks.push((pos, op));
+                        pos = end;
+                        continue;
+                    }
+                }
+                // Possible QName continuation `prefix:local` or `prefix:*`.
+                let mut full_end = end;
+                let mut ns_wildcard = false;
+                if bytes.get(end) == Some(&b':') && bytes.get(end + 1) != Some(&b':') {
+                    if bytes.get(end + 1) == Some(&b'*') {
+                        ns_wildcard = true;
+                        full_end = end + 2;
+                    } else if bytes.get(end + 1).is_some_and(|&c| is_name_start(c)) {
+                        full_end = scan_ncname(bytes, end + 1);
+                    }
+                }
+                if ns_wildcard {
+                    toks.push((pos, Token::NsWildcard(name.to_string())));
+                    pos = full_end;
+                    continue;
+                }
+                let full = &input[pos..full_end];
+                // Look ahead past whitespace.
+                let mut la = full_end;
+                while bytes.get(la).is_some_and(|c| c.is_ascii_whitespace()) {
+                    la += 1;
+                }
+                let tok = if bytes.get(la) == Some(&b'(') {
+                    match full {
+                        "comment" | "text" | "processing-instruction" | "node" => {
+                            Token::NodeType(full.to_string())
+                        }
+                        _ => Token::FunctionName(full.to_string()),
+                    }
+                } else if bytes.get(la) == Some(&b':') && bytes.get(la + 1) == Some(&b':') {
+                    Token::AxisName(full.to_string())
+                } else {
+                    Token::Name(full.to_string())
+                };
+                toks.push((pos, tok));
+                pos = full_end;
+            }
+            _ => {
+                return Err(SyntaxError::new(
+                    pos,
+                    format!("unexpected character '{}'", input[pos..].chars().next().unwrap()),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(input: &str, pos: usize) -> Result<(Token, usize), SyntaxError> {
+    let bytes = input.as_bytes();
+    let mut end = pos;
+    while bytes.get(end).is_some_and(|c| c.is_ascii_digit()) {
+        end += 1;
+    }
+    if bytes.get(end) == Some(&b'.') && bytes.get(end + 1) != Some(&b'.') {
+        end += 1;
+        while bytes.get(end).is_some_and(|c| c.is_ascii_digit()) {
+            end += 1;
+        }
+    }
+    input[pos..end]
+        .parse::<f64>()
+        .map(|v| (Token::Number(v), end))
+        .map_err(|_| SyntaxError::new(pos, "malformed number"))
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') || b >= 0x80
+}
+
+fn scan_ncname(bytes: &[u8], start: usize) -> usize {
+    let mut end = start;
+    while bytes.get(end).is_some_and(|&c| is_name_char(c)) {
+        end += 1;
+    }
+    end
+}
+
+fn scan_qname(bytes: &[u8], start: usize) -> usize {
+    let mut end = scan_ncname(bytes, start);
+    if bytes.get(end) == Some(&b':')
+        && bytes.get(end + 1) != Some(&b':')
+        && bytes.get(end + 1).is_some_and(|&c| is_name_start(c))
+    {
+        end = scan_ncname(bytes, end + 1);
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn basic_path() {
+        assert_eq!(
+            toks("/descendant::a/child::b"),
+            vec![
+                Token::Slash,
+                Token::AxisName("descendant".into()),
+                Token::ColonColon,
+                Token::Name("a".into()),
+                Token::Slash,
+                Token::AxisName("child".into()),
+                Token::ColonColon,
+                Token::Name("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // First * is a wildcard (start of expr), second is multiplication,
+        // third is a wildcard (after operator).
+        assert_eq!(
+            toks("* * *"),
+            vec![Token::WildcardName, Token::Star, Token::WildcardName]
+        );
+        assert_eq!(
+            toks("child::* * 2"),
+            vec![
+                Token::AxisName("child".into()),
+                Token::ColonColon,
+                Token::WildcardName,
+                Token::Star,
+                Token::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn operator_name_disambiguation() {
+        // "and" after an operand is the operator; at the start it's a name.
+        assert_eq!(
+            toks("and and and"),
+            vec![Token::Name("and".into()), Token::And, Token::Name("and".into())]
+        );
+        assert_eq!(
+            toks("div div div"),
+            vec![Token::Name("div".into()), Token::Div, Token::Name("div".into())]
+        );
+    }
+
+    #[test]
+    fn function_vs_node_type() {
+        assert_eq!(
+            toks("count(node())"),
+            vec![
+                Token::FunctionName("count".into()),
+                Token::LParen,
+                Token::NodeType("node".into()),
+                Token::LParen,
+                Token::RParen,
+                Token::RParen,
+            ]
+        );
+        assert_eq!(toks("text ()")[0], Token::NodeType("text".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1"), vec![Token::Number(1.0)]);
+        assert_eq!(toks("2.75"), vec![Token::Number(2.75)]);
+        assert_eq!(toks(".5"), vec![Token::Number(0.5)]);
+        assert_eq!(toks("2."), vec![Token::Number(2.0)]);
+        // "1..2" is Number(1.) then ".2"? XPath has no such production; our
+        // lexer reads "1." stopping before "..": 1 then DotDot then 2? We
+        // read digits then '.' only when not followed by another '.'.
+        assert_eq!(toks("1..2"), vec![Token::Number(1.0), Token::DotDot, Token::Number(2.0)]);
+    }
+
+    #[test]
+    fn literals_and_variables() {
+        assert_eq!(toks("'it'"), vec![Token::Literal("it".into())]);
+        assert_eq!(toks("\"a b\""), vec![Token::Literal("a b".into())]);
+        assert_eq!(toks("$x"), vec![Token::Variable("x".into())]);
+        assert_eq!(toks("$ns:x"), vec![Token::Variable("ns:x".into())]);
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("$").is_err());
+    }
+
+    #[test]
+    fn relational_operators() {
+        assert_eq!(
+            toks("1<=2!=3>=4<5>6=7"),
+            vec![
+                Token::Number(1.0),
+                Token::Le,
+                Token::Number(2.0),
+                Token::Ne,
+                Token::Number(3.0),
+                Token::Ge,
+                Token::Number(4.0),
+                Token::Lt,
+                Token::Number(5.0),
+                Token::Gt,
+                Token::Number(6.0),
+                Token::Eq,
+                Token::Number(7.0),
+            ]
+        );
+        assert!(tokenize("1 ! 2").is_err());
+    }
+
+    #[test]
+    fn dots_and_slashes() {
+        assert_eq!(toks("././/.."), vec![
+            Token::Dot,
+            Token::Slash,
+            Token::Dot,
+            Token::DoubleSlash,
+            Token::DotDot,
+        ]);
+    }
+
+    #[test]
+    fn qnames_and_ns_wildcards() {
+        assert_eq!(toks("xml:lang"), vec![Token::Name("xml:lang".into())]);
+        assert_eq!(toks("pre:*"), vec![Token::NsWildcard("pre".into())]);
+        // prefix:local( is a function name with a QName.
+        assert_eq!(toks("my:fun()")[0], Token::FunctionName("my:fun".into()));
+    }
+
+    #[test]
+    fn pi_with_target() {
+        assert_eq!(
+            toks("processing-instruction('php')"),
+            vec![
+                Token::NodeType("processing-instruction".into()),
+                Token::LParen,
+                Token::Literal("php".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a : b").is_err());
+    }
+}

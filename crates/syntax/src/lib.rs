@@ -1,0 +1,44 @@
+//! # xpath-syntax — XPath 1.0 lexer, parser, AST and normalizer
+//!
+//! Implements the syntactic side of Gottlob, Koch & Pichler's *Efficient
+//! Algorithms for Processing XPath Queries* (§5): a full XPath 1.0 grammar
+//! with the W3C token-disambiguation rules, ASTs in the paper's
+//! **unabbreviated form**, and a [`normalize`] pass that makes positional
+//! predicates and type conversions explicit and substitutes variable
+//! bindings, exactly as the paper assumes.
+//!
+//! ```
+//! use xpath_syntax::{parse, normalize};
+//! let q = parse("//a[5]").unwrap();
+//! let n = normalize::normalize(&q).unwrap();
+//! assert_eq!(
+//!     n.to_string(),
+//!     "/descendant-or-self::node()/child::a[position() = 5]"
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod axis;
+mod display;
+mod error;
+pub mod lexer;
+pub mod normalize;
+mod parser;
+pub mod rewrite;
+
+pub use ast::{
+    static_type, BinaryOp, Expr, ExprType, KindTest, LocationPath, NodeTest, PathStart, Step,
+};
+pub use axis::{Axis, PrincipalKind};
+pub use error::SyntaxError;
+pub use normalize::{Bindings, Constant};
+pub use parser::parse;
+
+/// Parse and normalize in one call (no variable bindings).
+pub fn parse_normalized(input: &str) -> Result<Expr, SyntaxError> {
+    let e = parse(input)?;
+    normalize::normalize(&e)
+}

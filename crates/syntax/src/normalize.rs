@@ -1,0 +1,277 @@
+//! Normalization to the paper's unabbreviated form (§5).
+//!
+//! The parser already desugars the syntactic abbreviations; this pass makes
+//! the remaining implicit conversions explicit so every evaluator consumes
+//! the same normalized AST:
+//!
+//! 1. **variables** are replaced by the constant value of the input binding
+//!    ("each variable is replaced by the (constant) value of the input
+//!    variable binding");
+//! 2. **positional predicates**: a predicate `[e]` whose static type is
+//!    `num` becomes `[position() = e]`;
+//! 3. **boolean conversion**: any other predicate whose static type is not
+//!    `bool` is wrapped as `[boolean(e)]` (e.g. `//a[child::b]` becomes
+//!    `//a[boolean(child::b)]`).
+
+use std::collections::HashMap;
+
+use crate::ast::{static_type, Expr, ExprType, LocationPath, PathStart, Step};
+use crate::error::SyntaxError;
+
+/// A variable binding environment mapping `$name` to a constant scalar.
+/// Node-set variables are outside the paper's scope (§5 treats variables as
+/// constants of the input binding).
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    map: HashMap<String, Constant>,
+}
+
+/// A constant scalar value a variable can be bound to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constant {
+    /// A number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// A boolean.
+    Boolean(bool),
+}
+
+impl Bindings {
+    /// An empty binding environment.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Bind `$name` to a number.
+    pub fn number(mut self, name: &str, v: f64) -> Bindings {
+        self.map.insert(name.to_string(), Constant::Number(v));
+        self
+    }
+
+    /// Bind `$name` to a string.
+    pub fn string(mut self, name: &str, v: &str) -> Bindings {
+        self.map.insert(name.to_string(), Constant::String(v.to_string()));
+        self
+    }
+
+    /// Bind `$name` to a boolean.
+    pub fn boolean(mut self, name: &str, v: bool) -> Bindings {
+        self.map.insert(name.to_string(), Constant::Boolean(v));
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Constant> {
+        self.map.get(name)
+    }
+}
+
+/// Normalize an expression with no variable bindings.
+pub fn normalize(e: &Expr) -> Result<Expr, SyntaxError> {
+    normalize_with(e, &Bindings::new())
+}
+
+/// Normalize an expression, substituting variables from `bindings`.
+/// Unbound variables are an error (the paper assumes a binding is supplied
+/// with the expression).
+pub fn normalize_with(e: &Expr, bindings: &Bindings) -> Result<Expr, SyntaxError> {
+    norm_expr(e, bindings)
+}
+
+fn norm_expr(e: &Expr, b: &Bindings) -> Result<Expr, SyntaxError> {
+    Ok(match e {
+        Expr::Path(p) => Expr::Path(norm_path(p, b)?),
+        Expr::Filter { primary, predicates } => Expr::Filter {
+            primary: Box::new(norm_expr(primary, b)?),
+            predicates: predicates.iter().map(|p| norm_predicate(p, b)).collect::<Result<_, _>>()?,
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(norm_expr(left, b)?),
+            right: Box::new(norm_expr(right, b)?),
+        },
+        Expr::Neg(inner) => Expr::Neg(Box::new(norm_expr(inner, b)?)),
+        Expr::Literal(s) => Expr::Literal(s.clone()),
+        Expr::Number(v) => Expr::Number(*v),
+        Expr::Var(name) => match b.get(name) {
+            Some(Constant::Number(v)) => Expr::Number(*v),
+            Some(Constant::String(s)) => Expr::Literal(s.clone()),
+            Some(Constant::Boolean(true)) => Expr::call("true", vec![]),
+            Some(Constant::Boolean(false)) => Expr::call("false", vec![]),
+            None => {
+                return Err(SyntaxError::new(0, format!("unbound variable ${name}")));
+            }
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| norm_expr(a, b)).collect::<Result<_, _>>()?,
+        },
+    })
+}
+
+fn norm_path(p: &LocationPath, b: &Bindings) -> Result<LocationPath, SyntaxError> {
+    let start = match &p.start {
+        PathStart::Root => PathStart::Root,
+        PathStart::ContextNode => PathStart::ContextNode,
+        PathStart::Expr(e) => PathStart::Expr(Box::new(norm_expr(e, b)?)),
+    };
+    let steps = p
+        .steps
+        .iter()
+        .map(|s| {
+            Ok(Step {
+                axis: s.axis,
+                test: s.test.clone(),
+                predicates: s
+                    .predicates
+                    .iter()
+                    .map(|pr| norm_predicate(pr, b))
+                    .collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(LocationPath { start, steps })
+}
+
+fn norm_predicate(pred: &Expr, b: &Bindings) -> Result<Expr, SyntaxError> {
+    let inner = norm_expr(pred, b)?;
+    Ok(match static_type(&inner) {
+        // [e] with numeric e ≡ [position() = e] (§5).
+        ExprType::Num => Expr::binary(
+            crate::ast::BinaryOp::Eq,
+            Expr::call("position", vec![]),
+            inner,
+        ),
+        ExprType::Bool => inner,
+        // Explicit conversion for node sets and strings (§5: we write
+        // /descendant::a[boolean(child::b)] rather than /descendant::a[child::b]).
+        ExprType::Nset | ExprType::Str => Expr::call("boolean", vec![inner]),
+    })
+}
+
+/// Is the expression fully normalized? (Every predicate has static type
+/// bool and no variables remain.) Used by evaluators to `debug_assert!`
+/// their input.
+pub fn is_normalized(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |x| {
+        if matches!(x, Expr::Var(_)) {
+            ok = false;
+        }
+        let preds: Option<Box<dyn Iterator<Item = &Expr>>> = match x {
+            Expr::Path(p) => {
+                Some(Box::new(p.steps.iter().flat_map(|s| s.predicates.iter())))
+            }
+            Expr::Filter { predicates, .. } => Some(Box::new(predicates.iter())),
+            _ => None,
+        };
+        if let Some(preds) = preds {
+            for p in preds {
+                if static_type(p) != ExprType::Bool {
+                    ok = false;
+                }
+            }
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn norm(q: &str) -> String {
+        normalize(&parse(q).unwrap()).unwrap().to_string()
+    }
+
+    #[test]
+    fn numeric_predicate_becomes_position_test() {
+        assert_eq!(
+            norm("//a[5]"),
+            "/descendant-or-self::node()/child::a[position() = 5]"
+        );
+        assert_eq!(
+            norm("//a[last()]"),
+            "/descendant-or-self::node()/child::a[position() = last()]"
+        );
+    }
+
+    #[test]
+    fn nset_predicate_gets_boolean() {
+        assert_eq!(
+            norm("/descendant::a[child::b]"),
+            "/descendant::a[boolean(child::b)]"
+        );
+    }
+
+    #[test]
+    fn string_predicate_gets_boolean() {
+        assert_eq!(norm("//a['x']"), "/descendant-or-self::node()/child::a[boolean('x')]");
+    }
+
+    #[test]
+    fn bool_predicate_untouched() {
+        assert_eq!(
+            norm("/descendant::a[position() != last()]"),
+            "/descendant::a[position() != last()]"
+        );
+    }
+
+    #[test]
+    fn variables_substituted() {
+        let e = parse("//a[position() = $k and @x = $s]").unwrap();
+        let b = Bindings::new().number("k", 3.0).string("s", "hi");
+        let n = normalize_with(&e, &b).unwrap();
+        let s = n.to_string();
+        assert!(s.contains("position() = 3"), "{s}");
+        assert!(s.contains("attribute::x = 'hi'"), "{s}");
+    }
+
+    #[test]
+    fn boolean_variable_becomes_call() {
+        let e = parse("//a[$flag]").unwrap();
+        let b = Bindings::new().boolean("flag", true);
+        let n = normalize_with(&e, &b).unwrap();
+        assert!(n.to_string().contains("[true()]"), "{n}");
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let e = parse("//a[$missing]").unwrap();
+        assert!(normalize(&e).is_err());
+    }
+
+    #[test]
+    fn normalized_flag() {
+        let e = parse("//a[5]").unwrap();
+        assert!(!is_normalized(&e));
+        let n = normalize(&e).unwrap();
+        assert!(is_normalized(&n));
+    }
+
+    #[test]
+    fn nested_predicates_normalized() {
+        let n = norm("//a[b[c]]");
+        assert_eq!(
+            n,
+            "/descendant-or-self::node()/child::a[boolean(child::b[boolean(child::c)])]"
+        );
+    }
+
+    #[test]
+    fn filter_predicates_normalized() {
+        let n = norm("(//a)[1]");
+        assert!(n.contains("[position() = 1]"), "{n}");
+    }
+
+    #[test]
+    fn idempotent() {
+        for q in ["//a[5]", "//a[b]", "//a[position() != last()]", "(//a)[2]/b['s']"] {
+            let once = normalize(&parse(q).unwrap()).unwrap();
+            let twice = normalize(&once).unwrap();
+            assert_eq!(once, twice, "{q}");
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Recursive-descent parser for full XPath 1.0, producing ASTs in the
+//! paper's unabbreviated form (§5): abbreviations (`//`, `@`, `.`, `..`,
+//! name-only steps) are desugared during parsing.
+
+use crate::ast::{BinaryOp, Expr, KindTest, LocationPath, NodeTest, PathStart, Step};
+use crate::axis::Axis;
+use crate::error::SyntaxError;
+use crate::lexer::{tokenize, Token};
+
+/// Parse an XPath 1.0 expression.
+///
+/// ```
+/// use xpath_syntax::parse;
+/// let q = parse("//a/b[position() != last()]").unwrap();
+/// assert!(matches!(q, xpath_syntax::Expr::Path(_)));
+/// ```
+pub fn parse(input: &str) -> Result<Expr, SyntaxError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, input_len: input.len() };
+    let e = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err_here("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::new(self.offset(), msg)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), SyntaxError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    // Expression grammar, lowest precedence first.
+
+    fn parse_or(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_and()?;
+        while self.eat(&Token::Or) {
+            let r = self.parse_and()?;
+            e = Expr::binary(BinaryOp::Or, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_equality()?;
+        while self.eat(&Token::And) {
+            let r = self.parse_equality()?;
+            e = Expr::binary(BinaryOp::And, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => BinaryOp::Eq,
+                Some(Token::Ne) => BinaryOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_relational()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => BinaryOp::Lt,
+                Some(Token::Le) => BinaryOp::Le,
+                Some(Token::Gt) => BinaryOp::Gt,
+                Some(Token::Ge) => BinaryOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_additive()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_multiplicative()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Div) => BinaryOp::Div,
+                Some(Token::Mod) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_unary()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat(&Token::Minus) {
+            let e = self.parse_unary()?;
+            Ok(Expr::Neg(Box::new(e)))
+        } else {
+            self.parse_union()
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.parse_path_expr()?;
+        while self.eat(&Token::Pipe) {
+            let r = self.parse_path_expr()?;
+            e = Expr::binary(BinaryOp::Union, e, r);
+        }
+        Ok(e)
+    }
+
+    /// PathExpr ::= LocationPath
+    ///            | FilterExpr
+    ///            | FilterExpr '/' RelativeLocationPath
+    ///            | FilterExpr '//' RelativeLocationPath
+    fn parse_path_expr(&mut self) -> Result<Expr, SyntaxError> {
+        if self.at_filter_expr_start() {
+            let filter = self.parse_filter_expr()?;
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    let steps = self.parse_relative_steps()?;
+                    Ok(Expr::Path(LocationPath {
+                        start: PathStart::Expr(Box::new(filter)),
+                        steps,
+                    }))
+                }
+                Some(Token::DoubleSlash) => {
+                    self.pos += 1;
+                    let mut steps =
+                        vec![Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                    steps.extend(self.parse_relative_steps()?);
+                    Ok(Expr::Path(LocationPath {
+                        start: PathStart::Expr(Box::new(filter)),
+                        steps,
+                    }))
+                }
+                _ => Ok(filter),
+            }
+        } else {
+            self.parse_location_path()
+        }
+    }
+
+    /// Tokens that begin a FilterExpr (PrimaryExpr) rather than a location
+    /// path. Note node-type tests (`text()` etc.) begin steps, not calls.
+    fn at_filter_expr_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Variable(_)
+                    | Token::Literal(_)
+                    | Token::Number(_)
+                    | Token::LParen
+                    | Token::FunctionName(_)
+            )
+        )
+    }
+
+    fn parse_filter_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let primary = self.parse_primary()?;
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&Token::LBracket) {
+            predicates.push(self.parse_predicate()?);
+        }
+        if predicates.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter { primary: Box::new(primary), predicates })
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.bump() {
+            Some(Token::Variable(v)) => Ok(Expr::Var(v)),
+            Some(Token::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(Token::Number(v)) => Ok(Expr::Number(v)),
+            Some(Token::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::FunctionName(name)) => {
+                self.expect(&Token::LParen, "'(' after function name")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        args.push(self.parse_or()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen, "')' closing argument list")?;
+                Ok(Expr::Call { name, args })
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected a primary expression"))
+            }
+        }
+    }
+
+    fn parse_location_path(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek() {
+            Some(Token::Slash) => {
+                self.pos += 1;
+                // '/' alone selects the root.
+                if self.at_step_start() {
+                    let steps = self.parse_relative_steps()?;
+                    Ok(Expr::Path(LocationPath { start: PathStart::Root, steps }))
+                } else {
+                    Ok(Expr::Path(LocationPath { start: PathStart::Root, steps: Vec::new() }))
+                }
+            }
+            Some(Token::DoubleSlash) => {
+                self.pos += 1;
+                let mut steps =
+                    vec![Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
+                steps.extend(self.parse_relative_steps()?);
+                Ok(Expr::Path(LocationPath { start: PathStart::Root, steps }))
+            }
+            _ => {
+                let steps = self.parse_relative_steps()?;
+                Ok(Expr::Path(LocationPath { start: PathStart::ContextNode, steps }))
+            }
+        }
+    }
+
+    fn at_step_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                Token::Dot
+                    | Token::DotDot
+                    | Token::At
+                    | Token::AxisName(_)
+                    | Token::Name(_)
+                    | Token::WildcardName
+                    | Token::NsWildcard(_)
+                    | Token::NodeType(_)
+            )
+        )
+    }
+
+    fn parse_relative_steps(&mut self) -> Result<Vec<Step>, SyntaxError> {
+        let mut steps = vec![self.parse_step()?];
+        loop {
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    steps.push(self.parse_step()?);
+                }
+                Some(Token::DoubleSlash) => {
+                    self.pos += 1;
+                    steps.push(Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node)));
+                    steps.push(self.parse_step()?);
+                }
+                _ => return Ok(steps),
+            }
+        }
+    }
+
+    fn parse_step(&mut self) -> Result<Step, SyntaxError> {
+        // Abbreviated steps.
+        if self.eat(&Token::Dot) {
+            return Ok(Step::simple(Axis::SelfAxis, NodeTest::Kind(KindTest::Node)));
+        }
+        if self.eat(&Token::DotDot) {
+            return Ok(Step::simple(Axis::Parent, NodeTest::Kind(KindTest::Node)));
+        }
+        let axis = if self.eat(&Token::At) {
+            Axis::Attribute
+        } else if let Some(Token::AxisName(name)) = self.peek() {
+            let name = name.clone();
+            if self.peek2() == Some(&Token::ColonColon) {
+                let ax = Axis::from_name(&name)
+                    .ok_or_else(|| self.err_here(format!("unknown axis '{name}'")))?;
+                self.pos += 2;
+                ax
+            } else {
+                Axis::Child
+            }
+        } else {
+            Axis::Child
+        };
+        let test = self.parse_node_test()?;
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&Token::LBracket) {
+            predicates.push(self.parse_predicate()?);
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, SyntaxError> {
+        match self.bump() {
+            Some(Token::Name(n)) | Some(Token::AxisName(n)) => Ok(NodeTest::Name(n)),
+            Some(Token::WildcardName) => Ok(NodeTest::Wildcard),
+            Some(Token::NsWildcard(p)) => Ok(NodeTest::NsWildcard(p)),
+            Some(Token::NodeType(t)) => {
+                self.expect(&Token::LParen, "'(' after node type")?;
+                let test = match t.as_str() {
+                    "node" => KindTest::Node,
+                    "text" => KindTest::Text,
+                    "comment" => KindTest::Comment,
+                    "processing-instruction" => {
+                        if let Some(Token::Literal(target)) = self.peek() {
+                            let target = target.clone();
+                            self.pos += 1;
+                            KindTest::Pi(Some(target))
+                        } else {
+                            KindTest::Pi(None)
+                        }
+                    }
+                    _ => unreachable!("lexer only emits the four node types"),
+                };
+                self.expect(&Token::RParen, "')' after node type")?;
+                Ok(NodeTest::Kind(test))
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected a node test"))
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr, SyntaxError> {
+        self.expect(&Token::LBracket, "'['")?;
+        let e = self.parse_or()?;
+        self.expect(&Token::RBracket, "']' closing predicate")?;
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Expr {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    fn path(e: &Expr) -> &LocationPath {
+        match e {
+            Expr::Path(p) => p,
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_slash_desugars() {
+        // //a/b ≡ /descendant-or-self::node()/child::a/child::b
+        let e = p("//a/b");
+        let lp = path(&e);
+        assert!(lp.is_absolute());
+        assert_eq!(lp.steps.len(), 3);
+        assert_eq!(lp.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(lp.steps[0].test, NodeTest::Kind(KindTest::Node));
+        assert_eq!(lp.steps[1].axis, Axis::Child);
+        assert_eq!(lp.steps[1].test, NodeTest::Name("a".into()));
+        assert_eq!(lp.steps[2].test, NodeTest::Name("b".into()));
+    }
+
+    #[test]
+    fn unabbreviated_path() {
+        let e = p("/descendant::a/child::b");
+        let lp = path(&e);
+        assert_eq!(lp.steps.len(), 2);
+        assert_eq!(lp.steps[0].axis, Axis::Descendant);
+        assert_eq!(lp.steps[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn abbreviations() {
+        let e = p("../@href/.");
+        let lp = path(&e);
+        assert_eq!(lp.steps[0].axis, Axis::Parent);
+        assert_eq!(lp.steps[0].test, NodeTest::Kind(KindTest::Node));
+        assert_eq!(lp.steps[1].axis, Axis::Attribute);
+        assert_eq!(lp.steps[1].test, NodeTest::Name("href".into()));
+        assert_eq!(lp.steps[2].axis, Axis::SelfAxis);
+    }
+
+    #[test]
+    fn root_only() {
+        let e = p("/");
+        let lp = path(&e);
+        assert!(lp.is_absolute());
+        assert!(lp.steps.is_empty());
+    }
+
+    #[test]
+    fn predicates_nest() {
+        let e = p("//a/b[count(parent::a/b) > 1]");
+        let lp = path(&e);
+        let pred = &lp.steps[2].predicates[0];
+        match pred {
+            Expr::Binary { op: BinaryOp::Gt, left, .. } => match &**left {
+                Expr::Call { name, args } => {
+                    assert_eq!(name, "count");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("expected count call, got {other:?}"),
+            },
+            other => panic!("expected >, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn experiment1_query_parses() {
+        let e = p("//a/b/parent::a/b/parent::a/b");
+        assert_eq!(path(&e).steps.len(), 7);
+    }
+
+    #[test]
+    fn experiment2_query_parses() {
+        let e = p("//*[parent::a/child::*[parent::a/child::* = 'c'] = 'c']");
+        let lp = path(&e);
+        assert_eq!(lp.steps.len(), 2);
+        assert_eq!(lp.steps[1].predicates.len(), 1);
+    }
+
+    #[test]
+    fn filter_expression_with_predicate_and_path() {
+        let e = p("(//a | //b)[1]/c");
+        let lp = path(&e);
+        match &lp.start {
+            PathStart::Expr(f) => match &**f {
+                Expr::Filter { predicates, .. } => assert_eq!(predicates.len(), 1),
+                other => panic!("expected filter, got {other:?}"),
+            },
+            other => panic!("expected expr start, got {other:?}"),
+        }
+        assert_eq!(lp.steps.len(), 1);
+    }
+
+    #[test]
+    fn id_function_path_head() {
+        let e = p("id('b1 b2')/title");
+        let lp = path(&e);
+        match &lp.start {
+            PathStart::Expr(f) => match &**f {
+                Expr::Call { name, .. } => assert_eq!(name, "id"),
+                other => panic!("expected id call, got {other:?}"),
+            },
+            other => panic!("expected expr start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_double_slash_tail() {
+        let e = p("id('x')//b");
+        let lp = path(&e);
+        assert_eq!(lp.steps.len(), 2);
+        assert_eq!(lp.steps[0].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        match p("1 + 2 * 3") {
+            Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // a or b and c parses as a or (b and c)
+        match p("a or b and c") {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // -a | b parses as -(a | b) per XPath grammar (unary binds looser
+        // than union).
+        match p("-a | b") {
+            Expr::Neg(inner) => {
+                assert!(matches!(*inner, Expr::Binary { op: BinaryOp::Union, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_of_paths() {
+        match p("//a | //b | //c") {
+            Expr::Binary { op: BinaryOp::Union, left, .. } => {
+                assert!(matches!(*left, Expr::Binary { op: BinaryOp::Union, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls() {
+        match p("concat('a', 'b', 'c')") {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("true()") {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "true");
+                assert!(args.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_type_tests() {
+        let e = p("child::text()");
+        assert_eq!(path(&e).steps[0].test, NodeTest::Kind(KindTest::Text));
+        let e = p("//comment()");
+        assert_eq!(path(&e).steps[1].test, NodeTest::Kind(KindTest::Comment));
+        let e = p("processing-instruction('php')");
+        assert_eq!(path(&e).steps[0].test, NodeTest::Kind(KindTest::Pi(Some("php".into()))));
+        let e = p("self::node()");
+        assert_eq!(path(&e).steps[0].test, NodeTest::Kind(KindTest::Node));
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        let e = p("//a[5]");
+        let lp = path(&e);
+        assert_eq!(lp.steps[1].predicates[0], Expr::Number(5.0));
+    }
+
+    #[test]
+    fn variables_in_expressions() {
+        match p("$x + 1") {
+            Expr::Binary { op: BinaryOp::Add, left, .. } => {
+                assert_eq!(*left, Expr::Var("x".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("//a[").is_err());
+        assert!(parse("//a]").is_err());
+        assert!(parse("count(").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("child::").is_err());
+        assert!(parse("bogus::a").is_err());
+        // Whitespace is insignificant: "//a //b" equals "//a//b".
+        assert!(parse("//a //b").is_ok());
+    }
+
+    #[test]
+    fn ns_wildcard_step() {
+        let e = p("child::pre:*");
+        assert_eq!(path(&e).steps[0].test, NodeTest::NsWildcard("pre".into()));
+    }
+
+    #[test]
+    fn wadler_example_query_parses() {
+        let e = p("/descendant::a[count(descendant::b/child::c) + position() < last()]/child::d");
+        let lp = path(&e);
+        assert_eq!(lp.steps.len(), 2);
+        assert_eq!(lp.steps[0].predicates.len(), 1);
+    }
+
+    #[test]
+    fn example_11_2_query_parses() {
+        let q = "/child::a/descendant::*[boolean(following::d[(position() != last()) and \
+                 (preceding-sibling::*/preceding::* = 100)]/following::d)]";
+        let e = p(q);
+        assert_eq!(path(&e).steps.len(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Programmatic document construction.
+//!
+//! The builder is the single place where tree structure is created; it
+//! guarantees the invariants the rest of the system relies on:
+//!
+//! 1. nodes are emitted in document order, so `NodeId` order is `<doc`;
+//! 2. attribute and namespace children precede content children;
+//! 3. `subtree_end` ranges are correct preorder intervals;
+//! 4. adjacent text children are merged (the data model has no adjacent
+//!    text siblings).
+
+use std::collections::HashMap;
+
+use crate::document::{Document, IdPolicy, NameId, NodeRec};
+use crate::node::{NodeId, NodeKind};
+
+/// Incremental builder for [`Document`]s.
+///
+/// ```
+/// use xpath_xml::DocumentBuilder;
+/// let mut b = DocumentBuilder::new();
+/// b.open_element("a");
+/// b.attribute("id", "10");
+/// b.text("hello");
+/// b.close_element();
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 4); // root, <a>, @id, text
+/// ```
+pub struct DocumentBuilder {
+    nodes: Vec<NodeRec>,
+    names: Vec<Box<str>>,
+    name_ids: HashMap<Box<str>, NameId>,
+    /// Stack of open elements (root is index 0, never popped).
+    stack: Vec<NodeId>,
+    /// Last emitted child of each open node, for sibling linking.
+    last_child: Vec<Option<NodeId>>,
+    /// Whether the current open element already has content children (at
+    /// which point attributes may no longer be added, mirroring XML syntax).
+    has_content: Vec<bool>,
+    id_policy: IdPolicy,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    /// Start a new document with the default [`IdPolicy`].
+    pub fn new() -> DocumentBuilder {
+        Self::with_id_policy(IdPolicy::default())
+    }
+
+    /// Start a new document with a custom [`IdPolicy`].
+    pub fn with_id_policy(id_policy: IdPolicy) -> DocumentBuilder {
+        let root = NodeRec {
+            kind: NodeKind::Root,
+            name: None,
+            value: None,
+            parent: None,
+            first_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            subtree_end: 1,
+        };
+        DocumentBuilder {
+            nodes: vec![root],
+            names: Vec::new(),
+            name_ids: HashMap::new(),
+            stack: vec![NodeId::ROOT],
+            last_child: vec![None],
+            has_content: vec![false],
+            id_policy,
+        }
+    }
+
+    /// Mutable access to the ID policy, so a parser can fold DTD-declared
+    /// `ID` attributes in before [`finish`](Self::finish) indexes IDs.
+    pub fn id_policy_mut(&mut self) -> &mut IdPolicy {
+        &mut self.id_policy
+    }
+
+    /// Reserve arena capacity (useful for generators that know the size).
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
+    fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.name_ids.insert(name.into(), id);
+        id
+    }
+
+    fn push_node(&mut self, kind: NodeKind, name: Option<NameId>, value: Option<Box<str>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let parent = *self.stack.last().expect("stack never empty");
+        self.nodes.push(NodeRec {
+            kind,
+            name,
+            value,
+            parent: Some(parent),
+            first_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            subtree_end: id.0 + 1,
+        });
+        let slot = self.stack.len() - 1;
+        match self.last_child[slot] {
+            None => self.nodes[parent.index()].first_child = Some(id),
+            Some(prev) => {
+                self.nodes[prev.index()].next_sibling = Some(id);
+                self.nodes[id.index()].prev_sibling = Some(prev);
+            }
+        }
+        self.last_child[slot] = Some(id);
+        id
+    }
+
+    /// Open an element node; subsequent nodes become its children until
+    /// [`close_element`](Self::close_element).
+    pub fn open_element(&mut self, name: &str) -> NodeId {
+        let name = self.intern(name);
+        let id = self.push_node(NodeKind::Element, Some(name), None);
+        self.stack.push(id);
+        self.last_child.push(None);
+        self.has_content.push(false);
+        id
+    }
+
+    /// Close the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close_element(&mut self) {
+        assert!(self.stack.len() > 1, "close_element with no open element");
+        let id = self.stack.pop().expect("non-empty");
+        self.last_child.pop();
+        self.has_content.pop();
+        self.nodes[id.index()].subtree_end = self.nodes.len() as u32;
+    }
+
+    /// Add an attribute to the currently open element. Must precede any
+    /// content children of that element.
+    ///
+    /// # Panics
+    /// Panics if no element is open or content was already added.
+    pub fn attribute(&mut self, name: &str, value: &str) -> NodeId {
+        assert!(self.stack.len() > 1, "attribute outside an element");
+        assert!(
+            !*self.has_content.last().expect("non-empty"),
+            "attributes must precede content children"
+        );
+        let name = self.intern(name);
+        self.push_node(NodeKind::Attribute, Some(name), Some(value.into()))
+    }
+
+    /// Add a namespace node to the currently open element (prefix → URI).
+    /// Like attributes, namespace nodes must precede content children.
+    pub fn namespace(&mut self, prefix: &str, uri: &str) -> NodeId {
+        assert!(self.stack.len() > 1, "namespace node outside an element");
+        assert!(
+            !*self.has_content.last().expect("non-empty"),
+            "namespace nodes must precede content children"
+        );
+        let name = self.intern(prefix);
+        self.push_node(NodeKind::Namespace, Some(name), Some(uri.into()))
+    }
+
+    fn mark_content(&mut self) {
+        *self.has_content.last_mut().expect("non-empty") = true;
+    }
+
+    /// Add a text node. Adjacent text children are merged into one node.
+    pub fn text(&mut self, content: &str) -> NodeId {
+        if content.is_empty() {
+            // Empty text nodes do not exist in the data model; return the
+            // enclosing node id as a harmless placeholder.
+            return *self.stack.last().expect("non-empty");
+        }
+        self.mark_content();
+        let slot = self.stack.len() - 1;
+        if let Some(prev) = self.last_child[slot] {
+            if self.nodes[prev.index()].kind == NodeKind::Text {
+                let merged = {
+                    let old = self.nodes[prev.index()].value.as_deref().unwrap_or("");
+                    let mut s = String::with_capacity(old.len() + content.len());
+                    s.push_str(old);
+                    s.push_str(content);
+                    s
+                };
+                self.nodes[prev.index()].value = Some(merged.into_boxed_str());
+                return prev;
+            }
+        }
+        self.push_node(NodeKind::Text, None, Some(content.into()))
+    }
+
+    /// Add a comment node.
+    pub fn comment(&mut self, content: &str) -> NodeId {
+        self.mark_content();
+        self.push_node(NodeKind::Comment, None, Some(content.into()))
+    }
+
+    /// Add a processing-instruction node.
+    pub fn processing_instruction(&mut self, target: &str, data: &str) -> NodeId {
+        self.mark_content();
+        let name = self.intern(target);
+        self.push_node(NodeKind::ProcessingInstruction, Some(name), Some(data.into()))
+    }
+
+    /// Convenience: an element with a single text child.
+    pub fn leaf(&mut self, name: &str, text: &str) -> NodeId {
+        let id = self.open_element(name);
+        if !text.is_empty() {
+            self.text(text);
+        }
+        self.close_element();
+        id
+    }
+
+    /// Convenience: an empty element.
+    pub fn empty(&mut self, name: &str) -> NodeId {
+        let id = self.open_element(name);
+        self.close_element();
+        id
+    }
+
+    /// Finish the document.
+    ///
+    /// # Panics
+    /// Panics if elements remain open.
+    pub fn finish(mut self) -> Document {
+        assert!(self.stack.len() == 1, "finish with {} unclosed element(s)", self.stack.len() - 1);
+        self.nodes[0].subtree_end = self.nodes.len() as u32;
+        Document::from_parts(self.nodes, self.names, self.name_ids, self.id_policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_build() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.empty("b");
+        b.empty("b");
+        b.close_element();
+        let d = b.finish();
+        // DOC(2) of the paper: root, a, b, b.
+        assert_eq!(d.len(), 4);
+        let a = d.document_element().unwrap();
+        assert_eq!(d.name(a), Some("a"));
+        assert_eq!(d.children(a).count(), 2);
+        assert_eq!(d.subtree_end(a), 4);
+        assert_eq!(d.subtree_end(NodeId::ROOT), 4);
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.text("foo");
+        b.text("bar");
+        b.close_element();
+        let d = b.finish();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(d.value(kids[0]), Some("foobar"));
+    }
+
+    #[test]
+    fn attributes_precede_content() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.attribute("x", "1");
+        b.attribute("y", "2");
+        b.text("t");
+        b.close_element();
+        let d = b.finish();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(d.kind(kids[0]), NodeKind::Attribute);
+        assert_eq!(d.kind(kids[1]), NodeKind::Attribute);
+        assert_eq!(d.kind(kids[2]), NodeKind::Text);
+        assert_eq!(d.attribute(a, "y"), Some(kids[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes must precede content")]
+    fn attribute_after_content_panics() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.text("t");
+        b.attribute("x", "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_finish_panics() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn subtree_ranges_nested() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a"); // 1
+        b.open_element("b"); // 2
+        b.empty("c"); // 3
+        b.close_element();
+        b.empty("d"); // 4
+        b.close_element();
+        let d = b.finish();
+        assert_eq!(d.subtree_end(NodeId(1)), 5);
+        assert_eq!(d.subtree_end(NodeId(2)), 4);
+        assert_eq!(d.subtree_end(NodeId(3)), 4);
+        assert_eq!(d.subtree_end(NodeId(4)), 5);
+        assert!(d.is_ancestor(NodeId(2), NodeId(3)));
+        assert!(!d.is_ancestor(NodeId(2), NodeId(4)));
+        assert!(!d.is_ancestor(NodeId(3), NodeId(2)));
+    }
+
+    #[test]
+    fn namespace_nodes() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.namespace("pre", "http://example.org/ns");
+        b.empty("b");
+        b.close_element();
+        let d = b.finish();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(d.kind(kids[0]), NodeKind::Namespace);
+        assert_eq!(d.name(kids[0]), Some("pre"));
+        assert_eq!(d.value(kids[0]), Some("http://example.org/ns"));
+    }
+}

@@ -1,0 +1,594 @@
+//! The document arena: tree storage, primitive relations, string values,
+//! and ID/IDREF support (paper §3, §4, §10.2).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::node::{NodeId, NodeKind};
+
+/// Interned node-name identifier. Comparing two `NameId`s is equivalent to
+/// comparing the underlying names, in O(1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NameId(pub u32);
+
+/// One record per node. The four link fields realize the paper's "primitive"
+/// tree relations `firstchild`, `nextsibling` and their inverses (Table I);
+/// `parent` is stored directly since `firstchild⁻¹`/`nextsibling⁻¹` chains to
+/// the parent are frequent.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeRec {
+    pub kind: NodeKind,
+    pub name: Option<NameId>,
+    /// Character content for text/comment/attribute/namespace/PI nodes.
+    pub value: Option<Box<str>>,
+    pub parent: Option<NodeId>,
+    pub first_child: Option<NodeId>,
+    pub next_sibling: Option<NodeId>,
+    pub prev_sibling: Option<NodeId>,
+    /// Exclusive end of this node's subtree in id space. Because the builder
+    /// emits nodes in preorder (= document order), the descendants of `x`
+    /// (including attribute/namespace children) are exactly the ids in
+    /// `(x.0, subtree_end)`.
+    pub subtree_end: u32,
+}
+
+/// Which attributes carry element IDs.
+///
+/// The name-based `id_attributes` list is the fallback when no DTD is
+/// present (DESIGN.md substitution 3); `scoped_id_attributes` pairs come
+/// from `<!ATTLIST elem attr ID …>` declarations in a parsed DTD internal
+/// subset (§4 of the paper grounds ID-ness in the DTD).
+#[derive(Clone, Debug)]
+pub struct IdPolicy {
+    /// Attribute names treated as ID attributes on *any* element.
+    /// Default: `["id"]`.
+    pub id_attributes: Vec<String>,
+    /// `(element, attribute)` pairs treated as ID attributes only on the
+    /// named element, as declared by a DTD. Default: empty.
+    pub scoped_id_attributes: Vec<(String, String)>,
+}
+
+impl Default for IdPolicy {
+    fn default() -> Self {
+        IdPolicy { id_attributes: vec!["id".to_string()], scoped_id_attributes: Vec::new() }
+    }
+}
+
+impl IdPolicy {
+    /// A policy with no ID attributes at all (useful as the base when a DTD
+    /// is expected to declare them).
+    pub fn none() -> IdPolicy {
+        IdPolicy { id_attributes: Vec::new(), scoped_id_attributes: Vec::new() }
+    }
+
+    /// Does an attribute named `attr` on an element named `elem` carry an ID?
+    pub fn is_id(&self, elem: &str, attr: &str) -> bool {
+        self.id_attributes.iter().any(|a| a == attr)
+            || self.scoped_id_attributes.iter().any(|(e, a)| e == elem && a == attr)
+    }
+}
+
+/// An immutable XML document tree in the XPath data model.
+///
+/// Nodes are stored in a flat arena in document order, so [`NodeId`]
+/// comparison is the `<doc` relation of §4. Construct documents with
+/// [`DocumentBuilder`](crate::DocumentBuilder) or
+/// [`Document::parse_str`](crate::Document::parse_str).
+pub struct Document {
+    pub(crate) nodes: Vec<NodeRec>,
+    names: Vec<Box<str>>,
+    name_ids: HashMap<Box<str>, NameId>,
+    /// Lazily computed string values (paper `strval`, §4).
+    strvals: Vec<OnceLock<Box<str>>>,
+    /// Map from ID value to the element node carrying it (first wins).
+    ids: HashMap<Box<str>, NodeId>,
+    /// The binary `ref` relation of Theorem 10.7: `(x, y)` iff the text
+    /// directly inside `x` (not in descendants) contains a whitespace-
+    /// separated token equal to the ID of `y`. Sorted by `x`.
+    refs: Vec<(NodeId, NodeId)>,
+    id_policy: IdPolicy,
+    /// The parsed DTD internal subset, if the document declared one.
+    dtd: Option<crate::dtd::Dtd>,
+}
+
+impl std::fmt::Debug for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Document({} nodes)", self.nodes.len())
+    }
+}
+
+impl Document {
+    pub(crate) fn from_parts(
+        nodes: Vec<NodeRec>,
+        names: Vec<Box<str>>,
+        name_ids: HashMap<Box<str>, NameId>,
+        id_policy: IdPolicy,
+    ) -> Document {
+        let n = nodes.len();
+        let mut doc = Document {
+            nodes,
+            names,
+            name_ids,
+            strvals: (0..n).map(|_| OnceLock::new()).collect(),
+            ids: HashMap::new(),
+            refs: Vec::new(),
+            id_policy,
+            dtd: None,
+        };
+        doc.index_ids();
+        doc.index_refs();
+        doc
+    }
+
+    /// Attach a parsed DTD (used by the parser after construction; the ID
+    /// policy derived from the DTD is already folded in at this point).
+    pub(crate) fn set_dtd(&mut self, dtd: crate::dtd::Dtd) {
+        self.dtd = Some(dtd);
+    }
+
+    /// The DTD internal subset declared by the document, if any.
+    pub fn dtd(&self) -> Option<&crate::dtd::Dtd> {
+        self.dtd.as_ref()
+    }
+
+    /// Number of nodes in the document (`|dom|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A document always contains at least the root node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All node ids in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The root node (type `Root`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// The document element (the unique element child of the root), if any.
+    pub fn document_element(&self) -> Option<NodeId> {
+        self.children(NodeId::ROOT).find(|&c| self.kind(c) == NodeKind::Element)
+    }
+
+    #[inline]
+    fn rec(&self, n: NodeId) -> &NodeRec {
+        &self.nodes[n.index()]
+    }
+
+    /// The node's kind.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.rec(n).kind
+    }
+
+    /// The node's interned name, if it has one.
+    #[inline]
+    pub fn name_id(&self, n: NodeId) -> Option<NameId> {
+        self.rec(n).name
+    }
+
+    /// The node's name as a string, if it has one.
+    pub fn name(&self, n: NodeId) -> Option<&str> {
+        self.rec(n).name.map(|id| &*self.names[id.0 as usize])
+    }
+
+    /// Look up an interned name without creating it. Queries intern their
+    /// node-test names through this; a miss means no node matches.
+    pub fn lookup_name(&self, name: &str) -> Option<NameId> {
+        self.name_ids.get(name).copied()
+    }
+
+    /// The raw character content of text/comment/attribute/namespace/PI nodes.
+    pub fn value(&self, n: NodeId) -> Option<&str> {
+        self.rec(n).value.as_deref()
+    }
+
+    // ----- primitive relations (Table I) and their inverses -----
+
+    /// `firstchild` primitive: the first child in document order, or `None`.
+    /// Includes attribute/namespace children of the abstract tree (§4).
+    #[inline]
+    pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        self.rec(n).first_child
+    }
+
+    /// `nextsibling` primitive: the right neighbour, or `None`.
+    #[inline]
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.rec(n).next_sibling
+    }
+
+    /// `nextsibling⁻¹`: the left neighbour, or `None`.
+    #[inline]
+    pub fn prev_sibling(&self, n: NodeId) -> Option<NodeId> {
+        self.rec(n).prev_sibling
+    }
+
+    /// The parent node (`(nextsibling⁻¹)*.firstchild⁻¹`), or `None` for root.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.rec(n).parent
+    }
+
+    /// `firstchild⁻¹`: `Some(parent)` iff `n` is the first child of its parent.
+    #[inline]
+    pub fn first_child_inverse(&self, n: NodeId) -> Option<NodeId> {
+        let r = self.rec(n);
+        match (r.prev_sibling, r.parent) {
+            (None, Some(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Exclusive end of the subtree of `n` in id space: every descendant `d`
+    /// of `n` satisfies `n < d` and `d.0 < subtree_end(n)`.
+    #[inline]
+    pub fn subtree_end(&self, n: NodeId) -> u32 {
+        self.rec(n).subtree_end
+    }
+
+    /// O(1) ancestor test via preorder ranges: is `a` a strict ancestor of `d`?
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        a < d && d.0 < self.subtree_end(a)
+    }
+
+    /// Iterate the children of `n` (abstract tree: includes attributes and
+    /// namespace nodes, which precede content children).
+    pub fn children(&self, n: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.first_child(n) }
+    }
+
+    /// Iterate only the attribute children of `n`.
+    pub fn attributes(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(n).filter(|&c| self.kind(c) == NodeKind::Attribute)
+    }
+
+    /// Iterate only the content (non-attribute, non-namespace) children.
+    pub fn content_children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(n).filter(|&c| !self.kind(c).is_special_child())
+    }
+
+    /// Find an attribute of element `n` by name.
+    pub fn attribute(&self, n: NodeId, name: &str) -> Option<NodeId> {
+        let name_id = self.lookup_name(name)?;
+        self.attributes(n).find(|&a| self.name_id(a) == Some(name_id))
+    }
+
+    /// Depth of `n` (root has depth 0).
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    // ----- string values (paper `strval`, §4) -----
+
+    /// The string value of a node. For element and root nodes this is the
+    /// concatenation of the string values of descendant text nodes in
+    /// document order; for the other kinds it is their character content.
+    /// Cached per node because `strval(root)` is O(|D|).
+    pub fn string_value(&self, n: NodeId) -> &str {
+        self.strvals[n.index()].get_or_init(|| match self.kind(n) {
+            NodeKind::Element | NodeKind::Root => {
+                let mut out = String::new();
+                // Descendants of n are the id range (n, subtree_end(n)).
+                for i in (n.0 + 1)..self.subtree_end(n) {
+                    let d = NodeId(i);
+                    if self.kind(d) == NodeKind::Text {
+                        // Text nodes inside attribute values don't exist; all
+                        // text in the range belongs to the element content.
+                        out.push_str(self.value(d).unwrap_or(""));
+                    }
+                }
+                out.into_boxed_str()
+            }
+            _ => self.value(n).unwrap_or("").into(),
+        })
+    }
+
+    // ----- ID / IDREF (paper §4 `deref_ids`, §10.2 `ref`) -----
+
+    fn index_ids(&mut self) {
+        let mut ids: HashMap<Box<str>, NodeId> = HashMap::new();
+        for i in 0..self.nodes.len() as u32 {
+            let n = NodeId(i);
+            if self.kind(n) != NodeKind::Attribute {
+                continue;
+            }
+            let Some(name) = self.name(n) else { continue };
+            let owner = self.parent(n).expect("attribute has owner element");
+            let owner_name = self.name(owner).unwrap_or("");
+            if !self.id_policy.is_id(owner_name, name) {
+                continue;
+            }
+            if let Some(v) = self.value(n) {
+                ids.entry(v.into()).or_insert(owner);
+            }
+        }
+        self.ids = ids;
+    }
+
+    fn index_refs(&mut self) {
+        // Theorem 10.7: ref contains (x, y) iff the text *directly* inside x
+        // contains a whitespace-separated token referencing the id of y.
+        let mut refs = Vec::new();
+        for i in 0..self.nodes.len() as u32 {
+            let n = NodeId(i);
+            if self.kind(n) != NodeKind::Text {
+                continue;
+            }
+            let owner = self.parent(n).expect("text node has parent");
+            let content = self.value(n).unwrap_or("");
+            for tok in content.split_whitespace() {
+                if let Some(&target) = self.ids.get(tok) {
+                    refs.push((owner, target));
+                }
+            }
+        }
+        refs.sort_unstable();
+        refs.dedup();
+        self.refs = refs;
+    }
+
+    /// The element with the given ID, if any.
+    pub fn element_by_id(&self, id: &str) -> Option<NodeId> {
+        self.ids.get(id).copied()
+    }
+
+    /// `deref_ids` (§4): interpret the string as a whitespace-separated list
+    /// of keys and return the set of nodes whose ids are contained in it, in
+    /// document order.
+    pub fn deref_ids(&self, s: &str) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> =
+            s.split_whitespace().filter_map(|t| self.element_by_id(t)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The `ref` relation of Theorem 10.7, sorted by first component.
+    pub fn refs(&self) -> &[(NodeId, NodeId)] {
+        &self.refs
+    }
+
+    /// The ID policy this document was indexed with.
+    pub fn id_policy(&self) -> &IdPolicy {
+        &self.id_policy
+    }
+
+    /// The value of the `xml:lang` attribute in scope at `n`, if any
+    /// (nearest ancestor-or-self element carrying it).
+    pub fn lang(&self, n: NodeId) -> Option<&str> {
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            if self.kind(c) == NodeKind::Element {
+                if let Some(a) = self.attribute(c, "xml:lang") {
+                    return self.value(a);
+                }
+            }
+            cur = self.parent(c);
+        }
+        None
+    }
+
+    /// Serialize the subtree at `n` back to XML text (for debugging,
+    /// examples and round-trip tests).
+    pub fn serialize(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        self.serialize_into(n, &mut out);
+        out
+    }
+
+    fn serialize_into(&self, n: NodeId, out: &mut String) {
+        match self.kind(n) {
+            NodeKind::Root => {
+                for c in self.content_children(n) {
+                    self.serialize_into(c, out);
+                }
+            }
+            NodeKind::Element => {
+                out.push('<');
+                out.push_str(self.name(n).unwrap_or("?"));
+                for a in self.attributes(n) {
+                    out.push(' ');
+                    out.push_str(self.name(a).unwrap_or("?"));
+                    out.push_str("=\"");
+                    escape_into(self.value(a).unwrap_or(""), true, out);
+                    out.push('"');
+                }
+                let mut content = self.content_children(n).peekable();
+                if content.peek().is_none() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in content {
+                        self.serialize_into(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(self.name(n).unwrap_or("?"));
+                    out.push('>');
+                }
+            }
+            NodeKind::Text => escape_into(self.value(n).unwrap_or(""), false, out),
+            NodeKind::Comment => {
+                out.push_str("<!--");
+                out.push_str(self.value(n).unwrap_or(""));
+                out.push_str("-->");
+            }
+            NodeKind::ProcessingInstruction => {
+                out.push_str("<?");
+                out.push_str(self.name(n).unwrap_or("?"));
+                if let Some(v) = self.value(n) {
+                    if !v.is_empty() {
+                        out.push(' ');
+                        out.push_str(v);
+                    }
+                }
+                out.push_str("?>");
+            }
+            NodeKind::Attribute | NodeKind::Namespace => {}
+        }
+    }
+}
+
+/// Escape `&`, `<`, `>` (and quotes inside attribute values).
+fn escape_into(s: &str, attr: bool, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'d> {
+    doc: &'d Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, NodeKind};
+
+    fn doc() -> Document {
+        Document::parse_str(
+            r#"<a id="10"><b id="11"><c id="12">21 22</c><c id="13">23 24</c><d id="14">100</d></b><b id="21"><c id="22">11 12</c><d id="23">13 14</d><d id="24">100</d></b></a>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure8_structure() {
+        let d = doc();
+        // root + a + 2 b's + 6 leaves = 10 elements, plus 10 id attributes
+        // and 6 text nodes = 26 nodes.
+        let elements = d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Element).count();
+        assert_eq!(elements, 9);
+        let attrs = d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Attribute).count();
+        assert_eq!(attrs, 9);
+        let texts = d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Text).count();
+        assert_eq!(texts, 6);
+        assert_eq!(d.len(), 1 + 9 + 9 + 6);
+    }
+
+    #[test]
+    fn string_values_match_example_8_1() {
+        let d = doc();
+        let x11 = d.element_by_id("11").unwrap();
+        assert_eq!(d.string_value(x11), "21 2223 24100");
+        let x12 = d.element_by_id("12").unwrap();
+        assert_eq!(d.string_value(x12), "21 22");
+        let x24 = d.element_by_id("24").unwrap();
+        assert_eq!(d.string_value(x24), "100");
+        let x10 = d.element_by_id("10").unwrap();
+        assert_eq!(d.string_value(x10), d.string_value(d.root()));
+    }
+
+    #[test]
+    fn ids_and_deref() {
+        let d = doc();
+        assert!(d.element_by_id("10").is_some());
+        assert!(d.element_by_id("99").is_none());
+        let set = d.deref_ids("12 24 nope 12");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0], d.element_by_id("12").unwrap());
+        assert_eq!(set[1], d.element_by_id("24").unwrap());
+    }
+
+    #[test]
+    fn ref_relation_theorem_10_7() {
+        // The paper's example: <t id=1> 3 <t id=2> 1 </t> <t id=3> 1 2 </t> </t>
+        // gives ref = {(n1,n3),(n2,n1),(n3,n1),(n3,n2)}.
+        let d = Document::parse_str(r#"<t id="1"> 3 <t id="2"> 1 </t> <t id="3"> 1 2 </t> </t>"#)
+            .unwrap();
+        let n1 = d.element_by_id("1").unwrap();
+        let n2 = d.element_by_id("2").unwrap();
+        let n3 = d.element_by_id("3").unwrap();
+        let mut expect = vec![(n1, n3), (n2, n1), (n3, n1), (n3, n2)];
+        expect.sort_unstable();
+        assert_eq!(d.refs(), expect.as_slice());
+    }
+
+    #[test]
+    fn parent_child_links_consistent() {
+        let d = doc();
+        for n in d.all_nodes() {
+            for c in d.children(n) {
+                assert_eq!(d.parent(c), Some(n));
+                assert!(d.is_ancestor(n, c));
+            }
+            if let Some(fc) = d.first_child(n) {
+                assert_eq!(d.first_child_inverse(fc), Some(n));
+                assert_eq!(d.prev_sibling(fc), None);
+            }
+            if let Some(ns) = d.next_sibling(n) {
+                assert_eq!(d.prev_sibling(ns), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn document_order_is_id_order() {
+        let d = doc();
+        // Every child has a larger id than its parent; siblings increase.
+        for n in d.all_nodes() {
+            for c in d.children(n) {
+                assert!(n < c);
+            }
+            let kids: Vec<_> = d.children(n).collect();
+            for w in kids.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let d = doc();
+        let text = d.serialize(d.root());
+        let d2 = Document::parse_str(&text).unwrap();
+        assert_eq!(d2.len(), d.len());
+        assert_eq!(d2.serialize(d2.root()), text);
+    }
+
+    #[test]
+    fn lang_scoping() {
+        let d = Document::parse_str(r#"<a xml:lang="en"><b/><c xml:lang="de"><d/></c></a>"#)
+            .unwrap();
+        let a = d.document_element().unwrap();
+        let b = d.content_children(a).next().unwrap();
+        assert_eq!(d.lang(b), Some("en"));
+        let c = d.content_children(a).nth(1).unwrap();
+        let inner = d.content_children(c).next().unwrap();
+        assert_eq!(d.lang(inner), Some("de"));
+        assert_eq!(d.lang(d.root()), None);
+    }
+}

@@ -1,0 +1,772 @@
+//! DTD internal-subset parsing.
+//!
+//! §4 of the paper grounds ID/IDREF processing in the DTD: "Given an XML
+//! Document Type Definition (DTD) that uses the ID/IDREF feature, some
+//! element nodes of the document may be identified by a unique id." This
+//! module parses the internal subset of a `<!DOCTYPE …[…]>` declaration so
+//! that `deref_ids` (§4) and the `ref` relation (Theorem 10.7) can be
+//! driven by declared `ID`/`IDREF` attribute types instead of the
+//! name-based [`IdPolicy`](crate::IdPolicy) fallback.
+//!
+//! Supported declarations:
+//!
+//! * `<!ELEMENT name spec>` with the full content-model grammar
+//!   (`EMPTY`, `ANY`, mixed `(#PCDATA | a | b)*`, and children models with
+//!   `,`, `|`, `?`, `*`, `+`);
+//! * `<!ATTLIST elem attr TYPE default>` with all ten attribute types and
+//!   the four default kinds (`#REQUIRED`, `#IMPLIED`, `#FIXED "v"`, `"v"`);
+//! * `<!ENTITY name "value">` internal general entities (used by the parser
+//!   to resolve entity references in content and attribute values);
+//! * `<!NOTATION …>` declarations (parsed and retained by name).
+//!
+//! Parameter entities and external subsets are out of scope (the paper
+//! never needs them); encountering `%pe;` syntax is a parse error rather
+//! than silent misbehaviour.
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+
+/// A parsed DTD internal subset.
+#[derive(Clone, Debug, Default)]
+pub struct Dtd {
+    /// The declared document-element name (`<!DOCTYPE name …>`).
+    pub root_name: String,
+    /// `<!ELEMENT>` declarations in document order.
+    pub elements: Vec<ElementDecl>,
+    /// `<!ATTLIST>` attribute definitions, flattened to one entry per
+    /// (element, attribute) pair in declaration order. Per XML 1.0, the
+    /// first declaration of a pair is binding.
+    pub attributes: Vec<AttDef>,
+    /// Internal general entities: name → replacement text.
+    pub entities: HashMap<String, String>,
+    /// Declared notation names.
+    pub notations: Vec<String>,
+}
+
+/// An `<!ELEMENT name spec>` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElementDecl {
+    /// The element name.
+    pub name: String,
+    /// The declared content specification.
+    pub content: ContentSpec,
+}
+
+/// The content specification of an element declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no content allowed.
+    Empty,
+    /// `ANY` — arbitrary content.
+    Any,
+    /// Mixed content `(#PCDATA | a | b)*`: character data interleaved with
+    /// the listed element names (empty list for plain `(#PCDATA)`).
+    Mixed(Vec<String>),
+    /// A children content model (deterministic content particle tree).
+    Children(ContentParticle),
+}
+
+/// A content particle of a children content model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ContentParticle {
+    /// An element name with an occurrence modifier.
+    Name(String, Occurrence),
+    /// A sequence `(a, b, …)` with an occurrence modifier.
+    Seq(Vec<ContentParticle>, Occurrence),
+    /// A choice `(a | b | …)` with an occurrence modifier.
+    Choice(Vec<ContentParticle>, Occurrence),
+}
+
+/// Occurrence modifier of a content particle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly once (no modifier).
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    ZeroOrMore,
+    /// `+` — one or more.
+    OneOrMore,
+}
+
+/// One attribute definition from an `<!ATTLIST>` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttDef {
+    /// The element the attribute is declared on.
+    pub element: String,
+    /// The attribute name.
+    pub name: String,
+    /// The declared attribute type.
+    pub ty: AttType,
+    /// The default declaration.
+    pub default: DefaultDecl,
+}
+
+/// The ten XML 1.0 attribute types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttType {
+    /// `CDATA` — character data.
+    Cdata,
+    /// `ID` — a document-unique identifier (drives `deref_ids`, §4).
+    Id,
+    /// `IDREF` — a reference to an ID.
+    Idref,
+    /// `IDREFS` — whitespace-separated references.
+    Idrefs,
+    /// `ENTITY`.
+    Entity,
+    /// `ENTITIES`.
+    Entities,
+    /// `NMTOKEN`.
+    Nmtoken,
+    /// `NMTOKENS`.
+    Nmtokens,
+    /// `NOTATION (a | b | …)`.
+    Notation(Vec<String>),
+    /// An enumerated type `(a | b | …)`.
+    Enumerated(Vec<String>),
+}
+
+/// The default declaration of an attribute definition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefaultDecl {
+    /// `#REQUIRED` — the attribute must appear.
+    Required,
+    /// `#IMPLIED` — the attribute may be absent, no default.
+    Implied,
+    /// `#FIXED "v"` — the attribute is always `v`.
+    Fixed(String),
+    /// `"v"` — the attribute defaults to `v` when absent.
+    Value(String),
+}
+
+impl Dtd {
+    /// The `(element, attribute)` pairs declared with type `ID`.
+    pub fn id_attributes(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.attributes
+            .iter()
+            .filter(|a| a.ty == AttType::Id)
+            .map(|a| (a.element.as_str(), a.name.as_str()))
+    }
+
+    /// The `(element, attribute)` pairs declared `IDREF` or `IDREFS`.
+    pub fn idref_attributes(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.attributes
+            .iter()
+            .filter(|a| matches!(a.ty, AttType::Idref | AttType::Idrefs))
+            .map(|a| (a.element.as_str(), a.name.as_str()))
+    }
+
+    /// The binding attribute definition for `(element, attribute)`, if any
+    /// (first declaration wins, per XML 1.0 §3.3).
+    pub fn attribute_def(&self, element: &str, attribute: &str) -> Option<&AttDef> {
+        self.attributes.iter().find(|a| a.element == element && a.name == attribute)
+    }
+
+    /// Defaulted attributes for `element`: definitions with a `#FIXED` or
+    /// plain default value, in declaration order.
+    pub fn defaults_for(&self, element: &str) -> impl Iterator<Item = (&str, &str)> + '_ {
+        let element = element.to_string();
+        self.attributes.iter().filter_map(move |a| {
+            if a.element != element {
+                return None;
+            }
+            match &a.default {
+                DefaultDecl::Fixed(v) | DefaultDecl::Value(v) => {
+                    Some((a.name.as_str(), v.as_str()))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    /// The declared content specification for `element`, if any.
+    pub fn element_decl(&self, element: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == element)
+    }
+}
+
+/// Parser over the text between `<!DOCTYPE` and the closing `>`.
+///
+/// `offset` is the byte position of the subset within the enclosing
+/// document, used to report absolute error positions.
+pub(crate) struct DtdParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    offset: usize,
+}
+
+/// Parse the body of a `<!DOCTYPE …>` declaration (everything between the
+/// keyword and the final `>`), returning the [`Dtd`].
+pub fn parse_doctype_body(body: &str, offset: usize) -> Result<Dtd, ParseError> {
+    DtdParser { input: body.as_bytes(), pos: 0, offset }.parse()
+}
+
+impl<'a> DtdParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.offset + self.pos, msg)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}' in DTD", b as char)))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name in DTD"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_string)
+            .map_err(|_| self.err("invalid UTF-8 in DTD name"))
+    }
+
+    fn quoted(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted literal in DTD")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in DTD literal"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated literal in DTD"))
+    }
+
+    fn parse(&mut self) -> Result<Dtd, ParseError> {
+        let mut dtd = Dtd::default();
+        self.skip_ws();
+        dtd.root_name = self.name()?;
+        self.skip_ws();
+        // Optional external-identifier: SYSTEM "…" | PUBLIC "…" "…".
+        // Parsed for shape, not fetched (external subsets are out of scope).
+        if self.starts_with(b"SYSTEM") {
+            self.pos += 6;
+            self.skip_ws();
+            self.quoted()?;
+            self.skip_ws();
+        } else if self.starts_with(b"PUBLIC") {
+            self.pos += 6;
+            self.skip_ws();
+            self.quoted()?;
+            self.skip_ws();
+            self.quoted()?;
+            self.skip_ws();
+        }
+        if self.peek() == Some(b'[') {
+            self.pos += 1;
+            self.parse_subset(&mut dtd)?;
+            self.expect(b']')?;
+            self.skip_ws();
+        }
+        if self.pos != self.input.len() {
+            return Err(self.err("unexpected content at end of DOCTYPE"));
+        }
+        Ok(dtd)
+    }
+
+    fn parse_subset(&mut self, dtd: &mut Dtd) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated DTD internal subset")),
+                Some(b']') => return Ok(()),
+                Some(b'%') => {
+                    return Err(self.err("parameter entities are not supported"));
+                }
+                Some(b'<') if self.starts_with(b"<!--") => {
+                    self.pos += 4;
+                    loop {
+                        if self.starts_with(b"-->") {
+                            self.pos += 3;
+                            break;
+                        }
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated comment in DTD"));
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'<') if self.starts_with(b"<?") => {
+                    // Processing instruction inside the subset: skip to "?>".
+                    self.pos += 2;
+                    loop {
+                        if self.starts_with(b"?>") {
+                            self.pos += 2;
+                            break;
+                        }
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated PI in DTD"));
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'<') if self.starts_with(b"<!ELEMENT") => {
+                    self.pos += b"<!ELEMENT".len();
+                    let decl = self.parse_element_decl()?;
+                    dtd.elements.push(decl);
+                }
+                Some(b'<') if self.starts_with(b"<!ATTLIST") => {
+                    self.pos += b"<!ATTLIST".len();
+                    self.parse_attlist(dtd)?;
+                }
+                Some(b'<') if self.starts_with(b"<!ENTITY") => {
+                    self.pos += b"<!ENTITY".len();
+                    self.parse_entity(dtd)?;
+                }
+                Some(b'<') if self.starts_with(b"<!NOTATION") => {
+                    self.pos += b"<!NOTATION".len();
+                    self.skip_ws();
+                    let name = self.name()?;
+                    dtd.notations.push(name);
+                    // Skip the external identifier to '>'.
+                    while self.peek().is_some_and(|b| b != b'>') {
+                        self.pos += 1;
+                    }
+                    self.expect(b'>')?;
+                }
+                Some(_) => return Err(self.err("unexpected content in DTD internal subset")),
+            }
+        }
+    }
+
+    fn parse_element_decl(&mut self) -> Result<ElementDecl, ParseError> {
+        self.skip_ws();
+        let name = self.name()?;
+        self.skip_ws();
+        let content = if self.starts_with(b"EMPTY") {
+            self.pos += 5;
+            ContentSpec::Empty
+        } else if self.starts_with(b"ANY") {
+            self.pos += 3;
+            ContentSpec::Any
+        } else if self.peek() == Some(b'(') {
+            // Peek past '(' and whitespace for '#PCDATA' to choose Mixed.
+            let save = self.pos;
+            self.pos += 1;
+            self.skip_ws();
+            if self.starts_with(b"#PCDATA") {
+                self.pos += b"#PCDATA".len();
+                let mut names = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'|') => {
+                            self.pos += 1;
+                            self.skip_ws();
+                            names.push(self.name()?);
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("malformed mixed content model")),
+                    }
+                }
+                // `(#PCDATA | a)*` requires the trailing '*'; plain
+                // `(#PCDATA)` may omit it.
+                if self.peek() == Some(b'*') {
+                    self.pos += 1;
+                } else if !names.is_empty() {
+                    return Err(self.err("mixed content with elements requires trailing '*'"));
+                }
+                ContentSpec::Mixed(names)
+            } else {
+                self.pos = save;
+                ContentSpec::Children(self.parse_particle()?)
+            }
+        } else {
+            return Err(self.err("expected EMPTY, ANY or a content model"));
+        };
+        self.skip_ws();
+        self.expect(b'>')?;
+        Ok(ElementDecl { name, content })
+    }
+
+    /// Parse a content particle: `name` or `( cp (, cp)* )` or
+    /// `( cp (| cp)* )`, each followed by an optional occurrence modifier.
+    fn parse_particle(&mut self) -> Result<ContentParticle, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let first = self.parse_particle()?;
+            self.skip_ws();
+            let mut items = vec![first];
+            let sep = match self.peek() {
+                Some(b',') => Some(b','),
+                Some(b'|') => Some(b'|'),
+                Some(b')') => None,
+                _ => return Err(self.err("expected ',', '|' or ')' in content model")),
+            };
+            if let Some(sep) = sep {
+                while self.peek() == Some(sep) {
+                    self.pos += 1;
+                    items.push(self.parse_particle()?);
+                    self.skip_ws();
+                }
+            }
+            self.expect(b')')?;
+            let occ = self.parse_occurrence();
+            Ok(match sep {
+                Some(b'|') => ContentParticle::Choice(items, occ),
+                // A single-item group is a sequence of one.
+                _ => ContentParticle::Seq(items, occ),
+            })
+        } else {
+            let name = self.name()?;
+            let occ = self.parse_occurrence();
+            Ok(ContentParticle::Name(name, occ))
+        }
+    }
+
+    fn parse_occurrence(&mut self) -> Occurrence {
+        match self.peek() {
+            Some(b'?') => {
+                self.pos += 1;
+                Occurrence::Optional
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                Occurrence::ZeroOrMore
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                Occurrence::OneOrMore
+            }
+            _ => Occurrence::One,
+        }
+    }
+
+    fn parse_attlist(&mut self, dtd: &mut Dtd) -> Result<(), ParseError> {
+        self.skip_ws();
+        let element = self.name()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'>') {
+                self.pos += 1;
+                return Ok(());
+            }
+            let att_name = self.name()?;
+            self.skip_ws();
+            let ty = self.parse_att_type()?;
+            self.skip_ws();
+            let default = self.parse_default_decl()?;
+            // First declaration of a pair is binding; later ones are
+            // retained but never returned by `attribute_def`.
+            dtd.attributes.push(AttDef {
+                element: element.clone(),
+                name: att_name,
+                ty,
+                default,
+            });
+        }
+    }
+
+    fn parse_att_type(&mut self) -> Result<AttType, ParseError> {
+        // Order matters: IDREFS before IDREF before ID, etc.
+        const KEYWORDS: [&[u8]; 8] = [
+            b"CDATA", b"IDREFS", b"IDREF", b"ID", b"ENTITIES", b"ENTITY", b"NMTOKENS",
+            b"NMTOKEN",
+        ];
+        for kw in KEYWORDS {
+            if self.starts_with(kw) {
+                // Keyword must be followed by a delimiter, not a longer name.
+                let after = self.input.get(self.pos + kw.len()).copied();
+                if !after.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                    self.pos += kw.len();
+                    return Ok(match kw {
+                        b"CDATA" => AttType::Cdata,
+                        b"IDREFS" => AttType::Idrefs,
+                        b"IDREF" => AttType::Idref,
+                        b"ID" => AttType::Id,
+                        b"ENTITIES" => AttType::Entities,
+                        b"ENTITY" => AttType::Entity,
+                        b"NMTOKENS" => AttType::Nmtokens,
+                        _ => AttType::Nmtoken,
+                    });
+                }
+            }
+        }
+        if self.starts_with(b"NOTATION") {
+            self.pos += b"NOTATION".len();
+            self.skip_ws();
+            return Ok(AttType::Notation(self.parse_name_group()?));
+        }
+        if self.peek() == Some(b'(') {
+            return Ok(AttType::Enumerated(self.parse_name_group()?));
+        }
+        Err(self.err("expected an attribute type"))
+    }
+
+    fn parse_name_group(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(b'(')?;
+        let mut names = Vec::new();
+        loop {
+            self.skip_ws();
+            names.push(self.name()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b'|') => self.pos += 1,
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(names);
+                }
+                _ => return Err(self.err("expected '|' or ')' in name group")),
+            }
+        }
+    }
+
+    fn parse_default_decl(&mut self) -> Result<DefaultDecl, ParseError> {
+        if self.starts_with(b"#REQUIRED") {
+            self.pos += b"#REQUIRED".len();
+            Ok(DefaultDecl::Required)
+        } else if self.starts_with(b"#IMPLIED") {
+            self.pos += b"#IMPLIED".len();
+            Ok(DefaultDecl::Implied)
+        } else if self.starts_with(b"#FIXED") {
+            self.pos += b"#FIXED".len();
+            self.skip_ws();
+            Ok(DefaultDecl::Fixed(self.quoted()?))
+        } else {
+            Ok(DefaultDecl::Value(self.quoted()?))
+        }
+    }
+
+    fn parse_entity(&mut self, dtd: &mut Dtd) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'%') {
+            return Err(self.err("parameter entities are not supported"));
+        }
+        let name = self.name()?;
+        self.skip_ws();
+        if self.starts_with(b"SYSTEM") || self.starts_with(b"PUBLIC") {
+            return Err(self.err("external entities are not supported"));
+        }
+        let value = self.quoted()?;
+        self.skip_ws();
+        self.expect(b'>')?;
+        // First binding wins (XML 1.0 §4.2).
+        dtd.entities.entry(name).or_insert(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Dtd {
+        parse_doctype_body(body, 0).unwrap()
+    }
+
+    #[test]
+    fn doctype_name_only() {
+        let dtd = parse("book");
+        assert_eq!(dtd.root_name, "book");
+        assert!(dtd.elements.is_empty());
+    }
+
+    #[test]
+    fn external_id_skipped() {
+        let dtd = parse(r#"html PUBLIC "-//W3C//DTD XHTML 1.0//EN" "xhtml1.dtd""#);
+        assert_eq!(dtd.root_name, "html");
+        let dtd = parse(r#"book SYSTEM "book.dtd""#);
+        assert_eq!(dtd.root_name, "book");
+    }
+
+    #[test]
+    fn element_decls() {
+        let dtd = parse(
+            "book [ <!ELEMENT book (title, chapter+)> <!ELEMENT title (#PCDATA)> \
+             <!ELEMENT chapter ANY> <!ELEMENT marker EMPTY> ]",
+        );
+        assert_eq!(dtd.elements.len(), 4);
+        assert_eq!(
+            dtd.element_decl("book").unwrap().content,
+            ContentSpec::Children(ContentParticle::Seq(
+                vec![
+                    ContentParticle::Name("title".into(), Occurrence::One),
+                    ContentParticle::Name("chapter".into(), Occurrence::OneOrMore),
+                ],
+                Occurrence::One
+            ))
+        );
+        assert_eq!(dtd.element_decl("title").unwrap().content, ContentSpec::Mixed(vec![]));
+        assert_eq!(dtd.element_decl("chapter").unwrap().content, ContentSpec::Any);
+        assert_eq!(dtd.element_decl("marker").unwrap().content, ContentSpec::Empty);
+        assert!(dtd.element_decl("nope").is_none());
+    }
+
+    #[test]
+    fn mixed_content_with_names() {
+        let dtd = parse("p [ <!ELEMENT p (#PCDATA | em | strong)*> ]");
+        assert_eq!(
+            dtd.element_decl("p").unwrap().content,
+            ContentSpec::Mixed(vec!["em".into(), "strong".into()])
+        );
+    }
+
+    #[test]
+    fn mixed_content_requires_star() {
+        assert!(parse_doctype_body("p [ <!ELEMENT p (#PCDATA | em)> ]", 0).is_err());
+    }
+
+    #[test]
+    fn nested_content_model() {
+        let dtd = parse("a [ <!ELEMENT a ((b | c)*, d?)+> ]");
+        assert_eq!(
+            dtd.element_decl("a").unwrap().content,
+            ContentSpec::Children(ContentParticle::Seq(
+                vec![
+                    ContentParticle::Choice(
+                        vec![
+                            ContentParticle::Name("b".into(), Occurrence::One),
+                            ContentParticle::Name("c".into(), Occurrence::One),
+                        ],
+                        Occurrence::ZeroOrMore
+                    ),
+                    ContentParticle::Name("d".into(), Occurrence::Optional),
+                ],
+                Occurrence::OneOrMore
+            ))
+        );
+    }
+
+    #[test]
+    fn attlist_id_idref() {
+        let dtd = parse(
+            "db [ <!ATTLIST rec key ID #REQUIRED ref IDREF #IMPLIED \
+             refs IDREFS #IMPLIED note CDATA \"n/a\"> ]",
+        );
+        let ids: Vec<_> = dtd.id_attributes().collect();
+        assert_eq!(ids, vec![("rec", "key")]);
+        let refs: Vec<_> = dtd.idref_attributes().collect();
+        assert_eq!(refs, vec![("rec", "ref"), ("rec", "refs")]);
+        assert_eq!(
+            dtd.attribute_def("rec", "note").unwrap().default,
+            DefaultDecl::Value("n/a".into())
+        );
+    }
+
+    #[test]
+    fn attlist_enumerated_and_notation() {
+        let dtd = parse(
+            "a [ <!ATTLIST a dir (ltr | rtl) \"ltr\" img NOTATION (gif | png) #IMPLIED> ]",
+        );
+        assert_eq!(
+            dtd.attribute_def("a", "dir").unwrap().ty,
+            AttType::Enumerated(vec!["ltr".into(), "rtl".into()])
+        );
+        assert_eq!(
+            dtd.attribute_def("a", "img").unwrap().ty,
+            AttType::Notation(vec!["gif".into(), "png".into()])
+        );
+    }
+
+    #[test]
+    fn attlist_fixed_default() {
+        let dtd = parse(r#"a [ <!ATTLIST a version CDATA #FIXED "1.0"> ]"#);
+        assert_eq!(
+            dtd.attribute_def("a", "version").unwrap().default,
+            DefaultDecl::Fixed("1.0".into())
+        );
+        let defaults: Vec<_> = dtd.defaults_for("a").collect();
+        assert_eq!(defaults, vec![("version", "1.0")]);
+    }
+
+    #[test]
+    fn first_attlist_declaration_wins() {
+        let dtd = parse(
+            "a [ <!ATTLIST a x CDATA \"first\"> <!ATTLIST a x CDATA \"second\"> ]",
+        );
+        assert_eq!(
+            dtd.attribute_def("a", "x").unwrap().default,
+            DefaultDecl::Value("first".into())
+        );
+    }
+
+    #[test]
+    fn entities() {
+        let dtd = parse(
+            r#"a [ <!ENTITY copy "(c) 2002"> <!ENTITY copy "dupe ignored"> ]"#,
+        );
+        assert_eq!(dtd.entities.get("copy").map(String::as_str), Some("(c) 2002"));
+    }
+
+    #[test]
+    fn notation_decl() {
+        let dtd = parse(r#"a [ <!NOTATION gif SYSTEM "image/gif"> ]"#);
+        assert_eq!(dtd.notations, vec!["gif".to_string()]);
+    }
+
+    #[test]
+    fn comments_and_pis_in_subset() {
+        let dtd = parse("a [ <!-- note --> <?check me?> <!ELEMENT a ANY> ]");
+        assert_eq!(dtd.elements.len(), 1);
+    }
+
+    #[test]
+    fn parameter_entities_rejected() {
+        assert!(parse_doctype_body("a [ %ents; ]", 0).is_err());
+        assert!(parse_doctype_body(r#"a [ <!ENTITY % pe "x"> ]"#, 0).is_err());
+    }
+
+    #[test]
+    fn external_entities_rejected() {
+        assert!(parse_doctype_body(r#"a [ <!ENTITY chap SYSTEM "chap.xml"> ]"#, 0).is_err());
+    }
+
+    #[test]
+    fn malformed_subsets_rejected() {
+        assert!(parse_doctype_body("a [ <!ELEMENT a> ]", 0).is_err());
+        assert!(parse_doctype_body("a [ <!ELEMENT a (b,> ]", 0).is_err());
+        assert!(parse_doctype_body("a [ <!ATTLIST a x BOGUS #IMPLIED> ]", 0).is_err());
+        assert!(parse_doctype_body("a [ garbage ]", 0).is_err());
+        assert!(parse_doctype_body("a [", 0).is_err());
+    }
+
+    #[test]
+    fn keyword_prefix_names_do_not_confuse_type_parser() {
+        // "IDREFSX" is not a valid type keyword.
+        assert!(parse_doctype_body("a [ <!ATTLIST a x IDREFSX #IMPLIED> ]", 0).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Parse errors for the XML substrate.
+
+use std::fmt;
+
+/// An error produced while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new(17, "unexpected end of input");
+        assert_eq!(e.to_string(), "XML parse error at byte 17: unexpected end of input");
+    }
+}

@@ -1,0 +1,227 @@
+//! SAX-style event streams over documents.
+//!
+//! The paper's introduction situates itself against XPath evaluation over
+//! *data streams* (Altinel & Franklin 2000; Green et al. 2003; Peng &
+//! Chawathe 2003; Gupta & Suciu 2003), which handles "very restrictive
+//! fragments" of the language in a single pass. This module provides the
+//! event-stream substrate for our reproduction of that technique (the
+//! `streaming` module of `xpath-core`): a pull iterator that linearizes a
+//! [`Document`] into start/end/leaf events in document order.
+//!
+//! Consumers that only use the event payloads (names, character data) and
+//! never touch the [`Document`] behind the [`NodeId`]s are genuine
+//! single-pass stream processors; the ids exist so matches can be reported
+//! and checked against tree-based evaluators.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// One event of the linearized document.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamEvent<'d> {
+    /// An element starts. Its [`Attribute`](StreamEvent::Attribute) and
+    /// [`Namespace`](StreamEvent::Namespace) events follow immediately,
+    /// before any content event.
+    StartElement {
+        /// The element node.
+        node: NodeId,
+        /// The element name.
+        name: &'d str,
+    },
+    /// An attribute of the most recently started element.
+    Attribute {
+        /// The attribute node.
+        node: NodeId,
+        /// The attribute name.
+        name: &'d str,
+        /// The attribute value.
+        value: &'d str,
+    },
+    /// A namespace node of the most recently started element.
+    Namespace {
+        /// The namespace node.
+        node: NodeId,
+        /// The declared prefix.
+        prefix: &'d str,
+        /// The namespace URI.
+        uri: &'d str,
+    },
+    /// Character data.
+    Text {
+        /// The text node.
+        node: NodeId,
+        /// The character content.
+        content: &'d str,
+    },
+    /// A comment.
+    Comment {
+        /// The comment node.
+        node: NodeId,
+        /// The comment text.
+        content: &'d str,
+    },
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// The PI node.
+        node: NodeId,
+        /// The PI target.
+        target: &'d str,
+        /// The PI data.
+        content: &'d str,
+    },
+    /// The matching end of a [`StartElement`](StreamEvent::StartElement).
+    EndElement {
+        /// The element node.
+        node: NodeId,
+    },
+}
+
+/// Iterator over the [`StreamEvent`]s of a document, in document order.
+/// Created by [`Document::events`].
+pub struct Events<'d> {
+    doc: &'d Document,
+    /// Next arena id to visit (the arena is in preorder).
+    next: u32,
+    /// Open elements whose `EndElement` is still pending.
+    open: Vec<NodeId>,
+}
+
+impl Document {
+    /// Linearize the document into a SAX-style event stream.
+    ///
+    /// The root node itself produces no event; the stream is the content of
+    /// the root (prolog comments/PIs, the document element's subtree, and
+    /// any epilog).
+    pub fn events(&self) -> Events<'_> {
+        Events { doc: self, next: 1, open: Vec::new() }
+    }
+}
+
+impl<'d> Iterator for Events<'d> {
+    type Item = StreamEvent<'d>;
+
+    fn next(&mut self) -> Option<StreamEvent<'d>> {
+        // Close any element whose subtree we have fully emitted.
+        if let Some(&top) = self.open.last() {
+            if self.next >= self.doc.subtree_end(top) {
+                self.open.pop();
+                return Some(StreamEvent::EndElement { node: top });
+            }
+        }
+        if self.next as usize >= self.doc.len() {
+            return None;
+        }
+        let node = NodeId(self.next);
+        self.next += 1;
+        Some(match self.doc.kind(node) {
+            NodeKind::Element => {
+                self.open.push(node);
+                StreamEvent::StartElement { node, name: self.doc.name(node).unwrap_or("") }
+            }
+            NodeKind::Attribute => StreamEvent::Attribute {
+                node,
+                name: self.doc.name(node).unwrap_or(""),
+                value: self.doc.value(node).unwrap_or(""),
+            },
+            NodeKind::Namespace => StreamEvent::Namespace {
+                node,
+                prefix: self.doc.name(node).unwrap_or(""),
+                uri: self.doc.value(node).unwrap_or(""),
+            },
+            NodeKind::Text => {
+                StreamEvent::Text { node, content: self.doc.value(node).unwrap_or("") }
+            }
+            NodeKind::Comment => {
+                StreamEvent::Comment { node, content: self.doc.value(node).unwrap_or("") }
+            }
+            NodeKind::ProcessingInstruction => StreamEvent::ProcessingInstruction {
+                node,
+                target: self.doc.name(node).unwrap_or(""),
+                content: self.doc.value(node).unwrap_or(""),
+            },
+            NodeKind::Root => unreachable!("root is not visited: iteration starts at id 1"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(r#"<a x="1"><b>hi</b><!--c--><?p q?></a>"#).unwrap()
+    }
+
+    #[test]
+    fn event_sequence() {
+        let d = doc();
+        let shapes: Vec<String> = d
+            .events()
+            .map(|e| match e {
+                StreamEvent::StartElement { name, .. } => format!("<{name}>"),
+                StreamEvent::Attribute { name, value, .. } => format!("@{name}={value}"),
+                StreamEvent::Namespace { prefix, .. } => format!("ns:{prefix}"),
+                StreamEvent::Text { content, .. } => format!("'{content}'"),
+                StreamEvent::Comment { content, .. } => format!("<!--{content}-->"),
+                StreamEvent::ProcessingInstruction { target, .. } => format!("<?{target}?>"),
+                StreamEvent::EndElement { .. } => "</>".to_string(),
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec!["<a>", "@x=1", "<b>", "'hi'", "</>", "<!--c-->", "<?p?>", "</>"]
+        );
+    }
+
+    #[test]
+    fn starts_and_ends_balance() {
+        let d = doc();
+        let mut depth = 0i32;
+        for e in d.events() {
+            match e {
+                StreamEvent::StartElement { .. } => depth += 1,
+                StreamEvent::EndElement { .. } => {
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+                _ => assert!(depth >= 0),
+            }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn every_non_root_node_appears_exactly_once() {
+        let d = Document::parse_str("<a><b><c/></b><b/>t<!--x--></a>").unwrap();
+        let mut seen = vec![0usize; d.len()];
+        for e in d.events() {
+            let n = match e {
+                StreamEvent::StartElement { node, .. }
+                | StreamEvent::Attribute { node, .. }
+                | StreamEvent::Namespace { node, .. }
+                | StreamEvent::Text { node, .. }
+                | StreamEvent::Comment { node, .. }
+                | StreamEvent::ProcessingInstruction { node, .. } => node,
+                StreamEvent::EndElement { .. } => continue,
+            };
+            seen[n.index()] += 1;
+        }
+        assert_eq!(seen[0], 0, "root emits no event");
+        assert!(seen[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn prolog_and_epilog_events() {
+        let d = Document::parse_str("<!--pre--><a/><!--post-->").unwrap();
+        let kinds: Vec<&str> = d
+            .events()
+            .map(|e| match e {
+                StreamEvent::Comment { .. } => "comment",
+                StreamEvent::StartElement { .. } => "start",
+                StreamEvent::EndElement { .. } => "end",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["comment", "start", "end", "comment"]);
+    }
+}

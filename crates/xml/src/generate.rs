@@ -1,0 +1,330 @@
+//! Synthetic document generators for the paper's experiments (§2) plus
+//! realistic corpora for examples and differential tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::DocumentBuilder;
+use crate::document::Document;
+
+/// The paper's `DOC(i)` (§2): `<a><b/>…<b/></a>` with `i` empty `b` children.
+/// The tree contains `i + 1` element nodes (plus the root node).
+pub fn doc_flat(i: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.reserve(i + 2);
+    b.open_element("a");
+    for _ in 0..i {
+        b.empty("b");
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// The paper's `DOC'(i)` (Experiment 2): `<a><b>c</b>…<b>c</b></a>` where
+/// every `b` element contains the text node `"c"`.
+pub fn doc_flat_text(i: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.reserve(2 * i + 2);
+    b.open_element("a");
+    for _ in 0..i {
+        b.leaf("b", "c");
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// The paper's deep path document (Experiment 5b): `<b><b>…</b></b>`, a
+/// non-branching path of `i` nodes labeled `b`.
+pub fn doc_deep_path(i: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.reserve(i + 1);
+    for _ in 0..i {
+        b.open_element("b");
+    }
+    for _ in 0..i {
+        b.close_element();
+    }
+    b.finish()
+}
+
+/// The Figure 8 sample document of Example 8.1 (two `b` groups under `a`,
+/// with `id` attributes 10–24 and numeric text content).
+pub fn doc_figure8() -> Document {
+    Document::parse_str(concat!(
+        r#"<a id="10">"#,
+        r#"<b id="11"><c id="12">21 22</c><c id="13">23 24</c><d id="14">100</d></b>"#,
+        r#"<b id="21"><c id="22">11 12</c><d id="23">13 14</d><d id="24">100</d></b>"#,
+        r#"</a>"#
+    ))
+    .expect("figure-8 document is well-formed")
+}
+
+/// A balanced `k`-ary tree of depth `d`; element names cycle through
+/// `labels`. Used for data-complexity sweeps where a wide tree of moderate
+/// depth is needed (§2: "the same naive algorithm is also very costly on
+/// massive (wide) XML trees of moderate depth").
+pub fn doc_balanced(k: usize, depth: usize, labels: &[&str]) -> Document {
+    assert!(!labels.is_empty());
+    let mut b = DocumentBuilder::new();
+    fn rec(b: &mut DocumentBuilder, k: usize, depth: usize, level: usize, labels: &[&str]) {
+        b.open_element(labels[level % labels.len()]);
+        if depth > 0 {
+            for _ in 0..k {
+                rec(b, k, depth - 1, level + 1, labels);
+            }
+        }
+        b.close_element();
+    }
+    rec(&mut b, k, depth, 0, labels);
+    b.finish()
+}
+
+/// Experiment-4 style document: the queries `'//a' + q(20) + '//b'` jump
+/// between `a` ancestors and `b` descendants, so we generate a two-level
+/// document `<a><a><b/>..</a>..</a>` with `groups` inner `a` elements of
+/// `per_group` `b` leaves each, totalling roughly `groups * (per_group + 1)`
+/// nodes.
+pub fn doc_ab_groups(groups: usize, per_group: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.reserve(groups * (per_group + 1) + 2);
+    b.open_element("a");
+    for _ in 0..groups {
+        b.open_element("a");
+        for _ in 0..per_group {
+            b.empty("b");
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// A document exercising ID/IDREF: `n` `item` elements with ids `i0..`,
+/// where each item's text references the ids of its two successors
+/// (wrapping), giving a dense `ref` relation for XPatterns tests.
+pub fn doc_idref_chain(n: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.open_element("items");
+    for i in 0..n {
+        b.open_element("item");
+        b.attribute("id", &format!("i{i}"));
+        let a = (i + 1) % n.max(1);
+        let c = (i + 2) % n.max(1);
+        // Trailing space keeps ID tokens whitespace-separated even when
+        // string values of ancestors concatenate several text nodes, so the
+        // exact id semantics and the Theorem 10.7 ref encoding agree.
+        b.text(&format!("i{a} i{c} "));
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// A realistic bookstore catalogue used by examples and integration tests.
+/// Contains nested structure, attributes, mixed content, ids and references.
+pub fn doc_bookstore() -> Document {
+    Document::parse_str(BOOKSTORE_XML).expect("bookstore corpus is well-formed")
+}
+
+/// The raw XML of the bookstore corpus.
+pub const BOOKSTORE_XML: &str = r#"<bookstore>
+  <section name="databases">
+    <book id="b1" year="1994" price="39.95">
+      <title>Foundations of Databases</title>
+      <author><last>Abiteboul</last><first>Serge</first></author>
+      <author><last>Hull</last><first>Richard</first></author>
+      <author><last>Vianu</last><first>Victor</first></author>
+      <related>b3</related>
+    </book>
+    <book id="b2" year="2002" price="65.00">
+      <title>XPath Processing</title>
+      <author><last>Gottlob</last><first>Georg</first></author>
+      <author><last>Koch</last><first>Christoph</first></author>
+      <author><last>Pichler</last><first>Reinhard</first></author>
+      <related>b1 b3</related>
+    </book>
+  </section>
+  <section name="theory">
+    <book id="b3" year="1979" price="25.50">
+      <title>Computers and Intractability</title>
+      <author><last>Garey</last><first>Michael</first></author>
+      <author><last>Johnson</last><first>David</first></author>
+    </book>
+    <book id="b4" year="2001" price="120.00">
+      <title>Elements of Finite Model Theory</title>
+      <author><last>Libkin</last><first>Leonid</first></author>
+      <related>b1</related>
+    </book>
+  </section>
+  <magazine id="m1" month="January">
+    <title>DB Monthly</title>
+  </magazine>
+</bookstore>"#;
+
+/// Configuration for [`doc_random`].
+#[derive(Clone, Debug)]
+pub struct RandomDocConfig {
+    /// Approximate number of element nodes to generate.
+    pub elements: usize,
+    /// Maximum children per element.
+    pub max_children: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Element-name alphabet.
+    pub labels: Vec<String>,
+    /// Probability that a leaf gets a short text child.
+    pub text_prob: f64,
+    /// Probability that an element gets an `id` attribute.
+    pub id_prob: f64,
+}
+
+impl Default for RandomDocConfig {
+    fn default() -> Self {
+        RandomDocConfig {
+            elements: 60,
+            max_children: 5,
+            max_depth: 6,
+            labels: ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+            text_prob: 0.35,
+            id_prob: 0.2,
+        }
+    }
+}
+
+/// A seeded random document for differential testing: all evaluators must
+/// agree on random trees.
+pub fn doc_random(seed: u64, cfg: &RandomDocConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    let mut budget = cfg.elements as i64;
+    let mut next_id = 0usize;
+    fn rec(
+        b: &mut DocumentBuilder,
+        rng: &mut StdRng,
+        cfg: &RandomDocConfig,
+        budget: &mut i64,
+        next_id: &mut usize,
+        depth: usize,
+    ) {
+        let label = &cfg.labels[rng.random_range(0..cfg.labels.len())];
+        b.open_element(label);
+        *budget -= 1;
+        if rng.random_bool(cfg.id_prob) {
+            b.attribute("id", &format!("r{}", *next_id));
+            *next_id += 1;
+        }
+        let kids = if depth >= cfg.max_depth || *budget <= 0 {
+            0
+        } else {
+            rng.random_range(0..=cfg.max_children.min((*budget).max(0) as usize))
+        };
+        if kids == 0 && rng.random_bool(cfg.text_prob) {
+            let v: u32 = rng.random_range(0..200);
+            b.text(&v.to_string());
+        }
+        for _ in 0..kids {
+            if *budget <= 0 {
+                break;
+            }
+            rec(b, rng, cfg, budget, next_id, depth + 1);
+        }
+        b.close_element();
+    }
+    rec(&mut b, &mut rng, cfg, &mut budget, &mut next_id, 0);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn doc_flat_sizes() {
+        for i in [0, 1, 2, 10, 200] {
+            let d = doc_flat(i);
+            // root + a + i b's.
+            assert_eq!(d.len(), i + 2);
+            let elements = d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Element).count();
+            assert_eq!(elements, i + 1);
+        }
+    }
+
+    #[test]
+    fn doc_flat_text_shape() {
+        let d = doc_flat_text(3);
+        let a = d.document_element().unwrap();
+        assert_eq!(d.children(a).count(), 3);
+        for c in d.children(a) {
+            assert_eq!(d.string_value(c), "c");
+        }
+        assert_eq!(d.string_value(a), "ccc");
+    }
+
+    #[test]
+    fn doc_deep_path_shape() {
+        let d = doc_deep_path(50);
+        assert_eq!(d.len(), 51);
+        // Single path: every element has at most one child.
+        for n in d.all_nodes() {
+            assert!(d.children(n).count() <= 1);
+        }
+        let mut depth = 0;
+        let mut cur = d.document_element();
+        while let Some(c) = cur {
+            assert_eq!(d.name(c), Some("b"));
+            depth += 1;
+            cur = d.first_child(c);
+        }
+        assert_eq!(depth, 50);
+    }
+
+    #[test]
+    fn doc_figure8_ids() {
+        let d = doc_figure8();
+        for id in ["10", "11", "12", "13", "14", "21", "22", "23", "24"] {
+            assert!(d.element_by_id(id).is_some(), "missing id {id}");
+        }
+        assert_eq!(d.string_value(d.element_by_id("23").unwrap()), "13 14");
+    }
+
+    #[test]
+    fn doc_balanced_size() {
+        let d = doc_balanced(2, 3, &["x", "y"]);
+        // 1 + 2 + 4 + 8 = 15 elements + root.
+        assert_eq!(d.len(), 16);
+    }
+
+    #[test]
+    fn doc_ab_groups_shape() {
+        let d = doc_ab_groups(3, 4);
+        // root + outer a + 3 inner a + 12 b = 17.
+        assert_eq!(d.len(), 17);
+    }
+
+    #[test]
+    fn doc_idref_chain_refs() {
+        let d = doc_idref_chain(5);
+        // Every item references two others: 10 ref pairs.
+        assert_eq!(d.refs().len(), 10);
+    }
+
+    #[test]
+    fn doc_random_is_deterministic() {
+        let cfg = RandomDocConfig::default();
+        let d1 = doc_random(42, &cfg);
+        let d2 = doc_random(42, &cfg);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.serialize(d1.root()), d2.serialize(d2.root()));
+        let d3 = doc_random(43, &cfg);
+        assert!(d1.serialize(d1.root()) != d3.serialize(d3.root()) || d1.len() != d3.len());
+    }
+
+    #[test]
+    fn bookstore_parses() {
+        let d = doc_bookstore();
+        assert!(d.element_by_id("b1").is_some());
+        assert!(d.element_by_id("m1").is_some());
+        assert!(!d.refs().is_empty());
+    }
+}

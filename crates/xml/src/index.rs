@@ -1,0 +1,190 @@
+//! Name indexes: precomputed `T(t)` node-test sets.
+//!
+//! §4 defines the function `T` mapping each node test to the subset of
+//! `dom` satisfying it; the evaluators compute these sets with `O(|D|)`
+//! scans, which is what the paper's bounds assume. A [`NameIndex`] is the
+//! standard database-style acceleration of the same function: one pass
+//! groups nodes by kind and name, after which any `T(element(n))` /
+//! `T(attribute(n))` lookup returns its (document-ordered) list in `O(1)`.
+//! This does not change any complexity bound — it trades one up-front
+//! `O(|D|)` pass for `O(1)` lookups thereafter — but removes the per-step
+//! scan constant from backward evaluation (`S←` touches `T(t)` at every
+//! step of every predicate path).
+
+use std::collections::HashMap;
+
+use crate::document::{Document, NameId};
+use crate::node::{NodeId, NodeKind};
+
+/// Document-order node lists grouped by kind and name. Built in one
+/// `O(|D|)` pass by [`NameIndex::new`].
+#[derive(Debug)]
+pub struct NameIndex {
+    /// Element nodes by name.
+    elements: HashMap<NameId, Vec<NodeId>>,
+    /// Attribute nodes by name.
+    attributes: HashMap<NameId, Vec<NodeId>>,
+    /// All element nodes.
+    all_elements: Vec<NodeId>,
+    /// All attribute nodes.
+    all_attributes: Vec<NodeId>,
+    /// All text nodes.
+    text: Vec<NodeId>,
+    /// All comment nodes.
+    comments: Vec<NodeId>,
+    /// All processing-instruction nodes.
+    pis: Vec<NodeId>,
+    /// All namespace nodes.
+    namespaces: Vec<NodeId>,
+}
+
+impl NameIndex {
+    /// Build the index for a document.
+    pub fn new(doc: &Document) -> NameIndex {
+        let mut ix = NameIndex {
+            elements: HashMap::new(),
+            attributes: HashMap::new(),
+            all_elements: Vec::new(),
+            all_attributes: Vec::new(),
+            text: Vec::new(),
+            comments: Vec::new(),
+            pis: Vec::new(),
+            namespaces: Vec::new(),
+        };
+        for n in doc.all_nodes() {
+            match doc.kind(n) {
+                NodeKind::Element => {
+                    ix.all_elements.push(n);
+                    if let Some(name) = doc.name_id(n) {
+                        ix.elements.entry(name).or_default().push(n);
+                    }
+                }
+                NodeKind::Attribute => {
+                    ix.all_attributes.push(n);
+                    if let Some(name) = doc.name_id(n) {
+                        ix.attributes.entry(name).or_default().push(n);
+                    }
+                }
+                NodeKind::Text => ix.text.push(n),
+                NodeKind::Comment => ix.comments.push(n),
+                NodeKind::ProcessingInstruction => ix.pis.push(n),
+                NodeKind::Namespace => ix.namespaces.push(n),
+                NodeKind::Root => {}
+            }
+        }
+        ix
+    }
+
+    /// `T(element(n))`: element nodes named `n`, in document order.
+    pub fn elements_named(&self, name: NameId) -> &[NodeId] {
+        self.elements.get(&name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `T(attribute(n))`: attribute nodes named `n`, in document order.
+    pub fn attributes_named(&self, name: NameId) -> &[NodeId] {
+        self.attributes.get(&name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `T(element(*))`: all element nodes.
+    pub fn elements(&self) -> &[NodeId] {
+        &self.all_elements
+    }
+
+    /// `T(attribute(*))`: all attribute nodes.
+    pub fn attributes(&self) -> &[NodeId] {
+        &self.all_attributes
+    }
+
+    /// `T(text())`: all text nodes.
+    pub fn text_nodes(&self) -> &[NodeId] {
+        &self.text
+    }
+
+    /// `T(comment())`: all comment nodes.
+    pub fn comments(&self) -> &[NodeId] {
+        &self.comments
+    }
+
+    /// `T(processing-instruction())`: all PI nodes.
+    pub fn processing_instructions(&self) -> &[NodeId] {
+        &self.pis
+    }
+
+    /// All namespace nodes.
+    pub fn namespace_nodes(&self) -> &[NodeId] {
+        &self.namespaces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{doc_bookstore, doc_figure8, doc_random, RandomDocConfig};
+
+    fn scan(doc: &Document, pred: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        doc.all_nodes().filter(|&n| pred(n)).collect()
+    }
+
+    #[test]
+    fn index_equals_scans() {
+        for doc in [doc_figure8(), doc_bookstore()] {
+            let ix = NameIndex::new(&doc);
+            assert_eq!(
+                ix.elements(),
+                scan(&doc, |n| doc.kind(n) == NodeKind::Element).as_slice()
+            );
+            assert_eq!(
+                ix.attributes(),
+                scan(&doc, |n| doc.kind(n) == NodeKind::Attribute).as_slice()
+            );
+            assert_eq!(ix.text_nodes(), scan(&doc, |n| doc.kind(n) == NodeKind::Text).as_slice());
+            for n in doc.all_nodes() {
+                let Some(name) = doc.name_id(n) else { continue };
+                match doc.kind(n) {
+                    NodeKind::Element => assert!(ix.elements_named(name).contains(&n)),
+                    NodeKind::Attribute => assert!(ix.attributes_named(name).contains(&n)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_name_lists_are_exact_on_random_docs() {
+        for seed in 0..6 {
+            let cfg = RandomDocConfig { elements: 40, ..RandomDocConfig::default() };
+            let doc = doc_random(seed, &cfg);
+            let ix = NameIndex::new(&doc);
+            for name in ["a", "b", "c", "d", "id"] {
+                let Some(id) = doc.lookup_name(name) else { continue };
+                let want_e = scan(&doc, |n| {
+                    doc.kind(n) == NodeKind::Element && doc.name_id(n) == Some(id)
+                });
+                assert_eq!(ix.elements_named(id), want_e.as_slice(), "{name} seed {seed}");
+                let want_a = scan(&doc, |n| {
+                    doc.kind(n) == NodeKind::Attribute && doc.name_id(n) == Some(id)
+                });
+                assert_eq!(ix.attributes_named(id), want_a.as_slice(), "@{name} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_empty() {
+        let doc = doc_figure8();
+        let ix = NameIndex::new(&doc);
+        // A NameId the document never assigned to an element.
+        if let Some(id) = doc.lookup_name("id") {
+            assert!(ix.elements_named(id).is_empty(), "\"id\" names only attributes");
+        }
+    }
+
+    #[test]
+    fn lists_are_document_ordered() {
+        let doc = doc_bookstore();
+        let ix = NameIndex::new(&doc);
+        for list in [ix.elements(), ix.attributes(), ix.text_nodes()] {
+            assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

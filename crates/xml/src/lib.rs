@@ -1,0 +1,42 @@
+//! # xpath-xml — XML document model substrate
+//!
+//! The XPath 1.0 data model of Gottlob, Koch & Pichler, *Efficient Algorithms
+//! for Processing XPath Queries* (VLDB 2002), §3–§4:
+//!
+//! * an arena-backed, immutable document tree whose node ids **are** document
+//!   order ([`NodeId`], [`Document`]);
+//! * the seven node types ([`NodeKind`]) including attribute and namespace
+//!   nodes as filtered children of the abstract tree;
+//! * the primitive relations `firstchild` / `nextsibling` and their inverses
+//!   from Table I, on which the axis engine (`xpath-axes`) builds;
+//! * string values (`strval`), ID/IDREF dereferencing (`deref_ids`) and the
+//!   linear-size `ref` relation of Theorem 10.7;
+//! * a from-scratch XML parser and a [`DocumentBuilder`], including a DTD
+//!   internal-subset parser ([`dtd`]) that drives ID-ness per §4 and
+//!   optional namespace-node synthesis ([`ParseOptions`]);
+//! * a serializer ([`Document::serialize`]), a SAX-style event stream
+//!   ([`events`]) for the streaming matcher, document statistics
+//!   ([`stats`]), and name indexes ([`index`]);
+//! * generators for every document family used in the paper's experiments
+//!   ([`generate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod document;
+pub mod dtd;
+mod error;
+pub mod events;
+pub mod generate;
+pub mod index;
+pub mod stats;
+mod node;
+mod parser;
+
+pub use builder::DocumentBuilder;
+pub use document::{Children, Document, IdPolicy, NameId};
+pub use parser::ParseOptions;
+pub use error::ParseError;
+pub use events::StreamEvent;
+pub use node::{NodeId, NodeKind};

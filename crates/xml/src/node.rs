@@ -1,0 +1,138 @@
+//! Node identifiers and node kinds of the XPath data model (paper §4).
+//!
+//! Each node in a document tree is one of seven types: root, element, text,
+//! comment, attribute, namespace, and processing instruction. The root node is
+//! the unique parent of the document element. Nodes of all types besides
+//! `Text` and `Comment` have a name associated with them.
+
+use std::fmt;
+
+/// Index of a node in the [`Document`](crate::Document) arena.
+///
+/// The document builder emits nodes in **document order** (the order of
+/// opening tags, with attribute nodes placed directly after their owner
+/// element and before its content children). Consequently, comparing two
+/// `NodeId`s with `<` is exactly the document-order relation `<doc` of §4,
+/// and sorting a node set by id yields document order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node of every document is node 0 (paper: `root`).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The arena index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The seven node types of the XPath 1.0 data model (paper §4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeKind {
+    /// The unique root node of the document (parent of the document element).
+    Root,
+    /// An element node; has a name and may have children.
+    Element,
+    /// A text node; unnamed, carries character data.
+    Text,
+    /// A comment node; unnamed, carries the comment text.
+    Comment,
+    /// An attribute node; named, carries the attribute value. In the abstract
+    /// tree of §4 attributes are children of their element (`child0`) that
+    /// every axis except `attribute` filters out.
+    Attribute,
+    /// A namespace node; named (prefix), carries the namespace URI. The
+    /// parser does not synthesize these (documented substitution in
+    /// DESIGN.md) but the builder can create them and the `namespace` axis
+    /// handles them.
+    Namespace,
+    /// A processing-instruction node; named (target), carries the PI data.
+    ProcessingInstruction,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind carry a name (paper §4: all types besides
+    /// "text" and "comment" have a name).
+    pub fn has_name(self) -> bool {
+        !matches!(self, NodeKind::Text | NodeKind::Comment)
+    }
+
+    /// Whether this kind is filtered out of every axis except its dedicated
+    /// one (`attribute` / `namespace`), per §4.
+    pub fn is_special_child(self) -> bool {
+        matches!(self, NodeKind::Attribute | NodeKind::Namespace)
+    }
+
+    /// A short lowercase name matching XPath node-test spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::Root => "root",
+            NodeKind::Element => "element",
+            NodeKind::Text => "text",
+            NodeKind::Comment => "comment",
+            NodeKind::Attribute => "attribute",
+            NodeKind::Namespace => "namespace",
+            NodeKind::ProcessingInstruction => "processing-instruction",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_is_numeric() {
+        assert!(NodeId(0) < NodeId(1));
+        assert!(NodeId(41) < NodeId(42));
+        assert_eq!(NodeId::ROOT, NodeId(0));
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn named_kinds() {
+        // The root is named per DOM ("#document"); we treat it as a named
+        // kind with no stored name.
+        assert!(NodeKind::Root.has_name());
+        assert!(NodeKind::Element.has_name());
+        assert!(NodeKind::Attribute.has_name());
+        assert!(NodeKind::Namespace.has_name());
+        assert!(NodeKind::ProcessingInstruction.has_name());
+        assert!(!NodeKind::Text.has_name());
+        assert!(!NodeKind::Comment.has_name());
+    }
+
+    #[test]
+    fn special_children() {
+        assert!(NodeKind::Attribute.is_special_child());
+        assert!(NodeKind::Namespace.is_special_child());
+        assert!(!NodeKind::Element.is_special_child());
+        assert!(!NodeKind::Text.is_special_child());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NodeKind::ProcessingInstruction.to_string(), "processing-instruction");
+        assert_eq!(NodeKind::Element.to_string(), "element");
+    }
+}

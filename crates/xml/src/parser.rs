@@ -1,0 +1,789 @@
+//! A from-scratch XML parser for the well-formed subset the reproduction
+//! needs: elements, attributes, character data, comments, CDATA sections,
+//! processing instructions, the five predefined entities, numeric character
+//! references, and DOCTYPE declarations with an internal subset (see
+//! [`crate::dtd`]). A parsed DTD contributes declared internal entities,
+//! attribute defaults, and `ID`-typed attributes (which drive `deref_ids`,
+//! §4 of the paper). The XML declaration is skipped; namespace declarations
+//! are kept as plain attributes (see DESIGN.md substitution 2).
+
+use crate::builder::DocumentBuilder;
+use crate::document::{Document, IdPolicy};
+use crate::dtd::Dtd;
+use crate::error::ParseError;
+
+/// Maximum nesting depth when expanding entity references that reference
+/// other entities; exceeding it reports a cycle.
+const MAX_ENTITY_DEPTH: usize = 16;
+
+/// Parser configuration beyond the [`IdPolicy`].
+#[derive(Clone, Debug, Default)]
+pub struct ParseOptions {
+    /// Which attributes carry IDs (extended by a DTD internal subset).
+    pub id_policy: IdPolicy,
+    /// Synthesize namespace nodes (the paper's footnote-6 "easy exercise"):
+    /// `xmlns`/`xmlns:p` declarations become [`NodeKind::Namespace`]
+    /// children of every element in whose scope they are (XPath 1.0 §5.4),
+    /// instead of plain attributes, and the implicit `xml` prefix is added.
+    /// Off by default — names stay textual either way (node tests compare
+    /// prefixes, not URIs, per the paper's treatment of namespaces as
+    /// orthogonal).
+    ///
+    /// [`NodeKind::Namespace`]: crate::NodeKind::Namespace
+    pub namespaces: bool,
+}
+
+impl Document {
+    /// Parse an XML document from text with the default [`IdPolicy`].
+    /// A DTD internal subset, if present, extends the policy with its
+    /// declared `ID` attributes.
+    pub fn parse_str(input: &str) -> Result<Document, ParseError> {
+        Document::parse_str_with(input, IdPolicy::default())
+    }
+
+    /// Parse an XML document from text with a custom [`IdPolicy`].
+    pub fn parse_str_with(input: &str, policy: IdPolicy) -> Result<Document, ParseError> {
+        Document::parse_str_opts(input, ParseOptions { id_policy: policy, namespaces: false })
+    }
+
+    /// Parse with full [`ParseOptions`] (ID policy + namespace-node
+    /// synthesis).
+    pub fn parse_str_opts(input: &str, options: ParseOptions) -> Result<Document, ParseError> {
+        let mut p = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            builder: DocumentBuilder::with_id_policy(options.id_policy),
+            depth: 0,
+            dtd: None,
+            namespaces: options.namespaces,
+            ns_stack: Vec::new(),
+        };
+        p.parse_document()?;
+        let dtd = p.dtd.take();
+        let mut doc = p.builder.finish();
+        if let Some(dtd) = dtd {
+            doc.set_dtd(dtd);
+        }
+        Ok(doc)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    builder: DocumentBuilder,
+    depth: usize,
+    dtd: Option<Dtd>,
+    /// Synthesize namespace nodes from xmlns declarations.
+    namespaces: bool,
+    /// In-scope namespace declarations, innermost last (latest binding of a
+    /// prefix wins). An empty URI marks an undeclared default namespace.
+    ns_stack: Vec<(String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, msg)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected '{}', found '{}'", b as char, c as char))),
+            None => Err(self.err(format!("expected '{}', found end of input", b as char))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<(), ParseError> {
+        self.parse_misc()?;
+        if self.peek().is_none() {
+            return Err(self.err("document has no document element"));
+        }
+        self.parse_element()?;
+        self.parse_misc()?;
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing content after document element"));
+        }
+        Ok(())
+    }
+
+    /// Prolog / epilog content: whitespace, comments, PIs, XML decl, DOCTYPE.
+    fn parse_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?xml") {
+                self.skip_until(b"?>")?;
+            } else if self.starts_with(b"<!DOCTYPE") {
+                self.parse_doctype()?;
+            } else if self.starts_with(b"<!--") {
+                self.pos += 4;
+                let text = self.take_until(b"-->")?;
+                self.builder.comment(&text);
+            } else if self.starts_with(b"<?") {
+                self.parse_pi()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &[u8]) -> Result<(), ParseError> {
+        match find(self.input, self.pos, end) {
+            Some(i) => {
+                self.pos = i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct (missing {:?})", String::from_utf8_lossy(end)))),
+        }
+    }
+
+    fn take_until(&mut self, end: &[u8]) -> Result<String, ParseError> {
+        match find(self.input, self.pos, end) {
+            Some(i) => {
+                let s = std::str::from_utf8(&self.input[self.pos..i])
+                    .map_err(|_| self.err("invalid UTF-8"))?
+                    .to_string();
+                self.pos = i + end.len();
+                Ok(s)
+            }
+            None => Err(self.err(format!("unterminated construct (missing {:?})", String::from_utf8_lossy(end)))),
+        }
+    }
+
+    fn parse_doctype(&mut self) -> Result<(), ParseError> {
+        if self.dtd.is_some() {
+            return Err(self.err("multiple DOCTYPE declarations"));
+        }
+        // Find the matching '>' accounting for an optional internal subset,
+        // then hand the body to the DTD parser.
+        self.pos += b"<!DOCTYPE".len();
+        let body_start = self.pos;
+        let mut bracket = 0i32;
+        loop {
+            match self.bump() {
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'>') if bracket <= 0 => break,
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+        }
+        let body = std::str::from_utf8(&self.input[body_start..self.pos - 1])
+            .map_err(|_| ParseError::new(body_start, "invalid UTF-8 in DOCTYPE"))?;
+        let dtd = crate::dtd::parse_doctype_body(body, body_start)?;
+        // Fold DTD-declared ID attributes into the ID policy before any
+        // element is indexed.
+        let policy = self.builder.id_policy_mut();
+        for (elem, attr) in dtd.id_attributes() {
+            let pair = (elem.to_string(), attr.to_string());
+            if !policy.scoped_id_attributes.contains(&pair) {
+                policy.scoped_id_attributes.push(pair);
+            }
+        }
+        self.dtd = Some(dtd);
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.input[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(ParseError::new(start, "names must not start with a digit, '-' or '.'"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(|s| s.to_string())
+            .map_err(|_| self.err("invalid UTF-8 in name"))
+    }
+
+    /// Parse one element and its whole subtree **iteratively** (an explicit
+    /// open-tag stack instead of recursion), so arbitrarily deep documents
+    /// cannot overflow the call stack.
+    fn parse_element(&mut self) -> Result<(), ParseError> {
+        let mut open: Vec<OpenTag> = Vec::new();
+        {
+            // At a '<' beginning a start tag.
+            self.parse_start_tag(&mut open)?;
+            // Content loop: runs until the open stack drains back to empty.
+            while !open.is_empty() {
+                let start = self.pos;
+                while !matches!(self.peek(), Some(b'<') | None) {
+                    self.pos += 1;
+                }
+                if self.pos > start {
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .to_string();
+                    let text = self.decode_entities(&raw)?;
+                    self.builder.text(&text);
+                }
+                match self.peek() {
+                    None => {
+                        let name = &open.last().expect("non-empty").name;
+                        return Err(self.err(format!("unexpected end of input inside <{name}>")));
+                    }
+                    Some(_) if self.starts_with(b"</") => {
+                        self.pos += 2;
+                        let name = self.parse_name()?;
+                        let expected = open.pop().expect("non-empty");
+                        if name != expected.name {
+                            return Err(self.err(format!(
+                                "mismatched end tag: expected </{}>, found </{name}>",
+                                expected.name
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        self.ns_stack.truncate(self.ns_stack.len() - expected.ns_decls);
+                        self.builder.close_element();
+                        self.depth -= 1;
+                    }
+                    Some(_) if self.starts_with(b"<!--") => {
+                        self.pos += 4;
+                        let text = self.take_until(b"-->")?;
+                        self.builder.comment(&text);
+                    }
+                    Some(_) if self.starts_with(b"<![CDATA[") => {
+                        self.pos += b"<![CDATA[".len();
+                        let text = self.take_until(b"]]>")?;
+                        self.builder.text(&text);
+                    }
+                    Some(_) if self.starts_with(b"<?") => {
+                        self.parse_pi()?;
+                    }
+                    Some(_) => {
+                        self.parse_start_tag(&mut open)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Parse `<name attr="v"…>` or `<name …/>`; pushes onto `open` unless
+    /// self-closing. DTD-declared default attribute values are materialized
+    /// for attributes not present in the tag; with namespace synthesis on,
+    /// `xmlns` declarations become scoped namespace nodes instead of
+    /// attributes.
+    fn parse_start_tag(&mut self, open: &mut Vec<OpenTag>) -> Result<(), ParseError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        self.builder.open_element(&name);
+        self.depth += 1;
+        let mut seen: Vec<String> = Vec::new();
+        let mut ns_decls = 0usize;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.finish_start_tag(&name, &seen, &mut ns_decls);
+                    open.push(OpenTag { name, ns_decls });
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    self.finish_start_tag(&name, &seen, &mut ns_decls);
+                    // Self-closing: the element's scope ends immediately.
+                    self.ns_stack.truncate(self.ns_stack.len() - ns_decls);
+                    self.builder.close_element();
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self
+                        .bump()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.err("attribute value must be quoted"))?;
+                    let raw = self.take_raw_until_byte(quote)?;
+                    let value = self.decode_entities(&raw)?;
+                    if let Some(prefix) = self.as_ns_declaration(&attr) {
+                        self.ns_stack.push((prefix.to_string(), value));
+                        ns_decls += 1;
+                    } else {
+                        self.builder.attribute(&attr, &value);
+                    }
+                    seen.push(attr);
+                }
+                None => return Err(self.err("unexpected end of input in start tag")),
+            }
+        }
+    }
+
+    /// With namespace synthesis on, classify `xmlns` / `xmlns:p` attribute
+    /// names as declarations of the default / `p` prefix.
+    fn as_ns_declaration<'b>(&self, attr: &'b str) -> Option<&'b str> {
+        if !self.namespaces {
+            return None;
+        }
+        if attr == "xmlns" {
+            Some("")
+        } else {
+            attr.strip_prefix("xmlns:")
+        }
+    }
+
+    /// Attribute defaults (XML 1.0 §3.3.2) and namespace-node synthesis
+    /// (XPath 1.0 §5.4), both of which must run before any content child.
+    fn finish_start_tag(&mut self, elem: &str, seen: &[String], ns_decls: &mut usize) {
+        if let Some(dtd) = &self.dtd {
+            let defaults: Vec<(String, String)> = dtd
+                .defaults_for(elem)
+                .filter(|(n, _)| !seen.iter().any(|s| s == n))
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect();
+            for (n, v) in defaults {
+                if let Some(prefix) = self.as_ns_declaration(&n) {
+                    self.ns_stack.push((prefix.to_string(), v));
+                    *ns_decls += 1;
+                } else {
+                    self.builder.attribute(&n, &v);
+                }
+            }
+        }
+        if self.namespaces {
+            self.synthesize_namespace_nodes();
+        }
+    }
+
+    /// One namespace node per in-scope prefix (latest binding wins; empty
+    /// URIs undeclare), plus the implicit `xml` prefix. Sorted by prefix so
+    /// output is deterministic.
+    fn synthesize_namespace_nodes(&mut self) {
+        let mut in_scope: Vec<(&str, &str)> = Vec::new();
+        for (prefix, uri) in self.ns_stack.iter().rev() {
+            if !in_scope.iter().any(|(p, _)| p == prefix) {
+                in_scope.push((prefix, uri));
+            }
+        }
+        in_scope.retain(|(_, uri)| !uri.is_empty());
+        if !in_scope.iter().any(|(p, _)| *p == "xml") {
+            in_scope.push(("xml", "http://www.w3.org/XML/1998/namespace"));
+        }
+        in_scope.sort_unstable();
+        // Split borrows: collect before mutating the builder.
+        let nodes: Vec<(String, String)> =
+            in_scope.iter().map(|(p, u)| (p.to_string(), u.to_string())).collect();
+        for (prefix, uri) in nodes {
+            self.builder.namespace(&prefix, &uri);
+        }
+    }
+
+    fn take_raw_until_byte(&mut self, end: u8) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == end {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+
+    fn parse_pi(&mut self) -> Result<(), ParseError> {
+        self.pos += 2; // "<?"
+        let target = self.parse_name()?;
+        self.skip_ws();
+        let data = self.take_until(b"?>")?;
+        self.builder.processing_instruction(&target, data.trim_end());
+        Ok(())
+    }
+
+    /// Resolve the five predefined entities, numeric character references,
+    /// and DTD-declared internal general entities.
+    fn decode_entities(&self, raw: &str) -> Result<String, ParseError> {
+        self.decode_entities_depth(raw, 0)
+    }
+
+    fn decode_entities_depth(&self, raw: &str, depth: usize) -> Result<String, ParseError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp..];
+            let semi = rest
+                .find(';')
+                .ok_or_else(|| self.err("unterminated entity reference"))?;
+            let ent = &rest[1..semi];
+            match ent {
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "amp" => out.push('&'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let code = u32::from_str_radix(&ent[2..], 16)
+                        .map_err(|_| self.err(format!("bad character reference &{ent};")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err(format!("invalid code point &{ent};")))?,
+                    );
+                }
+                _ if ent.starts_with('#') => {
+                    let code = ent[1..]
+                        .parse::<u32>()
+                        .map_err(|_| self.err(format!("bad character reference &{ent};")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err(format!("invalid code point &{ent};")))?,
+                    );
+                }
+                _ => {
+                    // DTD-declared internal general entity. Replacement text
+                    // may itself contain entity references (but not markup —
+                    // see crate::dtd module docs), so expand recursively with
+                    // a depth cap against cycles.
+                    let value = self
+                        .dtd
+                        .as_ref()
+                        .and_then(|d| d.entities.get(ent))
+                        .ok_or_else(|| self.err(format!("unknown entity &{ent};")))?;
+                    if depth + 1 > MAX_ENTITY_DEPTH {
+                        return Err(
+                            self.err(format!("entity &{ent}; nested too deeply (cycle?)"))
+                        );
+                    }
+                    let expanded = self.decode_entities_depth(&value.clone(), depth + 1)?;
+                    out.push_str(&expanded);
+                }
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+/// One open element on the parse stack.
+struct OpenTag {
+    name: String,
+    /// Namespace declarations this element pushed (popped at its end tag).
+    ns_decls: usize,
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn parse_doc2() {
+        // The paper's DOC(2): <a><b/><b/></a>.
+        let d = Document::parse_str("<a><b/><b/></a>").unwrap();
+        assert_eq!(d.len(), 4);
+        let a = d.document_element().unwrap();
+        assert_eq!(d.name(a), Some("a"));
+        assert_eq!(d.children(a).count(), 2);
+    }
+
+    #[test]
+    fn parse_attributes_both_quotes() {
+        let d = Document::parse_str(r#"<a x="1" y='2'/>"#).unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.value(d.attribute(a, "x").unwrap()), Some("1"));
+        assert_eq!(d.value(d.attribute(a, "y").unwrap()), Some("2"));
+    }
+
+    #[test]
+    fn parse_entities() {
+        let d = Document::parse_str("<a t=\"&lt;&amp;&quot;&#65;&#x42;\">x &gt; y &apos;</a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.value(d.attribute(a, "t").unwrap()), Some("<&\"AB"));
+        assert_eq!(d.string_value(a), "x > y '");
+    }
+
+    #[test]
+    fn parse_comment_and_pi() {
+        let d = Document::parse_str("<a><!--note--><?php echo?><b/></a>").unwrap();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(d.kind(kids[0]), NodeKind::Comment);
+        assert_eq!(d.value(kids[0]), Some("note"));
+        assert_eq!(d.kind(kids[1]), NodeKind::ProcessingInstruction);
+        assert_eq!(d.name(kids[1]), Some("php"));
+        assert_eq!(d.value(kids[1]), Some("echo"));
+        assert_eq!(d.kind(kids[2]), NodeKind::Element);
+    }
+
+    #[test]
+    fn parse_cdata() {
+        let d = Document::parse_str("<a><![CDATA[<not> &markup;]]></a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.string_value(a), "<not> &markup;");
+    }
+
+    #[test]
+    fn parse_xml_decl_and_doctype() {
+        let d = Document::parse_str(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a ANY> ]>\n<a>hi</a>",
+        )
+        .unwrap();
+        assert_eq!(d.string_value(d.root()), "hi");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let e = Document::parse_str("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched end tag"), "{}", e.message);
+    }
+
+    #[test]
+    fn trailing_garbage_error() {
+        let e = Document::parse_str("<a/><b/>").unwrap_err();
+        assert!(e.message.contains("trailing content"), "{}", e.message);
+    }
+
+    #[test]
+    fn unterminated_errors() {
+        assert!(Document::parse_str("<a>").is_err());
+        assert!(Document::parse_str("<a t=\"x>").is_err());
+        assert!(Document::parse_str("<a><!-- foo </a>").is_err());
+        assert!(Document::parse_str("").is_err());
+    }
+
+    #[test]
+    fn nested_structure() {
+        let d = Document::parse_str("<a><b><c>1</c></b><b><c>2</c></b></a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.string_value(a), "12");
+        let bs: Vec<_> = d.children(a).collect();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(d.string_value(bs[1]), "2");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        assert!(Document::parse_str("<a>&unknown;</a>").is_err());
+    }
+
+    #[test]
+    fn dtd_declared_id_attributes_drive_deref_ids() {
+        // The DTD declares `key` as the ID attribute of <rec>; the default
+        // name-based policy alone would not index it.
+        let d = Document::parse_str_with(
+            "<!DOCTYPE db [ <!ATTLIST rec key ID #REQUIRED> ]>\
+             <db><rec key=\"r1\">r2</rec><rec key=\"r2\"/></db>",
+            crate::IdPolicy::none(),
+        )
+        .unwrap();
+        let r1 = d.element_by_id("r1").unwrap();
+        assert_eq!(d.name(r1), Some("rec"));
+        assert_eq!(d.deref_ids("r2 r1").len(), 2);
+        // The ref relation (Theorem 10.7) sees the textual reference r1 → r2.
+        assert!(d.refs().contains(&(r1, d.element_by_id("r2").unwrap())));
+    }
+
+    #[test]
+    fn dtd_id_attribute_is_element_scoped() {
+        let d = Document::parse_str_with(
+            "<!DOCTYPE db [ <!ATTLIST rec key ID #REQUIRED> ]>\
+             <db><rec key=\"a\"/><other key=\"b\"/></db>",
+            crate::IdPolicy::none(),
+        )
+        .unwrap();
+        assert!(d.element_by_id("a").is_some());
+        assert!(d.element_by_id("b").is_none(), "key is only an ID on <rec>");
+    }
+
+    #[test]
+    fn dtd_entities_resolve_in_content_and_attributes() {
+        let d = Document::parse_str(
+            "<!DOCTYPE a [ <!ENTITY who \"world\"> <!ENTITY greet \"hello &who;\"> ]>\
+             <a t=\"&greet;!\">&greet;</a>",
+        )
+        .unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.string_value(a), "hello world");
+        assert_eq!(d.value(d.attribute(a, "t").unwrap()), Some("hello world!"));
+    }
+
+    #[test]
+    fn dtd_entity_cycle_is_an_error() {
+        let e = Document::parse_str(
+            "<!DOCTYPE a [ <!ENTITY x \"&y;\"> <!ENTITY y \"&x;\"> ]><a>&x;</a>",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("nested too deeply"), "{}", e.message);
+    }
+
+    #[test]
+    fn dtd_attribute_defaults_materialize() {
+        let d = Document::parse_str(
+            "<!DOCTYPE a [ <!ATTLIST b kind CDATA \"plain\" v CDATA #FIXED \"1\"> ]>\
+             <a><b/><b kind=\"fancy\"/></a>",
+        )
+        .unwrap();
+        let a = d.document_element().unwrap();
+        let bs: Vec<_> = d.content_children(a).collect();
+        assert_eq!(d.value(d.attribute(bs[0], "kind").unwrap()), Some("plain"));
+        assert_eq!(d.value(d.attribute(bs[0], "v").unwrap()), Some("1"));
+        assert_eq!(d.value(d.attribute(bs[1], "kind").unwrap()), Some("fancy"));
+        assert_eq!(d.value(d.attribute(bs[1], "v").unwrap()), Some("1"));
+    }
+
+    #[test]
+    fn dtd_is_exposed_on_the_document() {
+        let d = Document::parse_str(
+            "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b EMPTY> ]><a/>",
+        )
+        .unwrap();
+        let dtd = d.dtd().unwrap();
+        assert_eq!(dtd.root_name, "a");
+        assert_eq!(dtd.elements.len(), 2);
+        let plain = Document::parse_str("<a/>").unwrap();
+        assert!(plain.dtd().is_none());
+    }
+
+    fn parse_ns(input: &str) -> Document {
+        Document::parse_str_opts(
+            input,
+            crate::parser::ParseOptions { namespaces: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    fn ns_of(d: &Document, n: crate::NodeId) -> Vec<(String, String)> {
+        d.children(n)
+            .filter(|&c| d.kind(c) == NodeKind::Namespace)
+            .map(|c| (d.name(c).unwrap_or("").to_string(), d.value(c).unwrap_or("").to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn namespace_synthesis_basic() {
+        let d = parse_ns(r#"<a xmlns:x="urn:x"><b/></a>"#);
+        let a = d.document_element().unwrap();
+        let ns = ns_of(&d, a);
+        assert_eq!(
+            ns,
+            vec![
+                ("x".to_string(), "urn:x".to_string()),
+                ("xml".to_string(), "http://www.w3.org/XML/1998/namespace".to_string()),
+            ]
+        );
+        // The declaration is inherited by descendants.
+        let b = d.content_children(a).next().unwrap();
+        assert_eq!(ns_of(&d, b), ns);
+        // xmlns declarations are not attribute nodes in this mode.
+        assert_eq!(d.attributes(a).count(), 0);
+    }
+
+    #[test]
+    fn namespace_scoping_and_override() {
+        let d = parse_ns(
+            r#"<a xmlns="urn:one"><b xmlns="urn:two"/><c/></a>"#,
+        );
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.content_children(a).collect();
+        let default_of = |n| {
+            ns_of(&d, n).iter().find(|(p, _)| p.is_empty()).map(|(_, u)| u.clone())
+        };
+        assert_eq!(default_of(a), Some("urn:one".to_string()));
+        assert_eq!(default_of(kids[0]), Some("urn:two".to_string()), "override in <b>");
+        assert_eq!(default_of(kids[1]), Some("urn:one".to_string()), "scope restored in <c>");
+    }
+
+    #[test]
+    fn namespace_undeclaration() {
+        let d = parse_ns(r#"<a xmlns="urn:one"><b xmlns=""><c/></b></a>"#);
+        let a = d.document_element().unwrap();
+        let b = d.content_children(a).next().unwrap();
+        let c = d.content_children(b).next().unwrap();
+        for n in [b, c] {
+            assert!(
+                ns_of(&d, n).iter().all(|(p, _)| !p.is_empty()),
+                "xmlns=\"\" undeclares the default namespace"
+            );
+        }
+    }
+
+    #[test]
+    fn namespaces_off_keeps_xmlns_as_attributes() {
+        let d = Document::parse_str(r#"<a xmlns:x="urn:x"/>"#).unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.attributes(a).count(), 1);
+        assert_eq!(d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Namespace).count(), 0);
+    }
+
+    #[test]
+    fn multiple_doctypes_rejected() {
+        let e = Document::parse_str("<!DOCTYPE a []><!DOCTYPE a []><a/>").unwrap_err();
+        assert!(e.message.contains("multiple DOCTYPE"), "{}", e.message);
+    }
+
+    #[test]
+    fn doctype_without_subset_still_parses() {
+        let d = Document::parse_str("<!DOCTYPE a><a>x</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "x");
+        assert_eq!(d.dtd().unwrap().root_name, "a");
+    }
+
+    #[test]
+    fn whitespace_only_text_preserved() {
+        let d = Document::parse_str("<a> <b/> </a>").unwrap();
+        let a = d.document_element().unwrap();
+        // text, element, text
+        assert_eq!(d.children(a).count(), 3);
+        assert_eq!(d.string_value(a), "  ");
+    }
+}

@@ -1,0 +1,177 @@
+//! Document statistics: size and shape summaries used by the benchmark
+//! harness and tooling to report on workloads (|D|, depth, fanout, text
+//! volume).
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Shape summary of a document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocumentStats {
+    /// Total nodes (|dom|), including the root.
+    pub nodes: usize,
+    /// Element nodes.
+    pub elements: usize,
+    /// Attribute nodes.
+    pub attributes: usize,
+    /// Text nodes.
+    pub text_nodes: usize,
+    /// Comment nodes.
+    pub comments: usize,
+    /// Processing-instruction nodes.
+    pub processing_instructions: usize,
+    /// Namespace nodes.
+    pub namespaces: usize,
+    /// Maximum element nesting depth (root = 0).
+    pub max_depth: usize,
+    /// Maximum number of children of any node (abstract tree, i.e.
+    /// including attributes).
+    pub max_fanout: usize,
+    /// Total bytes of character data across text/attribute/comment/PI.
+    pub text_bytes: usize,
+    /// Number of distinct element/attribute names.
+    pub distinct_names: usize,
+    /// Number of elements carrying an ID.
+    pub ids: usize,
+}
+
+impl std::fmt::Display for DocumentStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes: {}", self.nodes)?;
+        writeln!(
+            f,
+            "  elements: {}  attributes: {}  text: {}  comments: {}  PIs: {}  namespaces: {}",
+            self.elements,
+            self.attributes,
+            self.text_nodes,
+            self.comments,
+            self.processing_instructions,
+            self.namespaces
+        )?;
+        writeln!(
+            f,
+            "max depth: {}  max fanout: {}  distinct names: {}  ids: {}  text bytes: {}",
+            self.max_depth, self.max_fanout, self.distinct_names, self.ids, self.text_bytes
+        )
+    }
+}
+
+/// Compute [`DocumentStats`] in one `O(|D|)` pass.
+pub fn stats(doc: &Document) -> DocumentStats {
+    let mut s = DocumentStats {
+        nodes: doc.len(),
+        elements: 0,
+        attributes: 0,
+        text_nodes: 0,
+        comments: 0,
+        processing_instructions: 0,
+        namespaces: 0,
+        max_depth: 0,
+        max_fanout: 0,
+        text_bytes: 0,
+        distinct_names: 0,
+        ids: 0,
+    };
+    let mut names = std::collections::HashSet::new();
+    // Depth via a single pass: depth(child) = depth(parent) + 1.
+    let mut depth = vec![0usize; doc.len()];
+    for n in doc.all_nodes() {
+        if let Some(p) = doc.parent(n) {
+            depth[n.index()] = depth[p.index()] + 1;
+        }
+        s.max_depth = s.max_depth.max(depth[n.index()]);
+        match doc.kind(n) {
+            NodeKind::Root => {}
+            NodeKind::Element => s.elements += 1,
+            NodeKind::Attribute => s.attributes += 1,
+            NodeKind::Text => s.text_nodes += 1,
+            NodeKind::Comment => s.comments += 1,
+            NodeKind::ProcessingInstruction => s.processing_instructions += 1,
+            NodeKind::Namespace => s.namespaces += 1,
+        }
+        if let Some(name) = doc.name_id(n) {
+            names.insert(name);
+        }
+        if let Some(v) = doc.value(n) {
+            s.text_bytes += v.len();
+        }
+        s.max_fanout = s.max_fanout.max(doc.children(n).count());
+    }
+    s.distinct_names = names.len();
+    s.ids = doc
+        .all_nodes()
+        .filter(|&n| {
+            doc.kind(n) == NodeKind::Element
+                && doc.attributes(n).any(|a| {
+                    doc.name(a)
+                        .is_some_and(|an| doc.id_policy().id_attributes.iter().any(|p| p == an))
+                })
+        })
+        .count();
+    s
+}
+
+/// Per-node depth (root = 0), computed in one pass. Useful for
+/// depth-stratified sampling in generators and tests.
+pub fn depths(doc: &Document) -> Vec<usize> {
+    let mut depth = vec![0usize; doc.len()];
+    for n in doc.all_nodes().skip(1) {
+        let p = doc.parent(n).expect("non-root has parent");
+        depth[n.index()] = depth[p.index()] + 1;
+    }
+    depth
+}
+
+/// Nodes at a given depth, in document order.
+pub fn nodes_at_depth(doc: &Document, d: usize) -> Vec<NodeId> {
+    let ds = depths(doc);
+    doc.all_nodes().filter(|n| ds[n.index()] == d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{doc_balanced, doc_deep_path, doc_figure8, doc_flat};
+
+    #[test]
+    fn figure8_stats() {
+        let s = stats(&doc_figure8());
+        assert_eq!(s.nodes, 25);
+        assert_eq!(s.elements, 9);
+        assert_eq!(s.attributes, 9);
+        assert_eq!(s.text_nodes, 6);
+        assert_eq!(s.max_depth, 4); // root → a → b → c → text
+        assert_eq!(s.ids, 9);
+        assert_eq!(s.distinct_names, 5); // a, b, c, d and the id attribute
+    }
+
+    #[test]
+    fn flat_doc_stats() {
+        let s = stats(&doc_flat(10));
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.elements, 11);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 10);
+        assert_eq!(s.text_bytes, 0);
+        assert_eq!(s.ids, 0);
+    }
+
+    #[test]
+    fn deep_path_stats() {
+        let s = stats(&doc_deep_path(40));
+        assert_eq!(s.max_depth, 40);
+        assert_eq!(s.max_fanout, 1);
+        assert_eq!(s.distinct_names, 1);
+    }
+
+    #[test]
+    fn depths_and_levels() {
+        let d = doc_balanced(2, 2, &["x"]);
+        let ds = depths(&d);
+        assert_eq!(ds[0], 0);
+        assert_eq!(nodes_at_depth(&d, 1).len(), 1); // document element
+        assert_eq!(nodes_at_depth(&d, 2).len(), 2);
+        assert_eq!(nodes_at_depth(&d, 3).len(), 4);
+        assert!(nodes_at_depth(&d, 4).is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! A realistic catalogue workload: attributes, mixed content, ID/IDREF
+//! references, and queries across the whole fragment lattice.
+//!
+//! ```sh
+//! cargo run --example bookstore
+//! ```
+
+use gkp_xpath::core::fragment::classify;
+use gkp_xpath::xml::generate::doc_bookstore;
+use gkp_xpath::Engine;
+
+fn main() {
+    let doc = doc_bookstore();
+    let engine = Engine::new(&doc);
+
+    println!("== catalogue queries ==");
+    let queries = [
+        // Core XPath (linear time).
+        "//section/book[author]",
+        "//book[not(related)]/title",
+        // XPatterns (linear time): =s predicates and id() heads.
+        "//book[author/last = 'Koch']/title",
+        "id('b2')/related",
+        // Extended Wadler (quadratic time, linear space).
+        "//book[position() != last()]/title",
+        // Full XPath (polynomial time).
+        "//book[count(author) > 2]/title",
+        "//section[sum(book/@price) > 100]/@name",
+    ];
+    for q in queries {
+        let e = engine.prepare(q).unwrap();
+        let c = classify(&e);
+        let v = engine.evaluate(q).unwrap();
+        println!("{:<28} {q}", format!("[{}]", c.fragment.name()));
+        match v {
+            gkp_xpath::core::Value::NodeSet(ns) => {
+                for n in ns {
+                    let text = doc.string_value(n);
+                    let shown: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
+                    println!("    -> {}", if shown.is_empty() { doc.name(n).unwrap_or("?").to_string() } else { shown });
+                }
+            }
+            other => println!("    = {other}"),
+        }
+    }
+
+    println!("\n== following the ID references (deref_ids / ref relation) ==");
+    let b2 = doc.element_by_id("b2").unwrap();
+    println!("book b2 relates to:");
+    for n in engine.select_at("id(related)/title", b2).unwrap() {
+        println!("    -> {}", doc.string_value(n));
+    }
+
+    println!("\n== aggregate report ==");
+    println!("books:        {}", engine.evaluate("count(//book)").unwrap());
+    println!("total price:  {}", engine.evaluate("sum(//book/@price)").unwrap());
+    println!(
+        "avg price:    {}",
+        engine.evaluate("sum(//book/@price) div count(//book)").unwrap()
+    );
+    println!(
+        "oldest:       {}",
+        engine
+            .evaluate("string(//book[not(//book/@year < @year)]/title)")
+            .unwrap()
+    );
+}

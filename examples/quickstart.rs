@@ -1,0 +1,63 @@
+//! Quickstart: parse a document, run queries, inspect results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gkp_xpath::{Document, Engine, Strategy};
+
+fn main() {
+    // 1. Parse an XML document (or build one with DocumentBuilder).
+    let doc = Document::parse_str(
+        r#"<library>
+             <shelf label="databases">
+               <book year="1994"><title>Foundations of Databases</title></book>
+               <book year="2002"><title>XPath Processing</title></book>
+             </shelf>
+             <shelf label="theory">
+               <book year="1979"><title>Computers and Intractability</title></book>
+             </shelf>
+           </library>"#,
+    )
+    .expect("well-formed XML");
+
+    // 2. Create an engine. The default strategy classifies each query into
+    //    the paper's fragment lattice (Figure 1) and picks the best
+    //    algorithm: linear-time Core XPath / XPatterns where possible,
+    //    OptMinContext otherwise.
+    let engine = Engine::new(&doc);
+
+    // Node-set queries.
+    let books = engine.select("//book").unwrap();
+    println!("{} books", books.len());
+    for b in &books {
+        let title = engine.select_at("title", *b).unwrap();
+        println!("  - {}", doc.string_value(title[0]));
+    }
+
+    // Scalar queries: count, string, arithmetic.
+    println!("recent books: {}", engine.evaluate("count(//book[@year > 1990])").unwrap());
+    println!(
+        "first theory title: {}",
+        engine.evaluate("string(//shelf[@label = 'theory']/book/title)").unwrap()
+    );
+
+    // Positional predicates and full axes.
+    let last = engine.select("//book[position() = last()]").unwrap();
+    println!("last book: {}", doc.string_value(last[0]));
+    let after = engine.select("//book[1]/following::book/title").unwrap();
+    println!("books after the first: {}", after.len());
+
+    // 3. Every algorithm from the paper is available explicitly.
+    for strategy in [
+        Strategy::Naive,         // §2  exponential baseline
+        Strategy::DataPool,      // §9  memoized
+        Strategy::BottomUp,      // §6  context-value tables
+        Strategy::TopDown,       // §7  vectorized
+        Strategy::MinContext,    // §8
+        Strategy::OptMinContext, // §11.2
+    ] {
+        let v = engine.evaluate_with("count(//book)", strategy).unwrap();
+        println!("{strategy:?} says count(//book) = {v}");
+    }
+}

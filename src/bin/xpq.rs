@@ -1,0 +1,235 @@
+//! `xpq` — command-line XPath 1.0 query tool built on the
+//! Gottlob–Koch–Pichler engines.
+//!
+//! ```text
+//! xpq [OPTIONS] <QUERY> [FILE]
+//!
+//! Reads FILE (or stdin) as XML and evaluates QUERY at the document root.
+//!
+//! Options:
+//!   -s, --strategy <name>   naive | pool | bottomup | topdown | mincontext |
+//!                           optmincontext | corexpath | xpatterns | stream |
+//!                           auto (default)
+//!   -c, --classify          print the Figure-1 fragment classification and exit
+//!   -n, --normalize         print the normalized (unabbreviated) query and exit
+//!   -e, --explain           print the query plan (fragment, Relev sets,
+//!                           bottom-up candidates) and exit
+//!   -v, --verbose           print fragment + chosen strategy before results
+//!       --serialize         print matched subtrees as XML instead of string values
+//!       --verify            run all algorithms and require agreement (the
+//!                           differential oracle) before printing results
+//!       --stats             print document statistics after parsing
+//!       --ns                synthesize namespace nodes from xmlns declarations
+//!       --time              print parse and evaluation wall times
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use gkp_xpath::core::fragment::classify;
+use gkp_xpath::core::Value;
+use gkp_xpath::{Document, Engine, Strategy};
+
+struct Options {
+    strategy: Strategy,
+    classify_only: bool,
+    normalize_only: bool,
+    explain_only: bool,
+    verbose: bool,
+    serialize: bool,
+    verify: bool,
+    stats: bool,
+    namespaces: bool,
+    time: bool,
+    query: Option<String>,
+    file: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: xpq [-s STRATEGY] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
+     strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns stream auto"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        strategy: Strategy::Auto,
+        classify_only: false,
+        normalize_only: false,
+        explain_only: false,
+        verbose: false,
+        serialize: false,
+        verify: false,
+        stats: false,
+        namespaces: false,
+        time: false,
+        query: None,
+        file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-s" | "--strategy" => {
+                let name = args.next().ok_or("missing strategy name")?;
+                o.strategy = match name.as_str() {
+                    "naive" => Strategy::Naive,
+                    "pool" => Strategy::DataPool,
+                    "bottomup" => Strategy::BottomUp,
+                    "topdown" => Strategy::TopDown,
+                    "mincontext" => Strategy::MinContext,
+                    "optmincontext" => Strategy::OptMinContext,
+                    "corexpath" => Strategy::CoreXPath,
+                    "xpatterns" => Strategy::XPatterns,
+                    "stream" => Strategy::Streaming,
+                    "auto" => Strategy::Auto,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                };
+            }
+            "-c" | "--classify" => o.classify_only = true,
+            "-n" | "--normalize" => o.normalize_only = true,
+            "-e" | "--explain" => o.explain_only = true,
+            "-v" | "--verbose" => o.verbose = true,
+            "--serialize" => o.serialize = true,
+            "--verify" => o.verify = true,
+            "--stats" => o.stats = true,
+            "--ns" => o.namespaces = true,
+            "--time" => o.time = true,
+            "-h" | "--help" => return Err(usage().to_string()),
+            _ if o.query.is_none() => o.query = Some(a),
+            _ if o.file.is_none() => o.file = Some(a),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if o.query.is_none() {
+        return Err(usage().to_string());
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let query = opts.query.as_deref().expect("checked");
+
+    // Parse-only modes.
+    let parsed = match gkp_xpath::syntax::parse_normalized(query) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.normalize_only {
+        println!("{parsed}");
+        return ExitCode::SUCCESS;
+    }
+    if opts.classify_only {
+        let c = classify(&parsed);
+        println!("{} ({})", c.fragment.name(), c.fragment.complexity());
+        for v in c.wadler_violations {
+            println!("  {v}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if opts.explain_only {
+        let x = gkp_xpath::core::explain::explain(&parsed, 1000);
+        print!("{}", x.report);
+        return ExitCode::SUCCESS;
+    }
+
+    // Load the document.
+    let xml = match &opts.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::from(1);
+            }
+            s
+        }
+    };
+    let parse_start = std::time::Instant::now();
+    let doc = match Document::parse_str_opts(
+        &xml,
+        gkp_xpath::xml::ParseOptions { namespaces: opts.namespaces, ..Default::default() },
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("XML error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let parse_time = parse_start.elapsed();
+    if opts.stats {
+        eprint!("{}", gkp_xpath::xml::stats::stats(&doc));
+    }
+
+    let engine = Engine::new(&doc);
+    if opts.verbose {
+        let c = classify(&parsed);
+        let resolved = if opts.strategy == Strategy::Auto {
+            engine.auto_strategy(&parsed)
+        } else {
+            opts.strategy
+        };
+        eprintln!("fragment: {} ({})", c.fragment.name(), c.fragment.complexity());
+        eprintln!("strategy: {resolved:?}");
+    }
+
+    if opts.verify {
+        let ctx = gkp_xpath::core::Context::of(doc.root());
+        match engine.evaluate_all_agree(&parsed, ctx, 10_000_000) {
+            Ok(_) => eprintln!("verify: all algorithms agree"),
+            Err(e) => {
+                eprintln!("verify FAILED: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let eval_start = std::time::Instant::now();
+    let result =
+        engine.evaluate_expr(&parsed, opts.strategy, gkp_xpath::core::Context::of(doc.root()));
+    if opts.time {
+        eprintln!("parse: {parse_time:?}  evaluate: {:?}", eval_start.elapsed());
+    }
+    match result {
+        Ok(Value::NodeSet(nodes)) => {
+            for n in nodes {
+                if opts.serialize {
+                    println!("{}", doc.serialize(n));
+                } else {
+                    let shown = match doc.kind(n) {
+                        gkp_xpath::NodeKind::Attribute => format!(
+                            "@{}={}",
+                            doc.name(n).unwrap_or("?"),
+                            doc.value(n).unwrap_or("")
+                        ),
+                        _ => doc.string_value(n).to_string(),
+                    };
+                    println!("{shown}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(v) => {
+            println!("{v}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("evaluation error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # gkp-xpath — umbrella crate
+//!
+//! Re-exports the public API of the Gottlob–Koch–Pichler XPath reproduction
+//! workspace so examples and downstream users can depend on a single crate.
+//!
+//! * [`xml`] — document model, parser, builders, generators (`xpath-xml`)
+//! * [`syntax`] — XPath 1.0 lexer/parser/AST/normalizer (`xpath-syntax`)
+//! * [`axes`] — axis evaluation engine (`xpath-axes`)
+//! * [`core`] — value model, semantics, the eight evaluation algorithms and
+//!   fragment classifiers (`xpath-core`)
+
+#![forbid(unsafe_code)]
+
+pub use xpath_axes as axes;
+pub use xpath_core as core;
+pub use xpath_syntax as syntax;
+pub use xpath_xml as xml;
+
+pub use xpath_core::engine::{Engine, Strategy};
+pub use xpath_core::value::Value;
+pub use xpath_xml::{Document, DocumentBuilder, NodeId, NodeKind};

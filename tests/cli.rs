@@ -1,0 +1,148 @@
+//! End-to-end tests of the `xpq` command-line tool: spawn the real binary
+//! and check stdout/stderr/exit codes for each mode.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const XML: &str = r#"<library><book year="1994"><title>Foundations</title></book><book year="2002"><title>XPath</title></book></library>"#;
+
+fn xpq(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xpq"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn xpq");
+    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn node_set_query_prints_string_values() {
+    let (stdout, _, code) = xpq(&["//title"], XML);
+    assert_eq!(code, 0);
+    assert_eq!(stdout, "Foundations\nXPath\n");
+}
+
+#[test]
+fn scalar_query_prints_value() {
+    let (stdout, _, code) = xpq(&["count(//book)"], XML);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "2");
+}
+
+#[test]
+fn attribute_results_show_name_and_value() {
+    let (stdout, _, code) = xpq(&["//book[2]/@year"], XML);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "@year=2002");
+}
+
+#[test]
+fn serialize_mode_prints_xml() {
+    let (stdout, _, code) = xpq(&["--serialize", "//book[1]"], XML);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("<book year=\"1994\"><title>Foundations</title></book>"), "{stdout}");
+}
+
+#[test]
+fn classify_mode() {
+    let (stdout, _, code) = xpq(&["-c", "//book[title]"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.to_lowercase().contains("core"), "{stdout}");
+    let (stdout, _, _) = xpq(&["-c", "//book[position() = last()]"], "");
+    assert!(!stdout.to_lowercase().starts_with("core xpath"), "{stdout}");
+}
+
+#[test]
+fn normalize_mode() {
+    let (stdout, _, code) = xpq(&["-n", "//a[5]"], "");
+    assert_eq!(code, 0);
+    assert_eq!(
+        stdout.trim(),
+        "/descendant-or-self::node()/child::a[position() = 5]"
+    );
+}
+
+#[test]
+fn explain_mode_reports_streamability() {
+    let (stdout, _, code) = xpq(&["-e", "//book[title]"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("streaming: yes"), "{stdout}");
+    let (stdout, _, _) = xpq(&["-e", "//book/parent::*"], "");
+    assert!(stdout.contains("streaming: no"), "{stdout}");
+}
+
+#[test]
+fn explicit_strategies_agree() {
+    for s in ["naive", "pool", "bottomup", "topdown", "mincontext", "optmincontext", "auto"] {
+        let (stdout, stderr, code) = xpq(&["-s", s, "count(//book)"], XML);
+        assert_eq!(code, 0, "{s}: {stderr}");
+        assert_eq!(stdout.trim(), "2", "{s}");
+    }
+    // Fragment strategies on fragment queries.
+    for s in ["corexpath", "xpatterns", "stream"] {
+        let (stdout, _, code) = xpq(&["-s", s, "//title"], XML);
+        assert_eq!(code, 0, "{s}");
+        assert_eq!(stdout, "Foundations\nXPath\n", "{s}");
+    }
+}
+
+#[test]
+fn fragment_strategy_rejects_outside_queries() {
+    let (_, stderr, code) = xpq(&["-s", "corexpath", "count(//book)"], XML);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("unsupported"), "{stderr}");
+}
+
+#[test]
+fn verify_mode_runs_the_oracle() {
+    let (stdout, stderr, code) = xpq(&["--verify", "//book[1]/title"], XML);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("all algorithms agree"), "{stderr}");
+    assert_eq!(stdout.trim(), "Foundations");
+}
+
+#[test]
+fn stats_and_time_flags() {
+    let (_, stderr, code) = xpq(&["--stats", "--time", "//title"], XML);
+    assert_eq!(code, 0);
+    assert!(stderr.contains("nodes: "), "{stderr}");
+    assert!(stderr.contains("evaluate: "), "{stderr}");
+}
+
+#[test]
+fn ns_flag_enables_namespace_nodes() {
+    let doc = r#"<a xmlns:p="urn:p"><p:b>x</p:b></a>"#;
+    let (stdout, _, code) = xpq(&["--ns", "count(//namespace::*)"], doc);
+    assert_eq!(code, 0);
+    // a and p:b each carry p + implicit xml.
+    assert_eq!(stdout.trim(), "4");
+    // Without --ns, xmlns stays an attribute and no namespace nodes exist.
+    let (stdout, _, _) = xpq(&["count(//namespace::*)"], doc);
+    assert_eq!(stdout.trim(), "0");
+}
+
+#[test]
+fn bad_query_and_bad_xml_fail_cleanly() {
+    let (_, stderr, code) = xpq(&["//["], XML);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("query error"), "{stderr}");
+    let (_, stderr, code) = xpq(&["//a"], "<a><b></a>");
+    assert_eq!(code, 1);
+    assert!(stderr.contains("XML error"), "{stderr}");
+}
+
+#[test]
+fn verbose_reports_fragment_and_strategy() {
+    let (_, stderr, code) = xpq(&["-v", "//title"], XML);
+    assert_eq!(code, 0);
+    assert!(stderr.contains("fragment:"), "{stderr}");
+    assert!(stderr.contains("strategy:"), "{stderr}");
+}

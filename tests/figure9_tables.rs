@@ -1,0 +1,190 @@
+//! Figure 9 / Figure 11 fidelity: the context-value tables of the §8
+//! running example (Example 8.1) over the Figure 8 document, materialized
+//! by the bottom-up evaluator and checked row by row against the paper.
+
+use gkp_xpath::core::bottomup::BottomUpEvaluator;
+use gkp_xpath::core::relev::{relev, Relev};
+use gkp_xpath::core::{Context, Value};
+use gkp_xpath::syntax::parse_normalized;
+use gkp_xpath::xml::generate::doc_figure8;
+use gkp_xpath::{Document, NodeId};
+
+fn x(d: &Document, id: &str) -> NodeId {
+    d.element_by_id(id).unwrap()
+}
+
+/// Figure 9, table E2 = descendant::* — at the root it selects all nine
+/// elements; at x10 the eight below it.
+#[test]
+fn table_e2_descendant_star() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let t = ev.table(&parse_normalized("descendant::*").unwrap()).unwrap();
+    let at_root = t.value_at(Context::of(d.root())).unwrap();
+    assert_eq!(at_root.as_node_set().unwrap().len(), 9);
+    let at_x10 = t.value_at(Context::of(x(&d, "10"))).unwrap();
+    assert_eq!(at_x10.as_node_set().unwrap().len(), 8);
+}
+
+/// Figure 9, table E3: descendant::* with the E5 predicate — the paper's
+/// values at x10, x11, x21.
+#[test]
+fn table_e3_with_predicate() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let q = "descendant::*[position() > last() * 0.5 or string(self::*) = '100']";
+    let t = ev.table(&parse_normalized(q).unwrap()).unwrap();
+    // x10 → {x14, x21, x22, x23, x24}
+    assert_eq!(
+        t.value_at(Context::of(x(&d, "10"))).unwrap(),
+        &Value::NodeSet(vec![x(&d, "14"), x(&d, "21"), x(&d, "22"), x(&d, "23"), x(&d, "24")])
+    );
+    // x11 → {x13, x14}
+    assert_eq!(
+        t.value_at(Context::of(x(&d, "11"))).unwrap(),
+        &Value::NodeSet(vec![x(&d, "13"), x(&d, "14")])
+    );
+    // x21 → {x23, x24}
+    assert_eq!(
+        t.value_at(Context::of(x(&d, "21"))).unwrap(),
+        &Value::NodeSet(vec![x(&d, "23"), x(&d, "24")])
+    );
+    // x12 (a leaf) → {}
+    assert_eq!(
+        t.value_at(Context::of(x(&d, "12"))).unwrap(),
+        &Value::NodeSet(vec![])
+    );
+}
+
+/// Figure 11, table E7 (reduced to the relevant context {cn}):
+/// `string(self::*) = '100'` is true exactly at x14 and x24.
+#[test]
+fn table_e7_string_comparison() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let e = parse_normalized("string(self::*) = '100'").unwrap();
+    assert_eq!(relev(&e), Relev::CN, "E7's relevant context is {{cn}}");
+    let t = ev.table(&e).unwrap();
+    for id in ["11", "12", "13", "21", "22", "23"] {
+        assert_eq!(
+            t.value_at(Context::of(x(&d, id))).unwrap(),
+            &Value::Boolean(false),
+            "x{id}"
+        );
+    }
+    for id in ["14", "24"] {
+        assert_eq!(
+            t.value_at(Context::of(x(&d, id))).unwrap(),
+            &Value::Boolean(true),
+            "x{id}"
+        );
+    }
+}
+
+/// Figure 11, table E6 (reduced to {cp, cs}): `position() > last() * 0.5`.
+/// The paper's rows: (4,8) → false, (5,8) → true, (1,3) → false,
+/// (2,3) → true.
+#[test]
+fn table_e6_positional() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let e = parse_normalized("position() > last() * 0.5").unwrap();
+    assert_eq!(relev(&e), Relev::CP.union(Relev::CS));
+    let t = ev.table(&e).unwrap();
+    let at = |k, n| t.value_at(Context::new(d.root(), k, n)).unwrap().clone();
+    assert_eq!(at(4, 8), Value::Boolean(false));
+    assert_eq!(at(5, 8), Value::Boolean(true));
+    assert_eq!(at(8, 8), Value::Boolean(true));
+    assert_eq!(at(1, 3), Value::Boolean(false));
+    assert_eq!(at(2, 3), Value::Boolean(true));
+    assert_eq!(at(3, 3), Value::Boolean(true));
+}
+
+/// Figure 11, tables E8/E9/E12/E13: position(), last()*0.5, last(), 0.5.
+#[test]
+fn scalar_leaf_tables() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+
+    let t8 = ev.table(&parse_normalized("position()").unwrap()).unwrap();
+    assert_eq!(t8.relevance(), Relev::CP);
+    assert_eq!(t8.value_at(Context::new(d.root(), 3, 8)).unwrap(), &Value::Number(3.0));
+
+    let t9 = ev.table(&parse_normalized("last() * 0.5").unwrap()).unwrap();
+    assert_eq!(t9.relevance(), Relev::CS);
+    assert_eq!(t9.value_at(Context::new(d.root(), 1, 8)).unwrap(), &Value::Number(4.0));
+    assert_eq!(t9.value_at(Context::new(d.root(), 1, 3)).unwrap(), &Value::Number(1.5));
+
+    let t12 = ev.table(&parse_normalized("last()").unwrap()).unwrap();
+    assert_eq!(t12.relevance(), Relev::CS);
+    assert_eq!(t12.value_at(Context::new(d.root(), 2, 8)).unwrap(), &Value::Number(8.0));
+
+    let t13 = ev.table(&parse_normalized("0.5").unwrap()).unwrap();
+    assert_eq!(t13.relevance(), Relev::NONE);
+    assert_eq!(t13.len(), 1);
+}
+
+/// Figure 11, table E10 (reduced to {cn}): string(self::*) — the string
+/// values of the Figure 8 elements.
+#[test]
+fn table_e10_string_values() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let t = ev.table(&parse_normalized("string(self::*)").unwrap()).unwrap();
+    let expect = [
+        ("11", "21 2223 24100"),
+        ("12", "21 22"),
+        ("13", "23 24"),
+        ("14", "100"),
+        ("21", "11 1213 14100"),
+        ("22", "11 12"),
+        ("23", "13 14"),
+        ("24", "100"),
+    ];
+    for (id, s) in expect {
+        assert_eq!(
+            t.value_at(Context::of(x(&d, id))).unwrap(),
+            &Value::String(s.to_string()),
+            "x{id}"
+        );
+    }
+}
+
+/// Figure 11, table E14 (reduced to {cn}): self::* maps every element to
+/// its own singleton.
+#[test]
+fn table_e14_self() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let t = ev.table(&parse_normalized("self::*").unwrap()).unwrap();
+    for id in ["10", "11", "12", "22", "24"] {
+        assert_eq!(
+            t.value_at(Context::of(x(&d, id))).unwrap(),
+            &Value::NodeSet(vec![x(&d, id)]),
+            "x{id}"
+        );
+    }
+    // At the root (not an element) the self::* step yields ∅.
+    assert_eq!(
+        t.value_at(Context::of(d.root())).unwrap(),
+        &Value::NodeSet(vec![])
+    );
+}
+
+/// The full E5 predicate table (all three context components relevant), at
+/// the rows the paper displays: ⟨x14,4,8⟩ true, ⟨x21,5,8⟩ true,
+/// ⟨x13,3,8⟩ false, ⟨x13,2,3⟩ true.
+#[test]
+fn table_e5_full_context() {
+    let d = doc_figure8();
+    let ev = BottomUpEvaluator::new(&d);
+    let e = parse_normalized("position() > last() * 0.5 or string(self::*) = '100'").unwrap();
+    assert_eq!(relev(&e), Relev::ALL);
+    let t = ev.table(&e).unwrap();
+    let at = |id: &str, k, n| t.value_at(Context::new(x(&d, id), k, n)).unwrap().clone();
+    assert_eq!(at("14", 4, 8), Value::Boolean(true), "true via strval");
+    assert_eq!(at("21", 5, 8), Value::Boolean(true), "true via position");
+    assert_eq!(at("13", 3, 8), Value::Boolean(false));
+    assert_eq!(at("13", 2, 3), Value::Boolean(true));
+    assert_eq!(at("12", 1, 8), Value::Boolean(false));
+}

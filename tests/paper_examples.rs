@@ -1,0 +1,149 @@
+//! Every worked example of the paper, executed end-to-end through every
+//! evaluation algorithm.
+
+use gkp_xpath::core::{Context, Strategy};
+use gkp_xpath::xml::generate::{doc_figure8, doc_flat};
+use gkp_xpath::{Engine, NodeId};
+
+const ALL_STRATEGIES: &[Strategy] = &[
+    Strategy::Naive,
+    Strategy::DataPool,
+    Strategy::BottomUp,
+    Strategy::TopDown,
+    Strategy::MinContext,
+    Strategy::OptMinContext,
+];
+
+fn expect_nodes(engine: &Engine, q: &str, ctx: Context, expect: &[NodeId]) {
+    for &s in ALL_STRATEGIES {
+        let e = engine.prepare(q).unwrap();
+        let v = engine
+            .evaluate_expr(&e, s, ctx)
+            .unwrap_or_else(|err| panic!("{s:?} on {q}: {err}"));
+        assert_eq!(
+            v.as_node_set().map(|ns| ns.as_slice()),
+            Some(expect),
+            "{s:?} on {q}"
+        );
+    }
+}
+
+/// Example 6.4 / 7.3: `descendant::b/following-sibling::*[position() !=
+/// last()]` over DOC(4) with context ⟨a,1,1⟩ yields {b2, b3}.
+#[test]
+fn example_6_4_and_7_3() {
+    let d = doc_flat(4);
+    let engine = Engine::new(&d);
+    let a = d.document_element().unwrap();
+    let bs: Vec<NodeId> = d.children(a).collect();
+    expect_nodes(
+        &engine,
+        "descendant::b/following-sibling::*[position() != last()]",
+        Context::of(a),
+        &[bs[1], bs[2]],
+    );
+}
+
+/// Example 4.1: the typed node sets of DOC(4).
+#[test]
+fn example_4_1() {
+    let d = doc_flat(4);
+    let engine = Engine::new(&d);
+    assert_eq!(engine.evaluate("count(//node()) + 1", ).unwrap().to_string(), "6");
+    assert_eq!(engine.evaluate("count(//*)").unwrap().to_string(), "5");
+    assert_eq!(engine.evaluate("count(//a)").unwrap().to_string(), "1");
+    assert_eq!(engine.evaluate("count(//b)").unwrap().to_string(), "4");
+}
+
+/// Example 8.1: the §8 running example over the Figure 8 document.
+#[test]
+fn example_8_1() {
+    let d = doc_figure8();
+    let engine = Engine::new(&d);
+    let expect: Vec<NodeId> =
+        ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+    expect_nodes(
+        &engine,
+        "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']",
+        Context::of(d.element_by_id("10").unwrap()),
+        &expect,
+    );
+}
+
+/// Example 8.3: the outermost-path node sets X, Y, Z of the §8 query.
+#[test]
+fn example_8_3_intermediate_sets() {
+    let d = doc_figure8();
+    let engine = Engine::new(&d);
+    // Y = nodes selected by /descendant::* — all 9 elements.
+    assert_eq!(engine.select("/descendant::*").unwrap().len(), 9);
+    // After the second descendant step (before the predicate): 8 nodes.
+    assert_eq!(engine.select("/descendant::*/descendant::*").unwrap().len(), 8);
+}
+
+/// Example 10.3-style Core XPath query through the algebraic evaluator and
+/// the general engines.
+#[test]
+fn example_10_3_shape() {
+    let d = doc_figure8();
+    let engine = Engine::new(&d);
+    let q = "/descendant::b/child::c[child::d or not(following::*)]";
+    let general = engine.evaluate_with(q, Strategy::TopDown).unwrap();
+    let core = engine.evaluate_with(q, Strategy::CoreXPath).unwrap();
+    assert_eq!(general, core);
+}
+
+/// Example 11.2: the full OptMinContext walkthrough, result
+/// {x11, x12, x13, x14, x22}.
+#[test]
+fn example_11_2() {
+    let d = doc_figure8();
+    let engine = Engine::new(&d);
+    let expect: Vec<NodeId> =
+        ["11", "12", "13", "14", "22"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+    expect_nodes(
+        &engine,
+        "/child::a/descendant::*[boolean(following::d[(position() != last()) and \
+         (preceding-sibling::*/preceding::* = 100)]/following::d)]",
+        Context::of(d.root()),
+        &expect,
+    );
+}
+
+/// The experiment queries of §2 produce the values the paper describes.
+#[test]
+fn section_2_experiment_queries() {
+    // Experiment 1 on DOC(2): every query returns both b's.
+    let d = doc_flat(2);
+    let engine = Engine::new(&d);
+    let a = d.document_element().unwrap();
+    let bs: Vec<NodeId> = d.children(a).collect();
+    for k in 0..6 {
+        let mut q = String::from("//a/b");
+        for _ in 0..k {
+            q.push_str("/parent::a/b");
+        }
+        expect_nodes(&engine, &q, Context::of(d.root()), &bs);
+    }
+    // Experiment 3 discussion: on DOC(2) the count predicate holds (2 > 1).
+    expect_nodes(&engine, "//a/b[count(parent::a/b) > 1]", Context::of(d.root()), &bs);
+}
+
+/// Footnote example for Theorem 10.7 (the `ref` relation document).
+#[test]
+fn theorem_10_7_ref_document() {
+    let d = gkp_xpath::Document::parse_str(
+        r#"<t id="1"> 3 <t id="2"> 1 </t> <t id="3"> 1 2 </t> </t>"#,
+    )
+    .unwrap();
+    let engine = Engine::new(&d);
+    // id of node 3's content {1, 2}.
+    let hits = engine.select("id('1 2')").unwrap();
+    assert_eq!(hits.len(), 2);
+    // id() through the function and through the XPatterns axis agree.
+    let via_fn = engine.evaluate_with("id(//t[not(child::t)])", Strategy::TopDown).unwrap();
+    let via_core = engine
+        .evaluate_with("id(//t[not(child::t)])", Strategy::XPatterns)
+        .unwrap();
+    assert_eq!(via_fn, via_core);
+}

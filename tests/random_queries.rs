@@ -1,0 +1,174 @@
+//! Property-based differential testing: generate random XPath expressions
+//! and random documents, and require all algorithms of the paper to agree
+//! with the top-down reference. Also checks the parser/pretty-printer
+//! round-trip on the generated queries.
+
+use proptest::prelude::*;
+
+use gkp_xpath::core::Context;
+use gkp_xpath::syntax::{
+    normalize, parse, Axis, BinaryOp, Expr, KindTest, LocationPath, NodeTest, PathStart, Step,
+};
+use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
+use gkp_xpath::Engine;
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop::sample::select(vec![
+        Axis::Child,
+        Axis::Descendant,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::DescendantOrSelf,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::SelfAxis,
+        Axis::Attribute,
+    ])
+}
+
+fn arb_node_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "d", "id"])
+            .prop_map(|n| NodeTest::Name(n.to_string())),
+        Just(NodeTest::Wildcard),
+        Just(NodeTest::Kind(KindTest::Node)),
+        Just(NodeTest::Kind(KindTest::Text)),
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0..5i32).prop_map(|v| Expr::Number(v as f64)),
+        prop::sample::select(vec!["", "100", "c", "13 14"])
+            .prop_map(|s| Expr::Literal(s.to_string())),
+        Just(Expr::call("position", vec![])),
+        Just(Expr::call("last", vec![])),
+        Just(Expr::call("true", vec![])),
+    ]
+}
+
+fn arb_path(depth: u32) -> impl Strategy<Value = LocationPath> {
+    let step = (arb_axis(), arb_node_test(), arb_predicates(depth)).prop_map(
+        |(axis, test, predicates)| Step { axis, test, predicates },
+    );
+    (any::<bool>(), prop::collection::vec(step, 1..3)).prop_map(|(abs, steps)| LocationPath {
+        start: if abs { PathStart::Root } else { PathStart::ContextNode },
+        steps,
+    })
+}
+
+fn arb_predicates(depth: u32) -> impl Strategy<Value = Vec<Expr>> {
+    if depth == 0 {
+        Just(Vec::new()).boxed()
+    } else {
+        prop::collection::vec(arb_expr(depth - 1), 0..2).boxed()
+    }
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![arb_scalar(), arb_path(0).prop_map(Expr::Path)].boxed()
+    } else {
+        let leaf = prop_oneof![arb_scalar(), arb_path(depth).prop_map(Expr::Path)];
+        let op = prop::sample::select(vec![
+            BinaryOp::Or,
+            BinaryOp::And,
+            BinaryOp::Eq,
+            BinaryOp::Ne,
+            BinaryOp::Lt,
+            BinaryOp::Ge,
+            BinaryOp::Add,
+            BinaryOp::Mul,
+            BinaryOp::Union,
+        ]);
+        prop_oneof![
+            3 => leaf,
+            2 => (op, arb_expr(depth - 1), arb_expr(depth - 1)).prop_filter_map(
+                "union operands must be node sets",
+                |(op, l, r)| {
+                    if op == BinaryOp::Union
+                        && !(matches!(l, Expr::Path(_)) && matches!(r, Expr::Path(_)))
+                    {
+                        None
+                    } else {
+                        Some(Expr::binary(op, l, r))
+                    }
+                }
+            ),
+            1 => arb_path(depth - 1).prop_map(|p| Expr::call("count", vec![Expr::Path(p)])),
+            1 => arb_path(depth - 1).prop_map(|p| Expr::call("boolean", vec![Expr::Path(p)])),
+            1 => arb_expr(depth - 1).prop_map(|e| Expr::call("not", vec![Expr::call(
+                "boolean", vec![coerce_boolable(e)])])),
+        ]
+        .boxed()
+    }
+}
+
+/// boolean() accepts any type; keep as-is.
+fn coerce_boolable(e: Expr) -> Expr {
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// All algorithms agree with the top-down reference on random queries
+    /// over random documents.
+    #[test]
+    fn engines_agree_on_random_queries(
+        qexpr in arb_expr(2),
+        seed in 0u64..500,
+    ) {
+        let cfg = RandomDocConfig { elements: 18, ..RandomDocConfig::default() };
+        let doc = doc_random(seed, &cfg);
+        let engine = Engine::new(&doc);
+        // Normalize like the public API does.
+        let normalized = normalize::normalize(&qexpr).unwrap();
+        engine
+            .evaluate_all_agree(&normalized, Context::of(doc.root()), 400_000)
+            .unwrap_or_else(|err| panic!("query {normalized} (from {qexpr:?}): {err}"));
+    }
+
+    /// Display → parse round-trips the random ASTs.
+    #[test]
+    fn display_parse_roundtrip(qexpr in arb_expr(2)) {
+        let printed = qexpr.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        prop_assert_eq!(&qexpr, &reparsed, "printed as {}", printed);
+    }
+
+    /// Normalization is idempotent on random ASTs.
+    #[test]
+    fn normalize_idempotent(qexpr in arb_expr(2)) {
+        let once = normalize::normalize(&qexpr).unwrap();
+        let twice = normalize::normalize(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The rewrite pass preserves semantics: optimized and original queries
+    /// produce the same value under the top-down reference evaluator.
+    #[test]
+    fn rewrites_preserve_semantics(
+        qexpr in arb_expr(2),
+        seed in 0u64..500,
+    ) {
+        use gkp_xpath::core::Strategy;
+        let cfg = RandomDocConfig { elements: 18, ..RandomDocConfig::default() };
+        let doc = doc_random(seed, &cfg);
+        let engine = Engine::new(&doc);
+        let normalized = normalize::normalize(&qexpr).unwrap();
+        let optimized = gkp_xpath::syntax::rewrite::optimize(&normalized);
+        let ctx = Context::of(doc.root());
+        let a = engine.evaluate_expr(&normalized, Strategy::TopDown, ctx).unwrap();
+        let b = engine.evaluate_expr(&optimized, Strategy::TopDown, ctx).unwrap();
+        prop_assert!(
+            a.semantically_equal(&b),
+            "query {} → {} differs: {:?} vs {:?}",
+            normalized, optimized, a, b
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Robustness: the lexer, parser and XML parser must reject garbage with
+//! errors — never panic — and evaluation must fail cleanly on type errors.
+
+use proptest::prelude::*;
+
+use gkp_xpath::{Document, Engine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The XPath parser never panics on arbitrary input.
+    #[test]
+    fn xpath_parser_never_panics(s in ".{0,60}") {
+        let _ = gkp_xpath::syntax::parse(&s);
+    }
+
+    /// The XPath parser never panics on plausible-looking query fragments.
+    #[test]
+    fn xpath_parser_never_panics_on_querylike(
+        s in "[a-z/@\\[\\]():*.'= |0-9$!<>+-]{0,40}"
+    ) {
+        let _ = gkp_xpath::syntax::parse(&s);
+    }
+
+    /// The XML parser never panics on arbitrary input.
+    #[test]
+    fn xml_parser_never_panics(s in ".{0,80}") {
+        let _ = Document::parse_str(&s);
+    }
+
+    /// The XML parser never panics on markup-looking input.
+    #[test]
+    fn xml_parser_never_panics_on_markuplike(
+        s in "[a-z<>/='\"! \\-\\?\\[\\]&;#x0-9]{0,60}"
+    ) {
+        let _ = Document::parse_str(&s);
+    }
+
+    /// Whatever parses also evaluates without panicking (errors allowed).
+    #[test]
+    fn parsed_queries_evaluate_or_error(
+        s in "(//)?[abc](\\[[0-9]\\])?(/[abc])*"
+    ) {
+        if let Ok(_e) = gkp_xpath::syntax::parse(&s) {
+            let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
+            let engine = Engine::new(&doc);
+            let _ = engine.evaluate(&s);
+        }
+    }
+
+    /// The DTD internal-subset parser never panics on arbitrary input.
+    #[test]
+    fn dtd_parser_never_panics(s in ".{0,80}") {
+        let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
+    }
+
+    /// The DTD parser never panics on declaration-looking input.
+    #[test]
+    fn dtd_parser_never_panics_on_decl_like(
+        s in "[a-zA-Z <>!\\[\\]()|,*+?#'\"%;-]{0,70}"
+    ) {
+        let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
+    }
+
+    /// Documents with DOCTYPE prologs never panic the full parser.
+    #[test]
+    fn doctype_documents_never_panic(
+        body in "[a-z <>!\\[\\]()|,*+?#'\"-]{0,50}"
+    ) {
+        let _ = Document::parse_str(&format!("<!DOCTYPE {body}><a/>"));
+    }
+}
+
+#[test]
+fn type_errors_are_reported_not_panicked() {
+    let doc = Document::parse_str("<a><b/></a>").unwrap();
+    let engine = Engine::new(&doc);
+    // Predicates on a non-node-set primary.
+    assert!(engine.evaluate("(1)[2]").is_err());
+    // count of a scalar.
+    assert!(engine.evaluate("count(1)").is_err());
+    // union of scalars.
+    assert!(engine.evaluate("1 | 2").is_err());
+    // unknown function.
+    assert!(engine.evaluate("frobnicate()").is_err());
+    // unbound variable (normalization rejects it).
+    assert!(engine.evaluate("//a[$x]").is_err());
+    // wrong arity.
+    assert!(engine.evaluate("concat('a')").is_err());
+    assert!(engine.evaluate("substring('a')").is_err());
+}
+
+#[test]
+fn malformed_xml_is_reported() {
+    for bad in [
+        "",
+        "<",
+        "<a",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "text only",
+        "<a>&bogus;</a>",
+        "<a x></a>",
+        "<a x=1></a>",
+        "<a/><a/>",
+        "<a>&#xZZ;</a>",
+    ] {
+        assert!(Document::parse_str(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn deeply_nested_documents_parse() {
+    // Deep nesting must not overflow the parser (recursion depth = element
+    // depth; 1000 is far beyond the paper's documents).
+    let depth = 1000;
+    let mut s = String::new();
+    for _ in 0..depth {
+        s.push_str("<d>");
+    }
+    for _ in 0..depth {
+        s.push_str("</d>");
+    }
+    let d = Document::parse_str(&s).unwrap();
+    assert_eq!(d.len(), depth + 1);
+    // And deep queries evaluate.
+    let engine = Engine::new(&d);
+    assert_eq!(
+        engine.evaluate("count(//d)").unwrap().to_string(),
+        depth.to_string()
+    );
+}
+
+#[test]
+fn large_flat_documents() {
+    let d = gkp_xpath::xml::generate::doc_flat(50_000);
+    let engine = Engine::new(&d);
+    assert_eq!(engine.evaluate("count(//b)").unwrap().to_string(), "50000");
+    assert_eq!(
+        engine.select("//b[not(following-sibling::b)]").unwrap().len(),
+        1
+    );
+}

@@ -1,0 +1,156 @@
+//! Property-based differential testing of the streaming matcher: random
+//! forward Core XPath queries over random documents must agree with the
+//! tree-based Core XPath algebra (and with the general engines, which the
+//! engine oracle covers elsewhere).
+
+use proptest::prelude::*;
+
+use gkp_xpath::core::corexpath::{compile_xpatterns, CoreDialect, CoreXPathEvaluator};
+use gkp_xpath::core::streaming;
+use gkp_xpath::syntax::parse_normalized;
+use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
+use gkp_xpath::Document;
+
+// ---- random streamable query generator ----
+
+fn arb_forward_axis() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["child", "descendant", "descendant-or-self", "self"])
+}
+
+/// Spine axes additionally allow `following` / `following-sibling` (armed
+/// forward transitions; not allowed inside predicates).
+fn arb_spine_axis() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        4 => arb_forward_axis(),
+        1 => prop::sample::select(vec!["following", "following-sibling"]),
+    ]
+}
+
+fn arb_test() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "d", "zzz"]).prop_map(str::to_string),
+        Just("*".to_string()),
+        Just("node()".to_string()),
+        Just("text()".to_string()),
+    ]
+}
+
+/// A relative forward path (predicate body), depth-bounded.
+fn arb_pred_path(depth: u32) -> BoxedStrategy<String> {
+    let step = (arb_forward_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
+    let steps = prop::collection::vec(step, 1..3)
+        .prop_map(|ss| ss.join("/"));
+    if depth == 0 {
+        steps.boxed()
+    } else {
+        (steps, arb_pred(depth - 1), any::<bool>())
+            .prop_map(|(ss, p, with_pred)| {
+                if with_pred {
+                    format!("{ss}[{p}]")
+                } else {
+                    ss
+                }
+            })
+            .boxed()
+    }
+}
+
+/// A predicate expression: boolean closure over paths and `= s` tests.
+fn arb_pred(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        arb_pred_path(depth),
+        (arb_pred_path(0), prop::sample::select(vec!["7", "100", "xyz"]))
+            .prop_map(|(p, s)| format!("{p} = '{s}'")),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_pred(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => inner.clone().prop_map(|p| format!("not({p})")),
+            1 => (arb_pred(depth - 1), arb_pred(depth - 1))
+                .prop_map(|(l, r)| format!("({l}) and ({r})")),
+            1 => (arb_pred(depth - 1), arb_pred(depth - 1))
+                .prop_map(|(l, r)| format!("({l}) or ({r})")),
+        ]
+        .boxed()
+    }
+}
+
+/// An absolute streamable query: spine of forward steps, predicates on the
+/// last step only.
+fn arb_query() -> impl Strategy<Value = String> {
+    let step = (arb_spine_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
+    (
+        prop::collection::vec(step, 1..4),
+        prop::option::of(arb_pred(1)),
+    )
+        .prop_map(|(steps, pred)| {
+            let spine = steps.join("/");
+            match pred {
+                Some(p) => format!("/{spine}[{p}]"),
+                None => format!("/{spine}"),
+            }
+        })
+}
+
+fn tree_eval(doc: &Document, q: &str) -> Vec<gkp_xpath::NodeId> {
+    CoreXPathEvaluator::new(doc)
+        .evaluate_str(q, CoreDialect::XPatterns, &[doc.root()])
+        .unwrap_or_else(|e| panic!("{q}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random streamable queries agree with the tree-based evaluator on
+    /// random documents.
+    #[test]
+    fn stream_equals_tree(seed in 0u64..10_000, q in arb_query()) {
+        let cfg = RandomDocConfig { elements: 35, ..RandomDocConfig::default() };
+        let doc = doc_random(seed, &cfg);
+        // The generator can exceed streamability only via MAX_STEPS (it
+        // cannot); compile must succeed.
+        let sq = streaming::compile_str(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let got = streaming::evaluate_stream(&sq, &doc);
+        prop_assert_eq!(got, tree_eval(&doc, &q), "query {} seed {}", q, seed);
+    }
+
+    /// The generated queries really are in the advertised fragment, and the
+    /// compile is deterministic.
+    #[test]
+    fn generator_stays_in_fragment(q in arb_query()) {
+        let e = parse_normalized(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let core = compile_xpatterns(&e).unwrap_or_else(|e| panic!("{q}: {e}"));
+        prop_assert!(streaming::is_streamable(&core), "{}", q);
+    }
+}
+
+/// Deterministic regression corpus distilled from past shrink results and
+/// tricky shapes (ε-acceptance, nested negation, leaf targets).
+#[test]
+fn regression_corpus() {
+    let queries = [
+        "/self::node()",
+        "/descendant-or-self::node()",
+        "/child::*[self::a]",
+        "/descendant::*[self::b[child::c]]",
+        "/descendant::a[not(self::a[child::b])]",
+        "/descendant::text()",
+        "/child::a/descendant-or-self::node()/child::b",
+        "/descendant::*[not(child::* = '7') and (child::c or self::d)]",
+    ];
+    for seed in 0..25u64 {
+        let cfg = RandomDocConfig { elements: 30, ..RandomDocConfig::default() };
+        let doc = doc_random(seed, &cfg);
+        for q in queries {
+            let sq = streaming::compile_str(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert_eq!(
+                streaming::evaluate_stream(&sq, &doc),
+                tree_eval(&doc, q),
+                "query {q} seed {seed}"
+            );
+        }
+    }
+}
