@@ -78,16 +78,12 @@ pub fn axis_from_into(doc: &Document, axis: Axis, x: NodeId, out: &mut Vec<NodeI
         }
         Axis::Following => {
             out.extend(
-                (doc.subtree_end(x)..doc.len() as u32)
-                    .map(NodeId)
-                    .filter(|&d| !is_special(doc, d)),
+                (doc.subtree_end(x)..doc.len() as u32).map(NodeId).filter(|&d| !is_special(doc, d)),
             );
         }
         Axis::Preceding => {
             out.extend(
-                (0..x.0)
-                    .map(NodeId)
-                    .filter(|&y| !is_special(doc, y) && doc.subtree_end(y) <= x.0),
+                (0..x.0).map(NodeId).filter(|&y| !is_special(doc, y) && doc.subtree_end(y) <= x.0),
             );
         }
         Axis::FollowingSibling => {
@@ -206,18 +202,18 @@ fn eval_axis_inner(doc: &Document, axis: Axis, set: &[NodeId], typed: bool) -> V
             // following(S) = [min_{x∈S} subtree_end(x), |dom|).
             if let Some(&first) = set.first() {
                 let lo = set.iter().map(|&x| doc.subtree_end(x)).min().unwrap_or(first.0);
-                out.extend(
-                    (lo..doc.len() as u32).map(NodeId).filter(|&n| keep(doc, n, typed)),
-                );
+                out.extend((lo..doc.len() as u32).map(NodeId).filter(|&n| keep(doc, n, typed)));
             }
         }
         Axis::Preceding => {
             // y ∈ preceding(S) iff ∃x∈S: y < x and y not an ancestor of x,
             // iff subtree_end(y) ≤ max(S) (preorder-interval argument).
             if let Some(&max) = set.last() {
-                out.extend((0..max.0).map(NodeId).filter(|&y| {
-                    keep(doc, y, typed) && doc.subtree_end(y) <= max.0
-                }));
+                out.extend(
+                    (0..max.0)
+                        .map(NodeId)
+                        .filter(|&y| keep(doc, y, typed) && doc.subtree_end(y) <= max.0),
+                );
             }
         }
         Axis::FollowingSibling => {
@@ -278,19 +274,13 @@ pub fn inverse_axis_set(doc: &Document, axis: Axis, set: &[NodeId]) -> Vec<NodeI
     match axis {
         Axis::Attribute => {
             // attribute⁻¹: owner elements of attribute nodes in X.
-            let attrs: Vec<NodeId> = set
-                .iter()
-                .copied()
-                .filter(|&x| doc.kind(x) == NodeKind::Attribute)
-                .collect();
+            let attrs: Vec<NodeId> =
+                set.iter().copied().filter(|&x| doc.kind(x) == NodeKind::Attribute).collect();
             eval_axis_inner(doc, Axis::Parent, &attrs, false)
         }
         Axis::Namespace => {
-            let nss: Vec<NodeId> = set
-                .iter()
-                .copied()
-                .filter(|&x| doc.kind(x) == NodeKind::Namespace)
-                .collect();
+            let nss: Vec<NodeId> =
+                set.iter().copied().filter(|&x| doc.kind(x) == NodeKind::Namespace).collect();
             eval_axis_inner(doc, Axis::Parent, &nss, false)
         }
         Axis::Id => crate::id::id_inverse_ref(doc, set),
@@ -362,8 +352,7 @@ mod tests {
                 assert_eq!(sorted_single, reference, "{axis:?} from {x:?} (single)");
             }
             // A couple of multi-node sets.
-            let evens: Vec<NodeId> =
-                doc.all_nodes().filter(|n| n.0 % 2 == 0).collect();
+            let evens: Vec<NodeId> = doc.all_nodes().filter(|n| n.0 % 2 == 0).collect();
             assert_eq!(
                 eval_axis(doc, axis, &evens),
                 typed_reference(doc, axis, &evens),

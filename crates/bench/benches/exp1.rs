@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let ctx = Context::of(doc.root());
 
     let mut g = c.benchmark_group("exp1_query_complexity");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     // Naive only up to depth 14 (exponential).
     for k in [4usize, 8, 12, 14] {

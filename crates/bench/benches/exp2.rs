@@ -11,7 +11,9 @@ use xpath_xml::generate::doc_flat_text;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp2_nested_relop");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     for (size, depth_cap) in [(3usize, 9usize), (10, 5), (200, 2)] {
         let doc = doc_flat_text(size);

@@ -10,7 +10,9 @@ use xpath_xml::generate::doc_flat;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp3_nested_count");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     for (size, naive_cap) in [(3usize, 8usize), (10, 4), (200, 2)] {
         let doc = doc_flat(size);

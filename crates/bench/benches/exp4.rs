@@ -12,7 +12,9 @@ use xpath_xml::generate::doc_ab_groups;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp4_data_complexity");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
 
     let q = exp4_query(8);
     for leaves in [200usize, 400, 800] {

@@ -11,7 +11,9 @@ use xpath_xml::generate::{doc_deep_path, doc_flat};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp5_forward_axes");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     // (4a) following-chains.
     for size in [20usize, 30] {

@@ -10,7 +10,9 @@ use xpath_xml::generate::{doc_flat, doc_idref_chain};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("linear_fragments");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     // Core XPath: document-size sweep at fixed query.
     let q = core_query(6);

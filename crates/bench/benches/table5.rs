@@ -10,7 +10,9 @@ use xpath_xml::generate::doc_flat;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table5_data_pool");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(400));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
 
     for size in [10usize, 200] {
         let doc = doc_flat(size);

@@ -11,7 +11,9 @@ use xpath_xml::generate::doc_flat_text;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table7_topdown_grid");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
 
     for size in [10usize, 200, 1000] {
         let doc = doc_flat_text(size);
@@ -19,11 +21,9 @@ fn bench(c: &mut Criterion) {
         let ctx = Context::of(doc.root());
         for depth in [1usize, 10, 30, 50] {
             let e = engine.prepare(&exp2_query(depth)).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new(format!("doc{size}"), depth),
-                &depth,
-                |b, _| b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("doc{size}"), depth), &depth, |b, _| {
+                b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap())
+            });
         }
     }
     g.finish();

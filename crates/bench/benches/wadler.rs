@@ -11,7 +11,9 @@ use xpath_xml::generate::doc_flat;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("wadler_fragment");
-    g.sample_size(10).warm_up_time(Duration::from_millis(100)).measurement_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
 
     // Data sweep at fixed nesting.
     let q = wadler_query(3);
@@ -20,10 +22,9 @@ fn bench(c: &mut Criterion) {
         let engine = xpath_core::Engine::new(&doc);
         let ctx = Context::of(doc.root());
         let e = engine.prepare(&q).unwrap();
-        for (name, s) in [
-            ("opt-min-context", Strategy::OptMinContext),
-            ("min-context", Strategy::MinContext),
-        ] {
+        for (name, s) in
+            [("opt-min-context", Strategy::OptMinContext), ("min-context", Strategy::MinContext)]
+        {
             g.bench_with_input(BenchmarkId::new(format!("{name}/data"), size), &size, |b, _| {
                 b.iter(|| engine.evaluate_expr(&e, s, ctx).unwrap())
             });

@@ -11,7 +11,9 @@
 
 use std::time::Duration;
 
-use xpath_bench::shape::{finite_differences, is_exponential, mean_growth_ratio, polynomial_degree};
+use xpath_bench::shape::{
+    finite_differences, is_exponential, mean_growth_ratio, polynomial_degree,
+};
 use xpath_bench::workloads::*;
 use xpath_bench::{fmt_secs, run_series, Sample};
 use xpath_core::Strategy;
@@ -26,7 +28,8 @@ struct Config {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    let which: Vec<&str> =
+        args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
     let cfg = Config {
         quick,
@@ -152,9 +155,7 @@ fn exp3(cfg: &Config) {
 /// IE6-model on '//a' + q(20) + '//b'; our Core XPath route is linear.
 fn exp4(cfg: &Config) {
     let depth = if cfg.quick { 8 } else { 12 };
-    banner(&format!(
-        "Experiment 4: '//a'+q({depth})+'//b' data scaling  [Figure 3, right]"
-    ));
+    banner(&format!("Experiment 4: '//a'+q({depth})+'//b' data scaling  [Figure 3, right]"));
     // q(20) is the paper's query; q(12) keeps the full run under a minute
     // while preserving the quadratic shape (the query is fixed either way —
     // this experiment varies the data).
@@ -191,7 +192,9 @@ fn exp4(cfg: &Config) {
     let deg_core = polynomial_degree(cf.x, cf.time, cl.x, cl.time);
     shape_line(
         deg_td > 1.5 && deg_core < 1.6,
-        &format!("top-down data degree ≈ {deg_td:.2} (quadratic); core-xpath ≈ {deg_core:.2} (linear)"),
+        &format!(
+            "top-down data degree ≈ {deg_td:.2} (quadratic); core-xpath ≈ {deg_core:.2} (linear)"
+        ),
     );
 }
 
@@ -241,7 +244,10 @@ fn exp5(cfg: &Config) {
 fn table5(cfg: &Config) {
     banner("Table V / Figure 12: naive vs data-pool on Experiment-3 queries");
     let depths: Vec<usize> = (1..=8).collect();
-    println!("{:>4} {:>14} {:>14} {:>14} {:>14}", "|Q|", "naive/10", "naive/200", "pool/10", "pool/200");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}",
+        "|Q|", "naive/10", "naive/200", "pool/10", "pool/200"
+    );
     let d10 = doc_flat(10);
     let d200 = doc_flat(200);
     let n10 = run_series(&d10, &depths, exp3_query, Strategy::Naive, cfg.cutoff);
@@ -265,9 +271,8 @@ fn table5(cfg: &Config) {
     }
     let pool_completes = p200.len() == depths.len();
     let naive_dies = n200.len() < depths.len();
-    let pool_linearish = mean_growth_ratio(&p200, Duration::from_millis(1))
-        .map(|r| r < 1.8)
-        .unwrap_or(true);
+    let pool_linearish =
+        mean_growth_ratio(&p200, Duration::from_millis(1)).map(|r| r < 1.8).unwrap_or(true);
     shape_line(
         pool_completes && naive_dies && pool_linearish,
         "data pool turns the exponential curve into (near-)linear growth in |Q| (Table V)",
@@ -280,8 +285,11 @@ fn table7(cfg: &Config) {
     banner("Table VII: top-down engine on Experiment-2 queries");
     let doc_sizes: Vec<usize> =
         if cfg.quick { vec![10, 20, 200] } else { vec![10, 20, 200, 500, 1000, 2000] };
-    let depths: Vec<usize> =
-        if cfg.quick { vec![1, 2, 3, 4, 5, 10] } else { vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50] };
+    let depths: Vec<usize> = if cfg.quick {
+        vec![1, 2, 3, 4, 5, 10]
+    } else {
+        vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50]
+    };
     print!("{:>4}", "|Q|");
     for &n in &doc_sizes {
         print!(" {:>9}", n);
@@ -309,7 +317,9 @@ fn table7(cfg: &Config) {
     let lin = mean_growth_ratio(&col, Duration::from_millis(2)).unwrap_or(1.0);
     shape_line(
         lin < 1.8,
-        &format!("time grows mildly with |Q| at fixed doc (mean step ratio {lin:.2}); cf. Table VII"),
+        &format!(
+            "time grows mildly with |Q| at fixed doc (mean step ratio {lin:.2}); cf. Table VII"
+        ),
     );
 }
 
@@ -324,7 +334,11 @@ fn fragments() {
         ("Experiment 5a", exp5a_query(3)),
         ("Core workload", core_query(2)),
         ("Wadler workload", wadler_query(2)),
-        ("Example 8.1", "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']".to_string()),
+        (
+            "Example 8.1",
+            "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']"
+                .to_string(),
+        ),
     ];
     for (name, q) in queries {
         let e = xpath_syntax::parse_normalized(&q).unwrap();

@@ -43,6 +43,18 @@ pub fn time_once(
     Ok((t.elapsed(), v))
 }
 
+/// Counterpart of [`time_once`] for the two-phase API: time one evaluation
+/// of an already-compiled query (runtime phase only — the static phase was
+/// paid by [`xpath_core::query::Compiler::compile`]).
+pub fn time_once_prepared(
+    doc: &Document,
+    query: &xpath_core::CompiledQuery,
+) -> EvalResult<(Duration, Value)> {
+    let t = Instant::now();
+    let v = query.evaluate_root(doc)?;
+    Ok((t.elapsed(), v))
+}
+
 /// Run a series `xs → query(x)` under `strategy`, stopping once a point
 /// exceeds `cutoff` (the paper's experiments likewise truncate the
 /// exponential curves). The point that exceeded the cutoff is included.
@@ -124,6 +136,15 @@ mod tests {
         let d = doc_flat(4);
         let q = xpath_syntax::parse_normalized("count(//b)").unwrap();
         let (t, v) = time_once(&d, &q, Strategy::TopDown).unwrap();
+        assert_eq!(v, Value::Number(4.0));
+        assert!(t < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn time_once_prepared_works() {
+        let d = doc_flat(4);
+        let q = xpath_core::Compiler::new().compile("count(//b)").unwrap();
+        let (t, v) = time_once_prepared(&d, &q).unwrap();
         assert_eq!(v, Value::Number(4.0));
         assert!(t < Duration::from_secs(1));
     }

@@ -10,11 +10,8 @@ use crate::Sample;
 /// `time ≥ floor` (tiny timings are dominated by noise — the paper's curves
 /// show the same "sharp bend" from constant overhead).
 pub fn mean_growth_ratio(samples: &[Sample], floor: Duration) -> Option<f64> {
-    let meaningful: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.time >= floor)
-        .map(|s| s.time.as_secs_f64())
-        .collect();
+    let meaningful: Vec<f64> =
+        samples.iter().filter(|s| s.time >= floor).map(|s| s.time.as_secs_f64()).collect();
     if meaningful.len() < 2 {
         return None;
     }

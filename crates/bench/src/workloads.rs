@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn exp2_matches_paper_examples() {
         assert_eq!(exp2_query(1), "//*[parent::a/child::* = 'c']");
-        assert_eq!(
-            exp2_query(2),
-            "//*[parent::a/child::*[parent::a/child::* = 'c'] = 'c']"
-        );
+        assert_eq!(exp2_query(2), "//*[parent::a/child::*[parent::a/child::* = 'c'] = 'c']");
         assert_eq!(
             exp2_query(3),
             "//*[parent::a/child::*[parent::a/child::*[parent::a/child::* = 'c'] = 'c'] = 'c']"
@@ -115,10 +112,7 @@ mod tests {
     #[test]
     fn exp3_matches_paper_examples() {
         assert_eq!(exp3_query(1), "//a/b[count(parent::a/b) > 1]");
-        assert_eq!(
-            exp3_query(2),
-            "//a/b[count(parent::a/b[count(parent::a/b) > 1]) > 1]"
-        );
+        assert_eq!(exp3_query(2), "//a/b[count(parent::a/b[count(parent::a/b) > 1]) > 1]");
     }
 
     #[test]

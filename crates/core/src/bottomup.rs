@@ -162,11 +162,8 @@ impl<'d> BottomUpEvaluator<'d> {
     /// `dom` for `cn`, all `1 ≤ k ≤ n ≤ |dom|` for `cp`/`cs`.
     fn contexts_for(&self, rel: Relev) -> EvalResult<Vec<Context>> {
         let n = self.doc.len() as u32;
-        let nodes: Vec<NodeId> = if rel.has_cn() {
-            self.doc.all_nodes().collect()
-        } else {
-            vec![NodeId(0)]
-        };
+        let nodes: Vec<NodeId> =
+            if rel.has_cn() { self.doc.all_nodes().collect() } else { vec![NodeId(0)] };
         let positions: Vec<(u32, u32)> = match (rel.has_cp(), rel.has_cs()) {
             (false, false) => vec![(1, 1)],
             (true, false) => (1..=n).map(|k| (k, n)).collect(),
@@ -203,11 +200,8 @@ impl<'d> BottomUpEvaluator<'d> {
     /// hallmark.
     fn path_table(&self, p: &LocationPath) -> EvalResult<CvTable> {
         // Per-step tables S_i : dom → 2^dom with predicates already applied.
-        let step_tables: Vec<Vec<NodeSet>> = p
-            .steps
-            .iter()
-            .map(|s| self.step_table(s))
-            .collect::<Result<_, _>>()?;
+        let step_tables: Vec<Vec<NodeSet>> =
+            p.steps.iter().map(|s| self.step_table(s)).collect::<Result<_, _>>()?;
         // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y).
         let n = self.doc.len();
         let mut reach: Vec<NodeSet> = (0..n as u32).map(|i| vec![NodeId(i)]).collect();
@@ -325,8 +319,8 @@ impl<'d> BottomUpEvaluator<'d> {
 
 /// Convenience: evaluate a query string bottom-up.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     BottomUpEvaluator::new(doc).evaluate(&e, ctx)
 }
 
@@ -349,50 +343,29 @@ mod tests {
         // E1 = descendant::b : at r and a the full {b1..b4}, at b's ∅.
         let e1 = parse_normalized("descendant::b").unwrap();
         let t1 = ev.table(&e1).unwrap();
-        assert_eq!(
-            t1.value_at(Context::of(d.root())).unwrap(),
-            &Value::NodeSet(bs.clone())
-        );
+        assert_eq!(t1.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(bs.clone()));
         assert_eq!(t1.value_at(Context::of(a)).unwrap(), &Value::NodeSet(bs.clone()));
         assert_eq!(t1.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![]));
 
         // E3 = following-sibling::* : b1 → {b2,b3,b4}, b2 → {b3,b4}, …
         let e3 = parse_normalized("following-sibling::*").unwrap();
         let t3 = ev.table(&e3).unwrap();
-        assert_eq!(
-            t3.value_at(Context::of(bs[0])).unwrap(),
-            &Value::NodeSet(bs[1..].to_vec())
-        );
-        assert_eq!(
-            t3.value_at(Context::of(bs[2])).unwrap(),
-            &Value::NodeSet(vec![bs[3]])
-        );
+        assert_eq!(t3.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(bs[1..].to_vec()));
+        assert_eq!(t3.value_at(Context::of(bs[2])).unwrap(), &Value::NodeSet(vec![bs[3]]));
         assert_eq!(t3.value_at(Context::of(bs[3])).unwrap(), &Value::NodeSet(vec![]));
 
         // E4 = position() != last() : table keyed by (k, n).
         let e4 = parse_normalized("position() != last()").unwrap();
         let t4 = ev.table(&e4).unwrap();
         assert_eq!(t4.relevance(), Relev::CP.union(Relev::CS));
-        assert_eq!(
-            t4.value_at(Context::new(d.root(), 2, 3)).unwrap(),
-            &Value::Boolean(true)
-        );
-        assert_eq!(
-            t4.value_at(Context::new(d.root(), 3, 3)).unwrap(),
-            &Value::Boolean(false)
-        );
+        assert_eq!(t4.value_at(Context::new(d.root(), 2, 3)).unwrap(), &Value::Boolean(true));
+        assert_eq!(t4.value_at(Context::new(d.root(), 3, 3)).unwrap(), &Value::Boolean(false));
 
         // E2 = E3[E4] : b1 → {b2,b3} (the paper's most interesting step).
         let q = parse_normalized("following-sibling::*[position() != last()]").unwrap();
         let t2 = ev.table(&q).unwrap();
-        assert_eq!(
-            t2.value_at(Context::of(bs[0])).unwrap(),
-            &Value::NodeSet(vec![bs[1], bs[2]])
-        );
-        assert_eq!(
-            t2.value_at(Context::of(bs[1])).unwrap(),
-            &Value::NodeSet(vec![bs[2]])
-        );
+        assert_eq!(t2.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![bs[1], bs[2]]));
+        assert_eq!(t2.value_at(Context::of(bs[1])).unwrap(), &Value::NodeSet(vec![bs[2]]));
 
         // Full query from context ⟨a,1,1⟩ = {b2, b3}.
         let full =
@@ -410,8 +383,10 @@ mod tests {
             Context::of(d.element_by_id("10").unwrap()),
         )
         .unwrap();
-        let expect: Vec<NodeId> =
-            ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+        let expect: Vec<NodeId> = ["13", "14", "21", "22", "23", "24"]
+            .iter()
+            .map(|i| d.element_by_id(i).unwrap())
+            .collect();
         assert_eq!(v, Value::NodeSet(expect));
     }
 
@@ -447,10 +422,7 @@ mod tests {
         // position() over a 202-node document needs only 202 rows → fine.
         let e = parse_normalized("//b[position() != last()]").unwrap();
         // (k,n) pairs = 202*203/2 ≈ 20503 > 1000 → capacity error.
-        assert!(matches!(
-            ev.evaluate(&e, Context::of(d.root())),
-            Err(EvalError::Capacity(_))
-        ));
+        assert!(matches!(ev.evaluate(&e, Context::of(d.root())), Err(EvalError::Capacity(_))));
         // With the default cap it succeeds.
         let ev = BottomUpEvaluator::new(&d);
         let v = ev.evaluate(&e, Context::of(d.root())).unwrap();

@@ -231,12 +231,10 @@ mod tests {
     fn gtop_is_numeric() {
         let d = doc();
         assert!(compare(&d, BinaryOp::Lt, &Value::String("2".into()), &Value::String("10".into())));
-        assert!(!compare(
-            &d,
-            BinaryOp::Lt,
-            &Value::String("abc".into()),
-            &Value::String("abd".into())
-        ), "non-numeric strings compare as NaN → false");
+        assert!(
+            !compare(&d, BinaryOp::Lt, &Value::String("abc".into()), &Value::String("abd".into())),
+            "non-numeric strings compare as NaN → false"
+        );
         assert!(compare(&d, BinaryOp::Le, &Value::Boolean(false), &Value::Boolean(true)));
     }
 

@@ -35,9 +35,14 @@ impl fmt::Display for Context {
     }
 }
 
-/// Errors raised during query evaluation.
+/// Errors raised during query compilation or evaluation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EvalError {
+    /// The query text failed to lex, parse, or normalize (including
+    /// unbound variables discovered during binding substitution). Raised
+    /// by the static phase — [`crate::query::Compiler`] and the `Engine`
+    /// prepare methods — never by the evaluators themselves.
+    Parse(String),
     /// An unknown function was called.
     UnknownFunction(String),
     /// A function was called with the wrong number of arguments.
@@ -72,6 +77,7 @@ pub enum EvalError {
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EvalError::Parse(m) => write!(f, "parse error: {m}"),
             EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
             EvalError::WrongArity { function, got, expected } => {
                 write!(f, "{function}() expects {expected} argument(s), got {got}")
@@ -114,5 +120,9 @@ mod tests {
             "concat() expects 2 or more argument(s), got 1"
         );
         assert_eq!(EvalError::BudgetExhausted.to_string(), "evaluation step budget exhausted");
+        assert_eq!(
+            EvalError::Parse("unexpected token".into()).to_string(),
+            "parse error: unexpected token"
+        );
     }
 }

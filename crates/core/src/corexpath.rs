@@ -18,7 +18,6 @@
 //! [`compile`] accepts the pure Core XPath fragment;
 //! [`compile_xpatterns`] additionally accepts the XPatterns features.
 
-
 use xpath_syntax::{Axis, BinaryOp, Expr, LocationPath, NodeTest, PathStart};
 use xpath_xml::{Document, NodeId};
 
@@ -117,10 +116,7 @@ pub fn compile_dialect(e: &Expr, dialect: CoreDialect) -> EvalResult<CoreQuery> 
         Expr::Path(p) => Ok(CoreQuery { path: compile_path(p, dialect)? }),
         // A bare `id(...)` call is a step-less path in XPatterns.
         Expr::Call { name, .. } if name == "id" && dialect == CoreDialect::XPatterns => {
-            let p = LocationPath {
-                start: PathStart::Expr(Box::new(e.clone())),
-                steps: Vec::new(),
-            };
+            let p = LocationPath { start: PathStart::Expr(Box::new(e.clone())), steps: Vec::new() };
             Ok(CoreQuery { path: compile_path(&p, dialect)? })
         }
         _ => Err(unsupported("query must be a location path")),
@@ -173,11 +169,8 @@ fn compile_path(p: &LocationPath, dialect: CoreDialect) -> EvalResult<CorePath> 
         }
     };
     for s in &p.steps {
-        let preds = s
-            .predicates
-            .iter()
-            .map(|e| compile_pred(e, dialect))
-            .collect::<Result<Vec<_>, _>>()?;
+        let preds =
+            s.predicates.iter().map(|e| compile_pred(e, dialect)).collect::<Result<Vec<_>, _>>()?;
         steps.push(CoreStep { axis: s.axis, test: s.test.clone(), preds });
     }
     Ok(CorePath { start, steps, eq: None })
@@ -301,7 +294,7 @@ impl<'d> CoreXPathEvaluator<'d> {
         context_nodes: &[NodeId],
     ) -> EvalResult<NodeSet> {
         let e = xpath_syntax::parse_normalized(query)
-            .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+            .map_err(|err| EvalError::Parse(err.to_string()))?;
         let q = compile_dialect(&e, dialect)?;
         Ok(self.evaluate(&q, context_nodes))
     }
@@ -420,11 +413,9 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// string search over the document, `O(|D|)`).
     fn eq_set(&self, eq: &EqTest) -> NodeSet {
         match eq {
-            EqTest::Str(s) => self
-                .doc
-                .all_nodes()
-                .filter(|&n| self.doc.string_value(n) == s.as_str())
-                .collect(),
+            EqTest::Str(s) => {
+                self.doc.all_nodes().filter(|&n| self.doc.string_value(n) == s.as_str()).collect()
+            }
             EqTest::Num(v) => self
                 .doc
                 .all_nodes()
@@ -619,9 +610,7 @@ mod tests {
         let d = doc_figure8();
         let ev = CoreXPathEvaluator::new(&d);
         let x11 = d.element_by_id("11").unwrap();
-        let out = ev
-            .evaluate_str("child::c", CoreDialect::CoreXPath, &[x11])
-            .unwrap();
+        let out = ev.evaluate_str("child::c", CoreDialect::CoreXPath, &[x11]).unwrap();
         assert_eq!(out.len(), 2);
         let out = ev
             .evaluate_str("following-sibling::b/child::d", CoreDialect::CoreXPath, &[x11])
@@ -653,9 +642,6 @@ mod tests {
             ev2.evaluate(&c1, &[d2.root()]);
         }
         let t2 = t2.elapsed();
-        assert!(
-            t2 < t1 * 40,
-            "expected near-linear scaling, got {t1:?} → {t2:?}"
-        );
+        assert!(t2 < t1 * 40, "expected near-linear scaling, got {t1:?} → {t2:?}");
     }
 }

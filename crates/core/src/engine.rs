@@ -1,5 +1,15 @@
 //! Unified engine facade over all evaluation algorithms.
 //!
+//! **Back-compat status:** `Engine` predates the two-phase query API and
+//! is kept as a thin facade over [`crate::query::Compiler`] and
+//! [`crate::cache::QueryCache`] — every method delegates to them. All
+//! pre-existing signatures remain supported; new code that evaluates the
+//! same query repeatedly (or against several documents, or from several
+//! threads) should use [`Compiler`]/[`crate::query::CompiledQuery`]
+//! directly, which make the compile-once / evaluate-many split explicit.
+//! An `Engine` is bound to one document; a `CompiledQuery` is bound to
+//! none.
+//!
 //! ```
 //! use xpath_core::engine::{Engine, Strategy};
 //! use xpath_xml::Document;
@@ -13,66 +23,72 @@
 //! assert_eq!(v.to_string(), "2");
 //! ```
 
-use xpath_syntax::{normalize, Bindings, Expr};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use xpath_syntax::{Bindings, Expr};
 use xpath_xml::{Document, NodeId};
 
 use crate::bottomup::BottomUpEvaluator;
+use crate::cache::{CacheStats, QueryCache};
 use crate::context::{Context, EvalError, EvalResult};
 use crate::corexpath::{self, CoreDialect, CoreXPathEvaluator};
-use crate::fragment::{classify, Fragment};
+use crate::fragment::classify;
 use crate::mincontext::MinContextEvaluator;
 use crate::naive::NaiveEvaluator;
 use crate::nodeset::NodeSet;
 use crate::optmincontext::OptMinContextEvaluator;
+use crate::plan;
 use crate::pool::PoolEvaluator;
+use crate::query::Compiler;
 use crate::topdown::TopDownEvaluator;
 use crate::value::Value;
 
-/// Which of the paper's algorithms to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Strategy {
-    /// §2 baseline: exponential recursive evaluation (models XALAN/XT/
-    /// Saxon/IE6).
-    Naive,
-    /// §9: naive recursion + data pool (Algorithm 9.1).
-    DataPool,
-    /// §6: bottom-up context-value tables (Algorithm 6.3).
-    BottomUp,
-    /// §7: top-down vectorized evaluation (the paper's implementation).
-    TopDown,
-    /// §8: MinContext (Algorithm 8.5).
-    MinContext,
-    /// §11.2: OptMinContext (Algorithm 11.1).
-    OptMinContext,
-    /// §10.1: linear-time Core XPath algebra (rejects other queries).
-    CoreXPath,
-    /// §10.2: linear-time XPatterns (rejects other queries).
-    XPatterns,
-    /// Single-pass streaming matcher for the forward Core XPath fragment
-    /// (§1–§2 related work; rejects non-streamable queries).
-    Streaming,
-    /// Classify via Figure 1 and pick the best algorithm.
-    #[default]
-    Auto,
-}
+pub use crate::plan::Strategy;
 
-/// An XPath engine bound to a document.
+/// How many compiled queries each engine memoizes. Engines are typically
+/// short-lived and single-document; long-lived services should share a
+/// [`QueryCache`] across documents instead.
+const ENGINE_CACHE_CAPACITY: usize = 128;
+
+/// An XPath engine bound to a document: a thin facade over
+/// [`Compiler`] + [`QueryCache`] (see the module docs).
 pub struct Engine<'d> {
     doc: &'d Document,
-    optimize: bool,
+    compiler: Compiler,
+    /// The compiler's options fingerprint, computed once — the engine's
+    /// compiler never changes after construction, and rendering it per
+    /// lookup would dominate cache-hit cost.
+    fingerprint: String,
+    /// Fingerprints for `evaluate_with` strategy overrides, memoized per
+    /// strategy for the same reason.
+    strategy_fingerprints: Mutex<HashMap<Strategy, String>>,
+    cache: QueryCache,
 }
 
 impl<'d> Engine<'d> {
     /// Create an engine over `doc`.
     pub fn new(doc: &'d Document) -> Self {
-        Engine { doc, optimize: false }
+        Engine::with_compiler(doc, Compiler::new())
     }
 
     /// Enable the semantics-preserving rewrite pass
     /// ([`xpath_syntax::rewrite`]) on every prepared query: `//`-step
     /// merging, `self::node()` elimination, constant folding.
     pub fn with_optimizer(doc: &'d Document) -> Self {
-        Engine { doc, optimize: true }
+        Engine::with_compiler(doc, Compiler::new().optimize(true))
+    }
+
+    /// Create an engine over `doc` with a fully configured [`Compiler`].
+    pub fn with_compiler(doc: &'d Document, compiler: Compiler) -> Self {
+        let fingerprint = compiler.options_fingerprint();
+        Engine {
+            doc,
+            compiler,
+            fingerprint,
+            strategy_fingerprints: Mutex::new(HashMap::new()),
+            cache: QueryCache::new(ENGINE_CACHE_CAPACITY),
+        }
     }
 
     /// The underlying document.
@@ -84,107 +100,79 @@ impl<'d> Engine<'d> {
     /// rewrite pass if this engine was built with
     /// [`Engine::with_optimizer`].
     pub fn prepare(&self, query: &str) -> EvalResult<Expr> {
-        let e = xpath_syntax::parse_normalized(query)
-            .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
-        Ok(if self.optimize { xpath_syntax::rewrite::optimize(&e) } else { e })
+        self.compiler.parse(query)
     }
 
     /// Parse and normalize a query with variable bindings.
     pub fn prepare_with(&self, query: &str, bindings: &Bindings) -> EvalResult<Expr> {
-        let e = xpath_syntax::parse(query).map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
-        let e = normalize::normalize_with(&e, bindings)
-            .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
-        Ok(if self.optimize { xpath_syntax::rewrite::optimize(&e) } else { e })
+        self.compiler.clone().bindings(bindings).parse(query)
     }
 
-    /// Evaluate a query string at the document root with [`Strategy::Auto`].
+    /// Evaluate a query string at the document root with this engine's
+    /// configured strategy ([`Strategy::Auto`] unless overridden via
+    /// [`Engine::with_compiler`]).
+    ///
+    /// Compilations are memoized in a per-engine [`QueryCache`], so
+    /// re-evaluating the same text skips the static phase.
     pub fn evaluate(&self, query: &str) -> EvalResult<Value> {
-        self.evaluate_with(query, Strategy::Auto)
+        let compiled = self.cache.get_or_compile_keyed(&self.compiler, &self.fingerprint, query)?;
+        compiled.evaluate(self.doc, Context::of(self.doc.root()))
     }
 
     /// Evaluate a query string at the document root with a given strategy.
     pub fn evaluate_with(&self, query: &str, strategy: Strategy) -> EvalResult<Value> {
-        let e = self.prepare(query)?;
-        self.evaluate_expr(&e, strategy, Context::of(self.doc.root()))
+        let fingerprint = self
+            .strategy_fingerprints
+            .lock()
+            .expect("fingerprint map poisoned")
+            .entry(strategy)
+            .or_insert_with(|| {
+                self.compiler.clone().default_strategy(strategy).options_fingerprint()
+            })
+            .clone();
+        // The compiler clone happens only on cache misses.
+        let compiled = self.cache.get_or_insert_with(&fingerprint, query, || {
+            self.compiler.clone().default_strategy(strategy).compile(query)
+        })?;
+        compiled.evaluate(self.doc, Context::of(self.doc.root()))
     }
 
     /// Evaluate a query string at a given context node.
     pub fn evaluate_at(&self, query: &str, node: NodeId) -> EvalResult<Value> {
-        let e = self.prepare(query)?;
-        self.evaluate_expr(&e, Strategy::Auto, Context::of(node))
+        let compiled = self.cache.get_or_compile_keyed(&self.compiler, &self.fingerprint, query)?;
+        compiled.evaluate(self.doc, Context::of(node))
     }
 
     /// Evaluate a prepared expression.
-    pub fn evaluate_expr(
-        &self,
-        e: &Expr,
-        strategy: Strategy,
-        ctx: Context,
-    ) -> EvalResult<Value> {
-        match strategy {
-            Strategy::Naive => NaiveEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::DataPool => PoolEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::BottomUp => BottomUpEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::TopDown => TopDownEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::MinContext => MinContextEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::OptMinContext => OptMinContextEvaluator::new(self.doc).evaluate(e, ctx),
-            Strategy::CoreXPath => {
-                let q = corexpath::compile_dialect(e, CoreDialect::CoreXPath)?;
-                Ok(Value::NodeSet(
-                    CoreXPathEvaluator::new(self.doc).evaluate(&q, &[ctx.node]),
-                ))
-            }
-            Strategy::XPatterns => {
-                let q = corexpath::compile_dialect(e, CoreDialect::XPatterns)?;
-                Ok(Value::NodeSet(
-                    CoreXPathEvaluator::new(self.doc).evaluate(&q, &[ctx.node]),
-                ))
-            }
-            Strategy::Streaming => {
-                // Streamable queries are absolute, so the context node is
-                // irrelevant to the result (P[[/π]] starts at the root).
-                let sq = crate::streaming::compile_expr(e)?;
-                Ok(Value::NodeSet(crate::streaming::evaluate_stream(&sq, self.doc)))
-            }
-            Strategy::Auto => {
-                let strategy = self.auto_strategy(e);
-                self.evaluate_expr(e, strategy, ctx)
-            }
-        }
+    ///
+    /// Dispatches directly on `strategy` without building a persistent
+    /// plan (fragment artifacts are compiled per call); use a
+    /// [`crate::query::CompiledQuery`] to keep them across calls. The
+    /// compiler's `naive_budget`, if configured, bounds [`Strategy::Naive`]
+    /// here just as it does on the string entry points.
+    pub fn evaluate_expr(&self, e: &Expr, strategy: Strategy, ctx: Context) -> EvalResult<Value> {
+        plan::execute_adhoc(e, strategy, self.compiler.configured_naive_budget(), self.doc, ctx)
     }
 
     /// The strategy [`Strategy::Auto`] resolves to for a query, per the
     /// Figure 1 lattice.
     pub fn auto_strategy(&self, e: &Expr) -> Strategy {
-        match classify(e).fragment {
-            Fragment::CoreXPath => Strategy::CoreXPath,
-            Fragment::XPatterns => Strategy::XPatterns,
-            // OptMinContext realizes both the Wadler bounds and the general
-            // MinContext bounds (Algorithm 11.1).
-            Fragment::ExtendedWadler | Fragment::FullXPath => Strategy::OptMinContext,
-        }
+        plan::resolve_auto(&classify(e))
     }
 
     /// Evaluate a node-set query at the root and return the nodes.
     pub fn select(&self, query: &str) -> EvalResult<NodeSet> {
-        match self.evaluate(query)? {
-            Value::NodeSet(s) => Ok(s),
-            other => Err(EvalError::TypeMismatch(format!(
-                "expected a node set, got {}",
-                other.type_name()
-            ))),
-        }
+        crate::query::into_node_set(self.evaluate(query)?)
     }
 
     /// Evaluate a node-set query from a given context node.
     pub fn select_at(&self, query: &str, node: NodeId) -> EvalResult<NodeSet> {
-        match self.evaluate_at(query, node)? {
-            Value::NodeSet(s) => Ok(s),
-            other => Err(EvalError::TypeMismatch(format!(
-                "expected a node set, got {}",
-                other.type_name()
-            ))),
-        }
+        crate::query::into_node_set(self.evaluate_at(query, node)?)
+    }
+
+    /// Counters of the per-engine compiled-query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Run the same prepared query through every algorithm and check they
@@ -293,9 +281,7 @@ mod tests {
         let engine = Engine::new(&d);
         let b = Bindings::new().number("y", 2000.0).string("t", "XPath Processing");
         let e = engine.prepare_with("//book[@year > $y and title = $t]", &b).unwrap();
-        let v = engine
-            .evaluate_expr(&e, Strategy::Auto, Context::of(d.root()))
-            .unwrap();
+        let v = engine.evaluate_expr(&e, Strategy::Auto, Context::of(d.root())).unwrap();
         assert_eq!(v.as_node_set().unwrap().len(), 1);
     }
 
@@ -325,5 +311,55 @@ mod tests {
             engine.evaluate_with("//author/parent::book", Strategy::Streaming),
             Err(EvalError::UnsupportedFragment(_))
         ));
+    }
+
+    #[test]
+    fn with_compiler_strategy_applies_to_every_entry_point() {
+        let d = doc_bookstore();
+        let engine =
+            Engine::with_compiler(&d, Compiler::new().default_strategy(Strategy::Streaming));
+        // Outside the streamable fragment: evaluate, evaluate_at and
+        // select must all reject consistently.
+        let q = "//author/parent::book";
+        assert!(matches!(engine.evaluate(q), Err(EvalError::UnsupportedFragment(_))));
+        assert!(matches!(engine.evaluate_at(q, d.root()), Err(EvalError::UnsupportedFragment(_))));
+        assert!(matches!(engine.select(q), Err(EvalError::UnsupportedFragment(_))));
+        // Inside it: all succeed.
+        assert_eq!(engine.select("//book[author]").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn configured_naive_budget_bounds_evaluate_expr() {
+        let d = doc_bookstore();
+        let engine = Engine::with_compiler(&d, Compiler::new().naive_budget(10));
+        let e = engine.prepare("//book/ancestor::*/descendant::*/ancestor::*").unwrap();
+        assert!(matches!(
+            engine.evaluate_expr(&e, Strategy::Naive, Context::of(d.root())),
+            Err(EvalError::BudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn parse_failures_are_parse_errors() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        assert!(matches!(engine.prepare("//["), Err(EvalError::Parse(_))));
+        assert!(matches!(
+            engine.prepare_with("//book[$nope]", &Bindings::new()),
+            Err(EvalError::Parse(_))
+        ));
+        assert!(matches!(engine.evaluate("///"), Err(EvalError::Parse(_))));
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_engine_cache() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        for _ in 0..5 {
+            engine.evaluate("count(//book)").unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "compiled once");
+        assert_eq!(stats.hits, 4, "then served from cache");
     }
 }

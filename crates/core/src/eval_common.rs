@@ -18,21 +18,17 @@ pub fn apply_binary(doc: &Document, op: BinaryOp, l: Value, r: Value) -> EvalRes
     }
     match op {
         BinaryOp::Union => match (l, r) {
-            (Value::NodeSet(a), Value::NodeSet(b)) => {
-                Ok(Value::NodeSet(nodeset::union(&a, &b)))
-            }
+            (Value::NodeSet(a), Value::NodeSet(b)) => Ok(Value::NodeSet(nodeset::union(&a, &b))),
             (l, r) => Err(EvalError::TypeMismatch(format!(
                 "'|' requires node sets, got {} and {}",
                 l.type_name(),
                 r.type_name()
             ))),
         },
-        BinaryOp::And | BinaryOp::Or => {
-            Ok(Value::Boolean(match op {
-                BinaryOp::And => l.to_boolean() && r.to_boolean(),
-                _ => l.to_boolean() || r.to_boolean(),
-            }))
-        }
+        BinaryOp::And | BinaryOp::Or => Ok(Value::Boolean(match op {
+            BinaryOp::And => l.to_boolean() && r.to_boolean(),
+            _ => l.to_boolean() || r.to_boolean(),
+        })),
         // F[[ArithOp : num × num → num]](v1, v2) := v1 ArithOp v2.
         _ => {
             let a = l.to_number(doc);
@@ -105,21 +101,18 @@ mod tests {
     #[test]
     fn arithmetic_coerces_strings() {
         let d = doc_flat(1);
-        let v = apply_binary(
-            &d,
-            BinaryOp::Add,
-            Value::String("2".into()),
-            Value::String("3".into()),
-        )
-        .unwrap();
+        let v =
+            apply_binary(&d, BinaryOp::Add, Value::String("2".into()), Value::String("3".into()))
+                .unwrap();
         assert_eq!(v, Value::Number(5.0));
     }
 
     #[test]
     fn union_requires_nodesets() {
         let d = doc_flat(1);
-        assert!(apply_binary(&d, BinaryOp::Union, Value::Number(1.0), Value::NodeSet(vec![]))
-            .is_err());
+        assert!(
+            apply_binary(&d, BinaryOp::Union, Value::Number(1.0), Value::NodeSet(vec![])).is_err()
+        );
         let v = apply_binary(
             &d,
             BinaryOp::Union,

@@ -49,9 +49,7 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
         let _ = writeln!(report, "  wadler:  {v}");
     }
     // Streamability (forward Core XPath fragment, §1–§2 related work).
-    match crate::corexpath::compile_xpatterns(e)
-        .and_then(|q| crate::streaming::compile(&q))
-    {
+    match crate::corexpath::compile_xpatterns(e).and_then(|q| crate::streaming::compile(&q)) {
         Ok(_) => {
             let _ = writeln!(report, "streaming: yes (single pass, O(depth·|Q|) memory)");
         }
@@ -170,10 +168,9 @@ mod tests {
 
     #[test]
     fn long_queries_abbreviated() {
-        let e = parse_normalized(
-            "//a[b[c[d[e = 'a very long string literal that goes on and on']]]]",
-        )
-        .unwrap();
+        let e =
+            parse_normalized("//a[b[c[d[e = 'a very long string literal that goes on and on']]]]")
+                .unwrap();
         let x = explain(&e, 10);
         // Subexpression lines are abbreviated (the header echoes the full
         // query and is exempt).

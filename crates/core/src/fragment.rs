@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn lattice_examples() {
         // Core XPath: pure paths + boolean predicates.
-        assert_eq!(frag("/descendant::a/child::b[child::c or not(following::*)]"), Fragment::CoreXPath);
+        assert_eq!(
+            frag("/descendant::a/child::b[child::c or not(following::*)]"),
+            Fragment::CoreXPath
+        );
         assert_eq!(frag("//a//b"), Fragment::CoreXPath);
         // XPatterns: id heads and =s predicates.
         assert_eq!(frag("id('x')/child::a"), Fragment::XPatterns);
@@ -106,11 +109,7 @@ mod tests {
     fn core_is_subset_of_both_parents() {
         // Figure 1: every Core XPath query is also XPatterns and Extended
         // Wadler.
-        for q in [
-            "//a/b",
-            "/descendant::a[not(child::b)]",
-            "//a[b and c]/following::d",
-        ] {
+        for q in ["//a/b", "/descendant::a[not(child::b)]", "//a[b and c]/following::d"] {
             let e = parse_normalized(q).unwrap();
             assert!(corexpath::is_core_xpath(&e), "{q}");
             assert!(corexpath::is_xpatterns(&e), "{q}");

@@ -84,12 +84,7 @@ pub fn xpath_round(v: f64) -> f64 {
 /// `ctx`. Zero-argument forms of `string`, `number`, `string-length`,
 /// `normalize-space`, `name`, `local-name` and `namespace-uri` operate on
 /// the context node.
-pub fn apply(
-    doc: &Document,
-    name: &str,
-    args: Vec<Value>,
-    ctx: &Context,
-) -> EvalResult<Value> {
+pub fn apply(doc: &Document, name: &str, args: Vec<Value>, ctx: &Context) -> EvalResult<Value> {
     match name {
         // ----- node-set functions -----
         "last" => {
@@ -113,9 +108,9 @@ pub fn apply(
         "sum" => {
             need(&args, name, 1)?;
             match &args[0] {
-                Value::NodeSet(s) => Ok(Value::Number(
-                    s.iter().map(|&n| str_to_number(doc.string_value(n))).sum(),
-                )),
+                Value::NodeSet(s) => {
+                    Ok(Value::Number(s.iter().map(|&n| str_to_number(doc.string_value(n))).sum()))
+                }
                 other => Err(EvalError::TypeMismatch(format!(
                     "sum() requires a node set, got {}",
                     other.type_name()
@@ -204,9 +199,7 @@ pub fn apply(
             need(&args, name, 2)?;
             let a = args[0].to_xpath_string(doc);
             let b = args[1].to_xpath_string(doc);
-            Ok(Value::String(
-                a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
-            ))
+            Ok(Value::String(a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default()))
         }
         "substring" => {
             if args.len() != 2 && args.len() != 3 {
@@ -289,8 +282,7 @@ pub fn apply(
                 None => false,
                 Some(h) => {
                     h == want
-                        || (h.starts_with(&want)
-                            && h.as_bytes().get(want.len()) == Some(&b'-'))
+                        || (h.starts_with(&want) && h.as_bytes().get(want.len()) == Some(&b'-'))
                 }
             }))
         }
@@ -403,10 +395,7 @@ mod tests {
         assert_eq!(call(&d, "substring", vec![s("12345"), n(0.0), n(3.0)]), s("12"));
         assert_eq!(call(&d, "substring", vec![s("12345"), n(f64::NAN), n(3.0)]), s(""));
         assert_eq!(call(&d, "substring", vec![s("12345"), n(1.0), n(f64::NAN)]), s(""));
-        assert_eq!(
-            call(&d, "substring", vec![s("12345"), n(-42.0), n(f64::INFINITY)]),
-            s("12345")
-        );
+        assert_eq!(call(&d, "substring", vec![s("12345"), n(-42.0), n(f64::INFINITY)]), s("12345"));
         assert_eq!(
             call(&d, "substring", vec![s("12345"), n(f64::NEG_INFINITY), n(f64::INFINITY)]),
             s("")
@@ -440,10 +429,7 @@ mod tests {
         let ctx = Context::of(b11);
         assert_eq!(apply(&d, "name", vec![], &ctx).unwrap(), s("b"));
         assert_eq!(apply(&d, "local-name", vec![], &ctx).unwrap(), s("b"));
-        assert_eq!(
-            apply(&d, "name", vec![Value::NodeSet(vec![])], &ctx).unwrap(),
-            s("")
-        );
+        assert_eq!(apply(&d, "name", vec![Value::NodeSet(vec![])], &ctx).unwrap(), s(""));
         let d2 = Document::parse_str("<pre:x/>").unwrap();
         let x = d2.document_element().unwrap();
         let ctx2 = Context::of(x);

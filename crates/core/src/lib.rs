@@ -17,34 +17,43 @@
 //! | [`wadler`] | §11.1 | Extended Wadler fragment, bottom-up inner paths |
 //! | [`optmincontext`] | §11.2 | OptMinContext (Algorithm 11.1) |
 //! | [`fragment`] | Fig. 1 | fragment lattice classification |
-//! | [`engine`] | — | unified facade over all algorithms |
+//! | [`plan`] | — | document-independent execution plans (static phase) |
+//! | [`query`] | — | [`Compiler`] / [`CompiledQuery`]: compile once, evaluate many |
+//! | [`cache`] | — | sharded LRU [`QueryCache`] shared across workers |
+//! | [`engine`] | — | back-compat facade over `query` + `cache` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bottomup;
+pub mod cache;
 pub mod compare;
+pub mod context;
 pub mod corexpath;
 pub mod engine;
-pub mod fragment;
-pub mod context;
 pub mod eval_common;
 pub mod explain;
+pub mod fragment;
 pub mod functions;
 pub mod mincontext;
 pub mod naive;
+pub mod node_test;
+pub mod nodeset;
 pub mod optmincontext;
+pub mod plan;
 pub mod pool;
+pub mod query;
 pub mod relev;
 pub mod streaming;
 pub mod topdown;
-pub mod node_test;
-pub mod nodeset;
 pub mod value;
 pub mod wadler;
 pub mod xpatterns;
 
+pub use cache::{CacheStats, QueryCache};
 pub use context::{Context, EvalError, EvalResult};
 pub use engine::{Engine, Strategy};
 pub use fragment::{classify, Classification, Fragment};
+pub use plan::Plan;
+pub use query::{CompiledQuery, Compiler};
 pub use value::Value;

@@ -214,9 +214,7 @@ impl<'d> MinContextEvaluator<'d> {
                 }
             }
             Expr::Number(v) => table.insert(Context::of(NodeId(0)), Value::Number(*v)),
-            Expr::Literal(s) => {
-                table.insert(Context::of(NodeId(0)), Value::String(s.clone()))
-            }
+            Expr::Literal(s) => table.insert(Context::of(NodeId(0)), Value::String(s.clone())),
             Expr::Var(name) => return Err(EvalError::UnboundVariable(name.clone())),
             Expr::Neg(inner) => {
                 self.eval_by_cnode_only(inner, x)?;
@@ -278,9 +276,10 @@ impl<'d> MinContextEvaluator<'d> {
             let t = tables
                 .get(&key_of(e))
                 .unwrap_or_else(|| panic!("eval_by_cnode_only must precede eval_single_context"));
-            return t.value_at(ctx).cloned().ok_or_else(|| {
-                EvalError::Capacity(format!("context {ctx} not covered by table"))
-            });
+            return t
+                .value_at(ctx)
+                .cloned()
+                .ok_or_else(|| EvalError::Capacity(format!("context {ctx} not covered by table")));
         }
         match e {
             Expr::Binary { op, left, right } => {
@@ -387,8 +386,8 @@ impl<'d> MinContextEvaluator<'d> {
 
 /// Convenience: evaluate a query string with MinContext.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     MinContextEvaluator::new(doc).evaluate(&e, ctx)
 }
 
@@ -435,8 +434,10 @@ mod tests {
             Context::of(d.element_by_id("10").unwrap()),
         )
         .unwrap();
-        let expect: Vec<NodeId> =
-            ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+        let expect: Vec<NodeId> = ["13", "14", "21", "22", "23", "24"]
+            .iter()
+            .map(|i| d.element_by_id(i).unwrap())
+            .collect();
         assert_eq!(v, Value::NodeSet(expect));
     }
 

@@ -208,8 +208,8 @@ impl<'d> NaiveEvaluator<'d> {
 
 /// Convenience: evaluate a query string with the naive evaluator.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     NaiveEvaluator::new(doc).evaluate(&e, ctx)
 }
 
@@ -262,8 +262,10 @@ mod tests {
             &d,
             "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']",
         );
-        let expect: Vec<NodeId> =
-            ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+        let expect: Vec<NodeId> = ["13", "14", "21", "22", "23", "24"]
+            .iter()
+            .map(|i| d.element_by_id(i).unwrap())
+            .collect();
         assert_eq!(set(&v), &expect);
     }
 
@@ -346,10 +348,7 @@ mod tests {
     fn id_function_path() {
         let d = doc_figure8();
         let v = run(&d, "id('12 24')");
-        assert_eq!(
-            set(&v),
-            &vec![d.element_by_id("12").unwrap(), d.element_by_id("24").unwrap()]
-        );
+        assert_eq!(set(&v), &vec![d.element_by_id("12").unwrap(), d.element_by_id("24").unwrap()]);
         let v = run(&d, "id('14')/parent::*");
         assert_eq!(set(&v), &vec![d.element_by_id("11").unwrap()]);
     }

@@ -143,7 +143,12 @@ mod tests {
         assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Comment), kids[1]));
         assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(None)), kids[2]));
         assert!(matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(Some("p".into()))), kids[2]));
-        assert!(!matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Pi(Some("q".into()))), kids[2]));
+        assert!(!matches(
+            &d,
+            Axis::Child,
+            &NodeTest::Kind(KindTest::Pi(Some("q".into()))),
+            kids[2]
+        ));
         assert!(!matches(&d, Axis::Child, &NodeTest::Kind(KindTest::Text), kids[1]));
     }
 

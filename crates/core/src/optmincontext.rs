@@ -76,11 +76,7 @@ impl<'d> OptMinContextEvaluator<'d> {
 
     /// Evaluate over several context nodes at once (useful for XSLT-style
     /// batch matching); results are per node.
-    pub fn evaluate_at_nodes(
-        &self,
-        query: &Expr,
-        nodes: &[NodeId],
-    ) -> EvalResult<Vec<Value>> {
+    pub fn evaluate_at_nodes(&self, query: &Expr, nodes: &[NodeId]) -> EvalResult<Vec<Value>> {
         nodes.iter().map(|&n| self.evaluate(query, Context::of(n))).collect()
     }
 }
@@ -132,7 +128,7 @@ fn collect_candidates_postorder(e: &Expr) -> Vec<&Expr> {
 /// Convenience: evaluate a query string with OptMinContext.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
     let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| crate::context::EvalError::TypeMismatch(err.to_string()))?;
+        .map_err(|err| crate::context::EvalError::Parse(err.to_string()))?;
     OptMinContextEvaluator::new(doc).evaluate(&e, ctx)
 }
 
@@ -223,7 +219,10 @@ mod tests {
         let (v, report) = ev.evaluate_with_report(&e, Context::of(d.root())).unwrap();
         assert!(report.bottomup_paths >= 1, "{report:?}");
         let naive = NaiveEvaluator::new(&d)
-            .evaluate(&parse_normalized("//*[d = 100 and position() = 1]").unwrap(), Context::of(d.root()))
+            .evaluate(
+                &parse_normalized("//*[d = 100 and position() = 1]").unwrap(),
+                Context::of(d.root()),
+            )
             .unwrap();
         assert!(naive.semantically_equal(&v));
     }

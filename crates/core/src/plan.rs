@@ -1,0 +1,310 @@
+//! Document-independent execution plans — the output of the static phase.
+//!
+//! The paper's central observation is that XPath processing splits into a
+//! **static** phase (parse, normalize, Figure-1 fragment classification,
+//! algorithm selection — all independent of any document) and a **runtime**
+//! phase (the polynomial/linear evaluators over a concrete tree). A
+//! [`Plan`] captures everything the static phase produces:
+//!
+//! * the normalized (and possibly rewritten) expression,
+//! * its [`Classification`] in the Figure-1 lattice,
+//! * the resolved [`Strategy`] (never [`Strategy::Auto`]),
+//! * eagerly compiled artifacts for the fragment engines — the Core
+//!   XPath/XPatterns algebra program (§10) and the streaming automaton —
+//!   so per-evaluation work is pure runtime.
+//!
+//! Because eager compilation happens here, a query outside an explicitly
+//! requested fragment fails at *plan-build* time with
+//! [`EvalError::UnsupportedFragment`], not at first evaluation.
+
+use xpath_syntax::Expr;
+use xpath_xml::Document;
+
+use crate::bottomup::BottomUpEvaluator;
+use crate::context::{Context, EvalResult};
+use crate::corexpath::{self, CoreDialect, CoreQuery, CoreXPathEvaluator};
+use crate::fragment::{classify, Classification, Fragment};
+use crate::mincontext::MinContextEvaluator;
+use crate::naive::NaiveEvaluator;
+use crate::optmincontext::OptMinContextEvaluator;
+use crate::pool::PoolEvaluator;
+use crate::streaming::{self, StreamQuery};
+use crate::topdown::TopDownEvaluator;
+use crate::value::Value;
+
+/// Which of the paper's algorithms to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Strategy {
+    /// §2 baseline: exponential recursive evaluation (models XALAN/XT/
+    /// Saxon/IE6).
+    Naive,
+    /// §9: naive recursion + data pool (Algorithm 9.1).
+    DataPool,
+    /// §6: bottom-up context-value tables (Algorithm 6.3).
+    BottomUp,
+    /// §7: top-down vectorized evaluation (the paper's implementation).
+    TopDown,
+    /// §8: MinContext (Algorithm 8.5).
+    MinContext,
+    /// §11.2: OptMinContext (Algorithm 11.1).
+    OptMinContext,
+    /// §10.1: linear-time Core XPath algebra (rejects other queries).
+    CoreXPath,
+    /// §10.2: linear-time XPatterns (rejects other queries).
+    XPatterns,
+    /// Single-pass streaming matcher for the forward Core XPath fragment
+    /// (§1–§2 related work; rejects non-streamable queries).
+    Streaming,
+    /// Classify via Figure 1 and pick the best algorithm.
+    #[default]
+    Auto,
+}
+
+/// The strategy [`Strategy::Auto`] resolves to for a classified query,
+/// per the Figure 1 lattice.
+pub fn resolve_auto(classification: &Classification) -> Strategy {
+    match classification.fragment {
+        Fragment::CoreXPath => Strategy::CoreXPath,
+        Fragment::XPatterns => Strategy::XPatterns,
+        // OptMinContext realizes both the Wadler bounds and the general
+        // MinContext bounds (Algorithm 11.1).
+        Fragment::ExtendedWadler | Fragment::FullXPath => Strategy::OptMinContext,
+    }
+}
+
+/// A fully resolved, immutable, document-independent execution plan.
+///
+/// Build one with [`Plan::build`], then run it against any number of
+/// documents with [`Plan::execute`]. Plans contain only owned plain data,
+/// so they are `Send + Sync` and can be shared across threads (the public
+/// wrapper is [`crate::query::CompiledQuery`]).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The normalized (and possibly rewritten) expression.
+    pub expr: Expr,
+    /// The Figure-1 classification of `expr`.
+    pub classification: Classification,
+    /// The resolved strategy (never [`Strategy::Auto`]).
+    pub strategy: Strategy,
+    /// Eagerly compiled Core XPath / XPatterns algebra program, present
+    /// iff `strategy` is [`Strategy::CoreXPath`] or [`Strategy::XPatterns`].
+    algebra: Option<CoreQuery>,
+    /// Eagerly compiled streaming automaton, present iff `strategy` is
+    /// [`Strategy::Streaming`].
+    automaton: Option<StreamQuery>,
+    /// Step budget for the exponential naive baseline, if bounded.
+    naive_budget: Option<u64>,
+}
+
+impl Plan {
+    /// Resolve `requested` against the classification of `expr` and compile
+    /// all fragment artifacts eagerly.
+    ///
+    /// With an explicit fragment strategy ([`Strategy::CoreXPath`],
+    /// [`Strategy::XPatterns`], [`Strategy::Streaming`]) a query outside
+    /// that fragment is rejected **here**, so callers see
+    /// [`EvalError::UnsupportedFragment`] once at compile time rather than
+    /// on every evaluation.
+    pub fn build(expr: Expr, requested: Strategy, naive_budget: Option<u64>) -> EvalResult<Plan> {
+        let classification = classify(&expr);
+        let auto = requested == Strategy::Auto;
+        let mut strategy = if auto { resolve_auto(&classification) } else { requested };
+
+        let mut algebra = None;
+        let mut automaton = None;
+        match strategy {
+            Strategy::CoreXPath | Strategy::XPatterns => {
+                let dialect = if strategy == Strategy::CoreXPath {
+                    CoreDialect::CoreXPath
+                } else {
+                    CoreDialect::XPatterns
+                };
+                match corexpath::compile_dialect(&expr, dialect) {
+                    Ok(q) => algebra = Some(q),
+                    // The classifier approves exactly what the algebra
+                    // compiler accepts, so under Auto this is unreachable;
+                    // fall back to the general engine defensively rather
+                    // than failing a query the lattice admits.
+                    Err(_) if auto => strategy = Strategy::OptMinContext,
+                    Err(e) => return Err(e),
+                }
+            }
+            Strategy::Streaming => automaton = Some(streaming::compile_expr(&expr)?),
+            _ => {}
+        }
+        Ok(Plan { expr, classification, strategy, algebra, automaton, naive_budget })
+    }
+
+    /// Run the plan against `doc` from context `ctx`.
+    ///
+    /// Pure runtime phase: no parsing, classification, or fragment
+    /// compilation happens here.
+    pub fn execute(&self, doc: &Document, ctx: Context) -> EvalResult<Value> {
+        run(
+            &self.expr,
+            self.strategy,
+            self.algebra.as_ref(),
+            self.automaton.as_ref(),
+            self.naive_budget,
+            doc,
+            ctx,
+        )
+    }
+
+    /// The compiled Core XPath / XPatterns algebra program, if this plan
+    /// uses a fragment engine.
+    pub fn algebra(&self) -> Option<&CoreQuery> {
+        self.algebra.as_ref()
+    }
+
+    /// The compiled streaming automaton, if this plan streams.
+    pub fn automaton(&self) -> Option<&StreamQuery> {
+        self.automaton.as_ref()
+    }
+
+    /// The naive-evaluator step budget, if one was configured.
+    pub fn naive_budget(&self) -> Option<u64> {
+        self.naive_budget
+    }
+}
+
+/// One-shot evaluation of an already-prepared expression without building
+/// a persistent [`Plan`]: dispatches directly on `strategy` (classifying
+/// only under [`Strategy::Auto`]) and borrows the expression, so a call
+/// costs the same as pre-plan `Engine::evaluate_expr` did — no AST clone,
+/// no classification for explicit strategies. Fragment artifacts are
+/// compiled per call; keep a [`Plan`] (via
+/// [`crate::query::Compiler::compile`]) to amortize them.
+pub fn execute_adhoc(
+    expr: &Expr,
+    strategy: Strategy,
+    naive_budget: Option<u64>,
+    doc: &Document,
+    ctx: Context,
+) -> EvalResult<Value> {
+    match strategy {
+        Strategy::Auto => {
+            let resolved = resolve_auto(&classify(expr));
+            execute_adhoc(expr, resolved, naive_budget, doc, ctx)
+        }
+        Strategy::CoreXPath | Strategy::XPatterns => {
+            let dialect = if strategy == Strategy::CoreXPath {
+                CoreDialect::CoreXPath
+            } else {
+                CoreDialect::XPatterns
+            };
+            let q = corexpath::compile_dialect(expr, dialect)?;
+            run(expr, strategy, Some(&q), None, naive_budget, doc, ctx)
+        }
+        Strategy::Streaming => {
+            let sq = streaming::compile_expr(expr)?;
+            run(expr, strategy, None, Some(&sq), naive_budget, doc, ctx)
+        }
+        _ => run(expr, strategy, None, None, naive_budget, doc, ctx),
+    }
+}
+
+/// Shared runtime dispatch. `strategy` is resolved (never `Auto`) and any
+/// fragment artifacts it needs are supplied by the caller.
+fn run(
+    expr: &Expr,
+    strategy: Strategy,
+    algebra: Option<&CoreQuery>,
+    automaton: Option<&StreamQuery>,
+    naive_budget: Option<u64>,
+    doc: &Document,
+    ctx: Context,
+) -> EvalResult<Value> {
+    match strategy {
+        Strategy::Naive => match naive_budget {
+            Some(b) => NaiveEvaluator::with_budget(doc, b).evaluate(expr, ctx),
+            None => NaiveEvaluator::new(doc).evaluate(expr, ctx),
+        },
+        Strategy::DataPool => PoolEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::BottomUp => BottomUpEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::TopDown => TopDownEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::MinContext => MinContextEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::OptMinContext => OptMinContextEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::CoreXPath | Strategy::XPatterns => {
+            let q = algebra.expect("fragment dispatch requires a compiled algebra program");
+            Ok(Value::NodeSet(CoreXPathEvaluator::new(doc).evaluate(q, &[ctx.node])))
+        }
+        Strategy::Streaming => {
+            // Streamable queries are absolute, so the context node is
+            // irrelevant to the result (P[[/π]] starts at the root).
+            let sq = automaton.expect("streaming dispatch requires a compiled automaton");
+            Ok(Value::NodeSet(streaming::evaluate_stream(sq, doc)))
+        }
+        Strategy::Auto => unreachable!("callers resolve Auto before run()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalError;
+    use xpath_syntax::parse_normalized;
+    use xpath_xml::generate::doc_bookstore;
+
+    fn plan(q: &str, s: Strategy) -> EvalResult<Plan> {
+        Plan::build(parse_normalized(q).unwrap(), s, None)
+    }
+
+    #[test]
+    fn auto_resolves_per_figure_1() {
+        assert_eq!(plan("//book[author]", Strategy::Auto).unwrap().strategy, Strategy::CoreXPath);
+        assert_eq!(
+            plan("//book[title = 'x']", Strategy::Auto).unwrap().strategy,
+            Strategy::XPatterns
+        );
+        assert_eq!(
+            plan("//book[position() = last()]", Strategy::Auto).unwrap().strategy,
+            Strategy::OptMinContext
+        );
+    }
+
+    #[test]
+    fn fragment_artifacts_compile_eagerly() {
+        let p = plan("//book[author]", Strategy::CoreXPath).unwrap();
+        assert!(p.algebra().is_some());
+        let p = plan("//book[author]", Strategy::Streaming).unwrap();
+        assert!(p.automaton().is_some());
+        // Outside the fragment: the error surfaces at build time.
+        assert!(matches!(
+            plan("count(//book)", Strategy::CoreXPath),
+            Err(EvalError::UnsupportedFragment(_))
+        ));
+        assert!(matches!(
+            plan("//author/parent::book", Strategy::Streaming),
+            Err(EvalError::UnsupportedFragment(_))
+        ));
+    }
+
+    #[test]
+    fn execute_matches_topdown() {
+        let d = doc_bookstore();
+        for q in ["//book[author]", "count(//book)", "//book[position() = last()]"] {
+            let auto = plan(q, Strategy::Auto).unwrap();
+            let reference = plan(q, Strategy::TopDown).unwrap();
+            let ctx = Context::of(d.root());
+            assert!(
+                auto.execute(&d, ctx)
+                    .unwrap()
+                    .semantically_equal(&reference.execute(&d, ctx).unwrap()),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_budget_is_enforced() {
+        let d = doc_bookstore();
+        let p = Plan::build(
+            parse_normalized("//book/ancestor::*/descendant::*/ancestor::*").unwrap(),
+            Strategy::Naive,
+            Some(10),
+        )
+        .unwrap();
+        assert!(matches!(p.execute(&d, Context::of(d.root())), Err(EvalError::BudgetExhausted)));
+    }
+}

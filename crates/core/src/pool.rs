@@ -164,9 +164,7 @@ impl<'d> PoolEvaluator<'d> {
                 let r = self.eval(right, ctx)?;
                 apply_binary(self.doc, *op, l, r)
             }
-            Expr::Neg(inner) => {
-                Ok(Value::Number(-self.eval(inner, ctx)?.to_number(self.doc)))
-            }
+            Expr::Neg(inner) => Ok(Value::Number(-self.eval(inner, ctx)?.to_number(self.doc))),
             Expr::Call { name, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -196,13 +194,7 @@ impl<'d> PoolEvaluator<'d> {
 
     /// `P[[π-suffix]](x)`, pooled per (suffix, context node) — §9.2's
     /// treatment of location paths.
-    fn eval_steps(
-        &self,
-        pid: usize,
-        steps: &[Step],
-        idx: usize,
-        x: NodeId,
-    ) -> EvalResult<NodeSet> {
+    fn eval_steps(&self, pid: usize, steps: &[Step], idx: usize, x: NodeId) -> EvalResult<NodeSet> {
         if idx == steps.len() {
             return Ok(vec![x]);
         }
@@ -238,8 +230,8 @@ impl<'d> PoolEvaluator<'d> {
 
 /// Convenience: evaluate a query string with the pool evaluator.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     PoolEvaluator::new(doc).evaluate(&e, ctx)
 }
 

@@ -1,0 +1,323 @@
+//! The two-phase query API: [`Compiler`] (static phase) and
+//! [`CompiledQuery`] (reusable runtime handle).
+//!
+//! The paper separates XPath processing into a cheap document-independent
+//! static phase — parse, normalize, rewrite, Figure-1 classification,
+//! algorithm selection, fragment compilation — and a runtime phase that
+//! walks a concrete tree. This module makes that split the public API:
+//!
+//! ```
+//! use xpath_core::query::Compiler;
+//! use xpath_core::Strategy;
+//! use xpath_xml::Document;
+//!
+//! // Compile once (no document needed)…
+//! let q = Compiler::new().compile("count(//b)").unwrap();
+//! assert_eq!(q.strategy(), Strategy::OptMinContext);
+//!
+//! // …evaluate many times, against any documents, from any thread.
+//! let d1 = Document::parse_str("<a><b/><b/></a>").unwrap();
+//! let d2 = Document::parse_str("<a><b/><b/><b/></a>").unwrap();
+//! assert_eq!(q.evaluate_root(&d1).unwrap().to_string(), "2");
+//! assert_eq!(q.evaluate_root(&d2).unwrap().to_string(), "3");
+//! ```
+//!
+//! [`CompiledQuery`] is immutable and `Send + Sync`; share it across
+//! worker threads directly or via [`crate::cache::QueryCache`], which
+//! amortizes compilation across an entire fleet of workers.
+
+use std::fmt;
+
+use xpath_syntax::{normalize, Bindings, Expr};
+use xpath_xml::Document;
+
+use crate::context::{Context, EvalError, EvalResult};
+use crate::fragment::{Classification, Fragment};
+use crate::nodeset::NodeSet;
+use crate::plan::{Plan, Strategy};
+use crate::value::Value;
+
+/// Builder for the static phase: configures how queries are compiled.
+///
+/// A `Compiler` is cheap to clone and carries no document state. The same
+/// compiler can compile any number of queries.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {
+    optimize: bool,
+    default_strategy: Strategy,
+    naive_budget: Option<u64>,
+    bindings: Bindings,
+}
+
+impl Compiler {
+    /// A compiler with default settings: no rewrite pass, automatic
+    /// (Figure-1) strategy selection, unbounded naive evaluation, no
+    /// variable bindings.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Enable or disable the semantics-preserving rewrite pass
+    /// ([`xpath_syntax::rewrite`]): `//`-step merging, `self::node()`
+    /// elimination, constant folding.
+    pub fn optimize(mut self, on: bool) -> Compiler {
+        self.optimize = on;
+        self
+    }
+
+    /// The strategy compiled queries run with. [`Strategy::Auto`] (the
+    /// default) classifies each query per Figure 1 and picks the best
+    /// algorithm; explicit fragment strategies reject outside queries at
+    /// compile time.
+    pub fn default_strategy(mut self, strategy: Strategy) -> Compiler {
+        self.default_strategy = strategy;
+        self
+    }
+
+    /// Bound the exponential naive baseline to `budget` location steps
+    /// (evaluation fails with [`EvalError::BudgetExhausted`] beyond it).
+    pub fn naive_budget(mut self, budget: u64) -> Compiler {
+        self.naive_budget = Some(budget);
+        self
+    }
+
+    /// Variable bindings substituted during normalization (the paper
+    /// assumes bindings are inlined before evaluation).
+    pub fn bindings(mut self, bindings: &Bindings) -> Compiler {
+        self.bindings = bindings.clone();
+        self
+    }
+
+    /// Static phase only, up to the AST: parse, normalize (inlining this
+    /// compiler's bindings), and apply the rewrite pass if enabled.
+    pub fn parse(&self, query: &str) -> EvalResult<Expr> {
+        let e = xpath_syntax::parse(query).map_err(|e| EvalError::Parse(e.to_string()))?;
+        let e = normalize::normalize_with(&e, &self.bindings)
+            .map_err(|e| EvalError::Parse(e.to_string()))?;
+        Ok(if self.optimize { xpath_syntax::rewrite::optimize(&e) } else { e })
+    }
+
+    /// Run the full static phase: parse, normalize, rewrite, classify,
+    /// resolve the strategy, and compile fragment artifacts eagerly.
+    ///
+    /// Parse and normalization failures surface as [`EvalError::Parse`];
+    /// a query outside an explicitly requested fragment surfaces as
+    /// [`EvalError::UnsupportedFragment`] — both at compile time.
+    pub fn compile(&self, query: &str) -> EvalResult<CompiledQuery> {
+        let expr = self.parse(query)?;
+        let plan = Plan::build(expr, self.default_strategy, self.naive_budget)?;
+        Ok(CompiledQuery { text: query.to_string(), optimized: self.optimize, plan })
+    }
+
+    /// A stable fingerprint of this compiler's settings, used with the
+    /// query text as the [`crate::cache::QueryCache`] key. Two compilers
+    /// with equal fingerprints produce identical compiled queries.
+    pub fn options_fingerprint(&self) -> String {
+        // Bindings has no Hash/Eq, and its HashMap iteration order varies
+        // per instance — render the entries in sorted name order instead.
+        format!(
+            "opt={};strat={:?};budget={:?};bind={:?}",
+            self.optimize,
+            self.default_strategy,
+            self.naive_budget,
+            self.bindings.sorted()
+        )
+    }
+
+    /// The configured naive-evaluator budget, if any.
+    pub(crate) fn configured_naive_budget(&self) -> Option<u64> {
+        self.naive_budget
+    }
+}
+
+/// An immutable, document-independent compiled query.
+///
+/// Produced by [`Compiler::compile`]; holds the full static-phase output
+/// (normalized expression, classification, resolved strategy, precompiled
+/// fragment artifacts) and no document references, so one instance
+/// evaluates against any document from any thread.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    text: String,
+    optimized: bool,
+    plan: Plan,
+}
+
+impl CompiledQuery {
+    /// Compile with default [`Compiler`] settings.
+    pub fn compile(query: &str) -> EvalResult<CompiledQuery> {
+        Compiler::new().compile(query)
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Whether the rewrite pass ran during compilation.
+    pub fn optimized(&self) -> bool {
+        self.optimized
+    }
+
+    /// The normalized (and possibly rewritten) expression.
+    pub fn expr(&self) -> &Expr {
+        &self.plan.expr
+    }
+
+    /// The resolved strategy this query runs with (never
+    /// [`Strategy::Auto`]).
+    pub fn strategy(&self) -> Strategy {
+        self.plan.strategy
+    }
+
+    /// The Figure-1 fragment the query falls into.
+    pub fn fragment(&self) -> Fragment {
+        self.plan.classification.fragment
+    }
+
+    /// The full Figure-1 classification, including Extended-Wadler
+    /// violation diagnostics.
+    pub fn classification(&self) -> &Classification {
+        &self.plan.classification
+    }
+
+    /// The underlying execution plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Evaluate against `doc` from an explicit context (runtime phase
+    /// only).
+    pub fn evaluate(&self, doc: &Document, ctx: Context) -> EvalResult<Value> {
+        self.plan.execute(doc, ctx)
+    }
+
+    /// Evaluate against `doc` from the document root.
+    pub fn evaluate_root(&self, doc: &Document) -> EvalResult<Value> {
+        self.evaluate(doc, Context::of(doc.root()))
+    }
+
+    /// Evaluate a node-set query at the root of `doc` and return the
+    /// matching nodes.
+    pub fn select(&self, doc: &Document) -> EvalResult<NodeSet> {
+        into_node_set(self.evaluate_root(doc)?)
+    }
+
+    /// Evaluate a node-set query from an explicit context.
+    pub fn select_at(&self, doc: &Document, ctx: Context) -> EvalResult<NodeSet> {
+        into_node_set(self.evaluate(doc, ctx)?)
+    }
+
+    /// Evaluate the same plan against many documents (at each root),
+    /// amortizing the static phase across the batch. Fails fast on the
+    /// first evaluation error.
+    pub fn evaluate_many(&self, docs: &[&Document]) -> EvalResult<Vec<Value>> {
+        docs.iter().map(|doc| self.evaluate_root(doc)).collect()
+    }
+}
+
+impl fmt::Display for CompiledQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} via {:?}]",
+            self.text,
+            self.plan.classification.fragment.name(),
+            self.plan.strategy
+        )
+    }
+}
+
+pub(crate) fn into_node_set(v: Value) -> EvalResult<NodeSet> {
+    match v {
+        Value::NodeSet(s) => Ok(s),
+        other => {
+            Err(EvalError::TypeMismatch(format!("expected a node set, got {}", other.type_name())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8};
+
+    #[test]
+    fn compile_once_evaluate_many_documents() {
+        let q = CompiledQuery::compile("count(//*)").unwrap();
+        let d1 = doc_bookstore();
+        let d2 = doc_figure8();
+        let vs = q.evaluate_many(&[&d1, &d2]).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_ne!(vs[0], vs[1], "different documents, different counts");
+    }
+
+    #[test]
+    fn parse_errors_surface_as_parse_at_compile_time() {
+        assert!(matches!(CompiledQuery::compile("//["), Err(EvalError::Parse(_))));
+        assert!(matches!(Compiler::new().compile("//book[$undefined]"), Err(EvalError::Parse(_))));
+    }
+
+    #[test]
+    fn fragment_rejection_is_a_compile_error() {
+        let c = Compiler::new().default_strategy(Strategy::CoreXPath);
+        assert!(matches!(c.compile("count(//book)"), Err(EvalError::UnsupportedFragment(_))));
+        // The same query compiles fine under Auto.
+        assert!(Compiler::new().compile("count(//book)").is_ok());
+    }
+
+    #[test]
+    fn bindings_are_inlined_at_compile_time() {
+        let b = Bindings::new().number("y", 2000.0);
+        let q = Compiler::new().bindings(&b).compile("count(//book[@year > $y])").unwrap();
+        let d = doc_bookstore();
+        assert_eq!(q.evaluate_root(&d).unwrap(), Value::Number(2.0));
+    }
+
+    #[test]
+    fn optimize_flag_rewrites() {
+        let plain = CompiledQuery::compile("//b/self::node()/c").unwrap();
+        let opt = Compiler::new().optimize(true).compile("//b/self::node()/c").unwrap();
+        assert!(opt.optimized());
+        assert_ne!(plain.expr(), opt.expr(), "rewrite should eliminate self::node()");
+        let d = doc_figure8();
+        assert!(opt
+            .evaluate_root(&d)
+            .unwrap()
+            .semantically_equal(&plain.evaluate_root(&d).unwrap()));
+    }
+
+    #[test]
+    fn options_fingerprint_is_deterministic_across_rebuilt_bindings() {
+        // HashMap iteration order varies per instance; the fingerprint
+        // must not (it is the cache key).
+        let build = || {
+            Compiler::new()
+                .bindings(&Bindings::new().number("a", 1.0).string("b", "x").boolean("c", true))
+        };
+        let fp = build().options_fingerprint();
+        for _ in 0..20 {
+            assert_eq!(build().options_fingerprint(), fp);
+        }
+        // Insertion order must not matter either.
+        let reordered = Compiler::new()
+            .bindings(&Bindings::new().boolean("c", true).string("b", "x").number("a", 1.0));
+        assert_eq!(reordered.options_fingerprint(), fp);
+    }
+
+    #[test]
+    fn select_type_checks() {
+        let d = doc_bookstore();
+        let q = CompiledQuery::compile("//book").unwrap();
+        assert_eq!(q.select(&d).unwrap().len(), 4);
+        let scalar = CompiledQuery::compile("count(//book)").unwrap();
+        assert!(matches!(scalar.select(&d), Err(EvalError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn display_names_fragment_and_strategy() {
+        let q = CompiledQuery::compile("//book[author]").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("Core XPath") && s.contains("CoreXPath"), "{s}");
+    }
+}

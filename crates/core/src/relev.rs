@@ -111,8 +111,8 @@ pub fn relev(e: &Expr) -> Relev {
             "last" => Relev::CS,
             "true" | "false" => Relev::NONE,
             // Parameterless context functions refer to the context node.
-            "string" | "number" | "string-length" | "normalize-space" | "name"
-            | "local-name" | "namespace-uri"
+            "string" | "number" | "string-length" | "normalize-space" | "name" | "local-name"
+            | "namespace-uri"
                 if args.is_empty() =>
             {
                 Relev::CN
@@ -154,10 +154,7 @@ mod tests {
         assert_eq!(r("last() * 0.5"), Relev::CS);
         assert_eq!(r("position() > last() * 0.5"), Relev::CP.union(Relev::CS));
         assert_eq!(r("string(self::*) = '100'"), Relev::CN);
-        assert_eq!(
-            r("position() > last() * 0.5 or string(self::*) = '100'"),
-            Relev::ALL
-        );
+        assert_eq!(r("position() > last() * 0.5 or string(self::*) = '100'"), Relev::ALL);
         assert_eq!(r("descendant::*[position() > last() * 0.5]"), Relev::CN);
         assert_eq!(r("/descendant::*[position() > last() * 0.5]"), Relev::NONE);
     }

@@ -134,8 +134,8 @@ pub fn compile(q: &CoreQuery) -> EvalResult<StreamQuery> {
 /// Parse, normalize and compile a query string (must be XPatterns-compatible
 /// and streamable, possibly with one positional test — see [`compile_expr`]).
 pub fn compile_str(query: &str) -> EvalResult<StreamQuery> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     compile_expr(&e)
 }
 
@@ -181,8 +181,10 @@ pub fn compile_expr(e: &xpath_syntax::Expr) -> EvalResult<StreamQuery> {
 fn as_positional(e: &xpath_syntax::Expr) -> Option<Positional> {
     use xpath_syntax::{BinaryOp, Expr};
     let Expr::Binary { op, left, right } = e else { return None };
-    let is_position = |x: &Expr| matches!(x, Expr::Call { name, args } if name == "position" && args.is_empty());
-    let is_last = |x: &Expr| matches!(x, Expr::Call { name, args } if name == "last" && args.is_empty());
+    let is_position =
+        |x: &Expr| matches!(x, Expr::Call { name, args } if name == "position" && args.is_empty());
+    let is_last =
+        |x: &Expr| matches!(x, Expr::Call { name, args } if name == "last" && args.is_empty());
     if !is_position(left) {
         return None;
     }
@@ -389,8 +391,12 @@ enum PredRun {
 impl PredRun {
     fn new(p: &SPred, root: EventShape<'_>) -> PredRun {
         match p {
-            SPred::And(l, r) => PredRun::And(Box::new(PredRun::new(l, root)), Box::new(PredRun::new(r, root))),
-            SPred::Or(l, r) => PredRun::Or(Box::new(PredRun::new(l, root)), Box::new(PredRun::new(r, root))),
+            SPred::And(l, r) => {
+                PredRun::And(Box::new(PredRun::new(l, root)), Box::new(PredRun::new(r, root)))
+            }
+            SPred::Or(l, r) => {
+                PredRun::Or(Box::new(PredRun::new(l, root)), Box::new(PredRun::new(r, root)))
+            }
             SPred::Not(inner) => PredRun::Not(Box::new(PredRun::new(inner, root))),
             SPred::Path(path) => PredRun::Path(PathRun::new_rooted(path.clone(), root)),
         }
@@ -534,9 +540,7 @@ impl PathRun {
     fn descend_mask(&self, m: u64) -> u64 {
         let mut d = 0u64;
         for (i, st) in self.path.steps.iter().enumerate() {
-            if m & (1 << i) != 0
-                && matches!(st.axis, Axis::Descendant | Axis::DescendantOrSelf)
-            {
+            if m & (1 << i) != 0 && matches!(st.axis, Axis::Descendant | Axis::DescendantOrSelf) {
                 d |= 1 << i;
             }
         }
@@ -808,12 +812,7 @@ impl PathRun {
         }
         // Leaves have no subtree: predicate paths find nothing beyond what
         // ε-matches the leaf itself, so resolve them immediately.
-        let sat = self
-            .path
-            .preds
-            .iter()
-            .map(|p| PredRun::new(p, shape))
-            .all(|mut p| p.resolve());
+        let sat = self.path.preds.iter().map(|p| PredRun::new(p, shape)).all(|mut p| p.resolve());
         let eq_ok = match &self.path.eq {
             None => true,
             Some(eq) => value.is_some_and(|v| eq_matches(eq, v)),
@@ -987,11 +986,7 @@ mod tests {
             let cfg = RandomDocConfig { elements: 40, ..RandomDocConfig::default() };
             let doc = doc_random(seed, &cfg);
             for q in CORPUS {
-                assert_eq!(
-                    stream_eval(&doc, q),
-                    tree_eval(&doc, q),
-                    "query {q} seed {seed}"
-                );
+                assert_eq!(stream_eval(&doc, q), tree_eval(&doc, q), "query {q} seed {seed}");
             }
         }
     }

@@ -93,8 +93,7 @@ impl<'d> TopDownEvaluator<'d> {
                 ctxs.iter()
                     .enumerate()
                     .map(|(i, c)| {
-                        let argv: Vec<Value> =
-                            arg_vecs.iter().map(|col| col[i].clone()).collect();
+                        let argv: Vec<Value> = arg_vecs.iter().map(|col| col[i].clone()).collect();
                         functions::apply(self.doc, name, argv, c)
                     })
                     .collect()
@@ -145,18 +144,15 @@ impl<'d> TopDownEvaluator<'d> {
             xs = nodeset::union(&xs, set);
         }
         // S_x for each distinct source node, in document order.
-        let mut groups: Vec<(NodeId, NodeSet)> = xs
-            .iter()
-            .map(|&x| (x, step_candidates(self.doc, step.axis, &step.test, x)))
-            .collect();
+        let mut groups: Vec<(NodeId, NodeSet)> =
+            xs.iter().map(|&x| (x, step_candidates(self.doc, step.axis, &step.test, x))).collect();
         // Predicates in ascending order, each evaluated over the deduplicated
         // context list T (the vector computation).
         for pred in &step.predicates {
             groups = self.filter_groups(step.axis, groups, pred)?;
         }
         // R_i := {y | ⟨x, y⟩ ∈ S, x ∈ Xi}.
-        let by_x: HashMap<NodeId, &NodeSet> =
-            groups.iter().map(|(x, sx)| (*x, sx)).collect();
+        let by_x: HashMap<NodeId, &NodeSet> = groups.iter().map(|(x, sx)| (*x, sx)).collect();
         let mut outputs = Vec::with_capacity(inputs.len());
         for xi in &inputs {
             let mut r: NodeSet = Vec::new();
@@ -251,8 +247,8 @@ impl<'d> TopDownEvaluator<'d> {
 
 /// Convenience: evaluate a query string with the top-down evaluator.
 pub fn evaluate_str(doc: &Document, query: &str, ctx: Context) -> EvalResult<Value> {
-    let e = xpath_syntax::parse_normalized(query)
-        .map_err(|err| EvalError::TypeMismatch(err.to_string()))?;
+    let e =
+        xpath_syntax::parse_normalized(query).map_err(|err| EvalError::Parse(err.to_string()))?;
     TopDownEvaluator::new(doc).evaluate(&e, ctx)
 }
 
@@ -302,8 +298,10 @@ mod tests {
             &d,
             "/descendant::*/descendant::*[position() > last() * 0.5 or string(self::*) = '100']",
         );
-        let expect: Vec<NodeId> =
-            ["13", "14", "21", "22", "23", "24"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
+        let expect: Vec<NodeId> = ["13", "14", "21", "22", "23", "24"]
+            .iter()
+            .map(|i| d.element_by_id(i).unwrap())
+            .collect();
         assert_eq!(v, Value::NodeSet(expect));
     }
 

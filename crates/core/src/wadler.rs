@@ -83,33 +83,32 @@ fn check_node(e: &Expr, out: &mut Vec<String>) {
                 (ExprType::Nset, ExprType::Nset) => {
                     out.push("Restriction 2: nset RelOp nset is not allowed".into());
                 }
-                (ExprType::Nset, _)
-                    if relev(right) != Relev::NONE => {
-                        out.push(
-                            "Restriction 2: nset RelOp scalar requires a context-independent scalar"
-                                .into(),
-                        );
-                    }
-                (_, ExprType::Nset)
-                    if relev(left) != Relev::NONE => {
-                        out.push(
-                            "Restriction 2: scalar RelOp nset requires a context-independent scalar"
-                                .into(),
-                        );
-                    }
+                (ExprType::Nset, _) if relev(right) != Relev::NONE => {
+                    out.push(
+                        "Restriction 2: nset RelOp scalar requires a context-independent scalar"
+                            .into(),
+                    );
+                }
+                (_, ExprType::Nset) if relev(left) != Relev::NONE => {
+                    out.push(
+                        "Restriction 2: scalar RelOp nset requires a context-independent scalar"
+                            .into(),
+                    );
+                }
                 _ => {}
             }
         }
-        Expr::Binary { op, left, right } if op.is_arithmetic()
+        Expr::Binary { op, left, right }
+            if op.is_arithmetic()
             // Arithmetic over node sets implies an implicit number(nset):
             // barred for the same reason as Restriction 1.
-            && (static_type(left) == ExprType::Nset || static_type(right) == ExprType::Nset) => {
-                out.push("Restriction 1: implicit number(nset) in arithmetic".into());
-            }
-        Expr::Neg(inner)
-            if static_type(inner) == ExprType::Nset => {
-                out.push("Restriction 1: implicit number(nset) in negation".into());
-            }
+            && (static_type(left) == ExprType::Nset || static_type(right) == ExprType::Nset) =>
+        {
+            out.push("Restriction 1: implicit number(nset) in arithmetic".into());
+        }
+        Expr::Neg(inner) if static_type(inner) == ExprType::Nset => {
+            out.push("Restriction 1: implicit number(nset) in negation".into());
+        }
         _ => {}
     }
 }
@@ -133,14 +132,18 @@ pub(crate) fn bottomup_candidate(e: &Expr) -> Option<BottomUpForm<'_>> {
                 (c, Expr::Path(p)) => (p, c, false),
                 _ => return None,
             };
-            if static_type(c) == ExprType::Nset && !matches!(c, Expr::Call { name, .. } if name == "id")
+            if static_type(c) == ExprType::Nset
+                && !matches!(c, Expr::Call { name, .. } if name == "id")
             {
                 return None; // nset RelOp nset handled by the general engine
             }
             if relev(c) != Relev::NONE || !path_is_propagatable(p) {
                 return None;
             }
-            Some(BottomUpForm { path: p, cmp: Some(Comparison { op: *op, constant: c, path_left }) })
+            Some(BottomUpForm {
+                path: p,
+                cmp: Some(Comparison { op: *op, constant: c, path_left }),
+            })
         }
         _ => None,
     }
@@ -182,8 +185,8 @@ impl<'d> MinContextEvaluator<'d> {
             None => (doc.all_nodes().collect(), None),
             Some(cmp) => {
                 // c is context-independent: evaluate it once.
-                let c_val = NaiveEvaluator::new(doc)
-                    .evaluate(cmp.constant, Context::of(doc.root()))?;
+                let c_val =
+                    NaiveEvaluator::new(doc).evaluate(cmp.constant, Context::of(doc.root()))?;
                 if let Value::Boolean(b) = c_val {
                     // "π RelOp c with c of type bool is treated like
                     //  boolean(π) RelOp c."
@@ -268,8 +271,7 @@ impl<'d> MinContextEvaluator<'d> {
             PathStart::Expr(head) => {
                 // Context-independent head: qualifies everywhere iff some
                 // head node survives the propagation.
-                let head_val =
-                    NaiveEvaluator::new(doc).evaluate(head, Context::of(doc.root()))?;
+                let head_val = NaiveEvaluator::new(doc).evaluate(head, Context::of(doc.root()))?;
                 let set = head_val.into_node_set().ok_or_else(|| {
                     EvalError::TypeMismatch("path start must evaluate to a node set".into())
                 })?;
@@ -430,14 +432,9 @@ mod tests {
         let table = mc.eval_bottomup_expr(&e).unwrap();
         let truthy: Vec<NodeId> = d
             .all_nodes()
-            .filter(|&n| {
-                matches!(table.value_at(Context::of(n)), Some(Value::Boolean(true)))
-            })
+            .filter(|&n| matches!(table.value_at(Context::of(n)), Some(Value::Boolean(true))))
             .collect();
-        assert_eq!(
-            truthy,
-            vec![d.element_by_id("23").unwrap(), d.element_by_id("24").unwrap()]
-        );
+        assert_eq!(truthy, vec![d.element_by_id("23").unwrap(), d.element_by_id("24").unwrap()]);
     }
 
     #[test]

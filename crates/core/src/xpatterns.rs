@@ -107,16 +107,12 @@ pub fn has_any_attribute(doc: &Document) -> NodeSet {
 /// `"text()"`: elements with a text child (the XSLT-Patterns qualifier
 /// tests containment, unlike the XPath node test).
 pub fn has_text(doc: &Document) -> NodeSet {
-    doc.all_nodes()
-        .filter(|&n| doc.children(n).any(|c| doc.kind(c) == NodeKind::Text))
-        .collect()
+    doc.all_nodes().filter(|&n| doc.children(n).any(|c| doc.kind(c) == NodeKind::Text)).collect()
 }
 
 /// `"comment()"` qualifier: elements with a comment child.
 pub fn has_comment(doc: &Document) -> NodeSet {
-    doc.all_nodes()
-        .filter(|&n| doc.children(n).any(|c| doc.kind(c) == NodeKind::Comment))
-        .collect()
+    doc.all_nodes().filter(|&n| doc.children(n).any(|c| doc.kind(c) == NodeKind::Comment)).collect()
 }
 
 /// `"pi(n)"` / `"pi()"` qualifier: elements with a processing-instruction
@@ -191,16 +187,12 @@ impl<'d> PredicateRegistry<'d> {
 
     /// `=s`, populated per distinct string.
     pub fn string_value_equals(&mut self, s: &str) -> &NodeSet {
-        self.eq_strings
-            .entry(s.to_string())
-            .or_insert_with(|| string_value_equals(self.doc, s))
+        self.eq_strings.entry(s.to_string()).or_insert_with(|| string_value_equals(self.doc, s))
     }
 
     /// `@n`, populated per distinct attribute name.
     pub fn has_attribute(&mut self, name: &str) -> &NodeSet {
-        self.has_attr
-            .entry(name.to_string())
-            .or_insert_with(|| has_attribute(self.doc, name))
+        self.has_attr.entry(name.to_string()).or_insert_with(|| has_attribute(self.doc, name))
     }
 }
 
@@ -333,9 +325,7 @@ mod tests {
         let via_query = engine.select("//*[not(preceding-sibling::node())] | /.").unwrap();
         let mut expected = first_of_any(&d);
         // The query returns only elements+root; restrict the predicate set.
-        expected.retain(|&n| {
-            matches!(d.kind(n), NodeKind::Element | NodeKind::Root)
-        });
+        expected.retain(|&n| matches!(d.kind(n), NodeKind::Element | NodeKind::Root));
         assert_eq!(via_query, expected);
     }
 }

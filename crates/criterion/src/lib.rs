@@ -1,0 +1,249 @@
+//! Offline stand-in for the [Criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! real `criterion` crate cannot be fetched. This shim implements the
+//! API subset the `xpath-bench` benches use — `Criterion`,
+//! `benchmark_group`, `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with plain wall-clock sampling: warm up for the configured duration,
+//! then take `sample_size` samples and report min / mean / max time per
+//! iteration on stdout.
+//!
+//! Swap this path dependency for the real crate when registry access is
+//! available; the bench sources compile against either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display` (e.g. an input size).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("naive", 14)` → `naive/14`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id with no function name, just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`: per-iteration times of the measured samples.
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly: first for the warm-up duration, then
+    /// `sample_size` timed samples spread over the measurement duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up clock expires (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let warm_elapsed = warm_start.elapsed();
+
+        // Estimate iterations per sample so all samples roughly fill the
+        // measurement window.
+        let per_iter = warm_elapsed.as_secs_f64() / warm_iters as f64;
+        let samples = self.config.sample_size.max(1);
+        let budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// How long to run the routine before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget over which the samples are spread.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.samples);
+        self
+    }
+
+    /// Benchmark a routine that takes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b.samples);
+        self
+    }
+
+    /// End the group (results are reported eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!("{group}/{id}: [{min:?} {mean:?} {max:?}] ({} samples)", samples.len());
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: Config::default(), _criterion: self }
+    }
+
+    /// Benchmark a single routine outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = Config::default();
+        let mut b = Bencher { config: &config, samples: Vec::new() };
+        f(&mut b);
+        report("bench", &id.to_string(), &b.samples);
+        self
+    }
+}
+
+/// Define a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let config = Config {
+            sample_size: 4,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(4),
+        };
+        let mut b = Bencher { config: &config, samples: Vec::new() };
+        let mut n = 0u64;
+        b.iter(|| n = n.wrapping_add(1));
+        assert_eq!(b.samples.len(), 4);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("naive", 14).to_string(), "naive/14");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -149,7 +149,10 @@ impl BinaryOp {
 
     /// Is this an arithmetic operator (`ArithOp`)?
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod)
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+        )
     }
 
     /// Binding strength for the pretty-printer (higher binds tighter).
@@ -365,8 +368,14 @@ mod tests {
             static_type(&Expr::binary(BinaryOp::Union, p.clone(), p.clone())),
             ExprType::Nset
         );
-        assert_eq!(static_type(&Expr::binary(BinaryOp::Lt, Expr::Number(1.0), Expr::Number(2.0))), ExprType::Bool);
-        assert_eq!(static_type(&Expr::binary(BinaryOp::Mod, Expr::Number(1.0), Expr::Number(2.0))), ExprType::Num);
+        assert_eq!(
+            static_type(&Expr::binary(BinaryOp::Lt, Expr::Number(1.0), Expr::Number(2.0))),
+            ExprType::Bool
+        );
+        assert_eq!(
+            static_type(&Expr::binary(BinaryOp::Mod, Expr::Number(1.0), Expr::Number(2.0))),
+            ExprType::Num
+        );
     }
 
     #[test]

@@ -245,8 +245,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
                 pos = next;
             }
             b'*' => {
-                let operand_position =
-                    toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                let operand_position = toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
                 if operand_position {
                     toks.push((pos, Token::WildcardName));
                 } else {
@@ -257,8 +256,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
             _ if is_name_start(b) => {
                 let end = scan_ncname(bytes, pos);
                 let name = &input[pos..end];
-                let operand_position =
-                    toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                let operand_position = toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
                 // Operator-name rule.
                 if !operand_position {
                     let op = match name {
@@ -396,10 +394,7 @@ mod tests {
     fn star_disambiguation() {
         // First * is a wildcard (start of expr), second is multiplication,
         // third is a wildcard (after operator).
-        assert_eq!(
-            toks("* * *"),
-            vec![Token::WildcardName, Token::Star, Token::WildcardName]
-        );
+        assert_eq!(toks("* * *"), vec![Token::WildcardName, Token::Star, Token::WildcardName]);
         assert_eq!(
             toks("child::* * 2"),
             vec![
@@ -488,13 +483,10 @@ mod tests {
 
     #[test]
     fn dots_and_slashes() {
-        assert_eq!(toks("././/.."), vec![
-            Token::Dot,
-            Token::Slash,
-            Token::Dot,
-            Token::DoubleSlash,
-            Token::DotDot,
-        ]);
+        assert_eq!(
+            toks("././/.."),
+            vec![Token::Dot, Token::Slash, Token::Dot, Token::DoubleSlash, Token::DotDot,]
+        );
     }
 
     #[test]

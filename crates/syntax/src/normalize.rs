@@ -65,6 +65,24 @@ impl Bindings {
     pub fn get(&self, name: &str) -> Option<&Constant> {
         self.map.get(name)
     }
+
+    /// All bindings in name order (deterministic regardless of insertion
+    /// order or hasher state — suitable for fingerprints and display).
+    pub fn sorted(&self) -> Vec<(&str, &Constant)> {
+        let mut entries: Vec<_> = self.map.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Normalize an expression with no variable bindings.
@@ -84,7 +102,10 @@ fn norm_expr(e: &Expr, b: &Bindings) -> Result<Expr, SyntaxError> {
         Expr::Path(p) => Expr::Path(norm_path(p, b)?),
         Expr::Filter { primary, predicates } => Expr::Filter {
             primary: Box::new(norm_expr(primary, b)?),
-            predicates: predicates.iter().map(|p| norm_predicate(p, b)).collect::<Result<_, _>>()?,
+            predicates: predicates
+                .iter()
+                .map(|p| norm_predicate(p, b))
+                .collect::<Result<_, _>>()?,
         },
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
@@ -138,11 +159,9 @@ fn norm_predicate(pred: &Expr, b: &Bindings) -> Result<Expr, SyntaxError> {
     let inner = norm_expr(pred, b)?;
     Ok(match static_type(&inner) {
         // [e] with numeric e ≡ [position() = e] (§5).
-        ExprType::Num => Expr::binary(
-            crate::ast::BinaryOp::Eq,
-            Expr::call("position", vec![]),
-            inner,
-        ),
+        ExprType::Num => {
+            Expr::binary(crate::ast::BinaryOp::Eq, Expr::call("position", vec![]), inner)
+        }
         ExprType::Bool => inner,
         // Explicit conversion for node sets and strings (§5: we write
         // /descendant::a[boolean(child::b)] rather than /descendant::a[child::b]).
@@ -160,9 +179,7 @@ pub fn is_normalized(e: &Expr) -> bool {
             ok = false;
         }
         let preds: Option<Box<dyn Iterator<Item = &Expr>>> = match x {
-            Expr::Path(p) => {
-                Some(Box::new(p.steps.iter().flat_map(|s| s.predicates.iter())))
-            }
+            Expr::Path(p) => Some(Box::new(p.steps.iter().flat_map(|s| s.predicates.iter()))),
             Expr::Filter { predicates, .. } => Some(Box::new(predicates.iter())),
             _ => None,
         };
@@ -188,10 +205,7 @@ mod tests {
 
     #[test]
     fn numeric_predicate_becomes_position_test() {
-        assert_eq!(
-            norm("//a[5]"),
-            "/descendant-or-self::node()/child::a[position() = 5]"
-        );
+        assert_eq!(norm("//a[5]"), "/descendant-or-self::node()/child::a[position() = 5]");
         assert_eq!(
             norm("//a[last()]"),
             "/descendant-or-self::node()/child::a[position() = last()]"
@@ -200,10 +214,7 @@ mod tests {
 
     #[test]
     fn nset_predicate_gets_boolean() {
-        assert_eq!(
-            norm("/descendant::a[child::b]"),
-            "/descendant::a[boolean(child::b)]"
-        );
+        assert_eq!(norm("/descendant::a[child::b]"), "/descendant::a[boolean(child::b)]");
     }
 
     #[test]
@@ -254,10 +265,7 @@ mod tests {
     #[test]
     fn nested_predicates_normalized() {
         let n = norm("//a[b[c]]");
-        assert_eq!(
-            n,
-            "/descendant-or-self::node()/child::a[boolean(child::b[boolean(child::c)])]"
-        );
+        assert_eq!(n, "/descendant-or-self::node()/child::a[boolean(child::b[boolean(child::c)])]");
     }
 
     #[test]

@@ -184,20 +184,14 @@ impl Parser {
                 Some(Token::Slash) => {
                     self.pos += 1;
                     let steps = self.parse_relative_steps()?;
-                    Ok(Expr::Path(LocationPath {
-                        start: PathStart::Expr(Box::new(filter)),
-                        steps,
-                    }))
+                    Ok(Expr::Path(LocationPath { start: PathStart::Expr(Box::new(filter)), steps }))
                 }
                 Some(Token::DoubleSlash) => {
                     self.pos += 1;
                     let mut steps =
                         vec![Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node))];
                     steps.extend(self.parse_relative_steps()?);
-                    Ok(Expr::Path(LocationPath {
-                        start: PathStart::Expr(Box::new(filter)),
-                        steps,
-                    }))
+                    Ok(Expr::Path(LocationPath { start: PathStart::Expr(Box::new(filter)), steps }))
                 }
                 _ => Ok(filter),
             }
@@ -317,7 +311,8 @@ impl Parser {
                 }
                 Some(Token::DoubleSlash) => {
                     self.pos += 1;
-                    steps.push(Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node)));
+                    steps
+                        .push(Step::simple(Axis::DescendantOrSelf, NodeTest::Kind(KindTest::Node)));
                     steps.push(self.parse_step()?);
                 }
                 _ => return Ok(steps),

@@ -23,7 +23,9 @@
 //! 6. removal of constant-`true()` predicates (a predicate that is `true`
 //!    in every context filters nothing).
 
-use crate::ast::{static_type, BinaryOp, Expr, ExprType, KindTest, LocationPath, NodeTest, PathStart, Step};
+use crate::ast::{
+    static_type, BinaryOp, Expr, ExprType, KindTest, LocationPath, NodeTest, PathStart, Step,
+};
 use crate::axis::Axis;
 
 /// Whether a predicate's value can depend on the context position or size
@@ -70,10 +72,9 @@ pub fn optimize(e: &Expr) -> Expr {
         Expr::Call { name, args } => {
             let args: Vec<Expr> = args.iter().map(optimize).collect();
             // boolean(boolean(e)) → boolean(e); boolean(bool-typed e) → e.
-            if name == "boolean" && args.len() == 1
-                && static_type(&args[0]) == ExprType::Bool {
-                    return args.into_iter().next().expect("one arg");
-                }
+            if name == "boolean" && args.len() == 1 && static_type(&args[0]) == ExprType::Bool {
+                return args.into_iter().next().expect("one arg");
+            }
             // not(not(e)) → boolean(e) when e is boolean-typed.
             if name == "not" && args.len() == 1 {
                 if let Expr::Call { name: inner, args: inner_args } = &args[0] {
@@ -107,28 +108,25 @@ fn fold_call(name: &str, args: &[Expr]) -> Option<Expr> {
             let parts: Option<Vec<String>> = args.iter().map(lit).collect();
             parts.map(|p| Expr::Literal(p.concat()))
         }
-        ("starts-with", [a, b]) => Some(Expr::call(
-            if lit(a)?.starts_with(&lit(b)?) { "true" } else { "false" },
-            vec![],
-        )),
-        ("contains", [a, b]) => Some(Expr::call(
-            if lit(a)?.contains(&lit(b)?) { "true" } else { "false" },
-            vec![],
-        )),
+        ("starts-with", [a, b]) => {
+            Some(Expr::call(if lit(a)?.starts_with(&lit(b)?) { "true" } else { "false" }, vec![]))
+        }
+        ("contains", [a, b]) => {
+            Some(Expr::call(if lit(a)?.contains(&lit(b)?) { "true" } else { "false" }, vec![]))
+        }
         ("string-length", [a]) => Some(Expr::Number(lit(a)?.chars().count() as f64)),
-        ("normalize-space", [a]) => Some(Expr::Literal(
-            lit(a)?.split_whitespace().collect::<Vec<_>>().join(" "),
-        )),
+        ("normalize-space", [a]) => {
+            Some(Expr::Literal(lit(a)?.split_whitespace().collect::<Vec<_>>().join(" ")))
+        }
         // Identity coercions over literals.
         ("number", [Expr::Number(v)]) => Some(Expr::Number(*v)),
         ("string", [Expr::Literal(s)]) => Some(Expr::Literal(s.clone())),
         ("boolean", [Expr::Literal(s)]) => {
             Some(Expr::call(if s.is_empty() { "false" } else { "true" }, vec![]))
         }
-        ("boolean", [Expr::Number(v)]) => Some(Expr::call(
-            if *v != 0.0 && !v.is_nan() { "true" } else { "false" },
-            vec![],
-        )),
+        ("boolean", [Expr::Number(v)]) => {
+            Some(Expr::call(if *v != 0.0 && !v.is_nan() { "true" } else { "false" }, vec![]))
+        }
         _ => None,
     }
 }
@@ -183,12 +181,8 @@ fn fold_binary(op: BinaryOp, l: Expr, r: Expr) -> Expr {
         (BinaryOp::Or, Some(true), _) | (BinaryOp::Or, _, Some(true)) => {
             return Expr::call("true", vec![])
         }
-        (BinaryOp::And, Some(true), _) | (BinaryOp::Or, Some(false), _) => {
-            return as_boolean(r)
-        }
-        (BinaryOp::And, _, Some(true)) | (BinaryOp::Or, _, Some(false)) => {
-            return as_boolean(l)
-        }
+        (BinaryOp::And, Some(true), _) | (BinaryOp::Or, Some(false), _) => return as_boolean(r),
+        (BinaryOp::And, _, Some(true)) | (BinaryOp::Or, _, Some(false)) => return as_boolean(l),
         _ => {}
     }
     Expr::binary(op, l, r)
@@ -215,9 +209,9 @@ fn optimize_path(p: &LocationPath) -> LocationPath {
         // Rule 6: a constant-true predicate filters nothing in any context
         // (and predicate removal cannot change later predicates' positions,
         // because it removes no node).
-        predicates.retain(|p| {
-            !matches!(p, Expr::Call { name, args } if name == "true" && args.is_empty())
-        });
+        predicates.retain(
+            |p| !matches!(p, Expr::Call { name, args } if name == "true" && args.is_empty()),
+        );
         let s = Step { axis: s.axis, test: s.test.clone(), predicates };
         // Rule 1: …/descendant-or-self::node() + child::t[nonpositional]
         //         → …/descendant::t.
@@ -266,14 +260,8 @@ mod tests {
     fn positional_predicates_block_merge() {
         // //a[2] means "second a among its siblings", NOT the second
         // descendant — merging would change the answer.
-        assert_eq!(
-            opt("//a[2]"),
-            "/descendant-or-self::node()/child::a[position() = 2]"
-        );
-        assert_eq!(
-            opt("//a[last()]"),
-            "/descendant-or-self::node()/child::a[position() = last()]"
-        );
+        assert_eq!(opt("//a[2]"), "/descendant-or-self::node()/child::a[position() = 2]");
+        assert_eq!(opt("//a[last()]"), "/descendant-or-self::node()/child::a[position() = last()]");
         // Nested positional predicates inside a sub-path are fine.
         assert_eq!(opt("//a[b[2]]"), "/descendant::a[boolean(child::b[position() = 2])]");
     }

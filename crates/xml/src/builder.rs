@@ -96,7 +96,12 @@ impl DocumentBuilder {
         id
     }
 
-    fn push_node(&mut self, kind: NodeKind, name: Option<NameId>, value: Option<Box<str>>) -> NodeId {
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        name: Option<NameId>,
+        value: Option<Box<str>>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         let parent = *self.stack.last().expect("stack never empty");
         self.nodes.push(NodeRec {

@@ -581,8 +581,8 @@ mod tests {
 
     #[test]
     fn lang_scoping() {
-        let d = Document::parse_str(r#"<a xml:lang="en"><b/><c xml:lang="de"><d/></c></a>"#)
-            .unwrap();
+        let d =
+            Document::parse_str(r#"<a xml:lang="en"><b/><c xml:lang="de"><d/></c></a>"#).unwrap();
         let a = d.document_element().unwrap();
         let b = d.content_children(a).next().unwrap();
         assert_eq!(d.lang(b), Some("en"));

@@ -236,9 +236,8 @@ impl<'a> DtdParser<'a> {
     fn name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -492,21 +491,14 @@ impl<'a> DtdParser<'a> {
             let default = self.parse_default_decl()?;
             // First declaration of a pair is binding; later ones are
             // retained but never returned by `attribute_def`.
-            dtd.attributes.push(AttDef {
-                element: element.clone(),
-                name: att_name,
-                ty,
-                default,
-            });
+            dtd.attributes.push(AttDef { element: element.clone(), name: att_name, ty, default });
         }
     }
 
     fn parse_att_type(&mut self) -> Result<AttType, ParseError> {
         // Order matters: IDREFS before IDREF before ID, etc.
-        const KEYWORDS: [&[u8]; 8] = [
-            b"CDATA", b"IDREFS", b"IDREF", b"ID", b"ENTITIES", b"ENTITY", b"NMTOKENS",
-            b"NMTOKEN",
-        ];
+        const KEYWORDS: [&[u8]; 8] =
+            [b"CDATA", b"IDREFS", b"IDREF", b"ID", b"ENTITIES", b"ENTITY", b"NMTOKENS", b"NMTOKEN"];
         for kw in KEYWORDS {
             if self.starts_with(kw) {
                 // Keyword must be followed by a delimiter, not a longer name.
@@ -689,9 +681,8 @@ mod tests {
 
     #[test]
     fn attlist_enumerated_and_notation() {
-        let dtd = parse(
-            "a [ <!ATTLIST a dir (ltr | rtl) \"ltr\" img NOTATION (gif | png) #IMPLIED> ]",
-        );
+        let dtd =
+            parse("a [ <!ATTLIST a dir (ltr | rtl) \"ltr\" img NOTATION (gif | png) #IMPLIED> ]");
         assert_eq!(
             dtd.attribute_def("a", "dir").unwrap().ty,
             AttType::Enumerated(vec!["ltr".into(), "rtl".into()])
@@ -715,9 +706,7 @@ mod tests {
 
     #[test]
     fn first_attlist_declaration_wins() {
-        let dtd = parse(
-            "a [ <!ATTLIST a x CDATA \"first\"> <!ATTLIST a x CDATA \"second\"> ]",
-        );
+        let dtd = parse("a [ <!ATTLIST a x CDATA \"first\"> <!ATTLIST a x CDATA \"second\"> ]");
         assert_eq!(
             dtd.attribute_def("a", "x").unwrap().default,
             DefaultDecl::Value("first".into())
@@ -726,9 +715,7 @@ mod tests {
 
     #[test]
     fn entities() {
-        let dtd = parse(
-            r#"a [ <!ENTITY copy "(c) 2002"> <!ENTITY copy "dupe ignored"> ]"#,
-        );
+        let dtd = parse(r#"a [ <!ENTITY copy "(c) 2002"> <!ENTITY copy "dupe ignored"> ]"#);
         assert_eq!(dtd.entities.get("copy").map(String::as_str), Some("(c) 2002"));
     }
 

@@ -167,10 +167,7 @@ mod tests {
                 StreamEvent::EndElement { .. } => "</>".to_string(),
             })
             .collect();
-        assert_eq!(
-            shapes,
-            vec!["<a>", "@x=1", "<b>", "'hi'", "</>", "<!--c-->", "<?p?>", "</>"]
-        );
+        assert_eq!(shapes, vec!["<a>", "@x=1", "<b>", "'hi'", "</>", "<!--c-->", "<?p?>", "</>"]);
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Synthetic document generators for the paper's experiments (§2) plus
 //! realistic corpora for examples and differential tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::DocumentBuilder;
 use crate::document::Document;
+use crate::rng::Rng;
 
 /// The paper's `DOC(i)` (§2): `<a><b/>…<b/></a>` with `i` empty `b` children.
 /// The tree contains `i + 1` element nodes (plus the root node).
@@ -194,13 +192,13 @@ impl Default for RandomDocConfig {
 /// A seeded random document for differential testing: all evaluators must
 /// agree on random trees.
 pub fn doc_random(seed: u64, cfg: &RandomDocConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = DocumentBuilder::new();
     let mut budget = cfg.elements as i64;
     let mut next_id = 0usize;
     fn rec(
         b: &mut DocumentBuilder,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         cfg: &RandomDocConfig,
         budget: &mut i64,
         next_id: &mut usize,
@@ -219,7 +217,7 @@ pub fn doc_random(seed: u64, cfg: &RandomDocConfig) -> Document {
             rng.random_range(0..=cfg.max_children.min((*budget).max(0) as usize))
         };
         if kids == 0 && rng.random_bool(cfg.text_prob) {
-            let v: u32 = rng.random_range(0..200);
+            let v: u32 = rng.random_range(0u32..200);
             b.text(&v.to_string());
         }
         for _ in 0..kids {

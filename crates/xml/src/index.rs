@@ -129,10 +129,7 @@ mod tests {
     fn index_equals_scans() {
         for doc in [doc_figure8(), doc_bookstore()] {
             let ix = NameIndex::new(&doc);
-            assert_eq!(
-                ix.elements(),
-                scan(&doc, |n| doc.kind(n) == NodeKind::Element).as_slice()
-            );
+            assert_eq!(ix.elements(), scan(&doc, |n| doc.kind(n) == NodeKind::Element).as_slice());
             assert_eq!(
                 ix.attributes(),
                 scan(&doc, |n| doc.kind(n) == NodeKind::Attribute).as_slice()
@@ -157,9 +154,8 @@ mod tests {
             let ix = NameIndex::new(&doc);
             for name in ["a", "b", "c", "d", "id"] {
                 let Some(id) = doc.lookup_name(name) else { continue };
-                let want_e = scan(&doc, |n| {
-                    doc.kind(n) == NodeKind::Element && doc.name_id(n) == Some(id)
-                });
+                let want_e =
+                    scan(&doc, |n| doc.kind(n) == NodeKind::Element && doc.name_id(n) == Some(id));
                 assert_eq!(ix.elements_named(id), want_e.as_slice(), "{name} seed {seed}");
                 let want_a = scan(&doc, |n| {
                     doc.kind(n) == NodeKind::Attribute && doc.name_id(n) == Some(id)

@@ -30,13 +30,14 @@ mod error;
 pub mod events;
 pub mod generate;
 pub mod index;
-pub mod stats;
 mod node;
 mod parser;
+pub mod rng;
+pub mod stats;
 
 pub use builder::DocumentBuilder;
 pub use document::{Children, Document, IdPolicy, NameId};
-pub use parser::ParseOptions;
 pub use error::ParseError;
 pub use events::StreamEvent;
 pub use node::{NodeId, NodeKind};
+pub use parser::ParseOptions;

@@ -159,7 +159,10 @@ impl<'a> Parser<'a> {
                 self.pos = i + end.len();
                 Ok(())
             }
-            None => Err(self.err(format!("unterminated construct (missing {:?})", String::from_utf8_lossy(end)))),
+            None => Err(self.err(format!(
+                "unterminated construct (missing {:?})",
+                String::from_utf8_lossy(end)
+            ))),
         }
     }
 
@@ -172,7 +175,10 @@ impl<'a> Parser<'a> {
                 self.pos = i + end.len();
                 Ok(s)
             }
-            None => Err(self.err(format!("unterminated construct (missing {:?})", String::from_utf8_lossy(end)))),
+            None => Err(self.err(format!(
+                "unterminated construct (missing {:?})",
+                String::from_utf8_lossy(end)
+            ))),
         }
     }
 
@@ -213,9 +219,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -426,7 +431,6 @@ impl<'a> Parser<'a> {
         Err(self.err("unterminated attribute value"))
     }
 
-
     fn parse_pi(&mut self) -> Result<(), ParseError> {
         self.pos += 2; // "<?"
         let target = self.parse_name()?;
@@ -451,9 +455,7 @@ impl<'a> Parser<'a> {
         while let Some(amp) = rest.find('&') {
             out.push_str(&rest[..amp]);
             rest = &rest[amp..];
-            let semi = rest
-                .find(';')
-                .ok_or_else(|| self.err("unterminated entity reference"))?;
+            let semi = rest.find(';').ok_or_else(|| self.err("unterminated entity reference"))?;
             let ent = &rest[1..semi];
             match ent {
                 "lt" => out.push('<'),
@@ -489,9 +491,7 @@ impl<'a> Parser<'a> {
                         .and_then(|d| d.entities.get(ent))
                         .ok_or_else(|| self.err(format!("unknown entity &{ent};")))?;
                     if depth + 1 > MAX_ENTITY_DEPTH {
-                        return Err(
-                            self.err(format!("entity &{ent}; nested too deeply (cycle?)"))
-                        );
+                        return Err(self.err(format!("entity &{ent}; nested too deeply (cycle?)")));
                     }
                     let expanded = self.decode_entities_depth(&value.clone(), depth + 1)?;
                     out.push_str(&expanded);
@@ -515,10 +515,7 @@ fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
     if needle.is_empty() || from >= haystack.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| i + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|i| i + from)
 }
 
 #[cfg(test)]
@@ -546,7 +543,8 @@ mod tests {
 
     #[test]
     fn parse_entities() {
-        let d = Document::parse_str("<a t=\"&lt;&amp;&quot;&#65;&#x42;\">x &gt; y &apos;</a>").unwrap();
+        let d =
+            Document::parse_str("<a t=\"&lt;&amp;&quot;&#65;&#x42;\">x &gt; y &apos;</a>").unwrap();
         let a = d.document_element().unwrap();
         assert_eq!(d.value(d.attribute(a, "t").unwrap()), Some("<&\"AB"));
         assert_eq!(d.string_value(a), "x > y '");
@@ -683,10 +681,8 @@ mod tests {
 
     #[test]
     fn dtd_is_exposed_on_the_document() {
-        let d = Document::parse_str(
-            "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b EMPTY> ]><a/>",
-        )
-        .unwrap();
+        let d = Document::parse_str("<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b EMPTY> ]><a/>")
+            .unwrap();
         let dtd = d.dtd().unwrap();
         assert_eq!(dtd.root_name, "a");
         assert_eq!(dtd.elements.len(), 2);
@@ -730,14 +726,11 @@ mod tests {
 
     #[test]
     fn namespace_scoping_and_override() {
-        let d = parse_ns(
-            r#"<a xmlns="urn:one"><b xmlns="urn:two"/><c/></a>"#,
-        );
+        let d = parse_ns(r#"<a xmlns="urn:one"><b xmlns="urn:two"/><c/></a>"#);
         let a = d.document_element().unwrap();
         let kids: Vec<_> = d.content_children(a).collect();
-        let default_of = |n| {
-            ns_of(&d, n).iter().find(|(p, _)| p.is_empty()).map(|(_, u)| u.clone())
-        };
+        let default_of =
+            |n| ns_of(&d, n).iter().find(|(p, _)| p.is_empty()).map(|(_, u)| u.clone());
         assert_eq!(default_of(a), Some("urn:one".to_string()));
         assert_eq!(default_of(kids[0]), Some("urn:two".to_string()), "override in <b>");
         assert_eq!(default_of(kids[1]), Some("urn:one".to_string()), "scope restored in <c>");

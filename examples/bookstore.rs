@@ -5,9 +5,8 @@
 //! cargo run --example bookstore
 //! ```
 
-use gkp_xpath::core::fragment::classify;
 use gkp_xpath::xml::generate::doc_bookstore;
-use gkp_xpath::Engine;
+use gkp_xpath::{CompiledQuery, Engine};
 
 fn main() {
     let doc = doc_bookstore();
@@ -28,16 +27,24 @@ fn main() {
         "//section[sum(book/@price) > 100]/@name",
     ];
     for q in queries {
-        let e = engine.prepare(q).unwrap();
-        let c = classify(&e);
-        let v = engine.evaluate(q).unwrap();
-        println!("{:<28} {q}", format!("[{}]", c.fragment.name()));
+        // Compile once: classification, strategy selection and fragment
+        // artifacts are all part of the document-independent static phase.
+        let compiled = CompiledQuery::compile(q).unwrap();
+        let v = compiled.evaluate_root(&doc).unwrap();
+        println!("{:<28} {q}", format!("[{}]", compiled.fragment().name()));
         match v {
             gkp_xpath::core::Value::NodeSet(ns) => {
                 for n in ns {
                     let text = doc.string_value(n);
                     let shown: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
-                    println!("    -> {}", if shown.is_empty() { doc.name(n).unwrap_or("?").to_string() } else { shown });
+                    println!(
+                        "    -> {}",
+                        if shown.is_empty() {
+                            doc.name(n).unwrap_or("?").to_string()
+                        } else {
+                            shown
+                        }
+                    );
                 }
             }
             other => println!("    = {other}"),
@@ -54,14 +61,9 @@ fn main() {
     println!("\n== aggregate report ==");
     println!("books:        {}", engine.evaluate("count(//book)").unwrap());
     println!("total price:  {}", engine.evaluate("sum(//book/@price)").unwrap());
-    println!(
-        "avg price:    {}",
-        engine.evaluate("sum(//book/@price) div count(//book)").unwrap()
-    );
+    println!("avg price:    {}", engine.evaluate("sum(//book/@price) div count(//book)").unwrap());
     println!(
         "oldest:       {}",
-        engine
-            .evaluate("string(//book[not(//book/@year < @year)]/title)")
-            .unwrap()
+        engine.evaluate("string(//book[not(//book/@year < @year)]/title)").unwrap()
     );
 }

@@ -36,10 +36,7 @@ fn main() {
     let doc = Document::parse_str_with(CATALOG, IdPolicy::none()).expect("well-formed");
     let dtd = doc.dtd().expect("DOCTYPE present");
     println!("DTD root: {}", dtd.root_name);
-    println!(
-        "ID attributes declared: {:?}",
-        dtd.id_attributes().collect::<Vec<_>>()
-    );
+    println!("ID attributes declared: {:?}", dtd.id_attributes().collect::<Vec<_>>());
 
     // The entity declared in the internal subset resolved in content:
     let engine = Engine::new(&doc);

@@ -1,10 +1,10 @@
-//! Quickstart: parse a document, run queries, inspect results.
+//! Quickstart: compile queries once, evaluate them against documents.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use gkp_xpath::{Document, Engine, Strategy};
+use gkp_xpath::{CompiledQuery, Compiler, Document, Engine, QueryCache, Strategy};
 
 fn main() {
     // 1. Parse an XML document (or build one with DocumentBuilder).
@@ -21,34 +21,54 @@ fn main() {
     )
     .expect("well-formed XML");
 
-    // 2. Create an engine. The default strategy classifies each query into
-    //    the paper's fragment lattice (Figure 1) and picks the best
-    //    algorithm: linear-time Core XPath / XPatterns where possible,
-    //    OptMinContext otherwise.
-    let engine = Engine::new(&doc);
+    // 2. Compile a query. The static phase is document-independent: it
+    //    parses, normalizes, classifies the query into the paper's
+    //    fragment lattice (Figure 1), picks the best algorithm, and
+    //    precompiles fragment artifacts. The result is immutable and
+    //    Send + Sync.
+    let books = CompiledQuery::compile("//book").expect("valid XPath");
+    println!("{:?} evaluates '//book' ({} fragment)", books.strategy(), books.fragment().name());
 
-    // Node-set queries.
-    let books = engine.select("//book").unwrap();
-    println!("{} books", books.len());
-    for b in &books {
-        let title = engine.select_at("title", *b).unwrap();
-        println!("  - {}", doc.string_value(title[0]));
+    // 3. Evaluate — as many times, against as many documents, from as
+    //    many threads as you like. Only the runtime phase runs here.
+    let hits = books.select(&doc).unwrap();
+    println!("{} books", hits.len());
+
+    let title = CompiledQuery::compile("string(title)").unwrap();
+    for b in &hits {
+        use gkp_xpath::core::Context;
+        println!("  - {}", title.evaluate(&doc, Context::of(*b)).unwrap());
     }
 
     // Scalar queries: count, string, arithmetic.
-    println!("recent books: {}", engine.evaluate("count(//book[@year > 1990])").unwrap());
-    println!(
-        "first theory title: {}",
-        engine.evaluate("string(//shelf[@label = 'theory']/book/title)").unwrap()
-    );
+    let recent = CompiledQuery::compile("count(//book[@year > 1990])").unwrap();
+    println!("recent books: {}", recent.evaluate_root(&doc).unwrap());
 
-    // Positional predicates and full axes.
-    let last = engine.select("//book[position() = last()]").unwrap();
-    println!("last book: {}", doc.string_value(last[0]));
-    let after = engine.select("//book[1]/following::book/title").unwrap();
-    println!("books after the first: {}", after.len());
+    // The same compiled query works on a different document unchanged.
+    let other = Document::parse_str("<library><book year=\"2001\"/></library>").unwrap();
+    for (i, v) in recent.evaluate_many(&[&doc, &other]).unwrap().iter().enumerate() {
+        println!("document {i}: {v} recent books");
+    }
 
-    // 3. Every algorithm from the paper is available explicitly.
+    // 4. The Compiler builder configures the static phase: the rewrite
+    //    pass, a fixed strategy, variable bindings.
+    let optimized = Compiler::new().optimize(true).compile("//book[position() = last()]").unwrap();
+    println!("last book: {}", doc.string_value(optimized.select(&doc).unwrap()[0]));
+
+    // 5. Services evaluating repeated query texts share a QueryCache:
+    //    compile once, evaluate everywhere.
+    let cache = QueryCache::new(256);
+    let compiler = Compiler::new();
+    for _ in 0..1000 {
+        let q = cache.get_or_compile(&compiler, "count(//shelf)").unwrap();
+        assert_eq!(q.evaluate_root(&doc).unwrap().to_string(), "2");
+    }
+    let stats = cache.stats();
+    println!("cache: {} compile(s), {} hits", stats.misses, stats.hits);
+
+    // 6. Every algorithm from the paper is available explicitly, and the
+    //    document-bound Engine facade remains for one-off queries.
+    let engine = Engine::new(&doc);
     for strategy in [
         Strategy::Naive,         // §2  exponential baseline
         Strategy::DataPool,      // §9  memoized

@@ -53,10 +53,8 @@ fn main() {
     ];
 
     // Compile each subscription once.
-    let compiled: Vec<_> = subscriptions
-        .iter()
-        .map(|q| (q, streaming::compile_str(q).expect("streamable")))
-        .collect();
+    let compiled: Vec<_> =
+        subscriptions.iter().map(|q| (q, streaming::compile_str(q).expect("streamable"))).collect();
 
     // One pass over the event stream drives all matchers.
     let t = Instant::now();

@@ -58,8 +58,5 @@ fn main() {
     let q = gkp_xpath::syntax::parse_normalized(probe).unwrap();
     let compiled = compile_xpatterns(&q).unwrap();
     let sources = ev.matching_contexts(&compiled);
-    println!(
-        "S←[[{probe}]]: {} context nodes have a b-child containing a c",
-        sources.len()
-    );
+    println!("S←[[{probe}]]: {} context nodes have a b-child containing a c", sources.len());
 }

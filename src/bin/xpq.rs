@@ -10,6 +10,12 @@
 //!   -s, --strategy <name>   naive | pool | bottomup | topdown | mincontext |
 //!                           optmincontext | corexpath | xpatterns | stream |
 //!                           auto (default)
+//!   -O, --optimize          run the semantics-preserving rewrite pass
+//!                           (//-step merging, self::node() elimination,
+//!                           constant folding) during compilation
+//!   -r, --repeat <N>        evaluate the compiled query N times (the query
+//!                           is compiled once; with --time, reports the
+//!                           amortized per-evaluation cost)
 //!   -c, --classify          print the Figure-1 fragment classification and exit
 //!   -n, --normalize         print the normalized (unabbreviated) query and exit
 //!   -e, --explain           print the query plan (fragment, Relev sets,
@@ -20,18 +26,25 @@
 //!                           differential oracle) before printing results
 //!       --stats             print document statistics after parsing
 //!       --ns                synthesize namespace nodes from xmlns declarations
-//!       --time              print parse and evaluation wall times
+//!       --time              print parse, compile and evaluation wall times
 //! ```
+//!
+//! The tool follows the two-phase API: the query is **compiled once**
+//! (document-independent static phase — parse, normalize, classify,
+//! select the algorithm, build fragment artifacts) into a
+//! [`gkp_xpath::CompiledQuery`], then evaluated `--repeat` times against
+//! the document.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use gkp_xpath::core::fragment::classify;
-use gkp_xpath::core::Value;
-use gkp_xpath::{Document, Engine, Strategy};
+use gkp_xpath::core::{EvalError, Value};
+use gkp_xpath::{Compiler, Document, Engine, Strategy};
 
 struct Options {
     strategy: Strategy,
+    optimize: bool,
+    repeat: u32,
     classify_only: bool,
     normalize_only: bool,
     explain_only: bool,
@@ -46,13 +59,15 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: xpq [-s STRATEGY] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
+    "usage: xpq [-s STRATEGY] [-O] [-r N] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
      strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns stream auto"
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         strategy: Strategy::Auto,
+        optimize: false,
+        repeat: 1,
         classify_only: false,
         normalize_only: false,
         explain_only: false,
@@ -84,6 +99,15 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown strategy {other:?}")),
                 };
             }
+            "-O" | "--optimize" => o.optimize = true,
+            "-r" | "--repeat" => {
+                let n = args.next().ok_or("missing repeat count")?;
+                o.repeat = n
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("invalid repeat count {n:?}"))?;
+            }
             "-c" | "--classify" => o.classify_only = true,
             "-n" | "--normalize" => o.normalize_only = true,
             "-e" | "--explain" => o.explain_only = true,
@@ -114,31 +138,54 @@ fn main() -> ExitCode {
         }
     };
     let query = opts.query.as_deref().expect("checked");
+    let compiler = Compiler::new().optimize(opts.optimize).default_strategy(opts.strategy);
 
-    // Parse-only modes.
-    let parsed = match gkp_xpath::syntax::parse_normalized(query) {
-        Ok(e) => e,
-        Err(e) => {
+    // Parse-only modes (no document needed: the static phase is
+    // document-independent).
+    if opts.normalize_only || opts.classify_only || opts.explain_only {
+        let parsed = match compiler.parse(query) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("query error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if opts.normalize_only {
+            println!("{parsed}");
+        } else if opts.classify_only {
+            let c = gkp_xpath::core::classify(&parsed);
+            println!("{} ({})", c.fragment.name(), c.fragment.complexity());
+            for v in c.wadler_violations {
+                println!("  {v}");
+            }
+        } else {
+            let x = gkp_xpath::core::explain::explain(&parsed, 1000);
+            print!("{}", x.report);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Compile: one static phase for the whole invocation — parse,
+    // normalize, rewrite, classify, resolve the strategy, and build
+    // fragment artifacts eagerly. Queries outside an explicitly requested
+    // fragment fail here, before the document is even read.
+    let compile_start = std::time::Instant::now();
+    let compiled = match compiler.compile(query) {
+        Ok(q) => q,
+        Err(e @ EvalError::Parse(_)) => {
             eprintln!("query error: {e}");
             return ExitCode::from(2);
         }
-    };
-    if opts.normalize_only {
-        println!("{parsed}");
-        return ExitCode::SUCCESS;
-    }
-    if opts.classify_only {
-        let c = classify(&parsed);
-        println!("{} ({})", c.fragment.name(), c.fragment.complexity());
-        for v in c.wadler_violations {
-            println!("  {v}");
+        Err(e) => {
+            eprintln!("evaluation error: {e}");
+            return ExitCode::from(1);
         }
-        return ExitCode::SUCCESS;
-    }
-    if opts.explain_only {
-        let x = gkp_xpath::core::explain::explain(&parsed, 1000);
-        print!("{}", x.report);
-        return ExitCode::SUCCESS;
+    };
+    let compile_time = compile_start.elapsed();
+    if opts.verbose {
+        let fragment = compiled.fragment();
+        eprintln!("fragment: {} ({})", fragment.name(), fragment.complexity());
+        eprintln!("strategy: {:?}", compiled.strategy());
     }
 
     // Load the document.
@@ -175,21 +222,10 @@ fn main() -> ExitCode {
         eprint!("{}", gkp_xpath::xml::stats::stats(&doc));
     }
 
-    let engine = Engine::new(&doc);
-    if opts.verbose {
-        let c = classify(&parsed);
-        let resolved = if opts.strategy == Strategy::Auto {
-            engine.auto_strategy(&parsed)
-        } else {
-            opts.strategy
-        };
-        eprintln!("fragment: {} ({})", c.fragment.name(), c.fragment.complexity());
-        eprintln!("strategy: {resolved:?}");
-    }
-
     if opts.verify {
+        let engine = Engine::new(&doc);
         let ctx = gkp_xpath::core::Context::of(doc.root());
-        match engine.evaluate_all_agree(&parsed, ctx, 10_000_000) {
+        match engine.evaluate_all_agree(compiled.expr(), ctx, 10_000_000) {
             Ok(_) => eprintln!("verify: all algorithms agree"),
             Err(e) => {
                 eprintln!("verify FAILED: {e}");
@@ -198,11 +234,24 @@ fn main() -> ExitCode {
         }
     }
 
+    // Runtime phase: one compiled plan, `--repeat` evaluations.
     let eval_start = std::time::Instant::now();
-    let result =
-        engine.evaluate_expr(&parsed, opts.strategy, gkp_xpath::core::Context::of(doc.root()));
+    let mut result = compiled.evaluate_root(&doc);
+    for _ in 1..opts.repeat {
+        result = compiled.evaluate_root(&doc);
+    }
+    let eval_time = eval_start.elapsed();
     if opts.time {
-        eprintln!("parse: {parse_time:?}  evaluate: {:?}", eval_start.elapsed());
+        if opts.repeat > 1 {
+            eprintln!(
+                "parse: {parse_time:?}  compile: {compile_time:?}  evaluate: {eval_time:?} \
+                 total ({} runs, {:?}/run)",
+                opts.repeat,
+                eval_time / opts.repeat
+            );
+        } else {
+            eprintln!("parse: {parse_time:?}  compile: {compile_time:?}  evaluate: {eval_time:?}");
+        }
     }
     match result {
         Ok(Value::NodeSet(nodes)) => {

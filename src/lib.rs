@@ -8,6 +8,48 @@
 //! * [`axes`] — axis evaluation engine (`xpath-axes`)
 //! * [`core`] — value model, semantics, the eight evaluation algorithms and
 //!   fragment classifiers (`xpath-core`)
+//!
+//! ## Compile once, evaluate many
+//!
+//! The paper splits XPath processing into a document-independent **static
+//! phase** (parse, normalize, Figure-1 classification, algorithm
+//! selection, fragment compilation) and a **runtime phase** (the
+//! polynomial/linear evaluators over a concrete tree). The API mirrors
+//! that split: a [`Compiler`] produces an immutable, `Send + Sync`
+//! [`CompiledQuery`] that evaluates against any number of documents from
+//! any number of threads:
+//!
+//! ```
+//! use gkp_xpath::{Compiler, Document, Strategy};
+//!
+//! let query = Compiler::new().optimize(true).compile("count(//b)").unwrap();
+//! assert_eq!(query.strategy(), Strategy::OptMinContext); // resolved statically
+//!
+//! let d1 = Document::parse_str("<a><b/><b/></a>").unwrap();
+//! let d2 = Document::parse_str("<a><b/><b/><b/></a>").unwrap();
+//! assert_eq!(query.evaluate_root(&d1).unwrap().to_string(), "2");
+//! assert_eq!(query.evaluate_root(&d2).unwrap().to_string(), "3");
+//! ```
+//!
+//! Services handling repeated queries share compilations through a
+//! sharded, thread-safe [`QueryCache`]:
+//!
+//! ```
+//! use gkp_xpath::{Compiler, Document, QueryCache};
+//!
+//! let cache = QueryCache::new(1024);
+//! let compiler = Compiler::new();
+//! let doc = Document::parse_str("<a><b/></a>").unwrap();
+//! for _ in 0..100 {
+//!     let q = cache.get_or_compile(&compiler, "//b").unwrap();
+//!     assert_eq!(q.select(&doc).unwrap().len(), 1);
+//! }
+//! assert_eq!(cache.stats().misses, 1); // static phase ran once
+//! ```
+//!
+//! The document-bound [`Engine`] remains as a convenience facade over
+//! `Compiler` + `QueryCache` for one-off evaluation against a single
+//! document.
 
 #![forbid(unsafe_code)]
 
@@ -16,6 +58,8 @@ pub use xpath_core as core;
 pub use xpath_syntax as syntax;
 pub use xpath_xml as xml;
 
+pub use xpath_core::cache::{CacheStats, QueryCache};
 pub use xpath_core::engine::{Engine, Strategy};
+pub use xpath_core::query::{CompiledQuery, Compiler};
 pub use xpath_core::value::Value;
 pub use xpath_xml::{Document, DocumentBuilder, NodeId, NodeKind};

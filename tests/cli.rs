@@ -14,7 +14,9 @@ fn xpq(args: &[&str], stdin: &str) -> (String, String, i32) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn xpq");
-    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    // If the query is rejected before stdin is read (parse errors exit
+    // early), the pipe closes and the write fails with EPIPE — fine.
+    let _ = child.stdin.as_mut().unwrap().write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("wait");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -64,10 +66,7 @@ fn classify_mode() {
 fn normalize_mode() {
     let (stdout, _, code) = xpq(&["-n", "//a[5]"], "");
     assert_eq!(code, 0);
-    assert_eq!(
-        stdout.trim(),
-        "/descendant-or-self::node()/child::a[position() = 5]"
-    );
+    assert_eq!(stdout.trim(), "/descendant-or-self::node()/child::a[position() = 5]");
 }
 
 #[test]
@@ -137,6 +136,35 @@ fn bad_query_and_bad_xml_fail_cleanly() {
     let (_, stderr, code) = xpq(&["//a"], "<a><b></a>");
     assert_eq!(code, 1);
     assert!(stderr.contains("XML error"), "{stderr}");
+}
+
+#[test]
+fn optimize_flag_rewrites_normalized_output() {
+    // Without -O: `//` normalizes to the two-step descendant-or-self form.
+    let (plain, _, code) = xpq(&["-n", "//b/self::node()"], "");
+    assert_eq!(code, 0);
+    // With -O the rewrite pass merges `//` steps and drops `self::node()`.
+    let (opt, _, code) = xpq(&["-O", "-n", "//b/self::node()"], "");
+    assert_eq!(code, 0);
+    assert_ne!(plain, opt, "rewrite should change the printed form");
+    assert!(!opt.contains("self::node()"), "{opt}");
+    // Results agree either way.
+    let (a, _, _) = xpq(&["//book/title"], XML);
+    let (b, _, _) = xpq(&["--optimize", "//book/title"], XML);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn repeat_flag_reuses_the_compiled_query() {
+    let (stdout, stderr, code) = xpq(&["--repeat", "50", "--time", "count(//book)"], XML);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(stdout.trim(), "2", "result printed once, not per run");
+    assert!(stderr.contains("compile: "), "{stderr}");
+    assert!(stderr.contains("50 runs"), "{stderr}");
+    // Invalid counts are rejected.
+    let (_, stderr, code) = xpq(&["-r", "0", "//book"], XML);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid repeat count"), "{stderr}");
 }
 
 #[test]

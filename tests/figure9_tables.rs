@@ -50,10 +50,7 @@ fn table_e3_with_predicate() {
         &Value::NodeSet(vec![x(&d, "23"), x(&d, "24")])
     );
     // x12 (a leaf) → {}
-    assert_eq!(
-        t.value_at(Context::of(x(&d, "12"))).unwrap(),
-        &Value::NodeSet(vec![])
-    );
+    assert_eq!(t.value_at(Context::of(x(&d, "12"))).unwrap(), &Value::NodeSet(vec![]));
 }
 
 /// Figure 11, table E7 (reduced to the relevant context {cn}):
@@ -66,18 +63,10 @@ fn table_e7_string_comparison() {
     assert_eq!(relev(&e), Relev::CN, "E7's relevant context is {{cn}}");
     let t = ev.table(&e).unwrap();
     for id in ["11", "12", "13", "21", "22", "23"] {
-        assert_eq!(
-            t.value_at(Context::of(x(&d, id))).unwrap(),
-            &Value::Boolean(false),
-            "x{id}"
-        );
+        assert_eq!(t.value_at(Context::of(x(&d, id))).unwrap(), &Value::Boolean(false), "x{id}");
     }
     for id in ["14", "24"] {
-        assert_eq!(
-            t.value_at(Context::of(x(&d, id))).unwrap(),
-            &Value::Boolean(true),
-            "x{id}"
-        );
+        assert_eq!(t.value_at(Context::of(x(&d, id))).unwrap(), &Value::Boolean(true), "x{id}");
     }
 }
 
@@ -165,10 +154,7 @@ fn table_e14_self() {
         );
     }
     // At the root (not an element) the self::* step yields ∅.
-    assert_eq!(
-        t.value_at(Context::of(d.root())).unwrap(),
-        &Value::NodeSet(vec![])
-    );
+    assert_eq!(t.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(vec![]));
 }
 
 /// The full E5 predicate table (all three context components relevant), at

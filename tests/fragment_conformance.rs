@@ -75,26 +75,21 @@ fn check_specialized_agreement(doc: &Document) {
     let engine = Engine::new(doc);
     for (q, frag) in CLASSIFIED {
         let e = engine.prepare(q).unwrap();
-        let reference = engine
-            .evaluate_expr(&e, Strategy::TopDown, Context::of(doc.root()))
-            .unwrap();
+        let reference =
+            engine.evaluate_expr(&e, Strategy::TopDown, Context::of(doc.root())).unwrap();
         // Auto must give the same answer through whatever specialized route.
-        let auto = engine
-            .evaluate_expr(&e, Strategy::Auto, Context::of(doc.root()))
-            .unwrap();
+        let auto = engine.evaluate_expr(&e, Strategy::Auto, Context::of(doc.root())).unwrap();
         assert!(reference.semantically_equal(&auto), "{q}: auto disagrees");
         // The explicitly specialized engine must accept and agree.
         match frag {
             Fragment::CoreXPath => {
-                let v = engine
-                    .evaluate_expr(&e, Strategy::CoreXPath, Context::of(doc.root()))
-                    .unwrap();
+                let v =
+                    engine.evaluate_expr(&e, Strategy::CoreXPath, Context::of(doc.root())).unwrap();
                 assert!(reference.semantically_equal(&v), "{q}: core disagrees");
             }
             Fragment::XPatterns => {
-                let v = engine
-                    .evaluate_expr(&e, Strategy::XPatterns, Context::of(doc.root()))
-                    .unwrap();
+                let v =
+                    engine.evaluate_expr(&e, Strategy::XPatterns, Context::of(doc.root())).unwrap();
                 assert!(reference.semantically_equal(&v), "{q}: xpatterns disagrees");
             }
             Fragment::ExtendedWadler | Fragment::FullXPath => {

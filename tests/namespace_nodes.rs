@@ -159,10 +159,15 @@ fn optimizer_engine_agrees() {
 fn strategy_matrix_on_namespace_doc() {
     let d = doc_with_namespaces();
     let engine = Engine::new(&d);
-    let reference = engine
-        .evaluate_with("count(//node()) + count(//@*)", Strategy::TopDown)
-        .unwrap();
-    for s in [Strategy::Naive, Strategy::DataPool, Strategy::BottomUp, Strategy::MinContext, Strategy::OptMinContext] {
+    let reference =
+        engine.evaluate_with("count(//node()) + count(//@*)", Strategy::TopDown).unwrap();
+    for s in [
+        Strategy::Naive,
+        Strategy::DataPool,
+        Strategy::BottomUp,
+        Strategy::MinContext,
+        Strategy::OptMinContext,
+    ] {
         let v = engine.evaluate_with("count(//node()) + count(//@*)", s).unwrap();
         assert!(v.semantically_equal(&reference), "{s:?}");
     }

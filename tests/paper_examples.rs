@@ -17,14 +17,9 @@ const ALL_STRATEGIES: &[Strategy] = &[
 fn expect_nodes(engine: &Engine, q: &str, ctx: Context, expect: &[NodeId]) {
     for &s in ALL_STRATEGIES {
         let e = engine.prepare(q).unwrap();
-        let v = engine
-            .evaluate_expr(&e, s, ctx)
-            .unwrap_or_else(|err| panic!("{s:?} on {q}: {err}"));
-        assert_eq!(
-            v.as_node_set().map(|ns| ns.as_slice()),
-            Some(expect),
-            "{s:?} on {q}"
-        );
+        let v =
+            engine.evaluate_expr(&e, s, ctx).unwrap_or_else(|err| panic!("{s:?} on {q}: {err}"));
+        assert_eq!(v.as_node_set().map(|ns| ns.as_slice()), Some(expect), "{s:?} on {q}");
     }
 }
 
@@ -49,7 +44,7 @@ fn example_6_4_and_7_3() {
 fn example_4_1() {
     let d = doc_flat(4);
     let engine = Engine::new(&d);
-    assert_eq!(engine.evaluate("count(//node()) + 1", ).unwrap().to_string(), "6");
+    assert_eq!(engine.evaluate("count(//node()) + 1",).unwrap().to_string(), "6");
     assert_eq!(engine.evaluate("count(//*)").unwrap().to_string(), "5");
     assert_eq!(engine.evaluate("count(//a)").unwrap().to_string(), "1");
     assert_eq!(engine.evaluate("count(//b)").unwrap().to_string(), "4");
@@ -142,8 +137,6 @@ fn theorem_10_7_ref_document() {
     assert_eq!(hits.len(), 2);
     // id() through the function and through the XPatterns axis agree.
     let via_fn = engine.evaluate_with("id(//t[not(child::t)])", Strategy::TopDown).unwrap();
-    let via_core = engine
-        .evaluate_with("id(//t[not(child::t)])", Strategy::XPatterns)
-        .unwrap();
+    let via_core = engine.evaluate_with("id(//t[not(child::t)])", Strategy::XPatterns).unwrap();
     assert_eq!(via_fn, via_core);
 }

@@ -3,6 +3,8 @@
 //! with the top-down reference. Also checks the parser/pretty-printer
 //! round-trip on the generated queries.
 
+#![cfg(feature = "proptest")] // needs the external proptest crate; see Cargo.toml
+
 use proptest::prelude::*;
 
 use gkp_xpath::core::Context;
@@ -51,9 +53,8 @@ fn arb_scalar() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_path(depth: u32) -> impl Strategy<Value = LocationPath> {
-    let step = (arb_axis(), arb_node_test(), arb_predicates(depth)).prop_map(
-        |(axis, test, predicates)| Step { axis, test, predicates },
-    );
+    let step = (arb_axis(), arb_node_test(), arb_predicates(depth))
+        .prop_map(|(axis, test, predicates)| Step { axis, test, predicates });
     (any::<bool>(), prop::collection::vec(step, 1..3)).prop_map(|(abs, steps)| LocationPath {
         start: if abs { PathStart::Root } else { PathStart::ContextNode },
         steps,

@@ -1,73 +1,81 @@
 //! Robustness: the lexer, parser and XML parser must reject garbage with
 //! errors — never panic — and evaluation must fail cleanly on type errors.
 
-use proptest::prelude::*;
-
 use gkp_xpath::{Document, Engine};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+// The property tests need the external `proptest` crate, which is not
+// vendored in this offline workspace; see Cargo.toml. The deterministic
+// tests below always run.
+#[cfg(feature = "proptest")]
+mod props {
+    use proptest::prelude::*;
 
-    /// The XPath parser never panics on arbitrary input.
-    #[test]
-    fn xpath_parser_never_panics(s in ".{0,60}") {
-        let _ = gkp_xpath::syntax::parse(&s);
-    }
+    use gkp_xpath::{Document, Engine};
 
-    /// The XPath parser never panics on plausible-looking query fragments.
-    #[test]
-    fn xpath_parser_never_panics_on_querylike(
-        s in "[a-z/@\\[\\]():*.'= |0-9$!<>+-]{0,40}"
-    ) {
-        let _ = gkp_xpath::syntax::parse(&s);
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The XML parser never panics on arbitrary input.
-    #[test]
-    fn xml_parser_never_panics(s in ".{0,80}") {
-        let _ = Document::parse_str(&s);
-    }
-
-    /// The XML parser never panics on markup-looking input.
-    #[test]
-    fn xml_parser_never_panics_on_markuplike(
-        s in "[a-z<>/='\"! \\-\\?\\[\\]&;#x0-9]{0,60}"
-    ) {
-        let _ = Document::parse_str(&s);
-    }
-
-    /// Whatever parses also evaluates without panicking (errors allowed).
-    #[test]
-    fn parsed_queries_evaluate_or_error(
-        s in "(//)?[abc](\\[[0-9]\\])?(/[abc])*"
-    ) {
-        if let Ok(_e) = gkp_xpath::syntax::parse(&s) {
-            let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
-            let engine = Engine::new(&doc);
-            let _ = engine.evaluate(&s);
+        /// The XPath parser never panics on arbitrary input.
+        #[test]
+        fn xpath_parser_never_panics(s in ".{0,60}") {
+            let _ = gkp_xpath::syntax::parse(&s);
         }
-    }
 
-    /// The DTD internal-subset parser never panics on arbitrary input.
-    #[test]
-    fn dtd_parser_never_panics(s in ".{0,80}") {
-        let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
-    }
+        /// The XPath parser never panics on plausible-looking query fragments.
+        #[test]
+        fn xpath_parser_never_panics_on_querylike(
+            s in "[a-z/@\\[\\]():*.'= |0-9$!<>+-]{0,40}"
+        ) {
+            let _ = gkp_xpath::syntax::parse(&s);
+        }
 
-    /// The DTD parser never panics on declaration-looking input.
-    #[test]
-    fn dtd_parser_never_panics_on_decl_like(
-        s in "[a-zA-Z <>!\\[\\]()|,*+?#'\"%;-]{0,70}"
-    ) {
-        let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
-    }
+        /// The XML parser never panics on arbitrary input.
+        #[test]
+        fn xml_parser_never_panics(s in ".{0,80}") {
+            let _ = Document::parse_str(&s);
+        }
 
-    /// Documents with DOCTYPE prologs never panic the full parser.
-    #[test]
-    fn doctype_documents_never_panic(
-        body in "[a-z <>!\\[\\]()|,*+?#'\"-]{0,50}"
-    ) {
-        let _ = Document::parse_str(&format!("<!DOCTYPE {body}><a/>"));
+        /// The XML parser never panics on markup-looking input.
+        #[test]
+        fn xml_parser_never_panics_on_markuplike(
+            s in "[a-z<>/='\"! \\-\\?\\[\\]&;#x0-9]{0,60}"
+        ) {
+            let _ = Document::parse_str(&s);
+        }
+
+        /// Whatever parses also evaluates without panicking (errors allowed).
+        #[test]
+        fn parsed_queries_evaluate_or_error(
+            s in "(//)?[abc](\\[[0-9]\\])?(/[abc])*"
+        ) {
+            if let Ok(_e) = gkp_xpath::syntax::parse(&s) {
+                let doc = Document::parse_str("<a><b><c/></b></a>").unwrap();
+                let engine = Engine::new(&doc);
+                let _ = engine.evaluate(&s);
+            }
+        }
+
+        /// The DTD internal-subset parser never panics on arbitrary input.
+        #[test]
+        fn dtd_parser_never_panics(s in ".{0,80}") {
+            let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
+        }
+
+        /// The DTD parser never panics on declaration-looking input.
+        #[test]
+        fn dtd_parser_never_panics_on_decl_like(
+            s in "[a-zA-Z <>!\\[\\]()|,*+?#'\"%;-]{0,70}"
+        ) {
+            let _ = gkp_xpath::xml::dtd::parse_doctype_body(&s, 0);
+        }
+
+        /// Documents with DOCTYPE prologs never panic the full parser.
+        #[test]
+        fn doctype_documents_never_panic(
+            body in "[a-z <>!\\[\\]()|,*+?#'\"-]{0,50}"
+        ) {
+            let _ = Document::parse_str(&format!("<!DOCTYPE {body}><a/>"));
+        }
     }
 }
 
@@ -126,10 +134,7 @@ fn deeply_nested_documents_parse() {
     assert_eq!(d.len(), depth + 1);
     // And deep queries evaluate.
     let engine = Engine::new(&d);
-    assert_eq!(
-        engine.evaluate("count(//d)").unwrap().to_string(),
-        depth.to_string()
-    );
+    assert_eq!(engine.evaluate("count(//d)").unwrap().to_string(), depth.to_string());
 }
 
 #[test]
@@ -137,8 +142,5 @@ fn large_flat_documents() {
     let d = gkp_xpath::xml::generate::doc_flat(50_000);
     let engine = Engine::new(&d);
     assert_eq!(engine.evaluate("count(//b)").unwrap().to_string(), "50000");
-    assert_eq!(
-        engine.select("//b[not(following-sibling::b)]").unwrap().len(),
-        1
-    );
+    assert_eq!(engine.select("//b[not(following-sibling::b)]").unwrap().len(), 1);
 }

@@ -1,80 +1,89 @@
 //! Serializer round-trip properties: `parse(serialize(d))` is structurally
 //! identical to `d`, and serialization is a fixed point thereafter.
 
-use proptest::prelude::*;
+use gkp_xpath::{Document, NodeKind};
 
-use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
-use gkp_xpath::{Document, NodeId, NodeKind};
+// The property tests need the external `proptest` crate, which is not
+// vendored in this offline workspace; see Cargo.toml. The deterministic
+// tests below always run.
+#[cfg(feature = "proptest")]
+mod props {
+    use proptest::prelude::*;
 
-/// Structural equality: same shape, kinds, names, values, in document order.
-fn structurally_equal(a: &Document, b: &Document) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    a.all_nodes().all(|n| {
-        let m = NodeId(n.0);
-        a.kind(n) == b.kind(m)
-            && a.name(n) == b.name(m)
-            && a.value(n) == b.value(m)
-            && a.parent(n) == b.parent(m)
-            && a.next_sibling(n) == b.next_sibling(m)
-    })
-}
+    use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
+    use gkp_xpath::{Document, NodeId};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Random documents survive serialize → parse unchanged.
-    #[test]
-    fn roundtrip_random_docs(seed in 0u64..10_000) {
-        let cfg = RandomDocConfig { elements: 40, ..RandomDocConfig::default() };
-        let d = doc_random(seed, &cfg);
-        let text = d.serialize(d.root());
-        let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert!(structurally_equal(&d, &d2), "{}", text);
-        // Serialization is a fixed point after one round trip.
-        prop_assert_eq!(d2.serialize(d2.root()), text);
+    /// Structural equality: same shape, kinds, names, values, in document
+    /// order.
+    fn structurally_equal(a: &Document, b: &Document) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.all_nodes().all(|n| {
+            let m = NodeId(n.0);
+            a.kind(n) == b.kind(m)
+                && a.name(n) == b.name(m)
+                && a.value(n) == b.value(m)
+                && a.parent(n) == b.parent(m)
+                && a.next_sibling(n) == b.next_sibling(m)
+        })
     }
 
-    /// Attribute values with arbitrary quotable content round-trip.
-    #[test]
-    fn attribute_escaping(v in "[ -~]{0,24}") {
-        let mut b = gkp_xpath::DocumentBuilder::new();
-        b.open_element("a");
-        b.attribute("t", &v);
-        b.close_element();
-        let d = b.finish();
-        let text = d.serialize(d.root());
-        let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        let a = d2.document_element().unwrap();
-        let got = d2.value(d2.attribute(a, "t").unwrap()).unwrap();
-        prop_assert_eq!(got, v.as_str(), "via {}", text);
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Text content (including markup characters) round-trips.
-    #[test]
-    fn text_escaping(v in "[ -~]{1,32}") {
-        let mut b = gkp_xpath::DocumentBuilder::new();
-        b.open_element("a");
-        b.text(&v);
-        b.close_element();
-        let d = b.finish();
-        let text = d.serialize(d.root());
-        let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert_eq!(d2.string_value(d2.root()), v.as_str(), "via {}", text);
-    }
+        /// Random documents survive serialize → parse unchanged.
+        #[test]
+        fn roundtrip_random_docs(seed in 0u64..10_000) {
+            let cfg = RandomDocConfig { elements: 40, ..RandomDocConfig::default() };
+            let d = doc_random(seed, &cfg);
+            let text = d.serialize(d.root());
+            let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            prop_assert!(structurally_equal(&d, &d2), "{}", text);
+            // Serialization is a fixed point after one round trip.
+            prop_assert_eq!(d2.serialize(d2.root()), text);
+        }
 
-    /// Unicode text round-trips.
-    #[test]
-    fn unicode_text(v in "\\PC{1,16}") {
-        let mut b = gkp_xpath::DocumentBuilder::new();
-        b.open_element("a");
-        b.text(&v);
-        b.close_element();
-        let d = b.finish();
-        let text = d.serialize(d.root());
-        let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
-        prop_assert_eq!(d2.string_value(d2.root()), v.as_str());
+        /// Attribute values with arbitrary quotable content round-trip.
+        #[test]
+        fn attribute_escaping(v in "[ -~]{0,24}") {
+            let mut b = gkp_xpath::DocumentBuilder::new();
+            b.open_element("a");
+            b.attribute("t", &v);
+            b.close_element();
+            let d = b.finish();
+            let text = d.serialize(d.root());
+            let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let a = d2.document_element().unwrap();
+            let got = d2.value(d2.attribute(a, "t").unwrap()).unwrap();
+            prop_assert_eq!(got, v.as_str(), "via {}", text);
+        }
+
+        /// Text content (including markup characters) round-trips.
+        #[test]
+        fn text_escaping(v in "[ -~]{1,32}") {
+            let mut b = gkp_xpath::DocumentBuilder::new();
+            b.open_element("a");
+            b.text(&v);
+            b.close_element();
+            let d = b.finish();
+            let text = d.serialize(d.root());
+            let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            prop_assert_eq!(d2.string_value(d2.root()), v.as_str(), "via {}", text);
+        }
+
+        /// Unicode text round-trips.
+        #[test]
+        fn unicode_text(v in "\\PC{1,16}") {
+            let mut b = gkp_xpath::DocumentBuilder::new();
+            b.open_element("a");
+            b.text(&v);
+            b.close_element();
+            let d = b.finish();
+            let text = d.serialize(d.root());
+            let d2 = Document::parse_str(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            prop_assert_eq!(d2.string_value(d2.root()), v.as_str());
+        }
     }
 }
 

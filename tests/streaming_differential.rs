@@ -3,105 +3,101 @@
 //! tree-based Core XPath algebra (and with the general engines, which the
 //! engine oracle covers elsewhere).
 
-use proptest::prelude::*;
-
-use gkp_xpath::core::corexpath::{compile_xpatterns, CoreDialect, CoreXPathEvaluator};
+use gkp_xpath::core::corexpath::{CoreDialect, CoreXPathEvaluator};
 use gkp_xpath::core::streaming;
-use gkp_xpath::syntax::parse_normalized;
 use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
 use gkp_xpath::Document;
 
-// ---- random streamable query generator ----
+// The property tests (and their query generators) need the external
+// `proptest` crate, which is not vendored in this offline workspace; see
+// Cargo.toml. The deterministic regression corpus below always runs.
+#[cfg(feature = "proptest")]
+mod props {
+    use proptest::prelude::*;
 
-fn arb_forward_axis() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec!["child", "descendant", "descendant-or-self", "self"])
-}
+    use gkp_xpath::core::corexpath::compile_xpatterns;
+    use gkp_xpath::core::streaming;
+    use gkp_xpath::syntax::parse_normalized;
+    use gkp_xpath::xml::generate::{doc_random, RandomDocConfig};
 
-/// Spine axes additionally allow `following` / `following-sibling` (armed
-/// forward transitions; not allowed inside predicates).
-fn arb_spine_axis() -> impl Strategy<Value = &'static str> {
-    prop_oneof![
-        4 => arb_forward_axis(),
-        1 => prop::sample::select(vec!["following", "following-sibling"]),
-    ]
-}
+    use super::tree_eval;
 
-fn arb_test() -> impl Strategy<Value = String> {
-    prop_oneof![
-        prop::sample::select(vec!["a", "b", "c", "d", "zzz"]).prop_map(str::to_string),
-        Just("*".to_string()),
-        Just("node()".to_string()),
-        Just("text()".to_string()),
-    ]
-}
+    // ---- random streamable query generator ----
 
-/// A relative forward path (predicate body), depth-bounded.
-fn arb_pred_path(depth: u32) -> BoxedStrategy<String> {
-    let step = (arb_forward_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
-    let steps = prop::collection::vec(step, 1..3)
-        .prop_map(|ss| ss.join("/"));
-    if depth == 0 {
-        steps.boxed()
-    } else {
-        (steps, arb_pred(depth - 1), any::<bool>())
-            .prop_map(|(ss, p, with_pred)| {
-                if with_pred {
-                    format!("{ss}[{p}]")
-                } else {
-                    ss
-                }
-            })
-            .boxed()
+    fn arb_forward_axis() -> impl Strategy<Value = &'static str> {
+        prop::sample::select(vec!["child", "descendant", "descendant-or-self", "self"])
     }
-}
 
-/// A predicate expression: boolean closure over paths and `= s` tests.
-fn arb_pred(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        arb_pred_path(depth),
-        (arb_pred_path(0), prop::sample::select(vec!["7", "100", "xyz"]))
-            .prop_map(|(p, s)| format!("{p} = '{s}'")),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        let inner = arb_pred(depth - 1);
+    /// Spine axes additionally allow `following` / `following-sibling` (armed
+    /// forward transitions; not allowed inside predicates).
+    fn arb_spine_axis() -> impl Strategy<Value = &'static str> {
         prop_oneof![
-            4 => leaf,
-            1 => inner.clone().prop_map(|p| format!("not({p})")),
-            1 => (arb_pred(depth - 1), arb_pred(depth - 1))
-                .prop_map(|(l, r)| format!("({l}) and ({r})")),
-            1 => (arb_pred(depth - 1), arb_pred(depth - 1))
-                .prop_map(|(l, r)| format!("({l}) or ({r})")),
+            4 => arb_forward_axis(),
+            1 => prop::sample::select(vec!["following", "following-sibling"]),
         ]
-        .boxed()
     }
-}
 
-/// An absolute streamable query: spine of forward steps, predicates on the
-/// last step only.
-fn arb_query() -> impl Strategy<Value = String> {
-    let step = (arb_spine_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
-    (
-        prop::collection::vec(step, 1..4),
-        prop::option::of(arb_pred(1)),
-    )
-        .prop_map(|(steps, pred)| {
-            let spine = steps.join("/");
-            match pred {
-                Some(p) => format!("/{spine}[{p}]"),
-                None => format!("/{spine}"),
-            }
-        })
-}
+    fn arb_test() -> impl Strategy<Value = String> {
+        prop_oneof![
+            prop::sample::select(vec!["a", "b", "c", "d", "zzz"]).prop_map(str::to_string),
+            Just("*".to_string()),
+            Just("node()".to_string()),
+            Just("text()".to_string()),
+        ]
+    }
 
-fn tree_eval(doc: &Document, q: &str) -> Vec<gkp_xpath::NodeId> {
-    CoreXPathEvaluator::new(doc)
-        .evaluate_str(q, CoreDialect::XPatterns, &[doc.root()])
-        .unwrap_or_else(|e| panic!("{q}: {e}"))
-}
+    /// A relative forward path (predicate body), depth-bounded.
+    fn arb_pred_path(depth: u32) -> BoxedStrategy<String> {
+        let step = (arb_forward_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
+        let steps = prop::collection::vec(step, 1..3).prop_map(|ss| ss.join("/"));
+        if depth == 0 {
+            steps.boxed()
+        } else {
+            (steps, arb_pred(depth - 1), any::<bool>())
+                .prop_map(|(ss, p, with_pred)| if with_pred { format!("{ss}[{p}]") } else { ss })
+                .boxed()
+        }
+    }
 
-proptest! {
+    /// A predicate expression: boolean closure over paths and `= s` tests.
+    fn arb_pred(depth: u32) -> BoxedStrategy<String> {
+        let leaf = prop_oneof![
+            arb_pred_path(depth),
+            (arb_pred_path(0), prop::sample::select(vec!["7", "100", "xyz"]))
+                .prop_map(|(p, s)| format!("{p} = '{s}'")),
+        ];
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            let inner = arb_pred(depth - 1);
+            prop_oneof![
+                4 => leaf,
+                1 => inner.clone().prop_map(|p| format!("not({p})")),
+                1 => (arb_pred(depth - 1), arb_pred(depth - 1))
+                    .prop_map(|(l, r)| format!("({l}) and ({r})")),
+                1 => (arb_pred(depth - 1), arb_pred(depth - 1))
+                    .prop_map(|(l, r)| format!("({l}) or ({r})")),
+            ]
+            .boxed()
+        }
+    }
+
+    /// An absolute streamable query: spine of forward steps, predicates on the
+    /// last step only.
+    fn arb_query() -> impl Strategy<Value = String> {
+        let step = (arb_spine_axis(), arb_test()).prop_map(|(a, t)| format!("{a}::{t}"));
+        (prop::collection::vec(step, 1..4), prop::option::of(arb_pred(1))).prop_map(
+            |(steps, pred)| {
+                let spine = steps.join("/");
+                match pred {
+                    Some(p) => format!("/{spine}[{p}]"),
+                    None => format!("/{spine}"),
+                }
+            },
+        )
+    }
+
+    proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// Random streamable queries agree with the tree-based evaluator on
@@ -125,6 +121,13 @@ proptest! {
         let core = compile_xpatterns(&e).unwrap_or_else(|e| panic!("{q}: {e}"));
         prop_assert!(streaming::is_streamable(&core), "{}", q);
     }
+    }
+}
+
+fn tree_eval(doc: &Document, q: &str) -> Vec<gkp_xpath::NodeId> {
+    CoreXPathEvaluator::new(doc)
+        .evaluate_str(q, CoreDialect::XPatterns, &[doc.root()])
+        .unwrap_or_else(|e| panic!("{q}: {e}"))
 }
 
 /// Deterministic regression corpus distilled from past shrink results and

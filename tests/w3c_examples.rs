@@ -77,10 +77,7 @@ fn unabbreviated_axis_examples() {
     check("//para/preceding-sibling::para", 1);
     check("/child::doc/child::chapter[position() = 2]/child::title", 1);
     check("//self::para", 5);
-    check(
-        "/descendant::para[attribute::security = 'secret']/parent::chapter",
-        1,
-    );
+    check("/descendant::para[attribute::security = 'secret']/parent::chapter", 1);
 }
 
 #[test]
@@ -181,20 +178,14 @@ fn union_examples() {
 fn string_values_of_examples() {
     let d = doc();
     let engine = Engine::new(&d);
-    assert_eq!(
-        engine.evaluate("string(/doc/chapter[1]/title)").unwrap().to_string(),
-        "One"
-    );
+    assert_eq!(engine.evaluate("string(/doc/chapter[1]/title)").unwrap().to_string(), "One");
     assert_eq!(
         engine.evaluate("normalize-space(string(//appendix))").unwrap().to_string(),
         "Appap" // no whitespace between </title> and <para>
     );
     assert_eq!(engine.evaluate("count(//employee/@*)").unwrap().to_string(), "5");
     assert_eq!(
-        engine
-            .evaluate("string(//employee[@assistant]/@name)")
-            .unwrap()
-            .to_string(),
+        engine.evaluate("string(//employee[@assistant]/@name)").unwrap().to_string(),
         "Jane"
     );
 }
