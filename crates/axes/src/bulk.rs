@@ -1,0 +1,325 @@
+//! Set-at-a-time axis evaluation over the structure-of-arrays
+//! [`AxisIndex`](xpath_xml::AxisIndex) and the hybrid [`NodeSet`] — the
+//! fourth interchangeable axis backend (§3: "the actual techniques for
+//! evaluating axes … will be interchangeable").
+//!
+//! Where [`crate::fast`] enumerates per node and merges, this module
+//! applies each axis to a whole set at once:
+//!
+//! * **interval axes** (`descendant`, `descendant-or-self`, `following`,
+//!   `preceding`) are staircase joins over preorder intervals — covered
+//!   intervals are skipped, ranges are written word-parallel into a dense
+//!   bitset, and the §4 attribute/namespace filtering is a single
+//!   word-parallel and-not with the index's `special` mask;
+//! * **pointer axes** (`child`, `parent`, siblings, ancestors) walk the
+//!   flat `u32` link arrays instead of the node records, marking into a
+//!   dense set with early exit on already-marked chains;
+//! * results adapt back to the sparse representation when the output is
+//!   small ([`NodeSet::adapt`]).
+//!
+//! All functions take any `NodeSet` representation as input and agree
+//! exactly with [`crate::fast::eval_axis`] / the Algorithm 3.2 reference
+//! (property-tested below and in the workspace suites).
+
+use xpath_syntax::Axis;
+use xpath_xml::axis_index::NONE;
+use xpath_xml::{Document, NodeId, NodeKind, NodeSet};
+
+/// Typed set-to-set axis function `χ(S)` (Definition 3.1 with §4 type
+/// filtering), set-at-a-time. Output is in document order.
+pub fn axis_set(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    axis_set_inner(doc, axis, set, true)
+}
+
+/// Untyped set-to-set axis function `χ0(S)` (§3), set-at-a-time.
+pub fn axis_set_untyped(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    axis_set_inner(doc, axis, set, false)
+}
+
+/// The inverse axis function `χ⁻¹(X)` of §10.1 on the typed axes,
+/// set-at-a-time (Lemma 10.1: reduce to the untyped inverse).
+pub fn inverse_axis_set(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    match axis {
+        Axis::Attribute => {
+            let attrs: NodeSet =
+                set.iter().filter(|&x| doc.kind(x) == NodeKind::Attribute).collect();
+            axis_set_inner(doc, Axis::Parent, &attrs, false)
+        }
+        Axis::Namespace => {
+            let nss: NodeSet = set.iter().filter(|&x| doc.kind(x) == NodeKind::Namespace).collect();
+            axis_set_inner(doc, Axis::Parent, &nss, false)
+        }
+        Axis::Id => {
+            let v = set.to_vec();
+            NodeSet::from_sorted(crate::id::id_inverse_ref(doc, &v))
+        }
+        _ => {
+            // χ⁻¹(X) = χ0⁻¹(X ∩ non-special), no result filtering.
+            let ix = doc.axis_index();
+            let mut proper = set.clone();
+            proper.subtract_words(ix.special_words());
+            axis_set_inner(doc, axis.inverse(), &proper, false)
+        }
+    }
+}
+
+fn axis_set_inner(doc: &Document, axis: Axis, set: &NodeSet, typed: bool) -> NodeSet {
+    let ix = doc.axis_index();
+    let n = doc.len() as u32;
+    let strip = |mut s: NodeSet| -> NodeSet {
+        if typed {
+            s.subtract_words(ix.special_words());
+        }
+        s.adapt()
+    };
+    match axis {
+        Axis::SelfAxis => strip(set.clone()),
+        Axis::Child => {
+            let mut out = Vec::new();
+            for x in set {
+                let mut c = ix.first_child(x.0);
+                while c != NONE {
+                    if !typed || !ix.is_special(c) {
+                        out.push(NodeId(c));
+                    }
+                    c = ix.next_sibling(c);
+                }
+            }
+            NodeSet::from_unsorted(out)
+        }
+        Axis::Attribute | Axis::Namespace => {
+            let want =
+                if axis == Axis::Attribute { NodeKind::Attribute } else { NodeKind::Namespace };
+            let mut out = Vec::new();
+            for x in set {
+                let mut c = ix.first_child(x.0);
+                while c != NONE {
+                    if doc.kind(NodeId(c)) == want {
+                        out.push(NodeId(c));
+                    }
+                    c = ix.next_sibling(c);
+                }
+            }
+            NodeSet::from_unsorted(out)
+        }
+        Axis::Parent => {
+            let mut out: Vec<NodeId> =
+                set.iter().map(|x| ix.parent(x.0)).filter(|&p| p != NONE).map(NodeId).collect();
+            out.sort_unstable();
+            out.dedup();
+            NodeSet::from_sorted(out)
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            let mut out = NodeSet::empty_dense(n);
+            for x in set {
+                let mut cur = if axis == Axis::AncestorOrSelf {
+                    if !typed || !ix.is_special(x.0) {
+                        x.0
+                    } else {
+                        ix.parent(x.0)
+                    }
+                } else {
+                    ix.parent(x.0)
+                };
+                while cur != NONE {
+                    if out.contains(NodeId(cur)) {
+                        break; // everything above is already marked
+                    }
+                    out.insert(NodeId(cur));
+                    cur = ix.parent(cur);
+                }
+            }
+            out.adapt()
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // Staircase join over the (sorted) preorder intervals:
+            // covered intervals are skipped, each surviving range is one
+            // word-parallel fill.
+            let mut out = NodeSet::empty_dense(n);
+            let mut next_free = 0u32;
+            for x in set {
+                let lo = if axis == Axis::Descendant { x.0 + 1 } else { x.0 };
+                let hi = ix.subtree_end(x.0);
+                out.insert_range(lo.max(next_free), hi.max(next_free));
+                next_free = next_free.max(hi);
+            }
+            strip(out)
+        }
+        Axis::Following => {
+            // following(S) = [min_{x∈S} subtree_end(x), |dom|).
+            let mut out = NodeSet::empty_dense(n);
+            if let Some(lo) = set.iter().map(|x| ix.subtree_end(x.0)).min() {
+                out.insert_range(lo, n);
+            }
+            strip(out)
+        }
+        Axis::Preceding => {
+            // preceding(S) = preceding(max S) = [0, max) − ancestors(max):
+            // for y < max, subtree_end(y) > max iff y is an ancestor of
+            // max. One range fill plus a parent-chain walk.
+            let mut out = NodeSet::empty_dense(n);
+            if let Some(max) = set.last() {
+                out.insert_range(0, max.0);
+                let mut a = ix.parent(max.0);
+                while a != NONE {
+                    out.difference_with(&NodeSet::singleton(NodeId(a)));
+                    a = ix.parent(a);
+                }
+            }
+            strip(out)
+        }
+        Axis::FollowingSibling => {
+            let mut out = NodeSet::empty_dense(n);
+            for x in set {
+                let mut s = ix.next_sibling(x.0);
+                while s != NONE {
+                    if out.contains(NodeId(s)) {
+                        break; // the rest of the chain is marked
+                    }
+                    out.insert(NodeId(s));
+                    s = ix.next_sibling(s);
+                }
+            }
+            strip(out)
+        }
+        Axis::PrecedingSibling => {
+            let mut out = NodeSet::empty_dense(n);
+            let ids = set.to_vec();
+            for &x in ids.iter().rev() {
+                let mut s = ix.prev_sibling(x.0);
+                while s != NONE {
+                    if out.contains(NodeId(s)) {
+                        break;
+                    }
+                    out.insert(NodeId(s));
+                    s = ix.prev_sibling(s);
+                }
+            }
+            strip(out)
+        }
+        Axis::Id => {
+            let mut out = NodeSet::empty_dense(n);
+            for x in set {
+                for y in doc.deref_ids(doc.string_value(x)) {
+                    out.insert(y);
+                }
+            }
+            out.adapt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::eval_axis_untyped;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8, doc_flat, doc_random, RandomDocConfig};
+    use xpath_xml::rng::Rng;
+
+    /// Typed reference implementation per §4, built on Algorithm 3.2.
+    fn typed_reference(doc: &Document, axis: Axis, set: &[NodeId]) -> Vec<NodeId> {
+        match axis {
+            Axis::Attribute => {
+                let mut v = eval_axis_untyped(doc, Axis::Child, set);
+                v.retain(|&n| doc.kind(n) == NodeKind::Attribute);
+                v
+            }
+            Axis::Namespace => {
+                let mut v = eval_axis_untyped(doc, Axis::Child, set);
+                v.retain(|&n| doc.kind(n) == NodeKind::Namespace);
+                v
+            }
+            Axis::Id => crate::fast::eval_axis(doc, Axis::Id, set),
+            _ => {
+                let mut v = eval_axis_untyped(doc, axis, set);
+                v.retain(|&n| !doc.kind(n).is_special_child());
+                v
+            }
+        }
+    }
+
+    fn check_doc(doc: &Document, seed: u64) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = doc.len() as u32;
+        // A spread of densities: singletons, sparse, dense, full.
+        let mut sets: Vec<Vec<NodeId>> =
+            vec![doc.all_nodes().collect(), doc.all_nodes().filter(|x| x.0 % 7 == 1).collect()];
+        for p in [0.02, 0.3, 0.8] {
+            sets.push((0..n).filter(|_| rng.random_bool(p)).map(NodeId).collect());
+        }
+        for x in doc.all_nodes().take(8) {
+            sets.push(vec![x]);
+        }
+        for ids in sets {
+            let sparse = NodeSet::from_sorted(ids.clone());
+            let dense = sparse.clone().densify(n);
+            for axis in Axis::STANDARD {
+                let reference = typed_reference(doc, axis, &ids);
+                let fast = crate::fast::eval_axis(doc, axis, &ids);
+                assert_eq!(fast, reference, "fast vs alg3.2 {axis:?} seed {seed}");
+                for (repr, input) in [("sparse", &sparse), ("dense", &dense)] {
+                    let got = axis_set(doc, axis, input);
+                    assert_eq!(
+                        got.to_vec(),
+                        reference,
+                        "bulk({repr}) vs reference {axis:?} seed {seed} |S|={}",
+                        ids.len()
+                    );
+                    let ids_out: Vec<u32> = got.iter().map(|x| x.0).collect();
+                    assert!(ids_out.windows(2).all(|w| w[0] < w[1]), "doc order {axis:?}");
+                }
+                // Untyped agrees with Algorithm 3.2's untyped semantics.
+                if !matches!(axis, Axis::Attribute | Axis::Namespace | Axis::Id) {
+                    assert_eq!(
+                        axis_set_untyped(doc, axis, &sparse).to_vec(),
+                        eval_axis_untyped(doc, axis, &ids),
+                        "untyped {axis:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_matches_reference_on_fixed_docs() {
+        check_doc(&doc_flat(6), 1);
+        check_doc(&doc_figure8(), 2);
+        check_doc(&doc_bookstore(), 3);
+    }
+
+    #[test]
+    fn bulk_matches_reference_on_random_docs() {
+        for seed in 0..8 {
+            let cfg = RandomDocConfig { elements: 45, ..RandomDocConfig::default() };
+            let doc = doc_random(seed, &cfg);
+            check_doc(&doc, seed);
+        }
+    }
+
+    #[test]
+    fn bulk_inverse_matches_fast_inverse() {
+        for seed in 0..4 {
+            let cfg = RandomDocConfig { elements: 35, ..RandomDocConfig::default() };
+            let doc = doc_random(seed, &cfg);
+            let n = doc.len() as u32;
+            let ids: Vec<NodeId> = doc.all_nodes().filter(|x| x.0 % 3 != 2).collect();
+            let sparse = NodeSet::from_sorted(ids.clone());
+            let dense = sparse.clone().densify(n);
+            for axis in Axis::STANDARD {
+                let want = crate::fast::inverse_axis_set(&doc, axis, &ids);
+                assert_eq!(inverse_axis_set(&doc, axis, &sparse).to_vec(), want, "{axis:?}");
+                assert_eq!(inverse_axis_set(&doc, axis, &dense).to_vec(), want, "{axis:?} dense");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_axes_produce_dense_sets_on_dense_inputs() {
+        let doc = doc_flat(200);
+        let all: NodeSet = doc.all_nodes().collect();
+        let desc = axis_set(&doc, Axis::DescendantOrSelf, &all);
+        assert!(desc.is_dense(), "a full descendant sweep should stay dense");
+        let one = axis_set(&doc, Axis::Child, &NodeSet::singleton(doc.root()));
+        assert!(!one.is_dense(), "tiny results adapt to the sparse repr");
+    }
+}

@@ -16,7 +16,12 @@
 //! * [`prepost`] — the pre/post-plane window encoding (Grust et al. 2004)
 //!   and the Stack-Tree structural merge join (Al-Khalifa et al. 2002), the
 //!   two axis-evaluation techniques §3 cites as interchangeable with
-//!   Algorithm 3.2.
+//!   Algorithm 3.2;
+//! * [`bulk`] — set-at-a-time axis functions over the hybrid
+//!   [`NodeSet`](xpath_xml::NodeSet) and the structure-of-arrays
+//!   [`AxisIndex`](xpath_xml::AxisIndex): staircase joins for the interval
+//!   axes, word-parallel range fills and type filtering — the engine's
+//!   default backend.
 //!
 //! Property tests assert that all backends agree with the Algorithm 3.2
 //! reference on random documents.
@@ -24,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod fast;
 pub mod id;
 pub mod prepost;
 pub mod regex;
 pub mod typed;
 
+pub use bulk::axis_set;
 pub use fast::{
     axis_from, axis_from_into, eval_axis, eval_axis_untyped_fast, idx_in, inverse_axis_set,
     order_for_axis,
@@ -82,8 +89,25 @@ mod proptests {
             }
         }
 
+        /// The bulk set-at-a-time backend equals the direct backend on
+        /// random documents, for both NodeSet representations.
+        #[test]
+        fn bulk_equals_fast_on_random_docs(seed in 0u64..5000) {
+            let cfg = RandomDocConfig { elements: 35, ..RandomDocConfig::default() };
+            let doc = doc_random(seed, &cfg);
+            let n = doc.len() as u32;
+            let ids: Vec<NodeId> = doc.all_nodes().filter(|x| x.0 % 3 != 1).collect();
+            let sparse = xpath_xml::NodeSet::from_sorted(ids.clone());
+            let dense = sparse.clone().densify(n);
+            for axis in Axis::STANDARD {
+                let want = crate::fast::eval_axis(&doc, axis, &ids);
+                prop_assert_eq!(crate::bulk::axis_set(&doc, axis, &sparse).to_vec(), want.clone(), "{:?} sparse", axis);
+                prop_assert_eq!(crate::bulk::axis_set(&doc, axis, &dense).to_vec(), want, "{:?} dense", axis);
+            }
+        }
+
         /// The pre/post-plane backend equals the direct backend on random
-        /// documents (three-way interchangeability per §3).
+        /// documents (four-way interchangeability per §3).
         #[test]
         fn plane_equals_fast_on_random_docs(seed in 0u64..5000) {
             let cfg = RandomDocConfig { elements: 30, ..RandomDocConfig::default() };

@@ -1,9 +1,10 @@
-//! Ablation of the three interchangeable axis-evaluation backends (§3):
+//! Ablation of the four interchangeable axis-evaluation backends (§3):
 //! Algorithm 3.2 (regular expressions over the primitive relations), the
-//! direct set algorithms, and the pre/post-plane windows (Grust et al.
-//! 2004), plus the Stack-Tree structural join (Al-Khalifa et al. 2002)
-//! against the equivalent two-pass axis+filter formulation for the
-//! `descendant` step.
+//! direct set algorithms, the pre/post-plane windows (Grust et al. 2004)
+//! and the set-at-a-time bulk engine over the structure-of-arrays index,
+//! plus the Stack-Tree structural join (Al-Khalifa et al. 2002) against
+//! the equivalent two-pass axis+filter formulation for the `descendant`
+//! step.
 
 use std::time::Duration;
 
@@ -30,10 +31,12 @@ fn bench_backends(c: &mut Criterion) {
         let cfg = RandomDocConfig { elements: size, ..RandomDocConfig::default() };
         let doc = doc_random(7, &cfg);
         let plane = PrePostPlane::new(&doc);
+        doc.axis_index(); // built outside the timed region, like the plane
         let evens: Vec<NodeId> = doc
             .all_nodes()
             .filter(|&n| n.0 % 16 == 0 && doc.kind(n) == NodeKind::Element)
             .collect();
+        let evens_set = xpath_xml::NodeSet::from_sorted(evens.clone());
 
         for axis in [Axis::Descendant, Axis::Following, Axis::Ancestor] {
             g.bench_with_input(
@@ -50,6 +53,11 @@ fn bench_backends(c: &mut Criterion) {
                 BenchmarkId::new(format!("plane/{}", axis.name()), size),
                 &size,
                 |b, _| b.iter(|| plane.eval_axis(&doc, axis, &evens)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("bulk/{}", axis.name()), size),
+                &size,
+                |b, _| b.iter(|| xpath_axes::bulk::axis_set(&doc, axis, &evens_set)),
             );
         }
     }

@@ -1,0 +1,225 @@
+//! `bench_axes` — machine-readable micro-benchmark of the axis engine and
+//! node-set representations, written to `BENCH_axes.json`.
+//!
+//! Tracks the perf trajectory of the hybrid-`NodeSet` / bulk-axis refactor:
+//!
+//! * **axis_application** — set-at-a-time `bulk::axis_set` vs the per-node
+//!   `axis_from` loop (the seed's hot path) and the per-node set algorithms
+//!   (`fast::eval_axis`), across input densities, on a ≥10k-node document;
+//! * **set_ops** — union/intersect/difference on the dense-bitset vs the
+//!   sorted-vec representation across densities;
+//! * **queries** — whole-query Core XPath evaluation with the bulk backend
+//!   vs the per-node direct backend on descendant/following-heavy queries;
+//! * **prepared_vs_adhoc** — the existing compile-once guard: a prepared
+//!   `CompiledQuery` must stay faster than compile+evaluate per call.
+//!
+//! Usage: `cargo run --release -p xpath-bench --bin bench_axes [-- out.json]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use xpath_axes::bulk;
+use xpath_core::corexpath::{compile, AxisBackend, CoreXPathEvaluator};
+use xpath_core::Compiler;
+use xpath_syntax::Axis;
+use xpath_xml::generate::doc_balanced;
+
+use xpath_xml::rng::Rng;
+use xpath_xml::{Document, NodeId, NodeSet};
+
+/// Median-of-runs wall time for one invocation of `f`, in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    // Calibrate the iteration count to ~2ms per sample.
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().max(Duration::from_nanos(50));
+    let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+    let mut samples = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as u64 / iters as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The seed's per-node hot path: `axis_from` per source node, then one
+/// global sort+dedup.
+fn per_node_loop(doc: &Document, axis: Axis, set: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for &x in set {
+        xpath_axes::axis_from_into(doc, axis, x, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_axes.json".to_string());
+    // A balanced 4-ary tree of depth 7: 21845 elements (≥10k nodes),
+    // labels cycling a→b→c→d by level.
+    let doc = doc_balanced(4, 7, &["a", "b", "c", "d"]);
+    let n = doc.len() as u32;
+    doc.axis_index(); // build once, outside the timed regions
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"axes\",");
+    let _ =
+        writeln!(json, "  \"doc\": {{ \"shape\": \"balanced 4-ary, depth 7\", \"nodes\": {n} }},");
+
+    // ---- axis application across densities ----
+    json.push_str("  \"axis_application\": [\n");
+    let mut first = true;
+    for &density in &[0.004f64, 0.03125, 0.25] {
+        let mut rng = Rng::seed_from_u64(42);
+        let ids: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(density)).map(NodeId).collect();
+        let sparse = NodeSet::from_sorted(ids.clone());
+        let dense = sparse.clone().densify(n);
+        for axis in
+            [Axis::Descendant, Axis::Following, Axis::Preceding, Axis::Ancestor, Axis::Child]
+        {
+            // Equality sanity check before timing.
+            assert_eq!(
+                bulk::axis_set(&doc, axis, &sparse).to_vec(),
+                per_node_loop(&doc, axis, &ids),
+                "{axis:?} density {density}"
+            );
+            let t_loop = time_ns(|| {
+                std::hint::black_box(per_node_loop(&doc, axis, &ids));
+            });
+            let t_direct = time_ns(|| {
+                std::hint::black_box(xpath_axes::eval_axis(&doc, axis, &ids));
+            });
+            let t_bulk_sparse = time_ns(|| {
+                std::hint::black_box(bulk::axis_set(&doc, axis, &sparse));
+            });
+            let t_bulk_dense = time_ns(|| {
+                std::hint::black_box(bulk::axis_set(&doc, axis, &dense));
+            });
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{ \"axis\": \"{}\", \"density\": {density}, \"input_len\": {}, \
+                 \"per_node_loop_ns\": {t_loop}, \"direct_set_ns\": {t_direct}, \
+                 \"bulk_sparse_ns\": {t_bulk_sparse}, \"bulk_dense_ns\": {t_bulk_dense}, \
+                 \"speedup_bulk_vs_per_node\": {:.2} }}",
+                axis.name(),
+                ids.len(),
+                t_loop as f64 / t_bulk_sparse.max(1) as f64,
+            );
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- representation micro-bench: set ops across densities ----
+    json.push_str("  \"set_ops\": [\n");
+    let mut first = true;
+    for &density in &[0.01f64, 0.1, 0.5] {
+        let mut rng = Rng::seed_from_u64(7);
+        let a_ids: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(density)).map(NodeId).collect();
+        let b_ids: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(density)).map(NodeId).collect();
+        let av = NodeSet::from_sorted(a_ids);
+        let bv = NodeSet::from_sorted(b_ids);
+        let ad = av.clone().densify(n);
+        let bd = bv.clone().densify(n);
+        for op in ["union", "intersect", "difference"] {
+            let run = |x: &NodeSet, y: &NodeSet| match op {
+                "union" => x.union(y),
+                "intersect" => x.intersect(y),
+                _ => x.difference(y),
+            };
+            assert_eq!(run(&av, &bv), run(&ad, &bd), "{op} density {density}");
+            let t_vec = time_ns(|| {
+                std::hint::black_box(run(&av, &bv));
+            });
+            let t_bits = time_ns(|| {
+                std::hint::black_box(run(&ad, &bd));
+            });
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "    {{ \"op\": \"{op}\", \"density\": {density}, \"len\": {}, \
+                 \"sorted_vec_ns\": {t_vec}, \"bitset_ns\": {t_bits}, \
+                 \"speedup_bitset\": {:.2} }}",
+                av.len(),
+                t_vec as f64 / t_bits.max(1) as f64,
+            );
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- whole-query backends: descendant/following-heavy Core XPath ----
+    json.push_str("  \"queries\": [\n");
+    let direct = CoreXPathEvaluator::with_backend(&doc, AxisBackend::Direct);
+    let bulk_ev = CoreXPathEvaluator::with_backend(&doc, AxisBackend::Bulk);
+    let mut first = true;
+    for q in [
+        "//a//c",
+        "//a//b//c//d",
+        "//b[following::c]",
+        "//c[preceding::a]/descendant::d",
+        "//*[not(ancestor::b)]",
+        "//a[descendant::d]/following::b",
+    ] {
+        let e = xpath_syntax::parse_normalized(q).unwrap();
+        let c = compile(&e).unwrap();
+        let root = [doc.root()];
+        assert_eq!(direct.evaluate(&c, &root), bulk_ev.evaluate(&c, &root), "{q}");
+        let t_direct = time_ns(|| {
+            std::hint::black_box(direct.evaluate(&c, &root));
+        });
+        let t_bulk = time_ns(|| {
+            std::hint::black_box(bulk_ev.evaluate(&c, &root));
+        });
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{ \"query\": \"{}\", \"per_node_direct_ns\": {t_direct}, \
+             \"bulk_ns\": {t_bulk}, \"speedup_bulk\": {:.2} }}",
+            q.replace('"', "'"),
+            t_direct as f64 / t_bulk.max(1) as f64,
+        );
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- prepared_vs_adhoc guard (original bench conditions: small doc,
+    // static phase comparable to the runtime phase) ----
+    let small = xpath_xml::generate::doc_bookstore();
+    let compiler = Compiler::new();
+    let q = "//book[author]/title";
+    let prepared = compiler.compile(q).unwrap();
+    let t_adhoc = time_ns(|| {
+        let c = compiler.compile(q).unwrap();
+        std::hint::black_box(c.evaluate_root(&small).unwrap());
+    });
+    let t_prepared = time_ns(|| {
+        std::hint::black_box(prepared.evaluate_root(&small).unwrap());
+    });
+    let _ = writeln!(
+        json,
+        "  \"prepared_vs_adhoc\": {{ \"query\": \"{q}\", \"adhoc_ns\": {t_adhoc}, \
+         \"prepared_ns\": {t_prepared}, \"prepared_speedup\": {:.2} }}",
+        t_adhoc as f64 / t_prepared.max(1) as f64,
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

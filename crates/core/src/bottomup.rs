@@ -27,42 +27,126 @@ use xpath_xml::{Document, NodeId};
 use crate::context::{Context, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::relev::{relev, Relev};
 use crate::value::Value;
 
 /// A context-value table: the relation `E↑[[e]]` restricted to the relevant
 /// context components (Definition 6.1, Table IV).
+///
+/// Tables whose relevance is a subset of `{cn}` — the overwhelming
+/// majority after the footnote-8 reduction — are stored as a **dense
+/// vector indexed by the projected node key** (`x + 1`, with slot 0 for
+/// constant rows), so lookups on the hot path are an array access instead
+/// of a hash probe. The bottom-up evaluator enumerates all of `dom`, so
+/// its tables fill that vector contiguously; if a minimal-context caller
+/// populates only a sparse subset of nodes (MinContext covers reachable
+/// candidates only), the table spills back to the keyed map rather than
+/// allocating `O(|dom|)` slots — preserving the §8 space behaviour.
+/// Tables that depend on `cp`/`cs` always use the keyed map.
 #[derive(Clone, Debug)]
 pub struct CvTable {
     relev: Relev,
-    rows: HashMap<(u32, u32, u32), Value>,
+    rows: Rows,
+}
+
+#[derive(Clone, Debug)]
+enum Rows {
+    /// `Relev ⊆ {cn}` and densely filled: indexed by `project(ctx).0`.
+    ByNode { slots: Vec<Option<Value>>, filled: usize },
+    /// `cp`/`cs`-relevant tables, and sparse cn-only tables after a
+    /// spill: keyed by the full projection.
+    Keyed(HashMap<(u32, u32, u32), Value>),
+}
+
+/// A cn-only table stays dense only while growing to `i + 1` slots keeps
+/// at least ~1/4 of them filled (with a small flat allowance); beyond
+/// that the table spills to the keyed map.
+fn dense_worthwhile(i: usize, filled: usize) -> bool {
+    i < 4 * (filled + 1) + 64
 }
 
 impl CvTable {
     /// An empty table keyed by the given relevance projection.
     pub fn new(relev: Relev) -> CvTable {
-        CvTable { relev, rows: HashMap::new() }
+        let rows = if relev.is_cn_only() {
+            Rows::ByNode { slots: Vec::new(), filled: 0 }
+        } else {
+            Rows::Keyed(HashMap::new())
+        };
+        CvTable { relev, rows }
     }
 
     /// Record the value at (the relevant projection of) `ctx`.
     pub fn insert(&mut self, ctx: Context, v: Value) {
-        self.rows.insert(self.relev.project(ctx), v);
+        let key = self.relev.project(ctx);
+        self.insert_key(key, v);
+    }
+
+    fn insert_key(&mut self, key: (u32, u32, u32), v: Value) {
+        if let Rows::ByNode { slots, filled } = &mut self.rows {
+            let i = key.0 as usize;
+            if i >= slots.len() && !dense_worthwhile(i, *filled) {
+                // Sparse fill pattern: spill to the keyed map so table
+                // size tracks rows, not the largest node id.
+                let spilled: HashMap<(u32, u32, u32), Value> = slots
+                    .drain(..)
+                    .enumerate()
+                    .filter_map(|(j, v)| v.map(|v| ((j as u32, 0, 0), v)))
+                    .collect();
+                self.rows = Rows::Keyed(spilled);
+            }
+        }
+        match &mut self.rows {
+            Rows::ByNode { slots, filled } => {
+                let i = key.0 as usize;
+                if i >= slots.len() {
+                    slots.resize(i + 1, None);
+                }
+                if slots[i].is_none() {
+                    *filled += 1;
+                }
+                slots[i] = Some(v);
+            }
+            Rows::Keyed(m) => {
+                m.insert(key, v);
+            }
+        }
     }
 
     /// The value of the expression at `ctx`, if the context was enumerated.
     pub fn value_at(&self, ctx: Context) -> Option<&Value> {
-        self.rows.get(&self.relev.project(ctx))
+        let key = self.relev.project(ctx);
+        match &self.rows {
+            Rows::ByNode { slots, .. } => slots.get(key.0 as usize).and_then(Option::as_ref),
+            Rows::Keyed(m) => m.get(&key),
+        }
+    }
+
+    /// Iterate the materialized `(projected key, value)` rows.
+    fn iter_rows(&self) -> RowIter<'_> {
+        match &self.rows {
+            Rows::ByNode { slots, .. } => Box::new(
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.as_ref().map(|v| ((i as u32, 0, 0), v))),
+            ),
+            Rows::Keyed(m) => Box::new(m.iter().map(|(&k, v)| (k, v))),
+        }
     }
 
     /// Number of materialized rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.rows {
+            Rows::ByNode { filled, .. } => *filled,
+            Rows::Keyed(m) => m.len(),
+        }
     }
 
     /// Tables always have at least one row.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// The relevance set this table is keyed by.
@@ -70,6 +154,9 @@ impl CvTable {
         self.relev
     }
 }
+
+/// Iterator over a table's materialized rows (see [`CvTable::iter_rows`]).
+type RowIter<'a> = Box<dyn Iterator<Item = ((u32, u32, u32), &'a Value)> + 'a>;
 
 /// The bottom-up evaluator (Algorithm 6.3).
 pub struct BottomUpEvaluator<'d> {
@@ -111,18 +198,17 @@ impl<'d> BottomUpEvaluator<'d> {
             Expr::Filter { primary, predicates } => self.filter_table(primary, predicates),
             Expr::Neg(inner) => {
                 let t = self.table(inner)?;
-                let rows = t
-                    .rows
-                    .into_iter()
-                    .map(|(k, v)| (k, Value::Number(-v.to_number(self.doc))))
-                    .collect();
-                Ok(CvTable { relev: t.relev, rows })
+                let mut out = CvTable::new(t.relev);
+                for (k, v) in t.iter_rows() {
+                    out.insert_key(k, Value::Number(-v.to_number(self.doc)));
+                }
+                Ok(out)
             }
             Expr::Binary { op, left, right } => {
                 let lt = self.table(left)?;
                 let rt = self.table(right)?;
                 let rel = relev(e);
-                let mut rows = HashMap::new();
+                let mut out = CvTable::new(rel);
                 for ctx in self.contexts_for(rel)? {
                     let l = lt.value_at(ctx).expect("child table covers context").clone();
                     let r = rt.value_at(ctx).expect("child table covers context").clone();
@@ -131,31 +217,31 @@ impl<'d> BottomUpEvaluator<'d> {
                         BinaryOp::Or => Value::Boolean(l.to_boolean() || r.to_boolean()),
                         _ => apply_binary(self.doc, *op, l, r)?,
                     };
-                    rows.insert(rel.project(ctx), v);
+                    out.insert(ctx, v);
                 }
-                Ok(CvTable { relev: rel, rows })
+                Ok(out)
             }
             Expr::Call { name, args } => {
                 let arg_tables: Vec<CvTable> =
                     args.iter().map(|a| self.table(a)).collect::<Result<_, _>>()?;
                 let rel = relev(e);
-                let mut rows = HashMap::new();
+                let mut out = CvTable::new(rel);
                 for ctx in self.contexts_for(rel)? {
                     let argv: Vec<Value> = arg_tables
                         .iter()
                         .map(|t| t.value_at(ctx).expect("child table covers context").clone())
                         .collect();
-                    rows.insert(rel.project(ctx), functions::apply(self.doc, name, argv, &ctx)?);
+                    out.insert(ctx, functions::apply(self.doc, name, argv, &ctx)?);
                 }
-                Ok(CvTable { relev: rel, rows })
+                Ok(out)
             }
         }
     }
 
     fn const_table(&self, v: Value) -> EvalResult<CvTable> {
-        let mut rows = HashMap::new();
-        rows.insert((0, 0, 0), v);
-        Ok(CvTable { relev: Relev::NONE, rows })
+        let mut t = CvTable::new(Relev::NONE);
+        t.insert_key((0, 0, 0), v);
+        Ok(t)
     }
 
     /// Enumerate the contexts spanning the relevant components: all of
@@ -199,18 +285,22 @@ impl<'d> BottomUpEvaluator<'d> {
     /// the document, the set reachable via the path — the bottom-up
     /// hallmark.
     fn path_table(&self, p: &LocationPath) -> EvalResult<CvTable> {
-        // Per-step tables S_i : dom → 2^dom with predicates already applied.
-        let step_tables: Vec<Vec<NodeSet>> =
+        // Per-step tables S_i : dom → 2^dom with predicates already applied
+        // (positional per-node lists; see `step_table`).
+        let step_tables: Vec<Vec<Vec<NodeId>>> =
             p.steps.iter().map(|s| self.step_table(s)).collect::<Result<_, _>>()?;
-        // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y).
+        // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y), with the
+        // unions accumulated in-place on the hybrid sets (dense
+        // accumulators go word-parallel).
         let n = self.doc.len();
-        let mut reach: Vec<NodeSet> = (0..n as u32).map(|i| vec![NodeId(i)]).collect();
+        let mut reach: Vec<NodeSet> =
+            (0..n as u32).map(|i| NodeSet::singleton(NodeId(i))).collect();
         for st in step_tables.iter().rev() {
             let mut next: Vec<NodeSet> = Vec::with_capacity(n);
             for step_result in st.iter().take(n) {
-                let mut acc: NodeSet = Vec::new();
+                let mut acc = NodeSet::new();
                 for &y in step_result {
-                    acc = nodeset::union(&acc, &reach[y.index()]);
+                    acc.union_with(&reach[y.index()]);
                 }
                 next.push(acc);
             }
@@ -219,37 +309,31 @@ impl<'d> BottomUpEvaluator<'d> {
         match &p.start {
             PathStart::Root => {
                 // E↑[[/π]] = C × {S | ⟨root, k, n, S⟩ ∈ E↑[[π]]}.
-                let mut rows = HashMap::new();
-                rows.insert((0, 0, 0), Value::NodeSet(reach[0].clone()));
-                Ok(CvTable { relev: Relev::NONE, rows })
+                self.const_table(Value::NodeSet(reach[0].clone()))
             }
             PathStart::ContextNode => {
-                let mut rows = HashMap::new();
+                let mut t = CvTable::new(Relev::CN);
                 for x in self.doc.all_nodes() {
-                    rows.insert(
-                        Relev::CN.project(Context::of(x)),
-                        Value::NodeSet(reach[x.index()].clone()),
-                    );
+                    t.insert(Context::of(x), Value::NodeSet(reach[x.index()].clone()));
                 }
-                Ok(CvTable { relev: Relev::CN, rows })
+                Ok(t)
             }
             PathStart::Expr(head) => {
                 let ht = self.table(head)?;
-                let rel = ht.relev;
-                let mut rows = HashMap::new();
-                for (key, v) in &ht.rows {
+                let mut t = CvTable::new(ht.relev);
+                for (key, v) in ht.iter_rows() {
                     let Some(set) = v.as_node_set() else {
                         return Err(EvalError::TypeMismatch(
                             "path start must evaluate to a node set".into(),
                         ));
                     };
-                    let mut acc: NodeSet = Vec::new();
-                    for &y in set {
-                        acc = nodeset::union(&acc, &reach[y.index()]);
+                    let mut acc = NodeSet::new();
+                    for y in set {
+                        acc.union_with(&reach[y.index()]);
                     }
-                    rows.insert(*key, Value::NodeSet(acc));
+                    t.insert_key(key, Value::NodeSet(acc));
                 }
-                Ok(CvTable { relev: rel, rows })
+                Ok(t)
             }
         }
     }
@@ -257,7 +341,9 @@ impl<'d> BottomUpEvaluator<'d> {
     /// The table of one location step `χ::t[e1]…[em]`: for every node `x`,
     /// the candidate set with all predicates applied (Table IV's
     /// "location step E[e] over axis χ" row, iterated over the predicates).
-    fn step_table(&self, step: &Step) -> EvalResult<Vec<NodeSet>> {
+    /// Per-node lists stay plain vectors: predicate evaluation is
+    /// positional (`<doc,χ` indexing).
+    fn step_table(&self, step: &Step) -> EvalResult<Vec<Vec<NodeId>>> {
         let pred_tables: Vec<CvTable> =
             step.predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
         let mut out = Vec::with_capacity(self.doc.len());
@@ -288,14 +374,15 @@ impl<'d> BottomUpEvaluator<'d> {
         let base = self.table(primary)?;
         let pred_tables: Vec<CvTable> =
             predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
-        let mut rows = HashMap::new();
-        for (key, v) in &base.rows {
+        let mut out = CvTable::new(base.relev);
+        for (key, v) in base.iter_rows() {
             let Some(set) = v.as_node_set() else {
                 return Err(EvalError::TypeMismatch(
                     "predicates require a node-set primary expression".into(),
                 ));
             };
-            let mut s = set.clone();
+            // Positional filtering over the document-ordered list.
+            let mut s: Vec<NodeId> = set.to_vec();
             for pt in &pred_tables {
                 let len = s.len();
                 let mut kept = Vec::with_capacity(len);
@@ -311,9 +398,9 @@ impl<'d> BottomUpEvaluator<'d> {
                 }
                 s = kept;
             }
-            rows.insert(*key, Value::NodeSet(s));
+            out.insert_key(key, Value::NodeSet(NodeSet::from_sorted(s)));
         }
-        Ok(CvTable { relev: base.relev, rows })
+        Ok(out)
     }
 }
 
@@ -343,16 +430,19 @@ mod tests {
         // E1 = descendant::b : at r and a the full {b1..b4}, at b's ∅.
         let e1 = parse_normalized("descendant::b").unwrap();
         let t1 = ev.table(&e1).unwrap();
-        assert_eq!(t1.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(bs.clone()));
-        assert_eq!(t1.value_at(Context::of(a)).unwrap(), &Value::NodeSet(bs.clone()));
-        assert_eq!(t1.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![]));
+        assert_eq!(t1.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(bs.clone().into()));
+        assert_eq!(t1.value_at(Context::of(a)).unwrap(), &Value::NodeSet(bs.clone().into()));
+        assert_eq!(t1.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![].into()));
 
         // E3 = following-sibling::* : b1 → {b2,b3,b4}, b2 → {b3,b4}, …
         let e3 = parse_normalized("following-sibling::*").unwrap();
         let t3 = ev.table(&e3).unwrap();
-        assert_eq!(t3.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(bs[1..].to_vec()));
-        assert_eq!(t3.value_at(Context::of(bs[2])).unwrap(), &Value::NodeSet(vec![bs[3]]));
-        assert_eq!(t3.value_at(Context::of(bs[3])).unwrap(), &Value::NodeSet(vec![]));
+        assert_eq!(
+            t3.value_at(Context::of(bs[0])).unwrap(),
+            &Value::NodeSet(bs[1..].to_vec().into())
+        );
+        assert_eq!(t3.value_at(Context::of(bs[2])).unwrap(), &Value::NodeSet(vec![bs[3]].into()));
+        assert_eq!(t3.value_at(Context::of(bs[3])).unwrap(), &Value::NodeSet(vec![].into()));
 
         // E4 = position() != last() : table keyed by (k, n).
         let e4 = parse_normalized("position() != last()").unwrap();
@@ -364,14 +454,17 @@ mod tests {
         // E2 = E3[E4] : b1 → {b2,b3} (the paper's most interesting step).
         let q = parse_normalized("following-sibling::*[position() != last()]").unwrap();
         let t2 = ev.table(&q).unwrap();
-        assert_eq!(t2.value_at(Context::of(bs[0])).unwrap(), &Value::NodeSet(vec![bs[1], bs[2]]));
-        assert_eq!(t2.value_at(Context::of(bs[1])).unwrap(), &Value::NodeSet(vec![bs[2]]));
+        assert_eq!(
+            t2.value_at(Context::of(bs[0])).unwrap(),
+            &Value::NodeSet(vec![bs[1], bs[2]].into())
+        );
+        assert_eq!(t2.value_at(Context::of(bs[1])).unwrap(), &Value::NodeSet(vec![bs[2]].into()));
 
         // Full query from context ⟨a,1,1⟩ = {b2, b3}.
         let full =
             parse_normalized("descendant::b/following-sibling::*[position() != last()]").unwrap();
         let v = ev.evaluate(&full, Context::of(a)).unwrap();
-        assert_eq!(v, Value::NodeSet(vec![bs[1], bs[2]]));
+        assert_eq!(v, Value::NodeSet(vec![bs[1], bs[2]].into()));
     }
 
     #[test]
@@ -387,7 +480,7 @@ mod tests {
             .iter()
             .map(|i| d.element_by_id(i).unwrap())
             .collect();
-        assert_eq!(v, Value::NodeSet(expect));
+        assert_eq!(v, Value::NodeSet(expect.into()));
     }
 
     #[test]

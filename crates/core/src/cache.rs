@@ -121,9 +121,9 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// A cache holding up to `capacity` compiled queries across
-    /// [`DEFAULT_SHARDS`] shards (capacity is rounded up to a multiple of
-    /// the shard count).
+    /// A cache holding up to `capacity` compiled queries across the
+    /// default 8 shards (capacity is rounded up to a multiple of the
+    /// shard count).
     pub fn new(capacity: usize) -> QueryCache {
         QueryCache::with_shards(capacity, DEFAULT_SHARDS)
     }

@@ -71,21 +71,21 @@ pub fn compare(doc: &Document, op: BinaryOp, l: &Value, r: &Value) -> bool {
                     return false;
                 }
                 let set1: std::collections::HashSet<&str> =
-                    s1.iter().map(|&n| doc.string_value(n)).collect();
+                    s1.iter().map(|n| doc.string_value(n)).collect();
                 match op {
-                    BinaryOp::Eq => s2.iter().any(|&n| set1.contains(doc.string_value(n))),
+                    BinaryOp::Eq => s2.iter().any(|n| set1.contains(doc.string_value(n))),
                     _ => {
                         // != : ∃ pair with different values. False only if
                         // every value on both sides is the single same string.
                         let set2: std::collections::HashSet<&str> =
-                            s2.iter().map(|&n| doc.string_value(n)).collect();
+                            s2.iter().map(|n| doc.string_value(n)).collect();
                         set1.len() > 1 || set2.len() > 1 || set1 != set2
                     }
                 }
             } else {
                 let nums2: Vec<f64> =
-                    s2.iter().map(|&n| str_to_number(doc.string_value(n))).collect();
-                s1.iter().any(|&n1| {
+                    s2.iter().map(|n| str_to_number(doc.string_value(n))).collect();
+                s1.iter().any(|n1| {
                     let v1 = str_to_number(doc.string_value(n1));
                     nums2.iter().any(|&v2| num_cmp(op, v1, v2))
                 })
@@ -93,17 +93,17 @@ pub fn compare(doc: &Document, op: BinaryOp, l: &Value, r: &Value) -> bool {
         }
         // F[[RelOp : nset × num]]: ∃ n ∈ S : to_number(strval(n)) RelOp v.
         (Value::NodeSet(s), Value::Number(v)) => {
-            s.iter().any(|&n| num_cmp(op, str_to_number(doc.string_value(n)), *v))
+            s.iter().any(|n| num_cmp(op, str_to_number(doc.string_value(n)), *v))
         }
         (Value::Number(v), Value::NodeSet(s)) => {
-            s.iter().any(|&n| num_cmp(mirror(op), str_to_number(doc.string_value(n)), *v))
+            s.iter().any(|n| num_cmp(mirror(op), str_to_number(doc.string_value(n)), *v))
         }
         // F[[RelOp : nset × str]]: ∃ n ∈ S : strval(n) RelOp s.
         (Value::NodeSet(s), Value::String(t)) => {
-            s.iter().any(|&n| str_cmp(op, doc.string_value(n), t))
+            s.iter().any(|n| str_cmp(op, doc.string_value(n), t))
         }
         (Value::String(t), Value::NodeSet(s)) => {
-            s.iter().any(|&n| str_cmp(mirror(op), doc.string_value(n), t))
+            s.iter().any(|n| str_cmp(mirror(op), doc.string_value(n), t))
         }
         // F[[RelOp : nset × bool]]: boolean(S) RelOp b.
         (Value::NodeSet(s), Value::Boolean(b)) => bool_cmp(op, !s.is_empty(), *b),
@@ -139,7 +139,7 @@ mod tests {
         doc_flat_text(3)
     }
 
-    fn bset(d: &Document) -> Vec<NodeId> {
+    fn bset(d: &Document) -> crate::nodeset::NodeSet {
         let a = d.document_element().unwrap();
         d.children(a).collect()
     }
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn empty_nset_comparisons_are_false() {
         let d = doc();
-        let e = Value::NodeSet(vec![]);
+        let e = Value::NodeSet(crate::nodeset::NodeSet::new());
         for op in [BinaryOp::Eq, BinaryOp::Ne, BinaryOp::Lt, BinaryOp::Gt] {
             assert!(!compare(&d, op, &e, &Value::String("c".into())), "{op:?}");
             assert!(!compare(&d, op, &e, &Value::Number(0.0)), "{op:?}");
@@ -190,8 +190,8 @@ mod tests {
         let d = Document::parse_str("<a><b>1</b><b>2</b><c>2</c><c>3</c></a>").unwrap();
         let a = d.document_element().unwrap();
         let kids: Vec<NodeId> = d.children(a).collect();
-        let bs = Value::NodeSet(kids[0..2].to_vec());
-        let cs = Value::NodeSet(kids[2..4].to_vec());
+        let bs = Value::NodeSet(kids[0..2].to_vec().into());
+        let cs = Value::NodeSet(kids[2..4].to_vec().into());
         assert!(compare(&d, BinaryOp::Eq, &bs, &cs)); // both contain "2"
         assert!(compare(&d, BinaryOp::Ne, &bs, &cs));
         assert!(compare(&d, BinaryOp::Lt, &bs, &cs));
@@ -208,8 +208,8 @@ mod tests {
         let d = Document::parse_str("<a><b>x</b><c>x</c></a>").unwrap();
         let a = d.document_element().unwrap();
         let kids: Vec<NodeId> = d.children(a).collect();
-        let bs = Value::NodeSet(vec![kids[0]]);
-        let cs = Value::NodeSet(vec![kids[1]]);
+        let bs = Value::NodeSet(vec![kids[0]].into());
+        let cs = Value::NodeSet(vec![kids[1]].into());
         assert!(compare(&d, BinaryOp::Eq, &bs, &cs));
         assert!(!compare(&d, BinaryOp::Ne, &bs, &cs), "all values identical");
     }

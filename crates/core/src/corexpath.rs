@@ -23,7 +23,7 @@ use xpath_xml::{Document, NodeId};
 
 use crate::context::{EvalError, EvalResult};
 use crate::node_test;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::value::str_to_number;
 
 /// A compiled Core XPath / XPatterns query.
@@ -224,8 +224,13 @@ fn compile_pred(e: &Expr, dialect: CoreDialect) -> EvalResult<CorePred> {
 /// per-step bound.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AxisBackend {
-    /// Direct set algorithms over the preorder/subtree-interval encoding.
+    /// Set-at-a-time staircase/word-parallel axes over the
+    /// structure-of-arrays index and the hybrid [`NodeSet`]
+    /// (`xpath_axes::bulk`) — the default.
     #[default]
+    Bulk,
+    /// Direct per-node set algorithms over the preorder/subtree-interval
+    /// encoding.
     Direct,
     /// Algorithm 3.2: the Table I regular expressions over the primitive
     /// relations (the paper's reference formulation).
@@ -256,7 +261,7 @@ impl<'d> CoreXPathEvaluator<'d> {
     pub fn with_backend(doc: &'d Document, backend: AxisBackend) -> Self {
         CoreXPathEvaluator {
             doc,
-            all: doc.all_nodes().collect(),
+            all: NodeSet::full(doc.len() as u32),
             backend,
             plane: std::sync::OnceLock::new(),
             index: None,
@@ -275,10 +280,10 @@ impl<'d> CoreXPathEvaluator<'d> {
 
     /// `T(t)` relative to an axis, through the name index when present.
     fn t_set(&self, axis: Axis, test: &NodeTest) -> NodeSet {
-        match &self.index {
+        NodeSet::from_sorted(match &self.index {
             Some(ix) => node_test::matching_set_indexed(self.doc, ix, axis, test),
             None => node_test::matching_set(self.doc, axis, test),
-        }
+        })
     }
 
     /// Evaluate a compiled query with semantics `S→[[π]](N0)`.
@@ -299,37 +304,44 @@ impl<'d> CoreXPathEvaluator<'d> {
         Ok(self.evaluate(&q, context_nodes))
     }
 
-    fn axis_forward(&self, axis: Axis, set: &[NodeId]) -> NodeSet {
+    fn axis_forward(&self, axis: Axis, set: &NodeSet) -> NodeSet {
         match axis {
-            Axis::Id => xpath_axes::id::id_set_ref(self.doc, set),
+            Axis::Id => NodeSet::from_sorted(xpath_axes::id::id_set_ref(self.doc, &set.to_vec())),
             _ => match self.backend {
-                AxisBackend::Direct => xpath_axes::eval_axis(self.doc, axis, set),
-                AxisBackend::Alg32 => xpath_axes::eval_axis_alg32(self.doc, axis, set),
-                AxisBackend::Plane => self
-                    .plane
-                    .get_or_init(|| xpath_axes::PrePostPlane::new(self.doc))
-                    .eval_axis(self.doc, axis, set),
+                AxisBackend::Bulk => xpath_axes::bulk::axis_set(self.doc, axis, set),
+                AxisBackend::Direct => {
+                    NodeSet::from_sorted(xpath_axes::eval_axis(self.doc, axis, &set.to_vec()))
+                }
+                AxisBackend::Alg32 => {
+                    NodeSet::from_sorted(xpath_axes::eval_axis_alg32(self.doc, axis, &set.to_vec()))
+                }
+                AxisBackend::Plane => {
+                    NodeSet::from_sorted(
+                        self.plane
+                            .get_or_init(|| xpath_axes::PrePostPlane::new(self.doc))
+                            .eval_axis(self.doc, axis, &set.to_vec()),
+                    )
+                }
             },
         }
     }
 
-    /// Backward steps (`S←`, §10.1) go through the inverse-axis functions,
-    /// which all backends share: Lemma 10.1 reduces `χ⁻¹` to the forward
-    /// axis tables, so interchangeability is already exercised above.
-    fn axis_backward(&self, axis: Axis, set: &[NodeId]) -> NodeSet {
-        xpath_axes::inverse_axis_set(self.doc, axis, set)
+    /// Backward steps (`S←`, §10.1) go through the inverse-axis functions:
+    /// Lemma 10.1 reduces `χ⁻¹` to the forward axes, so backend
+    /// interchangeability is already exercised above. The bulk backend has
+    /// its own set-at-a-time inverse; the others share the per-node one.
+    fn axis_backward(&self, axis: Axis, set: &NodeSet) -> NodeSet {
+        match self.backend {
+            AxisBackend::Bulk => xpath_axes::bulk::inverse_axis_set(self.doc, axis, set),
+            _ => NodeSet::from_sorted(xpath_axes::inverse_axis_set(self.doc, axis, &set.to_vec())),
+        }
     }
 
     fn start_set(&self, start: &CoreStart, context_nodes: &[NodeId]) -> NodeSet {
         match start {
-            CoreStart::Context => {
-                let mut v = context_nodes.to_vec();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            CoreStart::Root => vec![self.doc.root()],
-            CoreStart::Ids(s) => self.doc.deref_ids(s),
+            CoreStart::Context => NodeSet::from_unsorted(context_nodes.to_vec()),
+            CoreStart::Root => NodeSet::singleton(self.doc.root()),
+            CoreStart::Ids(s) => NodeSet::from_sorted(self.doc.deref_ids(s)),
         }
     }
 
@@ -339,16 +351,15 @@ impl<'d> CoreXPathEvaluator<'d> {
         for step in &p.steps {
             // χ(N) ∩ T(t).
             let mut next = self.axis_forward(step.axis, &n);
-            node_test::filter(self.doc, step.axis, &step.test, &mut next);
+            node_test::filter_set(self.doc, step.axis, &step.test, &mut next);
             // π[e] ↦ S→[[π]] ∩ E1[[e]].
             for pred in &step.preds {
-                let sat = self.e1(pred);
-                next = nodeset::intersect(&next, &sat);
+                next = next.intersect(&self.e1(pred));
             }
             n = next;
         }
         if let Some(eq) = &p.eq {
-            n = nodeset::intersect(&n, &self.eq_set(eq));
+            n = n.intersect(&self.eq_set(eq));
         }
         n
     }
@@ -356,9 +367,9 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// `E1` (Definition 10.2): the set of nodes satisfying a predicate.
     fn e1(&self, pred: &CorePred) -> NodeSet {
         match pred {
-            CorePred::And(l, r) => nodeset::intersect(&self.e1(l), &self.e1(r)),
-            CorePred::Or(l, r) => nodeset::union(&self.e1(l), &self.e1(r)),
-            CorePred::Not(inner) => nodeset::difference(&self.all, &self.e1(inner)),
+            CorePred::And(l, r) => self.e1(l).intersect(&self.e1(r)),
+            CorePred::Or(l, r) => self.e1(l).union(&self.e1(r)),
+            CorePred::Not(inner) => self.e1(inner).complement(self.doc.len() as u32),
             CorePred::Path(p) => self.s_backward(p),
         }
     }
@@ -372,10 +383,10 @@ impl<'d> CoreXPathEvaluator<'d> {
             // base = T(t) ∩ E1[[e1]] ∩ … (∩ S←[[rest]]).
             let mut base = self.t_set(step.axis, &step.test);
             for pred in &step.preds {
-                base = nodeset::intersect(&base, &self.e1(pred));
+                base = base.intersect(&self.e1(pred));
             }
             if let Some(a) = acc {
-                base = nodeset::intersect(&base, &a);
+                base = base.intersect(&a);
             }
             acc = Some(self.axis_backward(step.axis, &base));
         }
@@ -384,16 +395,16 @@ impl<'d> CoreXPathEvaluator<'d> {
             CoreStart::Context => acc,
             // S←[[/π]] := dom/root(S←[[π]]).
             CoreStart::Root => {
-                if nodeset::contains(&acc, self.doc.root()) {
+                if acc.contains(self.doc.root()) {
                     self.all.clone()
                 } else {
-                    Vec::new()
+                    NodeSet::new()
                 }
             }
             // id(c)/π matches from anywhere iff some id target survives.
             CoreStart::Ids(s) => {
-                if nodeset::intersect(&acc, &self.doc.deref_ids(s)).is_empty() {
-                    Vec::new()
+                if acc.intersect(&NodeSet::from_sorted(self.doc.deref_ids(s))).is_empty() {
+                    NodeSet::new()
                 } else {
                     self.all.clone()
                 }
@@ -595,12 +606,14 @@ mod tests {
             let direct = CoreXPathEvaluator::with_backend(d, AxisBackend::Direct);
             let alg32 = CoreXPathEvaluator::with_backend(d, AxisBackend::Alg32);
             let plane = CoreXPathEvaluator::with_backend(d, AxisBackend::Plane);
+            let bulk = CoreXPathEvaluator::with_backend(d, AxisBackend::Bulk);
             for q in queries {
                 let e = parse_normalized(q).unwrap();
                 let c = compile(&e).unwrap();
                 let want = direct.evaluate(&c, &[d.root()]);
                 assert_eq!(alg32.evaluate(&c, &[d.root()]), want, "alg32 {q}");
                 assert_eq!(plane.evaluate(&c, &[d.root()]), want, "plane {q}");
+                assert_eq!(bulk.evaluate(&c, &[d.root()]), want, "bulk {q}");
             }
         }
     }

@@ -7,7 +7,7 @@ use xpath_xml::{Document, NodeId};
 use crate::compare::compare;
 use crate::context::{EvalError, EvalResult};
 use crate::node_test;
-use crate::nodeset;
+use crate::nodeset::NodeSet;
 use crate::value::Value;
 
 /// Apply a non-lazy binary operator (`ArithOp`, comparisons, `|`).
@@ -18,7 +18,7 @@ pub fn apply_binary(doc: &Document, op: BinaryOp, l: Value, r: Value) -> EvalRes
     }
     match op {
         BinaryOp::Union => match (l, r) {
-            (Value::NodeSet(a), Value::NodeSet(b)) => Ok(Value::NodeSet(nodeset::union(&a, &b))),
+            (Value::NodeSet(a), Value::NodeSet(b)) => Ok(Value::NodeSet(a.union(&b))),
             (l, r) => Err(EvalError::TypeMismatch(format!(
                 "'|' requires node sets, got {} and {}",
                 l.type_name(),
@@ -66,6 +66,16 @@ pub fn step_candidates(doc: &Document, axis: Axis, test: &NodeTest, x: NodeId) -
     v
 }
 
+/// Set-at-a-time counterpart of [`step_candidates`]:
+/// `{y | ∃x ∈ S: x χ y, y ∈ T(t)}` via the bulk axis engine, in document
+/// order. This is the predicate-free step expansion every set-level
+/// evaluator shares.
+pub fn step_candidates_set(doc: &Document, axis: Axis, test: &NodeTest, s: &NodeSet) -> NodeSet {
+    let mut out = xpath_axes::bulk::axis_set(doc, axis, s);
+    node_test::filter_set(doc, axis, test, &mut out);
+    out
+}
+
 /// Context position of the j-th element (0-based, document order) of a
 /// step-result set of size `len`, respecting `<doc,χ` (§4): forward axes
 /// count from the front, reverse axes from the back.
@@ -110,17 +120,21 @@ mod tests {
     #[test]
     fn union_requires_nodesets() {
         let d = doc_flat(1);
-        assert!(
-            apply_binary(&d, BinaryOp::Union, Value::Number(1.0), Value::NodeSet(vec![])).is_err()
-        );
+        assert!(apply_binary(
+            &d,
+            BinaryOp::Union,
+            Value::Number(1.0),
+            Value::NodeSet(NodeSet::new())
+        )
+        .is_err());
         let v = apply_binary(
             &d,
             BinaryOp::Union,
-            Value::NodeSet(vec![NodeId(1)]),
-            Value::NodeSet(vec![NodeId(0), NodeId(2)]),
+            Value::NodeSet(NodeSet::singleton(NodeId(1))),
+            Value::NodeSet(vec![NodeId(0), NodeId(2)].into()),
         )
         .unwrap();
-        assert_eq!(v, Value::NodeSet(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        assert_eq!(v, Value::NodeSet(vec![NodeId(0), NodeId(1), NodeId(2)].into()));
     }
 
     #[test]

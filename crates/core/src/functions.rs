@@ -9,7 +9,7 @@
 use xpath_xml::{Document, NodeId};
 
 use crate::context::{Context, EvalError, EvalResult};
-use crate::nodeset;
+use crate::nodeset::NodeSet;
 use crate::value::{number_to_string, str_to_number, Value};
 
 /// Is `name` a known core-library function?
@@ -109,7 +109,7 @@ pub fn apply(doc: &Document, name: &str, args: Vec<Value>, ctx: &Context) -> Eva
             need(&args, name, 1)?;
             match &args[0] {
                 Value::NodeSet(s) => {
-                    Ok(Value::Number(s.iter().map(|&n| str_to_number(doc.string_value(n))).sum()))
+                    Ok(Value::Number(s.iter().map(|n| str_to_number(doc.string_value(n))).sum()))
                 }
                 other => Err(EvalError::TypeMismatch(format!(
                     "sum() requires a node set, got {}",
@@ -122,14 +122,16 @@ pub fn apply(doc: &Document, name: &str, args: Vec<Value>, ctx: &Context) -> Eva
             match &args[0] {
                 // F[[id : nset → nset]](S) := ∪_{n∈S} F[[id]](strval(n)).
                 Value::NodeSet(s) => {
-                    let mut out = Vec::new();
-                    for &n in s {
-                        out = nodeset::union(&out, &doc.deref_ids(doc.string_value(n)));
+                    let mut out = NodeSet::new();
+                    for n in s {
+                        out.union_with(&NodeSet::from_sorted(doc.deref_ids(doc.string_value(n))));
                     }
                     Ok(Value::NodeSet(out))
                 }
                 // F[[id : str → nset]](s) := deref_ids(s).
-                other => Ok(Value::NodeSet(doc.deref_ids(&other.to_xpath_string(doc)))),
+                other => Ok(Value::NodeSet(NodeSet::from_sorted(
+                    doc.deref_ids(&other.to_xpath_string(doc)),
+                ))),
             }
         }
         "name" | "local-name" | "namespace-uri" => {
@@ -138,7 +140,7 @@ pub fn apply(doc: &Document, name: &str, args: Vec<Value>, ctx: &Context) -> Eva
             }
             let node: Option<NodeId> = match args.first() {
                 None => Some(ctx.node),
-                Some(Value::NodeSet(s)) => s.first().copied(),
+                Some(Value::NodeSet(s)) => s.first(),
                 Some(other) => {
                     return Err(EvalError::TypeMismatch(format!(
                         "{name}() requires a node set, got {}",
@@ -348,8 +350,8 @@ mod tests {
     fn count_and_sum() {
         let d = doc_figure8();
         let set: Vec<_> = [d.element_by_id("14").unwrap(), d.element_by_id("24").unwrap()].to_vec();
-        assert_eq!(call(&d, "count", vec![Value::NodeSet(set.clone())]), n(2.0));
-        assert_eq!(call(&d, "sum", vec![Value::NodeSet(set)]), n(200.0));
+        assert_eq!(call(&d, "count", vec![Value::NodeSet(set.clone().into())]), n(2.0));
+        assert_eq!(call(&d, "sum", vec![Value::NodeSet(set.into())]), n(200.0));
         assert!(apply(&d, "count", vec![n(1.0)], &Context::of(d.root())).is_err());
     }
 
@@ -360,14 +362,18 @@ mod tests {
         let v = call(&d, "id", vec![s("12 24")]);
         assert_eq!(
             v,
-            Value::NodeSet(vec![d.element_by_id("12").unwrap(), d.element_by_id("24").unwrap()])
+            Value::NodeSet(
+                vec![d.element_by_id("12").unwrap(), d.element_by_id("24").unwrap()].into()
+            )
         );
         // id from node set: strval(x23) = "13 14" → elements 13 and 14.
         let x23 = d.element_by_id("23").unwrap();
-        let v = call(&d, "id", vec![Value::NodeSet(vec![x23])]);
+        let v = call(&d, "id", vec![Value::NodeSet(vec![x23].into())]);
         assert_eq!(
             v,
-            Value::NodeSet(vec![d.element_by_id("13").unwrap(), d.element_by_id("14").unwrap()])
+            Value::NodeSet(
+                vec![d.element_by_id("13").unwrap(), d.element_by_id("14").unwrap()].into()
+            )
         );
     }
 
@@ -429,7 +435,7 @@ mod tests {
         let ctx = Context::of(b11);
         assert_eq!(apply(&d, "name", vec![], &ctx).unwrap(), s("b"));
         assert_eq!(apply(&d, "local-name", vec![], &ctx).unwrap(), s("b"));
-        assert_eq!(apply(&d, "name", vec![Value::NodeSet(vec![])], &ctx).unwrap(), s(""));
+        assert_eq!(apply(&d, "name", vec![Value::NodeSet(vec![].into())], &ctx).unwrap(), s(""));
         let d2 = Document::parse_str("<pre:x/>").unwrap();
         let x = d2.document_element().unwrap();
         let ctx2 = Context::of(x);

@@ -16,6 +16,7 @@
 //! | [`xpatterns`] | §10.2 | Core XPath + id axis + XSLT-Patterns predicates |
 //! | [`wadler`] | §11.1 | Extended Wadler fragment, bottom-up inner paths |
 //! | [`optmincontext`] | §11.2 | OptMinContext (Algorithm 11.1) |
+//! | [`nodeset`] | §3 | the hybrid bitset/sorted-vec [`nodeset::NodeSet`] currency |
 //! | [`fragment`] | Fig. 1 | fragment lattice classification |
 //! | [`plan`] | — | document-independent execution plans (static phase) |
 //! | [`query`] | — | [`Compiler`] / [`CompiledQuery`]: compile once, evaluate many |

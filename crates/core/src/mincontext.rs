@@ -26,9 +26,11 @@ use xpath_xml::{Document, NodeId};
 
 use crate::bottomup::CvTable;
 use crate::context::{Context, EvalError, EvalResult};
-use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
+use crate::eval_common::{
+    apply_binary, position_of, predicate_holds, step_candidates, step_candidates_set,
+};
 use crate::functions;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::relev::{relev, Relev};
 use crate::value::Value;
 
@@ -53,11 +55,12 @@ impl<'d> MinContextEvaluator<'d> {
     /// Algorithm 8.5 (MinContext): top-level dispatch.
     pub fn evaluate(&self, query: &Expr, ctx: Context) -> EvalResult<Value> {
         self.tables.borrow_mut().clear();
+        let start = NodeSet::singleton(ctx.node);
         if let Expr::Path(p) = query {
-            let out = self.eval_outermost_locpath(p, &[ctx.node], ctx)?;
+            let out = self.eval_outermost_locpath(p, &start, ctx)?;
             return Ok(Value::NodeSet(out));
         }
-        self.eval_by_cnode_only(query, &[ctx.node])?;
+        self.eval_by_cnode_only(query, &start)?;
         self.eval_single_context(query, ctx)
     }
 
@@ -66,23 +69,23 @@ impl<'d> MinContextEvaluator<'d> {
     fn eval_outermost_locpath(
         &self,
         p: &LocationPath,
-        x: &[NodeId],
+        x: &NodeSet,
         ctx: Context,
     ) -> EvalResult<NodeSet> {
         let start: NodeSet = match &p.start {
-            PathStart::Root => vec![self.doc.root()],
-            PathStart::ContextNode => x.to_vec(),
+            PathStart::Root => NodeSet::singleton(self.doc.root()),
+            PathStart::ContextNode => x.clone(),
             PathStart::Expr(head) => {
                 // Extension beyond the appendix: FilterExpr heads evaluate
                 // per context node, and their results are unioned.
                 self.eval_by_cnode_only(head, x)?;
-                let mut acc: NodeSet = Vec::new();
-                for &n in x {
+                let mut acc = NodeSet::new();
+                for n in x {
                     let v = self.eval_single_context(head, Context::of(n))?;
                     let set = v.into_node_set().ok_or_else(|| {
                         EvalError::TypeMismatch("path start must evaluate to a node set".into())
                     })?;
-                    acc = nodeset::union(&acc, &set);
+                    acc.union_with(&set);
                 }
                 acc
             }
@@ -94,19 +97,19 @@ impl<'d> MinContextEvaluator<'d> {
         Ok(cur)
     }
 
-    /// One outermost location step: set-level expansion, then predicates
-    /// either per node (cn-only) or in the (p, s) loop.
-    fn outermost_step(&self, step: &Step, x: &[NodeId], _ctx: Context) -> EvalResult<NodeSet> {
+    /// One outermost location step: set-at-a-time expansion through the
+    /// bulk axis engine, then predicates either per node (cn-only) or in
+    /// the (p, s) loop.
+    fn outermost_step(&self, step: &Step, x: &NodeSet, _ctx: Context) -> EvalResult<NodeSet> {
         // Y := nodes reachable from X via χ::t.
-        let mut y = xpath_axes::eval_axis(self.doc, step.axis, x);
-        crate::node_test::filter(self.doc, step.axis, &step.test, &mut y);
+        let y = step_candidates_set(self.doc, step.axis, &step.test, x);
         for pred in &step.predicates {
             self.eval_by_cnode_only(pred, &y)?;
         }
         if step.predicates.iter().all(|p| !relev(p).has_pos_or_size()) {
             // Fast path: no predicate inspects cp/cs — filter Y directly.
             let mut r = Vec::with_capacity(y.len());
-            'outer: for &node in &y {
+            'outer: for node in &y {
                 for pred in &step.predicates {
                     let v = self.eval_single_context(pred, Context::of(node))?;
                     if !predicate_holds(&v, 1) {
@@ -115,11 +118,11 @@ impl<'d> MinContextEvaluator<'d> {
                 }
                 r.push(node);
             }
-            Ok(r)
+            Ok(NodeSet::from_sorted(r))
         } else {
             // (p, s) loop over pairs of previous/current context node.
-            let mut r: NodeSet = Vec::new();
-            for &src in x {
+            let mut r: Vec<NodeId> = Vec::new();
+            for src in x {
                 let mut z = step_candidates(self.doc, step.axis, &step.test, src);
                 for pred in &step.predicates {
                     let m = z.len();
@@ -136,14 +139,14 @@ impl<'d> MinContextEvaluator<'d> {
                 }
                 r.extend(z);
             }
-            Ok(nodeset::normalize(r))
+            Ok(NodeSet::from_unsorted(r))
         }
     }
 
     /// Appendix A `eval_by_cnode_only`: for every node `M` in the subtree
     /// rooted at `N` whose expression does not depend on the current
     /// position/size, compute `table(M)` over the possible context nodes.
-    pub(crate) fn eval_by_cnode_only(&self, e: &Expr, x: &[NodeId]) -> EvalResult<()> {
+    pub(crate) fn eval_by_cnode_only(&self, e: &Expr, x: &NodeSet) -> EvalResult<()> {
         if self.tables.borrow().contains_key(&key_of(e)) {
             return Ok(());
         }
@@ -178,23 +181,24 @@ impl<'d> MinContextEvaluator<'d> {
             Expr::Filter { primary, predicates } => {
                 self.eval_by_cnode_only(primary, x)?;
                 // Predicates see the nodes of the primary's results.
-                let mut all_targets: NodeSet = Vec::new();
-                for &n in x {
+                let mut all_targets = NodeSet::new();
+                for n in x {
                     let v = self.eval_single_context(primary, Context::of(n))?;
                     if let Some(s) = v.as_node_set() {
-                        all_targets = nodeset::union(&all_targets, s);
+                        all_targets.union_with(s);
                     }
                 }
                 for pred in predicates {
                     self.eval_by_cnode_only(pred, &all_targets)?;
                 }
-                for &n in x {
+                for n in x {
                     let v = self.eval_single_context(primary, Context::of(n))?;
-                    let Some(mut s) = v.into_node_set() else {
+                    let Some(set) = v.into_node_set() else {
                         return Err(EvalError::TypeMismatch(
                             "predicates require a node-set primary expression".into(),
                         ));
                     };
+                    let mut s = set.into_vec();
                     for pred in predicates {
                         let m = s.len();
                         let mut kept = Vec::with_capacity(m);
@@ -210,7 +214,7 @@ impl<'d> MinContextEvaluator<'d> {
                         }
                         s = kept;
                     }
-                    table.insert(Context::of(n), Value::NodeSet(s));
+                    table.insert(Context::of(n), Value::NodeSet(NodeSet::from_sorted(s)));
                 }
             }
             Expr::Number(v) => table.insert(Context::of(NodeId(0)), Value::Number(*v)),
@@ -218,7 +222,7 @@ impl<'d> MinContextEvaluator<'d> {
             Expr::Var(name) => return Err(EvalError::UnboundVariable(name.clone())),
             Expr::Neg(inner) => {
                 self.eval_by_cnode_only(inner, x)?;
-                for &n in self.domain(rel, x) {
+                for n in self.domain(rel, x) {
                     let v = self.eval_single_context(inner, Context::of(n))?;
                     table.insert(Context::of(n), Value::Number(-v.to_number(self.doc)));
                 }
@@ -226,7 +230,7 @@ impl<'d> MinContextEvaluator<'d> {
             Expr::Binary { op, left, right } => {
                 self.eval_by_cnode_only(left, x)?;
                 self.eval_by_cnode_only(right, x)?;
-                for &n in self.domain(rel, x) {
+                for n in self.domain(rel, x) {
                     let l = self.eval_single_context(left, Context::of(n))?;
                     let r = self.eval_single_context(right, Context::of(n))?;
                     let v = match op {
@@ -241,7 +245,7 @@ impl<'d> MinContextEvaluator<'d> {
                 for a in args {
                     self.eval_by_cnode_only(a, x)?;
                 }
-                for &n in self.domain(rel, x) {
+                for n in self.domain(rel, x) {
                     let ctx = Context::of(n);
                     let mut argv = Vec::with_capacity(args.len());
                     for a in args {
@@ -257,12 +261,11 @@ impl<'d> MinContextEvaluator<'d> {
 
     /// The context nodes a `{cn}`-relevant table must cover: `X` itself, or
     /// a single dummy row for constant expressions.
-    fn domain<'a>(&self, rel: Relev, x: &'a [NodeId]) -> &'a [NodeId] {
-        const DUMMY: &[NodeId] = &[NodeId(0)];
+    fn domain(&self, rel: Relev, x: &NodeSet) -> NodeSet {
         if rel.has_cn() {
-            x
+            x.clone()
         } else {
-            DUMMY
+            NodeSet::singleton(NodeId(0))
         }
     }
 
@@ -311,16 +314,18 @@ impl<'d> MinContextEvaluator<'d> {
     fn eval_inner_locpath(
         &self,
         p: &LocationPath,
-        x: &[NodeId],
+        x: &NodeSet,
     ) -> EvalResult<Vec<(NodeId, NodeSet)>> {
         let (starts, shared): (Vec<(NodeId, NodeSet)>, bool) = match &p.start {
             // expr(N) = /π: all sources map to the root's result.
-            PathStart::Root => (vec![(self.doc.root(), vec![self.doc.root()])], true),
-            PathStart::ContextNode => (x.iter().map(|&n| (n, vec![n])).collect(), false),
+            PathStart::Root => (vec![(self.doc.root(), NodeSet::singleton(self.doc.root()))], true),
+            PathStart::ContextNode => {
+                (x.iter().map(|n| (n, NodeSet::singleton(n))).collect(), false)
+            }
             PathStart::Expr(head) => {
                 self.eval_by_cnode_only(head, x)?;
                 let mut v = Vec::with_capacity(x.len());
-                for &n in x {
+                for n in x {
                     let val = self.eval_single_context(head, Context::of(n))?;
                     let set = val.into_node_set().ok_or_else(|| {
                         EvalError::TypeMismatch("path start must evaluate to a node set".into())
@@ -333,18 +338,17 @@ impl<'d> MinContextEvaluator<'d> {
         let mut rel_map = starts;
         for step in &p.steps {
             // Frontier: the distinct target nodes.
-            let mut frontier: NodeSet = Vec::new();
+            let mut frontier = NodeSet::new();
             for (_, set) in &rel_map {
-                frontier = nodeset::union(&frontier, set);
+                frontier.union_with(set);
             }
             // Expand the step once per distinct frontier node.
             let mut expansion: HashMap<NodeId, NodeSet> = HashMap::new();
             for pred in &step.predicates {
-                let mut y = xpath_axes::eval_axis(self.doc, step.axis, &frontier);
-                crate::node_test::filter(self.doc, step.axis, &step.test, &mut y);
+                let y = step_candidates_set(self.doc, step.axis, &step.test, &frontier);
                 self.eval_by_cnode_only(pred, &y)?;
             }
-            for &src in &frontier {
+            for src in &frontier {
                 let mut z = step_candidates(self.doc, step.axis, &step.test, src);
                 for pred in &step.predicates {
                     let m = z.len();
@@ -359,16 +363,16 @@ impl<'d> MinContextEvaluator<'d> {
                     }
                     z = kept;
                 }
-                expansion.insert(src, z);
+                expansion.insert(src, NodeSet::from_sorted(z));
             }
             // Compose.
             rel_map = rel_map
                 .into_iter()
                 .map(|(xsrc, set)| {
-                    let mut acc: NodeSet = Vec::new();
-                    for y in set {
+                    let mut acc = NodeSet::new();
+                    for y in &set {
                         if let Some(t) = expansion.get(&y) {
-                            acc = nodeset::union(&acc, t);
+                            acc.union_with(t);
                         }
                     }
                     (xsrc, acc)
@@ -378,7 +382,7 @@ impl<'d> MinContextEvaluator<'d> {
         if shared {
             // Absolute path: duplicate the root's result for every source.
             let result = rel_map.first().map(|(_, s)| s.clone()).unwrap_or_default();
-            return Ok(x.iter().map(|&n| (n, result.clone())).collect());
+            return Ok(x.iter().map(|n| (n, result.clone())).collect());
         }
         Ok(rel_map)
     }
@@ -402,11 +406,12 @@ impl<'d> MinContextEvaluator<'d> {
     /// Like [`MinContextEvaluator::evaluate`] but without clearing the
     /// table store, so bottom-up seeds survive.
     pub(crate) fn evaluate_with_seeds(&self, query: &Expr, ctx: Context) -> EvalResult<Value> {
+        let start = NodeSet::singleton(ctx.node);
         if let Expr::Path(p) = query {
-            let out = self.eval_outermost_locpath(p, &[ctx.node], ctx)?;
+            let out = self.eval_outermost_locpath(p, &start, ctx)?;
             return Ok(Value::NodeSet(out));
         }
-        self.eval_by_cnode_only(query, &[ctx.node])?;
+        self.eval_by_cnode_only(query, &start)?;
         self.eval_single_context(query, ctx)
     }
 
@@ -438,7 +443,7 @@ mod tests {
             .iter()
             .map(|i| d.element_by_id(i).unwrap())
             .collect();
-        assert_eq!(v, Value::NodeSet(expect));
+        assert_eq!(v, Value::NodeSet(expect.into()));
     }
 
     #[test]

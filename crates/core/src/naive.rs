@@ -25,7 +25,7 @@ use xpath_xml::{Document, NodeId};
 use crate::context::{Context, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::value::Value;
 
 /// The naive recursive evaluator.
@@ -81,8 +81,8 @@ impl<'d> NaiveEvaluator<'d> {
                         "predicates require a node-set primary expression".into(),
                     ));
                 };
-                let set = self.filter_forward(set, predicates, ctx)?;
-                Ok(Value::NodeSet(set))
+                let set = self.filter_forward(set.into_vec(), predicates, ctx)?;
+                Ok(Value::NodeSet(NodeSet::from_sorted(set)))
             }
             Expr::Binary { op: BinaryOp::And, left, right } => {
                 // Short-circuit like real processors.
@@ -124,8 +124,8 @@ impl<'d> NaiveEvaluator<'d> {
     /// `P[[π]]` (Figure 5) with the naive per-node recursion of §2.
     fn eval_path(&self, p: &LocationPath, ctx: Context) -> EvalResult<NodeSet> {
         let starts: NodeSet = match &p.start {
-            PathStart::Root => vec![self.doc.root()],
-            PathStart::ContextNode => vec![ctx.node],
+            PathStart::Root => NodeSet::singleton(self.doc.root()),
+            PathStart::ContextNode => NodeSet::singleton(ctx.node),
             PathStart::Expr(e) => {
                 let v = self.eval(e, ctx)?;
                 v.into_node_set().ok_or_else(|| {
@@ -137,7 +137,7 @@ impl<'d> NaiveEvaluator<'d> {
         for x in starts {
             self.process_location_step(&p.steps, x, &mut out)?;
         }
-        Ok(nodeset::normalize(out))
+        Ok(NodeSet::from_unsorted(out))
     }
 
     /// The paper's `process-location-step`: apply the head step to one
@@ -167,10 +167,10 @@ impl<'d> NaiveEvaluator<'d> {
     /// along `<doc,χ` (Figure 5: `idx_χ(y, S)`).
     fn filter_with_axis(
         &self,
-        s: NodeSet,
+        s: Vec<NodeId>,
         axis: xpath_syntax::Axis,
         pred: &Expr,
-    ) -> EvalResult<NodeSet> {
+    ) -> EvalResult<Vec<NodeId>> {
         let len = s.len();
         let mut kept = Vec::with_capacity(len);
         for (j, &y) in s.iter().enumerate() {
@@ -186,10 +186,10 @@ impl<'d> NaiveEvaluator<'d> {
     /// Filter-expression predicates use forward (document-order) positions.
     fn filter_forward(
         &self,
-        mut set: NodeSet,
+        mut set: Vec<NodeId>,
         predicates: &[Expr],
         _ctx: Context,
-    ) -> EvalResult<NodeSet> {
+    ) -> EvalResult<Vec<NodeId>> {
         for pred in predicates {
             let len = set.len();
             let mut kept = Vec::with_capacity(len);

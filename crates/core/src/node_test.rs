@@ -98,6 +98,25 @@ pub fn filter(doc: &Document, axis: Axis, test: &NodeTest, nodes: &mut Vec<NodeI
     nodes.retain(|&n| matches(doc, axis, test, n));
 }
 
+/// Filter a [`NodeSet`](crate::nodeset::NodeSet) in place by a node test.
+/// The common fast paths avoid per-node dispatch: `node()` keeps
+/// everything, and name tests against a name the document never interned
+/// clear the set outright.
+pub fn filter_set(
+    doc: &Document,
+    axis: Axis,
+    test: &NodeTest,
+    nodes: &mut crate::nodeset::NodeSet,
+) {
+    match test {
+        NodeTest::Kind(KindTest::Node) => {}
+        NodeTest::Name(name) if doc.lookup_name(name).is_none() => {
+            *nodes = crate::nodeset::NodeSet::new();
+        }
+        _ => nodes.retain(|n| matches(doc, axis, test, n)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,93 +1,33 @@
-//! Node-set representation and operations.
+//! Node-set representation and operations — the canonical home of the
+//! engine's [`NodeSet`] currency.
 //!
-//! Node sets are `Vec<NodeId>` sorted in document order (which is `NodeId`
-//! order by construction of the arena) without duplicates. Union and
-//! intersection are linear merges; membership is binary search.
+//! Since the hybrid-set refactor, `NodeSet` is a real type (defined in
+//! [`xpath_xml::nodeset`] so the axis engine below this crate can share
+//! it): an adaptive hybrid of a dense bitset over preorder ids
+//! (word-parallel `∪`/`∩`/`−`, `O(|dom|/64)`) and a sorted vector for
+//! sparse sets. Iteration always yields document order, which is `NodeId`
+//! order by construction of the arena. See the type's module docs for the
+//! invariants; set algebra goes through the `NodeSet` methods, while
+//! per-node candidate lists with positional semantics stay plain sorted
+//! `Vec<NodeId>` buffers.
 
 use xpath_xml::{Document, NodeId};
 
-/// A set of nodes, sorted in document order, duplicate-free.
-pub type NodeSet = Vec<NodeId>;
+pub use xpath_xml::nodeset::{Iter, NodeSet};
 
-/// Merge two sorted node sets (set union).
-pub fn union(a: &[NodeId], b: &[NodeId]) -> NodeSet {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
-}
-
-/// Intersect two sorted node sets.
-pub fn intersect(a: &[NodeId], b: &[NodeId]) -> NodeSet {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Set difference `a − b` on sorted node sets.
-pub fn difference(a: &[NodeId], b: &[NodeId]) -> NodeSet {
-    let mut out = Vec::new();
-    let mut j = 0;
-    for &x in a {
-        while j < b.len() && b[j] < x {
-            j += 1;
-        }
-        if j >= b.len() || b[j] != x {
-            out.push(x);
-        }
-    }
-    out
-}
-
-/// Complement with respect to `dom` (all nodes of the document).
-pub fn complement(doc: &Document, a: &[NodeId]) -> NodeSet {
-    let all: Vec<NodeId> = doc.all_nodes().collect();
-    difference(&all, a)
-}
-
-/// Membership test by binary search.
-pub fn contains(a: &[NodeId], x: NodeId) -> bool {
-    a.binary_search(&x).is_ok()
+/// Complement with respect to `dom` (all nodes of the document) —
+/// word-parallel.
+pub fn complement(doc: &Document, a: &NodeSet) -> NodeSet {
+    a.complement(doc.len() as u32)
 }
 
 /// Sort in document order and remove duplicates (normalizing constructor
-/// for sets built out of order).
-pub fn normalize(mut v: Vec<NodeId>) -> NodeSet {
-    v.sort_unstable();
-    v.dedup();
-    v
+/// for raw buffers built out of order).
+pub fn normalize(v: Vec<NodeId>) -> NodeSet {
+    NodeSet::from_unsorted(v)
 }
 
-/// Debug invariant: sorted and duplicate-free.
+/// Debug invariant on raw buffers: sorted and duplicate-free.
 pub fn is_normalized(a: &[NodeId]) -> bool {
     a.windows(2).all(|w| w[0] < w[1])
 }
@@ -95,38 +35,38 @@ pub fn is_normalized(a: &[NodeId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xpath_xml::generate::doc_flat;
 
     fn ns(v: &[u32]) -> NodeSet {
         v.iter().map(|&i| NodeId(i)).collect()
     }
 
-    #[test]
-    fn union_merges() {
-        assert_eq!(union(&ns(&[1, 3, 5]), &ns(&[2, 3, 6])), ns(&[1, 2, 3, 5, 6]));
-        assert_eq!(union(&ns(&[]), &ns(&[1])), ns(&[1]));
-        assert_eq!(union(&ns(&[1]), &ns(&[])), ns(&[1]));
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
     }
 
     #[test]
-    fn intersect_keeps_common() {
-        assert_eq!(intersect(&ns(&[1, 2, 3]), &ns(&[2, 3, 4])), ns(&[2, 3]));
-        assert_eq!(intersect(&ns(&[1]), &ns(&[2])), ns(&[]));
+    fn method_algebra() {
+        assert_eq!(ns(&[1, 3, 5]).union(&ns(&[2, 3, 6])), ns(&[1, 2, 3, 5, 6]));
+        assert_eq!(ns(&[1, 2, 3]).intersect(&ns(&[2, 3, 4])), ns(&[2, 3]));
+        assert_eq!(ns(&[1, 2, 3, 4]).difference(&ns(&[2, 4])), ns(&[1, 3]));
     }
 
     #[test]
-    fn difference_removes() {
-        assert_eq!(difference(&ns(&[1, 2, 3, 4]), &ns(&[2, 4])), ns(&[1, 3]));
-        assert_eq!(difference(&ns(&[1, 2]), &ns(&[])), ns(&[1, 2]));
-        assert_eq!(difference(&ns(&[]), &ns(&[1])), ns(&[]));
+    fn complement_uses_document_universe() {
+        let d = doc_flat(2); // root + a + 2 b's = 4 nodes
+        let c = complement(&d, &ns(&[0, 2]));
+        assert_eq!(c, ns(&[1, 3]));
+        assert_eq!(complement(&d, &c), ns(&[0, 2]));
     }
 
     #[test]
-    fn contains_and_normalize() {
+    fn normalize_and_invariant() {
         let s = normalize(vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
         assert_eq!(s, ns(&[1, 2, 3]));
-        assert!(is_normalized(&s));
-        assert!(contains(&s, NodeId(2)));
-        assert!(!contains(&s, NodeId(4)));
-        assert!(!is_normalized(&ns(&[2, 1])));
+        assert!(s.contains(NodeId(2)));
+        assert!(!s.contains(NodeId(4)));
+        assert!(is_normalized(&ids(&[1, 2])));
+        assert!(!is_normalized(&ids(&[2, 1])));
     }
 }

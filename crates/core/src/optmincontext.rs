@@ -150,7 +150,7 @@ mod tests {
         let (v, report) = ev.evaluate_with_report(&e, Context::of(d.root())).unwrap();
         let expect: Vec<_> =
             ["11", "12", "13", "14", "22"].iter().map(|i| d.element_by_id(i).unwrap()).collect();
-        assert_eq!(v, Value::NodeSet(expect));
+        assert_eq!(v, Value::NodeSet(expect.into()));
         assert!(!report.used_core_xpath);
         // Two bottom-up paths: the inner "=100" comparison and the outer
         // boolean(...).

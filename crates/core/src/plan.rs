@@ -15,7 +15,8 @@
 //!
 //! Because eager compilation happens here, a query outside an explicitly
 //! requested fragment fails at *plan-build* time with
-//! [`EvalError::UnsupportedFragment`], not at first evaluation.
+//! [`EvalError::UnsupportedFragment`](crate::EvalError::UnsupportedFragment),
+//! not at first evaluation.
 
 use xpath_syntax::Expr;
 use xpath_xml::Document;
@@ -103,8 +104,8 @@ impl Plan {
     /// With an explicit fragment strategy ([`Strategy::CoreXPath`],
     /// [`Strategy::XPatterns`], [`Strategy::Streaming`]) a query outside
     /// that fragment is rejected **here**, so callers see
-    /// [`EvalError::UnsupportedFragment`] once at compile time rather than
-    /// on every evaluation.
+    /// [`EvalError::UnsupportedFragment`](crate::EvalError::UnsupportedFragment)
+    /// once at compile time rather than on every evaluation.
     pub fn build(expr: Expr, requested: Strategy, naive_budget: Option<u64>) -> EvalResult<Plan> {
         let classification = classify(&expr);
         let auto = requested == Strategy::Auto;

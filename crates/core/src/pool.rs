@@ -22,7 +22,7 @@ use xpath_xml::{Document, NodeId};
 use crate::context::{Context, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::value::Value;
 
 /// Statistics about pool effectiveness (returned by
@@ -126,11 +126,12 @@ impl<'d> PoolEvaluator<'d> {
             Expr::Path(p) => Ok(Value::NodeSet(self.eval_path(p, ctx)?)),
             Expr::Filter { primary, predicates } => {
                 let base = self.eval(primary, ctx)?;
-                let Some(mut set) = base.into_node_set() else {
+                let Some(base_set) = base.into_node_set() else {
                     return Err(EvalError::TypeMismatch(
                         "predicates require a node-set primary expression".into(),
                     ));
                 };
+                let mut set = base_set.into_vec();
                 for pred in predicates {
                     let len = set.len();
                     let mut kept = Vec::with_capacity(len);
@@ -143,7 +144,7 @@ impl<'d> PoolEvaluator<'d> {
                     }
                     set = kept;
                 }
-                Ok(Value::NodeSet(set))
+                Ok(Value::NodeSet(NodeSet::from_sorted(set)))
             }
             Expr::Binary { op: BinaryOp::And, left, right } => {
                 let l = self.eval(left, ctx)?;
@@ -178,16 +179,16 @@ impl<'d> PoolEvaluator<'d> {
 
     fn eval_path(&self, p: &LocationPath, ctx: Context) -> EvalResult<NodeSet> {
         let starts: NodeSet = match &p.start {
-            PathStart::Root => vec![self.doc.root()],
-            PathStart::ContextNode => vec![ctx.node],
+            PathStart::Root => NodeSet::singleton(self.doc.root()),
+            PathStart::ContextNode => NodeSet::singleton(ctx.node),
             PathStart::Expr(e) => self.eval(e, ctx)?.into_node_set().ok_or_else(|| {
                 EvalError::TypeMismatch("path start must evaluate to a node set".into())
             })?,
         };
         let pid = p as *const LocationPath as usize;
-        let mut out: NodeSet = Vec::new();
+        let mut out = NodeSet::new();
         for x in starts {
-            out = nodeset::union(&out, &self.eval_steps(pid, &p.steps, 0, x)?);
+            out.union_with(&self.eval_steps(pid, &p.steps, 0, x)?);
         }
         Ok(out)
     }
@@ -196,7 +197,7 @@ impl<'d> PoolEvaluator<'d> {
     /// treatment of location paths.
     fn eval_steps(&self, pid: usize, steps: &[Step], idx: usize, x: NodeId) -> EvalResult<NodeSet> {
         if idx == steps.len() {
-            return Ok(vec![x]);
+            return Ok(NodeSet::singleton(x));
         }
         let key = (pid, idx, x);
         if let Some(s) = self.path_pool.borrow().get(&key) {
@@ -219,9 +220,9 @@ impl<'d> PoolEvaluator<'d> {
             }
             s = kept;
         }
-        let mut out: NodeSet = Vec::new();
+        let mut out = NodeSet::new();
         for y in s {
-            out = nodeset::union(&out, &self.eval_steps(pid, steps, idx + 1, y)?);
+            out.union_with(&self.eval_steps(pid, steps, idx + 1, y)?);
         }
         self.path_pool.borrow_mut().insert(key, out.clone());
         Ok(out)

@@ -893,10 +893,7 @@ impl StreamMatcher {
     /// End of stream: return the matched nodes in document order.
     pub fn finish(mut self) -> NodeSet {
         self.run.finish();
-        let mut out = self.run.matched;
-        out.sort_unstable();
-        out.dedup();
-        out
+        NodeSet::from_unsorted(self.run.matched)
     }
 
     /// High-water mark of simultaneously pending spine candidates — the
@@ -1148,9 +1145,8 @@ mod tests {
         Engine::new(doc)
             .evaluate_with(q, Strategy::TopDown)
             .unwrap_or_else(|e| panic!("{q}: {e}"))
-            .as_node_set()
+            .into_node_set()
             .unwrap()
-            .to_vec()
     }
 
     #[test]

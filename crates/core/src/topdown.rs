@@ -23,7 +23,7 @@ use xpath_xml::{Document, NodeId};
 use crate::context::{Context, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::value::Value;
 
 /// The top-down vectorized evaluator.
@@ -48,7 +48,8 @@ impl<'d> TopDownEvaluator<'d> {
         match e {
             // E↓[[π]](⟨x1,k1,n1⟩,…) := S↓[[π]]({x1}, …, {xl}).
             Expr::Path(p) => {
-                let singletons: Vec<NodeSet> = ctxs.iter().map(|c| vec![c.node]).collect();
+                let singletons: Vec<NodeSet> =
+                    ctxs.iter().map(|c| NodeSet::singleton(c.node)).collect();
                 let sets = self.s_down_path(p, singletons, ctxs)?;
                 Ok(sets.into_iter().map(Value::NodeSet).collect())
             }
@@ -111,7 +112,7 @@ impl<'d> TopDownEvaluator<'d> {
     ) -> EvalResult<Vec<NodeSet>> {
         let start_sets: Vec<NodeSet> = match &p.start {
             // S↓[[/π]](X1,…,Xk) := S↓[[π]]({root}, …, {root}).
-            PathStart::Root => vec![vec![self.doc.root()]; inputs.len()],
+            PathStart::Root => vec![NodeSet::singleton(self.doc.root()); inputs.len()],
             PathStart::ContextNode => inputs,
             PathStart::Expr(head) => {
                 let vs = self.e_down(head, ctxs)?;
@@ -138,30 +139,32 @@ impl<'d> TopDownEvaluator<'d> {
     /// One location step `χ::t[e1]…[em]` on a vector of input sets —
     /// the core of Figure 7.
     fn location_step(&self, step: &Step, inputs: Vec<NodeSet>) -> EvalResult<Vec<NodeSet>> {
-        // S := {⟨x, y⟩ | x ∈ ∪Xi, x χ y, y ∈ T(t)} — grouped by x.
-        let mut xs: NodeSet = Vec::new();
+        // S := {⟨x, y⟩ | x ∈ ∪Xi, x χ y, y ∈ T(t)} — grouped by x. The
+        // union of the input vector accumulates in-place on the hybrid set.
+        let mut xs = NodeSet::new();
         for set in &inputs {
-            xs = nodeset::union(&xs, set);
+            xs.union_with(set);
         }
-        // S_x for each distinct source node, in document order.
-        let mut groups: Vec<(NodeId, NodeSet)> =
-            xs.iter().map(|&x| (x, step_candidates(self.doc, step.axis, &step.test, x))).collect();
+        // S_x for each distinct source node, in document order (positional
+        // per-group lists stay plain vectors for the predicate loop).
+        let mut groups: Vec<(NodeId, Vec<NodeId>)> =
+            xs.iter().map(|x| (x, step_candidates(self.doc, step.axis, &step.test, x))).collect();
         // Predicates in ascending order, each evaluated over the deduplicated
         // context list T (the vector computation).
         for pred in &step.predicates {
             groups = self.filter_groups(step.axis, groups, pred)?;
         }
         // R_i := {y | ⟨x, y⟩ ∈ S, x ∈ Xi}.
-        let by_x: HashMap<NodeId, &NodeSet> = groups.iter().map(|(x, sx)| (*x, sx)).collect();
+        let by_x: HashMap<NodeId, &Vec<NodeId>> = groups.iter().map(|(x, sx)| (*x, sx)).collect();
         let mut outputs = Vec::with_capacity(inputs.len());
         for xi in &inputs {
-            let mut r: NodeSet = Vec::new();
+            let mut r: Vec<NodeId> = Vec::new();
             for x in xi {
-                if let Some(sx) = by_x.get(x) {
+                if let Some(sx) = by_x.get(&x) {
                     r.extend_from_slice(sx);
                 }
             }
-            outputs.push(nodeset::normalize(r));
+            outputs.push(NodeSet::from_unsorted(r));
         }
         Ok(outputs)
     }
@@ -171,9 +174,9 @@ impl<'d> TopDownEvaluator<'d> {
     fn filter_groups(
         &self,
         axis: Axis,
-        groups: Vec<(NodeId, NodeSet)>,
+        groups: Vec<(NodeId, Vec<NodeId>)>,
         pred: &Expr,
-    ) -> EvalResult<Vec<(NodeId, NodeSet)>> {
+    ) -> EvalResult<Vec<(NodeId, Vec<NodeId>)>> {
         let mut t: Vec<Context> = Vec::new();
         let mut index: HashMap<Context, usize> = HashMap::new();
         let mut group_ctx: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
@@ -193,7 +196,7 @@ impl<'d> TopDownEvaluator<'d> {
         let rs = self.e_down(pred, &t)?;
         let mut out = Vec::with_capacity(groups.len());
         for ((x, sx), idxs) in groups.into_iter().zip(group_ctx) {
-            let kept: NodeSet = sx
+            let kept: Vec<NodeId> = sx
                 .into_iter()
                 .zip(idxs)
                 .filter(|&(_, ci)| predicate_holds(&rs[ci], t[ci].position))
@@ -218,7 +221,7 @@ impl<'d> TopDownEvaluator<'d> {
             for s in &sets {
                 let len = s.len();
                 let mut idxs = Vec::with_capacity(len);
-                for (j, &y) in s.iter().enumerate() {
+                for (j, y) in s.iter().enumerate() {
                     let c = Context::new(y, (j + 1) as u32, len.max(1) as u32);
                     let id = *index.entry(c).or_insert_with(|| {
                         t.push(c);
@@ -276,7 +279,7 @@ mod tests {
         )
         .unwrap();
         let bs: Vec<NodeId> = d.children(a).collect();
-        assert_eq!(v, Value::NodeSet(vec![bs[1], bs[2]]));
+        assert_eq!(v, Value::NodeSet(vec![bs[1], bs[2]].into()));
     }
 
     #[test]
@@ -302,7 +305,7 @@ mod tests {
             .iter()
             .map(|i| d.element_by_id(i).unwrap())
             .collect();
-        assert_eq!(v, Value::NodeSet(expect));
+        assert_eq!(v, Value::NodeSet(expect.into()));
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl fmt::Display for Value {
 
 /// `string(nset)`: string value of the first node (document order), or "".
 pub fn nodeset_to_string(doc: &Document, s: &NodeSet) -> String {
-    s.first().map(|&n| doc.string_value(n).to_string()).unwrap_or_default()
+    s.first().map(|n| doc.string_value(n).to_string()).unwrap_or_default()
 }
 
 /// String value of a node as an XPath string value (paper `strval`).
@@ -246,18 +246,18 @@ mod tests {
         assert!(Value::Number(f64::INFINITY).to_boolean());
         assert!(!Value::String(String::new()).to_boolean());
         assert!(Value::String("false".into()).to_boolean(), "any non-empty string is true");
-        assert!(!Value::NodeSet(vec![]).to_boolean());
+        assert!(!Value::NodeSet(NodeSet::new()).to_boolean());
     }
 
     #[test]
     fn nodeset_conversions_use_first_node() {
         let d = doc_flat_text(3); // root, a, (b c)*3
         let a = d.document_element().unwrap();
-        let bs: Vec<NodeId> = d.children(a).collect();
+        let bs: NodeSet = d.children(a).collect();
         let v = Value::NodeSet(bs.clone());
         assert_eq!(v.to_xpath_string(&d), "c");
         assert!(v.to_number(&d).is_nan());
-        let empty = Value::NodeSet(vec![]);
+        let empty = Value::NodeSet(NodeSet::new());
         assert_eq!(empty.to_xpath_string(&d), "");
         assert!(empty.to_number(&d).is_nan());
     }
@@ -267,6 +267,6 @@ mod tests {
         assert_eq!(Value::Number(2.5).to_string(), "2.5");
         assert_eq!(Value::Boolean(true).to_string(), "true");
         assert_eq!(Value::String("x".into()).to_string(), "x");
-        assert_eq!(Value::NodeSet(vec![NodeId(1), NodeId(3)]).to_string(), "{n1, n3}");
+        assert_eq!(Value::NodeSet(vec![NodeId(1), NodeId(3)].into()).to_string(), "{n1, n3}");
     }
 }

@@ -21,6 +21,7 @@
 //! `O(|D|²·|Q|²)` time.
 
 use xpath_syntax::{static_type, BinaryOp, Expr, ExprType, LocationPath, PathStart, Step};
+use xpath_xml::NodeId;
 
 use crate::bottomup::CvTable;
 use crate::compare::compare;
@@ -29,7 +30,7 @@ use crate::eval_common::{position_of, predicate_holds, step_candidates};
 use crate::mincontext::MinContextEvaluator;
 use crate::naive::NaiveEvaluator;
 use crate::node_test;
-use crate::nodeset::{self, NodeSet};
+use crate::nodeset::NodeSet;
 use crate::relev::{relev, Relev};
 use crate::value::Value;
 
@@ -197,7 +198,7 @@ impl<'d> MinContextEvaluator<'d> {
                     // also covers the constant-nset case of the appendix.
                     let mut y = Vec::new();
                     for n in doc.all_nodes() {
-                        let lhs = Value::NodeSet(vec![n]);
+                        let lhs = Value::NodeSet(NodeSet::singleton(n));
                         let holds = if cmp.path_left {
                             compare(doc, cmp.op, &lhs, &c_val)
                         } else {
@@ -207,7 +208,7 @@ impl<'d> MinContextEvaluator<'d> {
                             y.push(n);
                         }
                     }
-                    (y, None)
+                    (NodeSet::from_sorted(y), None)
                 }
             }
         };
@@ -220,7 +221,7 @@ impl<'d> MinContextEvaluator<'d> {
         let mut xi = x.iter().peekable();
         for n in doc.all_nodes() {
             let inside = match xi.peek() {
-                Some(&&h) if h == n => {
+                Some(&h) if h == n => {
                     xi.next();
                     true
                 }
@@ -262,10 +263,10 @@ impl<'d> MinContextEvaluator<'d> {
             // "this is the top of an absolute location path": every node
             // qualifies iff the root does.
             PathStart::Root => {
-                if nodeset::contains(&acc, doc.root()) {
-                    Ok(doc.all_nodes().collect())
+                if acc.contains(doc.root()) {
+                    Ok(NodeSet::full(doc.len() as u32))
                 } else {
-                    Ok(Vec::new())
+                    Ok(NodeSet::new())
                 }
             }
             PathStart::Expr(head) => {
@@ -275,10 +276,10 @@ impl<'d> MinContextEvaluator<'d> {
                 let set = head_val.into_node_set().ok_or_else(|| {
                     EvalError::TypeMismatch("path start must evaluate to a node set".into())
                 })?;
-                if nodeset::intersect(&acc, &set).is_empty() {
-                    Ok(Vec::new())
+                if acc.intersect(&set).is_empty() {
+                    Ok(NodeSet::new())
                 } else {
-                    Ok(doc.all_nodes().collect())
+                    Ok(NodeSet::full(doc.len() as u32))
                 }
             }
         }
@@ -289,19 +290,19 @@ impl<'d> MinContextEvaluator<'d> {
         let doc = self.document();
         // Y' := {y ∈ Y | node test t holds}.
         let mut y1 = acc;
-        node_test::filter(doc, step.axis, &step.test, &mut y1);
+        node_test::filter_set(doc, step.axis, &step.test, &mut y1);
         for pred in &step.predicates {
             // Tables for predicate parts that only need the context node.
             // Candidates may include nodes outside Y' (they participate in
             // position counting), so cover the whole inverse image's
             // candidate space: all nodes matching the test.
-            let cover = node_test::matching_set(doc, step.axis, &step.test);
+            let cover = NodeSet::from_sorted(node_test::matching_set(doc, step.axis, &step.test));
             self.eval_by_cnode_only(pred, &cover)?;
         }
         if step.predicates.iter().all(|p| !relev(p).has_pos_or_size()) {
             // Y'' := {y ∈ Y' | all predicates hold}; R := χ⁻¹(Y'').
             let mut y2 = Vec::with_capacity(y1.len());
-            'outer: for &node in &y1 {
+            'outer: for node in &y1 {
                 for pred in &step.predicates {
                     let v = self.eval_single_context(pred, Context::of(node))?;
                     if !predicate_holds(&v, 1) {
@@ -310,7 +311,7 @@ impl<'d> MinContextEvaluator<'d> {
                 }
                 y2.push(node);
             }
-            Ok(xpath_axes::inverse_axis_set(doc, step.axis, &y2))
+            Ok(xpath_axes::bulk::inverse_axis_set(doc, step.axis, &NodeSet::from_sorted(y2)))
         } else {
             // Positional predicates: loop over candidate sources
             // X' = χ⁻¹(Y') and apply the predicates with full positional
@@ -319,9 +320,9 @@ impl<'d> MinContextEvaluator<'d> {
             // filter over the full candidate set, which is the semantics of
             // Figure 5 — positions are counted among all siblings, not only
             // those leading to Y.)
-            let x1 = xpath_axes::inverse_axis_set(doc, step.axis, &y1);
-            let mut r: NodeSet = Vec::new();
-            for &src in &x1 {
+            let x1 = xpath_axes::bulk::inverse_axis_set(doc, step.axis, &y1);
+            let mut r: Vec<NodeId> = Vec::new();
+            for src in &x1 {
                 let mut z = step_candidates(doc, step.axis, &step.test, src);
                 for pred in &step.predicates {
                     let m = z.len();
@@ -336,11 +337,11 @@ impl<'d> MinContextEvaluator<'d> {
                     }
                     z = kept;
                 }
-                if !nodeset::intersect(&z, &y1).is_empty() {
+                if z.iter().any(|&n| y1.contains(n)) {
                     r.push(src);
                 }
             }
-            Ok(nodeset::normalize(r))
+            Ok(NodeSet::from_unsorted(r))
         }
     }
 }

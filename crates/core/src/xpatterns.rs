@@ -59,8 +59,7 @@ pub fn first_of_type(doc: &Document) -> NodeSet {
             }
         }
     }
-    out.sort_unstable();
-    out
+    NodeSet::from_unsorted(out)
 }
 
 /// `last-of-type`: elements with no later sibling of the same name.
@@ -82,13 +81,12 @@ pub fn last_of_type(doc: &Document) -> NodeSet {
         }
         out.extend(last.values().copied());
     }
-    out.sort_unstable();
-    out
+    NodeSet::from_unsorted(out)
 }
 
 /// `"@n"`: elements carrying an attribute named `n` (Table VI).
 pub fn has_attribute(doc: &Document, name: &str) -> NodeSet {
-    let Some(id) = doc.lookup_name(name) else { return Vec::new() };
+    let Some(id) = doc.lookup_name(name) else { return NodeSet::new() };
     doc.all_nodes()
         .filter(|&n| {
             doc.kind(n) == NodeKind::Element
@@ -136,7 +134,7 @@ pub fn string_value_equals(doc: &Document, s: &str) -> NodeSet {
 
 /// `"id(s)"`: the unary predicate `{x | x ∈ deref_ids(s)}`.
 pub fn id_predicate(doc: &Document, s: &str) -> NodeSet {
-    doc.deref_ids(s)
+    NodeSet::from_sorted(doc.deref_ids(s))
 }
 
 /// A registry of populated predicates for one document, so repeated
@@ -209,14 +207,14 @@ mod tests {
         let kids: Vec<NodeId> = d.children(a).collect();
         let f = first_of_any(&d);
         // root (no siblings), a (only child), first b.
-        assert!(f.contains(&d.root()));
-        assert!(f.contains(&a));
-        assert!(f.contains(&kids[0]));
-        assert!(!f.contains(&kids[1]));
+        assert!(f.contains(d.root()));
+        assert!(f.contains(a));
+        assert!(f.contains(kids[0]));
+        assert!(!f.contains(kids[1]));
         let l = last_of_any(&d);
-        assert!(l.contains(&kids[2]));
-        assert!(!l.contains(&kids[0]));
-        assert!(l.contains(&a));
+        assert!(l.contains(kids[2]));
+        assert!(!l.contains(kids[0]));
+        assert!(l.contains(a));
     }
 
     #[test]
@@ -225,18 +223,18 @@ mod tests {
         let a = d.document_element().unwrap();
         let kids: Vec<NodeId> = d.children(a).collect();
         let f = first_of_type(&d);
-        assert!(f.contains(&kids[0]), "first b");
-        assert!(f.contains(&kids[1]), "first c");
-        assert!(!f.contains(&kids[2]), "second b");
-        assert!(!f.contains(&kids[3]), "second c");
+        assert!(f.contains(kids[0]), "first b");
+        assert!(f.contains(kids[1]), "first c");
+        assert!(!f.contains(kids[2]), "second b");
+        assert!(!f.contains(kids[3]), "second c");
         let l = last_of_type(&d);
-        assert!(!l.contains(&kids[0]));
-        assert!(!l.contains(&kids[1]));
-        assert!(l.contains(&kids[2]), "last b");
-        assert!(l.contains(&kids[3]), "last c");
+        assert!(!l.contains(kids[0]));
+        assert!(!l.contains(kids[1]));
+        assert!(l.contains(kids[2]), "last b");
+        assert!(l.contains(kids[3]), "last c");
         // The document element is both first- and last-of-type.
-        assert!(f.contains(&a));
-        assert!(l.contains(&a));
+        assert!(f.contains(a));
+        assert!(l.contains(a));
     }
 
     #[test]
@@ -325,7 +323,7 @@ mod tests {
         let via_query = engine.select("//*[not(preceding-sibling::node())] | /.").unwrap();
         let mut expected = first_of_any(&d);
         // The query returns only elements+root; restrict the predicate set.
-        expected.retain(|&n| matches!(d.kind(n), NodeKind::Element | NodeKind::Root));
+        expected.retain(|n| matches!(d.kind(n), NodeKind::Element | NodeKind::Root));
         assert_eq!(via_query, expected);
     }
 }

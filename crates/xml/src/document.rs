@@ -89,6 +89,9 @@ pub struct Document {
     id_policy: IdPolicy,
     /// The parsed DTD internal subset, if the document declared one.
     dtd: Option<crate::dtd::Dtd>,
+    /// Lazily built structure-of-arrays axis index (see
+    /// [`AxisIndex`](crate::axis_index::AxisIndex)).
+    axis_index: OnceLock<crate::axis_index::AxisIndex>,
 }
 
 impl std::fmt::Debug for Document {
@@ -114,6 +117,7 @@ impl Document {
             refs: Vec::new(),
             id_policy,
             dtd: None,
+            axis_index: OnceLock::new(),
         };
         doc.index_ids();
         doc.index_refs();
@@ -368,6 +372,13 @@ impl Document {
     /// The ID policy this document was indexed with.
     pub fn id_policy(&self) -> &IdPolicy {
         &self.id_policy
+    }
+
+    /// The structure-of-arrays axis index of this document, built once on
+    /// first use (one `O(|D|)` pass) and cached. Backs the set-at-a-time
+    /// bulk axis functions.
+    pub fn axis_index(&self) -> &crate::axis_index::AxisIndex {
+        self.axis_index.get_or_init(|| crate::axis_index::AxisIndex::new(self))
     }
 
     /// The value of the `xml:lang` attribute in scope at `n`, if any

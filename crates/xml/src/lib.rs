@@ -14,6 +14,15 @@
 //! * a from-scratch XML parser and a [`DocumentBuilder`], including a DTD
 //!   internal-subset parser ([`dtd`]) that drives ID-ness per §4 and
 //!   optional namespace-node synthesis ([`ParseOptions`]);
+//! * the engine-wide [`NodeSet`] currency ([`nodeset`]): an adaptive
+//!   hybrid of a dense bitset over preorder ids and a sorted vector,
+//!   always iterated in document order — see that module's docs for the
+//!   invariants;
+//! * a structure-of-arrays axis index ([`axis_index`]): parent /
+//!   first-child / next-sibling / subtree-end / post-order arrays plus an
+//!   attribute/namespace mask, built once per document
+//!   ([`Document::axis_index`]) and backing the set-at-a-time bulk axes
+//!   of `xpath-axes`;
 //! * a serializer ([`Document::serialize`]), a SAX-style event stream
 //!   ([`events`]) for the streaming matcher, document statistics
 //!   ([`stats`]), and name indexes ([`index`]);
@@ -23,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod axis_index;
 mod builder;
 mod document;
 pub mod dtd;
@@ -31,13 +41,16 @@ pub mod events;
 pub mod generate;
 pub mod index;
 mod node;
+pub mod nodeset;
 mod parser;
 pub mod rng;
 pub mod stats;
 
+pub use axis_index::AxisIndex;
 pub use builder::DocumentBuilder;
 pub use document::{Children, Document, IdPolicy, NameId};
 pub use error::ParseError;
 pub use events::StreamEvent;
 pub use node::{NodeId, NodeKind};
+pub use nodeset::NodeSet;
 pub use parser::ParseOptions;

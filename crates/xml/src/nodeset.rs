@@ -1,0 +1,836 @@
+//! The engine-wide node-set currency: an adaptive hybrid of a **dense
+//! bitset** over preorder ids and a **sorted vector**.
+//!
+//! # Invariants
+//!
+//! * A `NodeSet` is a *set* of [`NodeId`]s: duplicate-free, and iteration
+//!   always yields **document order** (ascending id — the arena emits nodes
+//!   in preorder, so id order *is* the `<doc` relation of §4 of the paper).
+//! * The sparse representation is a strictly ascending `Vec<NodeId>`.
+//! * The dense representation is a machine-word bitset over the id space
+//!   `[0, universe)`; all bits at positions `>= universe` (the padding of
+//!   the last word) are **always zero**, so word-parallel operations need
+//!   no masking and popcounts are exact.
+//! * Equality, hashing-free comparisons, and ordering of results are
+//!   defined on the *set contents*, never on the representation: a bitset
+//!   and a sorted vector holding the same ids compare equal.
+//!
+//! # Adaptivity
+//!
+//! Union/intersection/difference on two bitsets are word-parallel
+//! (`O(universe/64)`); on two vectors they are linear merges (`O(n)`).
+//! Mixed operations pick the cheaper side. Constructors that know the
+//! document size choose the representation by density
+//! ([`NodeSet::DENSE_NUM`]/[`NodeSet::DENSE_DEN`]); [`NodeSet::adapt`]
+//! re-evaluates the choice after bulk mutations. The §3 axis engines
+//! (`xpath-axes::bulk`) build dense sets for range-shaped axes
+//! (descendant/following/preceding) and sparse sets for pointer-chasing
+//! axes (parent/siblings), then let the set adapt.
+
+use crate::node::NodeId;
+
+/// Number of bits per bitset word.
+const WORD_BITS: u32 = 64;
+
+/// A set of document nodes, iterated in document order.
+///
+/// See the [module docs](self) for invariants and the representation
+/// strategy.
+#[derive(Clone)]
+pub struct NodeSet {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Strictly ascending, duplicate-free.
+    Vec(Vec<NodeId>),
+    /// Dense bitset over `[0, universe)`; padding bits are zero; `len`
+    /// caches the popcount.
+    Bits { words: Vec<u64>, universe: u32, len: u32 },
+}
+
+impl NodeSet {
+    /// Densification threshold: a set over a universe of `u` ids goes
+    /// dense when `len * DENSE_DEN >= u * DENSE_NUM` (density ≥ 1/32).
+    /// At that point the bitset is at most 4× the vector's memory and the
+    /// word-parallel set operations win by a wide margin.
+    pub const DENSE_NUM: u64 = 1;
+    /// See [`NodeSet::DENSE_NUM`].
+    pub const DENSE_DEN: u64 = 32;
+
+    /// The empty set (sparse representation).
+    #[inline]
+    pub fn new() -> NodeSet {
+        NodeSet { repr: Repr::Vec(Vec::new()) }
+    }
+
+    /// The empty set with a dense bitset over `[0, universe)` — the
+    /// starting point for bulk builders that expect dense results.
+    pub fn empty_dense(universe: u32) -> NodeSet {
+        let words = vec![0u64; universe.div_ceil(WORD_BITS) as usize];
+        NodeSet { repr: Repr::Bits { words, universe, len: 0 } }
+    }
+
+    /// The full set `[0, universe)` (dense).
+    pub fn full(universe: u32) -> NodeSet {
+        let mut s = NodeSet::empty_dense(universe);
+        s.insert_range(0, universe);
+        s
+    }
+
+    /// A one-element set.
+    pub fn singleton(n: NodeId) -> NodeSet {
+        NodeSet { repr: Repr::Vec(vec![n]) }
+    }
+
+    /// Build from a vector already in strictly ascending document order.
+    pub fn from_sorted(v: Vec<NodeId>) -> NodeSet {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "input must be sorted and deduped");
+        NodeSet { repr: Repr::Vec(v) }
+    }
+
+    /// Build from an arbitrary vector: sorts and deduplicates unless the
+    /// input is already strictly ascending (checked in `O(n)`).
+    pub fn from_unsorted(mut v: Vec<NodeId>) -> NodeSet {
+        if !v.windows(2).all(|w| w[0] < w[1]) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        NodeSet { repr: Repr::Vec(v) }
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Vec(v) => v.len(),
+            Repr::Bits { len, .. } => *len as usize,
+        }
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is the set currently held as a dense bitset? (Exposed for tests and
+    /// the representation micro-benchmarks.)
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Bits { .. })
+    }
+
+    /// Membership test: `O(log n)` sparse, `O(1)` dense.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        match &self.repr {
+            Repr::Vec(v) => v.binary_search(&n).is_ok(),
+            Repr::Bits { words, universe, .. } => {
+                n.0 < *universe && words[(n.0 / WORD_BITS) as usize] >> (n.0 % WORD_BITS) & 1 == 1
+            }
+        }
+    }
+
+    /// The first node in document order.
+    pub fn first(&self) -> Option<NodeId> {
+        match &self.repr {
+            Repr::Vec(v) => v.first().copied(),
+            Repr::Bits { words, .. } => {
+                for (i, &w) in words.iter().enumerate() {
+                    if w != 0 {
+                        return Some(NodeId(i as u32 * WORD_BITS + w.trailing_zeros()));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The last node in document order.
+    pub fn last(&self) -> Option<NodeId> {
+        match &self.repr {
+            Repr::Vec(v) => v.last().copied(),
+            Repr::Bits { words, .. } => {
+                for (i, &w) in words.iter().enumerate().rev() {
+                    if w != 0 {
+                        return Some(NodeId(
+                            i as u32 * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros()),
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The `i`-th node in document order: `O(1)` sparse, `O(universe/64)`
+    /// dense (word-popcount select).
+    pub fn get(&self, i: usize) -> Option<NodeId> {
+        match &self.repr {
+            Repr::Vec(v) => v.get(i).copied(),
+            Repr::Bits { words, len, .. } => {
+                if i >= *len as usize {
+                    return None;
+                }
+                let mut remaining = i as u32;
+                for (wi, &w) in words.iter().enumerate() {
+                    let pop = w.count_ones();
+                    if remaining < pop {
+                        // Select the (remaining+1)-th set bit of w.
+                        let mut w = w;
+                        for _ in 0..remaining {
+                            w &= w - 1; // clear lowest set bit
+                        }
+                        return Some(NodeId(wi as u32 * WORD_BITS + w.trailing_zeros()));
+                    }
+                    remaining -= pop;
+                }
+                None
+            }
+        }
+    }
+
+    /// Iterate the nodes in document order.
+    pub fn iter(&self) -> Iter<'_> {
+        match &self.repr {
+            Repr::Vec(v) => Iter::Vec(v.iter()),
+            Repr::Bits { words, .. } => {
+                Iter::Bits { words, word_idx: 0, current: words.first().copied().unwrap_or(0) }
+            }
+        }
+    }
+
+    /// Copy out the ids as a sorted vector.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        match &self.repr {
+            Repr::Vec(v) => v.clone(),
+            Repr::Bits { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Consume into a sorted vector (free for the sparse representation).
+    pub fn into_vec(self) -> Vec<NodeId> {
+        match self.repr {
+            Repr::Vec(v) => v,
+            Repr::Bits { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Borrow the sorted id slice if the set is sparse (dense sets have no
+    /// materialized slice).
+    pub fn as_sorted_slice(&self) -> Option<&[NodeId]> {
+        match &self.repr {
+            Repr::Vec(v) => Some(v),
+            Repr::Bits { .. } => None,
+        }
+    }
+
+    /// Insert one node, keeping the invariants. Amortized `O(1)` when
+    /// inserting in ascending document order.
+    pub fn insert(&mut self, n: NodeId) {
+        match &mut self.repr {
+            Repr::Vec(v) => match v.last() {
+                Some(&last) if last < n => v.push(n),
+                Some(_) => {
+                    if let Err(pos) = v.binary_search(&n) {
+                        v.insert(pos, n);
+                    }
+                }
+                None => v.push(n),
+            },
+            Repr::Bits { words, universe, len } => {
+                if n.0 >= *universe {
+                    *universe = n.0 + 1;
+                    words.resize(universe.div_ceil(WORD_BITS) as usize, 0);
+                }
+                let w = &mut words[(n.0 / WORD_BITS) as usize];
+                let bit = 1u64 << (n.0 % WORD_BITS);
+                if *w & bit == 0 {
+                    *w |= bit;
+                    *len += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert the id range `[lo, hi)` — word-parallel on the dense
+    /// representation (the shape every interval axis produces).
+    pub fn insert_range(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        match &mut self.repr {
+            Repr::Vec(v) => {
+                v.extend((lo..hi).map(NodeId));
+                let v = std::mem::take(v);
+                *self = NodeSet::from_unsorted(v);
+            }
+            Repr::Bits { words, universe, len } => {
+                if hi > *universe {
+                    *universe = hi;
+                    words.resize(universe.div_ceil(WORD_BITS) as usize, 0);
+                }
+                let (lw, lb) = ((lo / WORD_BITS) as usize, lo % WORD_BITS);
+                let (hw, hb) = ((hi / WORD_BITS) as usize, hi % WORD_BITS);
+                let lo_mask = u64::MAX << lb;
+                let hi_mask = if hb == 0 { 0 } else { u64::MAX >> (WORD_BITS - hb) };
+                let mut added = 0u32;
+                if lw == hw {
+                    let m = lo_mask & hi_mask;
+                    added += (m & !words[lw]).count_ones();
+                    words[lw] |= m;
+                } else {
+                    added += (lo_mask & !words[lw]).count_ones();
+                    words[lw] |= lo_mask;
+                    for w in &mut words[lw + 1..hw] {
+                        added += w.count_zeros();
+                        *w = u64::MAX;
+                    }
+                    if hb != 0 {
+                        added += (hi_mask & !words[hw]).count_ones();
+                        words[hw] |= hi_mask;
+                    }
+                }
+                *len += added;
+            }
+        }
+    }
+
+    /// Keep only the nodes satisfying `pred`, preserving document order.
+    pub fn retain(&mut self, mut pred: impl FnMut(NodeId) -> bool) {
+        match &mut self.repr {
+            Repr::Vec(v) => v.retain(|&n| pred(n)),
+            Repr::Bits { words, len, .. } => {
+                let mut removed = 0u32;
+                for (wi, w) in words.iter_mut().enumerate() {
+                    let mut scan = *w;
+                    while scan != 0 {
+                        let bit = scan & scan.wrapping_neg();
+                        let id = wi as u32 * WORD_BITS + bit.trailing_zeros();
+                        if !pred(NodeId(id)) {
+                            *w &= !bit;
+                            removed += 1;
+                        }
+                        scan ^= bit;
+                    }
+                }
+                *len -= removed;
+            }
+        }
+    }
+
+    // ----- set algebra -----
+
+    /// Set union, in document order.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Vec(a), Repr::Vec(b)) => NodeSet::from_sorted(merge_union(a, b)),
+            (Repr::Bits { .. }, _) | (_, Repr::Bits { .. }) => {
+                let (bits, other) =
+                    if self.is_dense() { (self.clone(), other) } else { (other.clone(), self) };
+                let mut out = bits;
+                out.union_with(other);
+                out
+            }
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        if other.is_empty() {
+            return;
+        }
+        match (&mut self.repr, &other.repr) {
+            (Repr::Vec(a), Repr::Vec(b)) => {
+                let merged = merge_union(a, b);
+                *a = merged;
+            }
+            (
+                Repr::Bits { words, universe, len },
+                Repr::Bits { words: ow, universe: ou, len: _ },
+            ) => {
+                if *ou > *universe {
+                    *universe = *ou;
+                    words.resize(ou.div_ceil(WORD_BITS) as usize, 0);
+                }
+                let mut count = 0u32;
+                for (w, &o) in words.iter_mut().zip(ow.iter()) {
+                    *w |= o;
+                    count += w.count_ones();
+                }
+                for w in &words[ow.len()..] {
+                    count += w.count_ones();
+                }
+                *len = count;
+            }
+            (Repr::Bits { .. }, Repr::Vec(b)) => {
+                for &n in b {
+                    self.insert(n);
+                }
+            }
+            (Repr::Vec(_), Repr::Bits { .. }) => {
+                let mut bits = other.clone();
+                bits.union_with(self);
+                *self = bits;
+            }
+        }
+    }
+
+    /// Set intersection, in document order.
+    pub fn intersect(&self, other: &NodeSet) -> NodeSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Vec(a), Repr::Vec(b)) => {
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                NodeSet::from_sorted(out)
+            }
+            (Repr::Bits { words: a, universe, .. }, Repr::Bits { words: b, .. }) => {
+                let mut words: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| x & y).collect();
+                words.resize(a.len(), 0);
+                let len = words.iter().map(|w| w.count_ones()).sum();
+                NodeSet { repr: Repr::Bits { words, universe: *universe, len } }.adapt()
+            }
+            // One sparse side: filter it through the dense side.
+            (Repr::Vec(v), Repr::Bits { .. }) => {
+                NodeSet::from_sorted(v.iter().copied().filter(|&n| other.contains(n)).collect())
+            }
+            (Repr::Bits { .. }, Repr::Vec(v)) => {
+                NodeSet::from_sorted(v.iter().copied().filter(|&n| self.contains(n)).collect())
+            }
+        }
+    }
+
+    /// Set difference `self − other`, in document order.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Vec(a), Repr::Vec(b)) => {
+                let mut out = Vec::new();
+                let mut j = 0;
+                for &x in a {
+                    while j < b.len() && b[j] < x {
+                        j += 1;
+                    }
+                    if j >= b.len() || b[j] != x {
+                        out.push(x);
+                    }
+                }
+                NodeSet::from_sorted(out)
+            }
+            (Repr::Bits { words: a, universe, .. }, Repr::Bits { words: b, .. }) => {
+                let mut words: Vec<u64> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x & !b.get(i).copied().unwrap_or(0))
+                    .collect();
+                words.resize(a.len(), 0);
+                let len = words.iter().map(|w| w.count_ones()).sum();
+                NodeSet { repr: Repr::Bits { words, universe: *universe, len } }.adapt()
+            }
+            (Repr::Vec(v), Repr::Bits { .. }) => {
+                NodeSet::from_sorted(v.iter().copied().filter(|&n| !other.contains(n)).collect())
+            }
+            (Repr::Bits { .. }, Repr::Vec(_)) => {
+                let mut out = self.clone();
+                out.difference_with(other);
+                out
+            }
+        }
+    }
+
+    /// In-place difference: `self −= other`.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Bits { words, len, .. }, Repr::Bits { words: ow, .. }) => {
+                let mut count = 0u32;
+                for (w, &o) in words.iter_mut().zip(ow.iter()) {
+                    *w &= !o;
+                    count += w.count_ones();
+                }
+                for w in &words[ow.len().min(words.len())..] {
+                    count += w.count_ones();
+                }
+                *len = count;
+            }
+            (Repr::Bits { words, universe, len }, Repr::Vec(v)) => {
+                for &n in v {
+                    if n.0 < *universe {
+                        let w = &mut words[(n.0 / WORD_BITS) as usize];
+                        let bit = 1u64 << (n.0 % WORD_BITS);
+                        if *w & bit != 0 {
+                            *w &= !bit;
+                            *len -= 1;
+                        }
+                    }
+                }
+            }
+            (Repr::Vec(v), _) => v.retain(|&n| !other.contains(n)),
+        }
+    }
+
+    /// Subtract a raw bitset mask (one bit per id, e.g.
+    /// [`AxisIndex::special_words`](crate::axis_index::AxisIndex::special_words)):
+    /// word-parallel on the dense representation, a per-id bit test on the
+    /// sparse one.
+    pub fn subtract_words(&mut self, mask: &[u64]) {
+        match &mut self.repr {
+            Repr::Bits { words, len, .. } => {
+                let mut count = 0u32;
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w &= !mask.get(i).copied().unwrap_or(0);
+                    count += w.count_ones();
+                }
+                *len = count;
+            }
+            Repr::Vec(v) => v.retain(|&n| {
+                mask.get((n.0 / WORD_BITS) as usize).is_none_or(|w| w >> (n.0 % WORD_BITS) & 1 == 0)
+            }),
+        }
+    }
+
+    /// Complement with respect to the universe `[0, universe)` —
+    /// word-parallel.
+    pub fn complement(&self, universe: u32) -> NodeSet {
+        let mut out = NodeSet::full(universe);
+        out.difference_with(self);
+        out
+    }
+
+    /// Re-evaluate the representation choice against `universe`: dense
+    /// sets sparser than 1/32 flip to the vector representation. (Sparse
+    /// sets are never force-densified here; the bulk builders create dense
+    /// sets directly when the shape warrants it.)
+    pub fn adapt(self) -> NodeSet {
+        match &self.repr {
+            Repr::Bits { universe, len, .. }
+                if (*len as u64) * Self::DENSE_DEN < (*universe as u64) * Self::DENSE_NUM =>
+            {
+                NodeSet::from_sorted(self.iter().collect())
+            }
+            _ => self,
+        }
+    }
+
+    /// Convert to the dense representation over `[0, universe)` if not
+    /// already dense. Every id must be `< universe`.
+    pub fn densify(self, universe: u32) -> NodeSet {
+        match self.repr {
+            Repr::Bits { .. } => self,
+            Repr::Vec(v) => {
+                let mut out = NodeSet::empty_dense(universe);
+                for n in v {
+                    out.insert(n);
+                }
+                out
+            }
+        }
+    }
+}
+
+fn merge_union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl Default for NodeSet {
+    fn default() -> NodeSet {
+        NodeSet::new()
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &NodeSet) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl PartialEq<Vec<NodeId>> for NodeSet {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<NodeSet> for Vec<NodeId> {
+    fn eq(&self, other: &NodeSet) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<[NodeId]> for NodeSet {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[NodeId]> for NodeSet {
+    fn eq(&self, other: &&[NodeId]) -> bool {
+        self == *other
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl From<Vec<NodeId>> for NodeSet {
+    fn from(v: Vec<NodeId>) -> NodeSet {
+        NodeSet::from_unsorted(v)
+    }
+}
+
+impl From<NodeSet> for Vec<NodeId> {
+    fn from(s: NodeSet) -> Vec<NodeId> {
+        s.into_vec()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> NodeSet {
+        NodeSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Document-order iterator over a [`NodeSet`].
+pub enum Iter<'a> {
+    /// Sparse side: slice iteration.
+    Vec(std::slice::Iter<'a, NodeId>),
+    /// Dense side: word scanning.
+    Bits {
+        /// The bitset words.
+        words: &'a [u64],
+        /// Index of the word `current` was loaded from.
+        word_idx: usize,
+        /// Remaining bits of the current word.
+        current: u64,
+    },
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Iter::Vec(it) => it.next().copied(),
+            Iter::Bits { words, word_idx, current } => {
+                while *current == 0 {
+                    *word_idx += 1;
+                    if *word_idx >= words.len() {
+                        return None;
+                    }
+                    *current = words[*word_idx];
+                }
+                let bit = *current & current.wrapping_neg();
+                *current ^= bit;
+                Some(NodeId(*word_idx as u32 * WORD_BITS + bit.trailing_zeros()))
+            }
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::vec::IntoIter<NodeId>;
+
+    fn into_iter(self) -> std::vec::IntoIter<NodeId> {
+        self.into_vec().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn ns(v: &[u32]) -> NodeSet {
+        NodeSet::from_sorted(v.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    fn dense(v: &[u32], universe: u32) -> NodeSet {
+        let mut s = NodeSet::empty_dense(universe);
+        for &i in v {
+            s.insert(NodeId(i));
+        }
+        s
+    }
+
+    #[test]
+    fn union_merges_both_reprs() {
+        let expect = ns(&[1, 2, 3, 5, 6]);
+        for a in [ns(&[1, 3, 5]), dense(&[1, 3, 5], 100)] {
+            for b in [ns(&[2, 3, 6]), dense(&[2, 3, 6], 100)] {
+                assert_eq!(a.union(&b), expect, "{a:?} ∪ {b:?}");
+                let mut c = a.clone();
+                c.union_with(&b);
+                assert_eq!(c, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_and_difference_both_reprs() {
+        for a in [ns(&[1, 2, 3, 4]), dense(&[1, 2, 3, 4], 70)] {
+            for b in [ns(&[2, 4, 5]), dense(&[2, 4, 5], 70)] {
+                assert_eq!(a.intersect(&b), ns(&[2, 4]), "{a:?} ∩ {b:?}");
+                assert_eq!(a.difference(&b), ns(&[1, 3]), "{a:?} − {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_word_parallel_and_exact() {
+        let s = dense(&[0, 2, 64, 129], 130);
+        let c = s.complement(130);
+        assert_eq!(c.len(), 126);
+        for i in 0..130 {
+            assert_eq!(c.contains(NodeId(i)), !s.contains(NodeId(i)), "id {i}");
+        }
+        // Padding bits stay zero: iterating never yields ids >= universe.
+        assert!(c.iter().all(|n| n.0 < 130));
+    }
+
+    #[test]
+    fn insert_range_word_parallel() {
+        let mut s = NodeSet::empty_dense(200);
+        s.insert_range(3, 130);
+        assert_eq!(s.len(), 127);
+        assert!(!s.contains(NodeId(2)));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(129)));
+        assert!(!s.contains(NodeId(130)));
+        // Overlapping insert does not double-count.
+        s.insert_range(100, 150);
+        assert_eq!(s.len(), 147);
+        // Range on sparse repr normalizes too.
+        let mut v = ns(&[1, 500]);
+        v.insert_range(2, 5);
+        assert_eq!(v, ns(&[1, 2, 3, 4, 500]));
+    }
+
+    #[test]
+    fn iteration_is_document_order() {
+        let s = dense(&[64, 1, 129, 0], 130);
+        let ids: Vec<u32> = s.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 64, 129]);
+        assert_eq!(s.first(), Some(NodeId(0)));
+        assert_eq!(s.last(), Some(NodeId(129)));
+        assert_eq!(s.get(2), Some(NodeId(64)));
+        assert_eq!(s.get(4), None);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        assert_eq!(ns(&[1, 64, 65]), dense(&[1, 64, 65], 90));
+        assert_ne!(ns(&[1]), dense(&[2], 90));
+        assert_eq!(NodeSet::new(), NodeSet::empty_dense(1000));
+    }
+
+    #[test]
+    fn adapt_sparsifies() {
+        let s = dense(&[5, 900], 100_000).adapt();
+        assert!(!s.is_dense());
+        assert_eq!(s, ns(&[5, 900]));
+        let d = NodeSet::full(256).adapt();
+        assert!(d.is_dense());
+    }
+
+    #[test]
+    fn retain_updates_len() {
+        let mut s = dense(&[1, 2, 3, 64, 65], 70);
+        s.retain(|n| n.0 % 2 == 1);
+        assert_eq!(s, ns(&[1, 3, 65]));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn from_unsorted_normalizes() {
+        let s = NodeSet::from_unsorted(vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
+        assert_eq!(s, ns(&[1, 2, 3]));
+    }
+
+    /// Property test (deterministic seeds): the dense and sparse
+    /// representations agree on every operation, across densities, and
+    /// both iterate in strictly ascending document order.
+    #[test]
+    fn reprs_agree_on_random_sets() {
+        let universe = 640u32;
+        for seed in 0..40u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            // Densities from ~1/64 to ~1/2.
+            let p_a = [0.015, 0.05, 0.2, 0.5][(seed % 4) as usize];
+            let p_b = [0.5, 0.2, 0.05, 0.015][(seed % 4) as usize];
+            let a_ids: Vec<NodeId> =
+                (0..universe).filter(|_| rng.random_bool(p_a)).map(NodeId).collect();
+            let b_ids: Vec<NodeId> =
+                (0..universe).filter(|_| rng.random_bool(p_b)).map(NodeId).collect();
+            let av = NodeSet::from_sorted(a_ids.clone());
+            let bv = NodeSet::from_sorted(b_ids.clone());
+            let ad = av.clone().densify(universe);
+            let bd = bv.clone().densify(universe);
+            for (a, b) in [(&av, &bv), (&ad, &bd), (&av, &bd), (&ad, &bv)] {
+                for (name, got) in [
+                    ("union", a.union(b)),
+                    ("intersect", a.intersect(b)),
+                    ("difference", a.difference(b)),
+                ] {
+                    let reference = match name {
+                        "union" => av.union(&bv),
+                        "intersect" => av.intersect(&bv),
+                        _ => av.difference(&bv),
+                    };
+                    assert_eq!(got, reference, "seed {seed} op {name}");
+                    let ids: Vec<u32> = got.iter().map(|n| n.0).collect();
+                    assert!(ids.windows(2).all(|w| w[0] < w[1]), "doc order, seed {seed} {name}");
+                    assert_eq!(ids.len(), got.len(), "len cache, seed {seed} {name}");
+                }
+                for &n in &a_ids {
+                    assert!(a.contains(n));
+                }
+                assert_eq!(a.complement(universe).len(), universe as usize - a.len());
+            }
+        }
+    }
+}

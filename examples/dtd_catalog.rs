@@ -42,8 +42,8 @@ fn main() {
     let engine = Engine::new(&doc);
     let axle = doc.element_by_id("axle").expect("code is an ID attribute");
     let axle_name = engine.select_at("name", axle).unwrap();
-    println!("axle name: {}", doc.string_value(axle_name[0]));
-    assert!(doc.string_value(axle_name[0]).contains("ACME"), "entity resolved");
+    println!("axle name: {}", doc.string_value(axle_name.first().unwrap()));
+    assert!(doc.string_value(axle_name.first().unwrap()).contains("ACME"), "entity resolved");
 
     // The attribute default materialized on every part without status=…:
     let active = engine.select("//part[@status = 'active']").unwrap();
@@ -74,7 +74,7 @@ fn main() {
         for dep in engine.select_at("id(needs)", part).unwrap() {
             if !seen.contains(&dep) {
                 let name = engine.select_at("name", dep).unwrap();
-                println!("  - {}", doc.string_value(name[0]));
+                println!("  - {}", doc.string_value(name.first().unwrap()));
                 seen.push(dep);
                 frontier.push(dep);
             }

@@ -37,7 +37,7 @@ fn main() {
     let title = CompiledQuery::compile("string(title)").unwrap();
     for b in &hits {
         use gkp_xpath::core::Context;
-        println!("  - {}", title.evaluate(&doc, Context::of(*b)).unwrap());
+        println!("  - {}", title.evaluate(&doc, Context::of(b)).unwrap());
     }
 
     // Scalar queries: count, string, arithmetic.
@@ -53,7 +53,7 @@ fn main() {
     // 4. The Compiler builder configures the static phase: the rewrite
     //    pass, a fixed strategy, variable bindings.
     let optimized = Compiler::new().optimize(true).compile("//book[position() = last()]").unwrap();
-    println!("last book: {}", doc.string_value(optimized.select(&doc).unwrap()[0]));
+    println!("last book: {}", doc.string_value(optimized.select(&doc).unwrap().first().unwrap()));
 
     // 5. Services evaluating repeated query texts share a QueryCache:
     //    compile once, evaluate everywhere.

@@ -42,7 +42,7 @@ fn main() {
         let q = gkp_xpath::syntax::parse_normalized(pattern).unwrap();
         let compiled = compile_xpatterns(&q).unwrap_or_else(|e| panic!("{pattern}: {e}"));
         let matches = ev.evaluate(&compiled, &[doc.root()]);
-        assert!(nodeset::is_normalized(&matches));
+        assert!(nodeset::is_normalized(&matches.to_vec()));
         println!("{name:<14} {pattern:<28} matches {:>5} nodes", matches.len());
         total += matches.len();
     }

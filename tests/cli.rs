@@ -85,8 +85,8 @@ fn explicit_strategies_agree() {
         assert_eq!(code, 0, "{s}: {stderr}");
         assert_eq!(stdout.trim(), "2", "{s}");
     }
-    // Fragment strategies on fragment queries.
-    for s in ["corexpath", "xpatterns", "stream"] {
+    // Fragment strategies on fragment queries ("streaming" aliases "stream").
+    for s in ["corexpath", "xpatterns", "stream", "streaming"] {
         let (stdout, _, code) = xpq(&["-s", s, "//title"], XML);
         assert_eq!(code, 0, "{s}");
         assert_eq!(stdout, "Foundations\nXPath\n", "{s}");
@@ -161,6 +161,8 @@ fn repeat_flag_reuses_the_compiled_query() {
     assert_eq!(stdout.trim(), "2", "result printed once, not per run");
     assert!(stderr.contains("compile: "), "{stderr}");
     assert!(stderr.contains("50 runs"), "{stderr}");
+    // Repeats go through a pre-warmed QueryCache: one compile, hits after.
+    assert!(stderr.contains("cache: 49 hits, 1 misses"), "{stderr}");
     // Invalid counts are rejected.
     let (_, stderr, code) = xpq(&["-r", "0", "//book"], XML);
     assert_eq!(code, 2);

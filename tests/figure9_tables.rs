@@ -37,20 +37,22 @@ fn table_e3_with_predicate() {
     // x10 → {x14, x21, x22, x23, x24}
     assert_eq!(
         t.value_at(Context::of(x(&d, "10"))).unwrap(),
-        &Value::NodeSet(vec![x(&d, "14"), x(&d, "21"), x(&d, "22"), x(&d, "23"), x(&d, "24")])
+        &Value::NodeSet(
+            vec![x(&d, "14"), x(&d, "21"), x(&d, "22"), x(&d, "23"), x(&d, "24")].into()
+        )
     );
     // x11 → {x13, x14}
     assert_eq!(
         t.value_at(Context::of(x(&d, "11"))).unwrap(),
-        &Value::NodeSet(vec![x(&d, "13"), x(&d, "14")])
+        &Value::NodeSet(vec![x(&d, "13"), x(&d, "14")].into())
     );
     // x21 → {x23, x24}
     assert_eq!(
         t.value_at(Context::of(x(&d, "21"))).unwrap(),
-        &Value::NodeSet(vec![x(&d, "23"), x(&d, "24")])
+        &Value::NodeSet(vec![x(&d, "23"), x(&d, "24")].into())
     );
     // x12 (a leaf) → {}
-    assert_eq!(t.value_at(Context::of(x(&d, "12"))).unwrap(), &Value::NodeSet(vec![]));
+    assert_eq!(t.value_at(Context::of(x(&d, "12"))).unwrap(), &Value::NodeSet(vec![].into()));
 }
 
 /// Figure 11, table E7 (reduced to the relevant context {cn}):
@@ -149,12 +151,12 @@ fn table_e14_self() {
     for id in ["10", "11", "12", "22", "24"] {
         assert_eq!(
             t.value_at(Context::of(x(&d, id))).unwrap(),
-            &Value::NodeSet(vec![x(&d, id)]),
+            &Value::NodeSet(vec![x(&d, id)].into()),
             "x{id}"
         );
     }
     // At the root (not an element) the self::* step yields ∅.
-    assert_eq!(t.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(vec![]));
+    assert_eq!(t.value_at(Context::of(d.root())).unwrap(), &Value::NodeSet(vec![].into()));
 }
 
 /// The full E5 predicate table (all three context components relevant), at

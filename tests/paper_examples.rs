@@ -19,7 +19,7 @@ fn expect_nodes(engine: &Engine, q: &str, ctx: Context, expect: &[NodeId]) {
         let e = engine.prepare(q).unwrap();
         let v =
             engine.evaluate_expr(&e, s, ctx).unwrap_or_else(|err| panic!("{s:?} on {q}: {err}"));
-        assert_eq!(v.as_node_set().map(|ns| ns.as_slice()), Some(expect), "{s:?} on {q}");
+        assert_eq!(v.as_node_set().map(|ns| ns.to_vec()), Some(expect.to_vec()), "{s:?} on {q}");
     }
 }
 

@@ -124,7 +124,7 @@ mod props {
     }
 }
 
-fn tree_eval(doc: &Document, q: &str) -> Vec<gkp_xpath::NodeId> {
+fn tree_eval(doc: &Document, q: &str) -> gkp_xpath::xml::NodeSet {
     CoreXPathEvaluator::new(doc)
         .evaluate_str(q, CoreDialect::XPatterns, &[doc.root()])
         .unwrap_or_else(|e| panic!("{q}: {e}"))

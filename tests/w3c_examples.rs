@@ -168,10 +168,8 @@ fn union_examples() {
     let d = doc();
     let engine = Engine::new(&d);
     let u = engine.select("//para | //para | /doc/chapter[1]//*").unwrap();
-    let mut sorted = u.clone();
-    sorted.sort_unstable();
-    sorted.dedup();
-    assert_eq!(u, sorted);
+    let ids = u.to_vec();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "document order, no duplicates");
 }
 
 #[test]
