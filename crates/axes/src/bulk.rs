@@ -25,10 +25,64 @@ use xpath_syntax::Axis;
 use xpath_xml::axis_index::NONE;
 use xpath_xml::{Document, NodeId, NodeKind, NodeSet};
 
+use crate::cost::{CostModel, Kernel};
+
 /// Typed set-to-set axis function `χ(S)` (Definition 3.1 with §4 type
 /// filtering), set-at-a-time. Output is in document order.
 pub fn axis_set(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
     axis_set_inner(doc, axis, set, true)
+}
+
+/// Adaptive typed axis function: [`axis_set_planned`] under the
+/// process-wide [`CostModel::global`], discarding the provenance. This is
+/// the engine's default axis entry point.
+pub fn axis_set_adaptive(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    axis_set_planned(doc, axis, set, CostModel::global()).0
+}
+
+/// Cost-based adaptive axis dispatch: estimate each applicable kernel's
+/// cost under `model` (input density × axis shape × document size, with an
+/// exact-output staircase pre-pass for the interval axes) and run the
+/// cheapest. Returns the result and which [`Kernel`] produced it.
+///
+/// Agrees exactly with [`axis_set`] on every input (differential-tested
+/// here and in the workspace suites); only the materialization route —
+/// and therefore the constant factor — differs.
+pub fn axis_set_planned(
+    doc: &Document,
+    axis: Axis,
+    set: &NodeSet,
+    model: &CostModel,
+) -> (NodeSet, Kernel) {
+    planned_inner(doc, axis, set, true, model)
+}
+
+/// Adaptive inverse axis function: [`inverse_axis_set_planned`] under the
+/// process-wide model, discarding the provenance.
+pub fn inverse_axis_set_adaptive(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    inverse_axis_set_planned(doc, axis, set, CostModel::global()).0
+}
+
+/// Cost-based adaptive dispatch for the inverse axis function `χ⁻¹(X)`
+/// (§10.1, Lemma 10.1). Same reduction as [`inverse_axis_set`], with the
+/// untyped inverse application routed through the planner.
+pub fn inverse_axis_set_planned(
+    doc: &Document,
+    axis: Axis,
+    set: &NodeSet,
+    model: &CostModel,
+) -> (NodeSet, Kernel) {
+    match axis {
+        Axis::Attribute | Axis::Namespace | Axis::Id => {
+            (inverse_axis_set(doc, axis, set), Kernel::BulkSparse)
+        }
+        _ => {
+            let ix = doc.axis_index();
+            let mut proper = set.clone();
+            proper.subtract_words(ix.special_words());
+            planned_inner(doc, axis.inverse(), &proper, false, model)
+        }
+    }
 }
 
 /// Untyped set-to-set axis function `χ0(S)` (§3), set-at-a-time.
@@ -209,6 +263,154 @@ fn axis_set_inner(doc: &Document, axis: Axis, set: &NodeSet, typed: bool) -> Nod
     }
 }
 
+/// The planner's dispatch. The interval axes run a `O(|S|)` staircase
+/// pre-pass to learn the exact output cardinality before choosing a
+/// materialization; the pointer-chasing axes choose between the per-node
+/// enumeration loop and dense chain marking from the calibrated chain
+/// estimate; the link-array axes already materialize sparse vectors and
+/// pass straight through.
+fn planned_inner(
+    doc: &Document,
+    axis: Axis,
+    set: &NodeSet,
+    typed: bool,
+    model: &CostModel,
+) -> (NodeSet, Kernel) {
+    let ix = doc.axis_index();
+    let n = doc.len() as u32;
+    match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // One staircase walk collecting the surviving (disjoint,
+            // ascending) intervals and the exact output cardinality; the
+            // materialization pick then runs over the recorded ranges, so
+            // the subtree-interval lookups are never repeated.
+            let mut ranges: Vec<(u32, u32)> = Vec::new();
+            let mut m = 0u64;
+            let mut next_free = 0u32;
+            for x in set {
+                let lo = if axis == Axis::Descendant { x.0 + 1 } else { x.0 };
+                let hi = ix.subtree_end(x.0);
+                let lo = lo.max(next_free);
+                if lo < hi {
+                    ranges.push((lo, hi));
+                    m += (hi - lo) as u64;
+                }
+                next_free = next_free.max(hi);
+            }
+            materialize_ranges(&ranges, m as usize, set.len(), n, ix, typed, model)
+        }
+        Axis::Following => {
+            let Some(lo) = set.iter().map(|x| ix.subtree_end(x.0)).min() else {
+                return (NodeSet::new(), Kernel::BulkSparse);
+            };
+            let ranges = [(lo, n)];
+            materialize_ranges(&ranges, (n - lo) as usize, set.len(), n, ix, typed, model)
+        }
+        Axis::Preceding => {
+            // preceding(S) = [0, max) − ancestors(max); output ≈ max.
+            let Some(max) = set.last() else {
+                return (NodeSet::new(), Kernel::BulkSparse);
+            };
+            match model.pick_interval(n, set.len(), max.0 as usize) {
+                Kernel::BulkSparse | Kernel::PerNode => {
+                    // Ancestor ids of max, ascending (parents descend).
+                    let mut anc = Vec::new();
+                    let mut a = ix.parent(max.0);
+                    while a != NONE {
+                        anc.push(a);
+                        a = ix.parent(a);
+                    }
+                    anc.reverse();
+                    let mut out = Vec::with_capacity(max.0 as usize);
+                    let mut ai = 0usize;
+                    for i in 0..max.0 {
+                        if ai < anc.len() && anc[ai] == i {
+                            ai += 1;
+                            continue;
+                        }
+                        if !typed || !ix.is_special(i) {
+                            out.push(NodeId(i));
+                        }
+                    }
+                    (NodeSet::from_sorted(out), Kernel::BulkSparse)
+                }
+                Kernel::BulkDense => (axis_set_inner(doc, axis, set, typed), Kernel::BulkDense),
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf | Axis::FollowingSibling | Axis::PrecedingSibling
+            if typed =>
+        {
+            match model.pick_chain(n, set.len()) {
+                Kernel::PerNode => (per_node_union(doc, axis, set), Kernel::PerNode),
+                _ => (axis_set_inner(doc, axis, set, typed), Kernel::BulkDense),
+            }
+        }
+        // Untyped chains (inverse dispatch) and the link-array axes:
+        // existing kernels, classified by what they materialize.
+        Axis::Ancestor | Axis::AncestorOrSelf | Axis::FollowingSibling | Axis::PrecedingSibling => {
+            (axis_set_inner(doc, axis, set, typed), Kernel::BulkDense)
+        }
+        Axis::SelfAxis
+        | Axis::Child
+        | Axis::Parent
+        | Axis::Attribute
+        | Axis::Namespace
+        | Axis::Id => (axis_set_inner(doc, axis, set, typed), Kernel::BulkSparse),
+    }
+}
+
+/// Materialize disjoint ascending `[lo, hi)` intervals under the cost
+/// model's pick: below the crossover, write ids straight into a sorted
+/// vector (the staircase-sparse kernel); at or above it, word-parallel
+/// range fills into a dense bitset with the §4 type strip.
+fn materialize_ranges(
+    ranges: &[(u32, u32)],
+    total: usize,
+    input_len: usize,
+    universe: u32,
+    ix: &xpath_xml::AxisIndex,
+    typed: bool,
+    model: &CostModel,
+) -> (NodeSet, Kernel) {
+    match model.pick_interval(universe, input_len, total) {
+        Kernel::BulkSparse | Kernel::PerNode => {
+            let mut out = Vec::with_capacity(total);
+            for &(lo, hi) in ranges {
+                if typed {
+                    out.extend((lo..hi).filter(|&i| !ix.is_special(i)).map(NodeId));
+                } else {
+                    out.extend((lo..hi).map(NodeId));
+                }
+            }
+            (NodeSet::from_sorted(out), Kernel::BulkSparse)
+        }
+        Kernel::BulkDense => {
+            let mut out = NodeSet::empty_dense(universe);
+            for &(lo, hi) in ranges {
+                out.insert_range(lo, hi);
+            }
+            if typed {
+                out.subtract_words(ix.special_words());
+            }
+            (out.adapt(), Kernel::BulkDense)
+        }
+    }
+}
+
+/// The per-node fallback for sparse pointer-chasing inputs: enumerate
+/// `axis_from` per source node and merge — exactly the seed's hot path,
+/// which stays the cheapest plan when `|S| · chain` is far below the
+/// document's word count.
+fn per_node_union(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for x in set {
+        crate::fast::axis_from_into(doc, axis, x, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+    NodeSet::from_unsorted(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +438,14 @@ mod tests {
                 v
             }
         }
+    }
+
+    /// The calibrated model plus two adversarial ones that force each
+    /// extreme, so every kernel's route is exercised on every input.
+    fn planner_models() -> [(&'static str, CostModel); 3] {
+        let force_sparse = CostModel { dense_word_ns: 1e9, ..CostModel::CALIBRATED };
+        let force_dense = CostModel { dense_word_ns: 1e-9, chain_ns: 1e9, ..CostModel::CALIBRATED };
+        [("calibrated", CostModel::CALIBRATED), ("sparse", force_sparse), ("dense", force_dense)]
     }
 
     fn check_doc(doc: &Document, seed: u64) {
@@ -267,6 +477,16 @@ mod tests {
                     );
                     let ids_out: Vec<u32> = got.iter().map(|x| x.0).collect();
                     assert!(ids_out.windows(2).all(|w| w[0] < w[1]), "doc order {axis:?}");
+                    // The adaptive planner agrees under every model,
+                    // including ones forced to each extreme kernel.
+                    for (name, model) in planner_models() {
+                        let (planned, kernel) = axis_set_planned(doc, axis, input, &model);
+                        assert_eq!(
+                            planned.to_vec(),
+                            reference,
+                            "planned({repr},{name})={kernel:?} {axis:?} seed {seed}"
+                        );
+                    }
                 }
                 // Untyped agrees with Algorithm 3.2's untyped semantics.
                 if !matches!(axis, Axis::Attribute | Axis::Namespace | Axis::Id) {
@@ -309,6 +529,14 @@ mod tests {
                 let want = crate::fast::inverse_axis_set(&doc, axis, &ids);
                 assert_eq!(inverse_axis_set(&doc, axis, &sparse).to_vec(), want, "{axis:?}");
                 assert_eq!(inverse_axis_set(&doc, axis, &dense).to_vec(), want, "{axis:?} dense");
+                for (name, model) in planner_models() {
+                    let (planned, kernel) = inverse_axis_set_planned(&doc, axis, &sparse, &model);
+                    assert_eq!(
+                        planned.to_vec(),
+                        want,
+                        "planned inverse({name})={kernel:?} {axis:?}"
+                    );
+                }
             }
         }
     }

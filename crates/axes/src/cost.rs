@@ -1,0 +1,396 @@
+//! Calibrated cost model for **adaptive axis-kernel selection**.
+//!
+//! `BENCH_axes.json` showed that no single axis kernel wins everywhere:
+//! the set-at-a-time word-parallel kernels of [`crate::bulk`] beat the
+//! per-node loops by up to ~9×10⁵× on dense interval axes, but on very
+//! sparse inputs the fixed cost of materializing a dense bitset over the
+//! whole id space (`O(|dom|/64)` words to allocate, fill, type-strip and
+//! re-adapt) loses to simply writing the few result ids into a sorted
+//! vector. This module makes the pick *cost-based* instead of hard-wired,
+//! in the spirit of cost-based XPath operator selection (Gottlob, Orsi &
+//! Pieris's rewriting-and-optimization line of work): estimate the cost of
+//! each applicable kernel from **input density × axis shape × document
+//! size** and run the cheapest.
+//!
+//! # The model
+//!
+//! Three kernel classes exist per axis application (see [`Kernel`]):
+//!
+//! * **per-node** — the `fast::axis_from` enumeration loop per input node,
+//!   merged at the end; cost ≈ `chain_ns · |S| · est_chain_len`
+//!   (pointer-chasing axes only: ancestors, siblings);
+//! * **bulk-sparse** — the set-at-a-time staircase walk writing its
+//!   (disjoint, ascending) ranges straight into a sorted vector; cost ≈
+//!   `input_ns · |S| + sparse_out_ns · |output|`;
+//! * **bulk-dense** — the word-parallel bitset kernel; cost ≈
+//!   `input_ns · |S| + dense_word_ns · ⌈|dom|/64⌉` (the word term covers
+//!   allocation, range fills, the §4 type strip and the final adapt scan).
+//!
+//! For the interval axes (`descendant`, `following`, `preceding`) the
+//! planner does not need to *guess* the output size: a `O(|S|)` staircase
+//! pre-pass computes the exact output cardinality before any
+//! materialization, so the sparse-vs-dense choice is made on exact data.
+//! For the pointer-chasing axes the chain lengths are unknown until
+//! walked, so the calibrated `est_chain_len` stands in.
+//!
+//! # Calibration
+//!
+//! The default constants ([`CostModel::CALIBRATED`]) were measured by
+//! `bench_axes --calibrate` on the reference 21846-node balanced document
+//! (see `crates/bench/src/bin/bench_axes.rs`) and baked in. They are
+//! deliberately coarse — the planner only needs the *crossovers* right,
+//! and those sit an order of magnitude apart. Deployments on very
+//! different hardware can re-run `bench_axes --calibrate` and override at
+//! runtime via the [`COST_ENV`] environment variable
+//! (`GKP_AXIS_COST=dense_word_ns=2.2,sparse_out_ns=1.1,…`); unknown or
+//! malformed entries are ignored, keys not mentioned keep their defaults.
+//! [`CostModel::global`] reads the variable once per process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use xpath_syntax::Axis;
+
+/// Environment variable overriding the calibrated constants at runtime:
+/// a comma-separated `key=value` list over the [`CostModel`] field names,
+/// e.g. `GKP_AXIS_COST=dense_word_ns=2.2,chain_ns=4.0`.
+pub const COST_ENV: &str = "GKP_AXIS_COST";
+
+/// Which kernel the planner picked for one axis application.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kernel {
+    /// Per-node `axis_from` enumeration, merged into a sorted vector.
+    PerNode,
+    /// Set-at-a-time staircase/pointer walk writing a sorted vector.
+    BulkSparse,
+    /// Set-at-a-time word-parallel kernel over a dense bitset.
+    BulkDense,
+}
+
+impl Kernel {
+    /// Stable snake_case name (used in `BENCH_axes.json` provenance and
+    /// the CLI planner report).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::PerNode => "per_node",
+            Kernel::BulkSparse => "bulk_sparse",
+            Kernel::BulkDense => "bulk_dense",
+        }
+    }
+}
+
+/// Calibrated per-operation costs, in nanoseconds. See the
+/// [module docs](self) for the model each constant feeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost per bitset word touched by the dense kernels, covering
+    /// allocation + fill + type strip + adapt scan (~3 passes).
+    pub dense_word_ns: f64,
+    /// Cost per output node written on the sparse vector paths.
+    pub sparse_out_ns: f64,
+    /// Cost per input node of the staircase / dispatch walk.
+    pub input_ns: f64,
+    /// Cost per link of a per-node pointer-chain walk (incl. the final
+    /// sort+dedup merge amortized per element).
+    pub chain_ns: f64,
+    /// Assumed average chain length (tree depth / sibling-run length)
+    /// when the real lengths are unknown before walking.
+    pub est_chain_len: f64,
+}
+
+impl CostModel {
+    /// Constants measured by `bench_axes --calibrate` (balanced 4-ary
+    /// depth-7 document, 21846 nodes, x86-64; 2026-07 pass).
+    pub const CALIBRATED: CostModel = CostModel {
+        dense_word_ns: 2.6,
+        sparse_out_ns: 1.4,
+        input_ns: 0.7,
+        chain_ns: 7.0,
+        est_chain_len: 12.0,
+    };
+
+    /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied.
+    pub fn from_env() -> CostModel {
+        let mut m = CostModel::CALIBRATED;
+        if let Ok(spec) = std::env::var(COST_ENV) {
+            m.apply_overrides(&spec);
+        }
+        m
+    }
+
+    /// Apply a `key=value,key=value` override spec in place. Unknown keys
+    /// and unparsable values are ignored (the calibrated default stands).
+    pub fn apply_overrides(&mut self, spec: &str) {
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else { continue };
+            let Ok(v) = value.trim().parse::<f64>() else { continue };
+            if !v.is_finite() || v <= 0.0 {
+                continue;
+            }
+            match key.trim() {
+                "dense_word_ns" => self.dense_word_ns = v,
+                "sparse_out_ns" => self.sparse_out_ns = v,
+                "input_ns" => self.input_ns = v,
+                "chain_ns" => self.chain_ns = v,
+                "est_chain_len" => self.est_chain_len = v,
+                _ => {}
+            }
+        }
+    }
+
+    /// The process-wide model: [`CostModel::from_env`] computed once.
+    pub fn global() -> &'static CostModel {
+        static GLOBAL: OnceLock<CostModel> = OnceLock::new();
+        GLOBAL.get_or_init(CostModel::from_env)
+    }
+
+    /// Estimated cost of a dense word-parallel materialization over
+    /// `universe` ids with `input_len` staircase inputs.
+    pub fn dense_cost(&self, universe: u32, input_len: usize) -> f64 {
+        self.dense_word_ns * (universe as f64 / 64.0) + self.input_ns * input_len as f64
+    }
+
+    /// Estimated cost of the sparse staircase writing `output_len` ids.
+    pub fn sparse_cost(&self, input_len: usize, output_len: usize) -> f64 {
+        self.input_ns * input_len as f64 + self.sparse_out_ns * output_len as f64
+    }
+
+    /// Estimated cost of the per-node chain walk over `input_len` nodes.
+    pub fn chain_cost(&self, input_len: usize) -> f64 {
+        self.chain_ns * input_len as f64 * self.est_chain_len
+    }
+
+    /// Pick the interval-axis kernel given the **exact** output
+    /// cardinality from the staircase pre-pass. Outputs at or above the
+    /// [`NodeSet`](xpath_xml::NodeSet) dense threshold stay dense
+    /// regardless of cost (downstream set algebra is word-parallel on
+    /// them); below it the cheaper materialization wins.
+    pub fn pick_interval(&self, universe: u32, input_len: usize, output_len: usize) -> Kernel {
+        use xpath_xml::NodeSet;
+        if output_len as u64 * NodeSet::DENSE_DEN >= universe as u64 * NodeSet::DENSE_NUM {
+            return Kernel::BulkDense;
+        }
+        if self.sparse_cost(input_len, output_len) < self.dense_cost(universe, input_len) {
+            Kernel::BulkSparse
+        } else {
+            Kernel::BulkDense
+        }
+    }
+
+    /// Pick the pointer-chasing kernel (ancestors / siblings): tiny
+    /// inputs walk per node; anything else pays the dense marking pass.
+    pub fn pick_chain(&self, universe: u32, input_len: usize) -> Kernel {
+        if self.chain_cost(input_len) < self.dense_cost(universe, 0) {
+            Kernel::PerNode
+        } else {
+            Kernel::BulkDense
+        }
+    }
+
+    /// The input size at which [`CostModel::pick_chain`] switches from
+    /// the per-node walk to dense marking, for a given universe.
+    pub fn chain_crossover(&self, universe: u32) -> usize {
+        let denom = self.chain_ns * self.est_chain_len;
+        (self.dense_cost(universe, 0) / denom).ceil() as usize
+    }
+
+    /// The output cardinality at which [`CostModel::pick_interval`]
+    /// switches from the sparse staircase to the dense kernel (input
+    /// terms cancel; capped at the `NodeSet` dense threshold).
+    pub fn interval_crossover(&self, universe: u32) -> usize {
+        use xpath_xml::NodeSet;
+        let by_cost = self.dense_word_ns * (universe as f64 / 64.0) / self.sparse_out_ns;
+        let by_repr = (universe as u64 * NodeSet::DENSE_NUM).div_ceil(NodeSet::DENSE_DEN) as usize;
+        (by_cost.ceil() as usize).min(by_repr)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::CALIBRATED
+    }
+}
+
+/// One line describing how the planner treats `axis` on a document of
+/// `universe` nodes — the "which kernel and why" surfaced by
+/// `xpq --explain`.
+pub fn describe(axis: Axis, universe: u32, model: &CostModel) -> String {
+    match axis {
+        Axis::Descendant | Axis::DescendantOrSelf | Axis::Following | Axis::Preceding => {
+            format!(
+                "{}: staircase interval join; exact output from O(|S|) pre-pass, \
+                 sorted-vec below {} result nodes, word-parallel bitset at or above",
+                axis.name(),
+                model.interval_crossover(universe)
+            )
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf | Axis::FollowingSibling | Axis::PrecedingSibling => {
+            format!(
+                "{}: pointer-chain walk; per-node loop for inputs below {} nodes, \
+                 dense chain marking at or above",
+                axis.name(),
+                model.chain_crossover(universe)
+            )
+        }
+        Axis::SelfAxis | Axis::Child | Axis::Parent | Axis::Attribute | Axis::Namespace => {
+            format!("{}: link-array walk into a sorted vec (always sparse)", axis.name())
+        }
+        Axis::Id => format!("{}: ref-relation dereference (always sparse)", axis.name()),
+    }
+}
+
+/// Thread-safe tally of planner decisions — shared by a
+/// [`CompiledQuery`](../../xpath_core/query/struct.CompiledQuery.html)
+/// across evaluations and aggregated by the query cache.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    per_node: AtomicU64,
+    bulk_sparse: AtomicU64,
+    bulk_dense: AtomicU64,
+}
+
+impl KernelCounters {
+    /// A zeroed tally.
+    pub fn new() -> KernelCounters {
+        KernelCounters::default()
+    }
+
+    /// Record one axis application that ran on `kernel`.
+    pub fn record(&self, kernel: Kernel) {
+        let slot = match kernel {
+            Kernel::PerNode => &self.per_node,
+            Kernel::BulkSparse => &self.bulk_sparse,
+            Kernel::BulkDense => &self.bulk_dense,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge another tally's counts into this one.
+    pub fn merge(&self, counts: KernelCounts) {
+        self.per_node.fetch_add(counts.per_node, Ordering::Relaxed);
+        self.bulk_sparse.fetch_add(counts.bulk_sparse, Ordering::Relaxed);
+        self.bulk_dense.fetch_add(counts.bulk_dense, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counts.
+    pub fn snapshot(&self) -> KernelCounts {
+        KernelCounts {
+            per_node: self.per_node.load(Ordering::Relaxed),
+            bulk_sparse: self.bulk_sparse.load(Ordering::Relaxed),
+            bulk_dense: self.bulk_dense.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain snapshot of [`KernelCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounts {
+    /// Axis applications run on the per-node enumeration loop.
+    pub per_node: u64,
+    /// Axis applications run on the sparse (sorted-vec) bulk kernels.
+    pub bulk_sparse: u64,
+    /// Axis applications run on the dense word-parallel kernels.
+    pub bulk_dense: u64,
+}
+
+impl KernelCounts {
+    /// Total recorded axis applications.
+    pub fn total(&self) -> u64 {
+        self.per_node + self.bulk_sparse + self.bulk_dense
+    }
+
+    /// Elementwise sum.
+    pub fn plus(self, other: KernelCounts) -> KernelCounts {
+        KernelCounts {
+            per_node: self.per_node + other.per_node,
+            bulk_sparse: self.bulk_sparse + other.bulk_sparse,
+            bulk_dense: self.bulk_dense + other.bulk_dense,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} per-node, {} bulk-sparse, {} bulk-dense",
+            self.per_node, self.bulk_sparse, self.bulk_dense
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_parse_and_ignore_garbage() {
+        let mut m = CostModel::CALIBRATED;
+        m.apply_overrides("dense_word_ns=5.5, chain_ns = 9 ,bogus=1,input_ns=oops,junk");
+        assert_eq!(m.dense_word_ns, 5.5);
+        assert_eq!(m.chain_ns, 9.0);
+        assert_eq!(m.input_ns, CostModel::CALIBRATED.input_ns, "bad value ignored");
+        // Non-positive and non-finite values are rejected.
+        m.apply_overrides("sparse_out_ns=-1,est_chain_len=inf");
+        assert_eq!(m.sparse_out_ns, CostModel::CALIBRATED.sparse_out_ns);
+        assert_eq!(m.est_chain_len, CostModel::CALIBRATED.est_chain_len);
+    }
+
+    #[test]
+    fn interval_pick_follows_output_density() {
+        let m = CostModel::CALIBRATED;
+        let n = 21846;
+        // Tiny output on a big universe: sparse staircase.
+        assert_eq!(m.pick_interval(n, 79, 300), Kernel::BulkSparse);
+        // Output at the NodeSet dense threshold: dense regardless of cost.
+        assert_eq!(m.pick_interval(n, 79, (n / 16) as usize), Kernel::BulkDense);
+        // Near-full output: dense.
+        assert_eq!(m.pick_interval(n, 5000, n as usize - 1), Kernel::BulkDense);
+        // Degenerate universe: a handful of words, sparse never pays.
+        assert_eq!(m.pick_interval(64, 1, 0), Kernel::BulkSparse);
+    }
+
+    #[test]
+    fn chain_pick_follows_input_size() {
+        let m = CostModel::CALIBRATED;
+        let n = 21846;
+        assert_eq!(m.pick_chain(n, 1), Kernel::PerNode);
+        assert_eq!(m.pick_chain(n, 500), Kernel::BulkDense);
+        let cross = m.chain_crossover(n);
+        assert!(cross > 1 && cross < 500, "crossover in a sane band, got {cross}");
+        assert_eq!(m.pick_chain(n, cross - 1), Kernel::PerNode);
+        assert_eq!(m.pick_chain(n, cross), Kernel::BulkDense);
+    }
+
+    #[test]
+    fn crossovers_scale_with_document_size() {
+        let m = CostModel::CALIBRATED;
+        assert!(m.interval_crossover(1 << 20) > m.interval_crossover(1 << 12));
+        assert!(m.chain_crossover(1 << 20) > m.chain_crossover(1 << 12));
+    }
+
+    #[test]
+    fn counters_tally_and_merge() {
+        let c = KernelCounters::new();
+        c.record(Kernel::PerNode);
+        c.record(Kernel::BulkDense);
+        c.record(Kernel::BulkDense);
+        let s = c.snapshot();
+        assert_eq!((s.per_node, s.bulk_sparse, s.bulk_dense), (1, 0, 2));
+        assert_eq!(s.total(), 3);
+        c.merge(s);
+        assert_eq!(c.snapshot().total(), 6);
+        assert_eq!(s.plus(s).bulk_dense, 4);
+        assert!(s.to_string().contains("per-node"));
+    }
+
+    #[test]
+    fn describe_names_the_kernel_and_the_crossover() {
+        let m = CostModel::CALIBRATED;
+        let d = describe(Axis::Descendant, 21846, &m);
+        assert!(d.contains("staircase") && d.contains(&m.interval_crossover(21846).to_string()));
+        let a = describe(Axis::Ancestor, 21846, &m);
+        assert!(a.contains("per-node") && a.contains(&m.chain_crossover(21846).to_string()));
+        assert!(describe(Axis::Child, 100, &m).contains("sorted vec"));
+    }
+}

@@ -20,8 +20,12 @@
 //! * [`bulk`] — set-at-a-time axis functions over the hybrid
 //!   [`NodeSet`](xpath_xml::NodeSet) and the structure-of-arrays
 //!   [`AxisIndex`](xpath_xml::AxisIndex): staircase joins for the interval
-//!   axes, word-parallel range fills and type filtering — the engine's
-//!   default backend.
+//!   axes, word-parallel range fills and type filtering;
+//! * [`cost`] — the calibrated cost model behind the **adaptive** kernel
+//!   planner ([`bulk::axis_set_planned`]): per axis application, pick the
+//!   cheapest of the per-node loop, the sparse staircase and the dense
+//!   word-parallel kernel from input density × axis shape × document
+//!   size — the engine's default backend.
 //!
 //! Property tests assert that all backends agree with the Algorithm 3.2
 //! reference on random documents.
@@ -30,13 +34,15 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
+pub mod cost;
 pub mod fast;
 pub mod id;
 pub mod prepost;
 pub mod regex;
 pub mod typed;
 
-pub use bulk::axis_set;
+pub use bulk::{axis_set, axis_set_adaptive, axis_set_planned};
+pub use cost::{CostModel, Kernel, KernelCounters, KernelCounts};
 pub use fast::{
     axis_from, axis_from_into, eval_axis, eval_axis_untyped_fast, idx_in, inverse_axis_set,
     order_for_axis,

@@ -59,11 +59,20 @@ enum Rows {
     Keyed(HashMap<(u32, u32, u32), Value>),
 }
 
-/// A cn-only table stays dense only while growing to `i + 1` slots keeps
-/// at least ~1/4 of them filled (with a small flat allowance); beyond
-/// that the table spills to the keyed map.
-fn dense_worthwhile(i: usize, filled: usize) -> bool {
-    i < 4 * (filled + 1) + 64
+/// Spill policy for cn-only tables, with **hysteresis**. The dense layout
+/// is clearly winning while ≥ ~1/4 of the slots are filled, but spilling
+/// is one-way (a spilled table never re-densifies — flipping back would
+/// re-copy every row and invite thrash), so the spill trigger is set much
+/// looser: a table spills to the keyed map only when growing to `i + 1`
+/// slots would leave **less than ~1/16** of them filled (beyond a flat
+/// 64-slot allowance). A minimal-context caller filling rows in ascending
+/// id order at a moderate stride — the MinContext frontier pattern, which
+/// hovers near the 1/4 mark — therefore settles into the dense layout
+/// instead of spilling the table it just grew (the spill→re-densify
+/// thrash this guard exists for); only genuinely sparse fills (< 1/16)
+/// pay the one-time spill.
+fn spill_to_keyed(i: usize, filled: usize) -> bool {
+    i >= 16 * (filled + 1) + 64
 }
 
 impl CvTable {
@@ -86,7 +95,7 @@ impl CvTable {
     fn insert_key(&mut self, key: (u32, u32, u32), v: Value) {
         if let Rows::ByNode { slots, filled } = &mut self.rows {
             let i = key.0 as usize;
-            if i >= slots.len() && !dense_worthwhile(i, *filled) {
+            if i >= slots.len() && spill_to_keyed(i, *filled) {
                 // Sparse fill pattern: spill to the keyed map so table
                 // size tracks rows, not the largest node id.
                 let spilled: HashMap<(u32, u32, u32), Value> = slots
@@ -152,6 +161,12 @@ impl CvTable {
     /// The relevance set this table is keyed by.
     pub fn relevance(&self) -> Relev {
         self.relev
+    }
+
+    /// Is the table currently in the dense slot layout? (Exposed for the
+    /// spill-policy regression tests and table-size diagnostics.)
+    pub fn rows_dense(&self) -> bool {
+        matches!(self.rows, Rows::ByNode { .. })
     }
 }
 
@@ -506,6 +521,48 @@ mod tests {
                 assert!(naive.semantically_equal(&bu), "query {q}: {naive:?} vs {bu:?}");
             }
         }
+    }
+
+    #[test]
+    fn cn_table_hysteresis_keeps_moderate_stride_fills_dense() {
+        // A minimal-context caller filling rows in ascending id order at
+        // a moderate stride hovers near the old ~1/4 spill mark; with the
+        // hysteresis guard it must settle into the dense layout.
+        let mut t = CvTable::new(Relev::CN);
+        let stride = 12u32;
+        for f in 0..2000u32 {
+            t.insert(Context::of(NodeId(f * stride)), Value::Number(f as f64));
+        }
+        assert!(t.rows_dense(), "1/12-density ascending fill must stay dense");
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.value_at(Context::of(NodeId(13 * stride))), Some(&Value::Number(13.0)));
+        assert_eq!(t.value_at(Context::of(NodeId(5))), None);
+    }
+
+    #[test]
+    fn cn_table_sparse_fill_spills_once_and_stays_keyed() {
+        let mut t = CvTable::new(Relev::CN);
+        let stride = 500u32;
+        for f in 0..200u32 {
+            t.insert(Context::of(NodeId(f * stride)), Value::Number(f as f64));
+        }
+        assert!(!t.rows_dense(), "1/500-density fill must spill to the keyed map");
+        assert_eq!(t.len(), 200);
+        // Every row — including those inserted while still dense — is
+        // preserved across the spill, and later dense-ish inserts do not
+        // flip the table back (spilling is one-way).
+        for f in [0u32, 1, 42, 199] {
+            assert_eq!(
+                t.value_at(Context::of(NodeId(f * stride))),
+                Some(&Value::Number(f as f64)),
+                "row {f} lost in spill"
+            );
+        }
+        for i in 0..64u32 {
+            t.insert(Context::of(NodeId(i)), Value::Boolean(true));
+        }
+        assert!(!t.rows_dense());
+        assert_eq!(t.len(), 200 + 63, "id 0 overwrote the stride row");
     }
 
     #[test]

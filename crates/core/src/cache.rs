@@ -208,6 +208,20 @@ impl QueryCache {
         Ok(compiled)
     }
 
+    /// Aggregate adaptive axis-planner decisions across every resident
+    /// compiled query: how the fleet's axis applications split between
+    /// the per-node, sparse-staircase and dense word-parallel kernels.
+    /// (Evicted queries take their tallies with them.)
+    pub fn planner_stats(&self) -> xpath_axes::KernelCounts {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("query cache poisoned");
+                shard.entries.values().map(|e| e.query.planner_stats()).collect::<Vec<_>>()
+            })
+            .fold(xpath_axes::KernelCounts::default(), xpath_axes::KernelCounts::plus)
+    }
+
     /// Current hit/miss/eviction counters and resident entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -305,6 +319,25 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.get_or_compile(&c, "//[").is_err());
         assert_eq!(cache.stats().misses, 2, "errors recompile every time");
+    }
+
+    #[test]
+    fn planner_stats_aggregate_across_resident_queries() {
+        use xpath_xml::generate::doc_bookstore;
+        let cache = QueryCache::new(8);
+        let c = Compiler::new();
+        let d = doc_bookstore();
+        let a = cache.get_or_compile(&c, "//book[author]").unwrap();
+        let b = cache.get_or_compile(&c, "//book/title").unwrap();
+        a.evaluate_root(&d).unwrap();
+        b.evaluate_root(&d).unwrap();
+        let total = cache.planner_stats().total();
+        assert_eq!(
+            total,
+            a.planner_stats().total() + b.planner_stats().total(),
+            "cache aggregates per-query planner tallies"
+        );
+        assert!(total > 0);
     }
 
     #[test]

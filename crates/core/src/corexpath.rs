@@ -224,10 +224,15 @@ fn compile_pred(e: &Expr, dialect: CoreDialect) -> EvalResult<CorePred> {
 /// per-step bound.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AxisBackend {
+    /// Cost-based adaptive planner ([`xpath_axes::cost`]): per axis
+    /// application, run the cheapest of the per-node loop, the sparse
+    /// staircase and the dense word-parallel kernel, picked from input
+    /// density × axis shape × document size — the default.
+    #[default]
+    Adaptive,
     /// Set-at-a-time staircase/word-parallel axes over the
     /// structure-of-arrays index and the hybrid [`NodeSet`]
-    /// (`xpath_axes::bulk`) — the default.
-    #[default]
+    /// (`xpath_axes::bulk`), always materializing dense-first.
     Bulk,
     /// Direct per-node set algorithms over the preorder/subtree-interval
     /// encoding.
@@ -244,6 +249,10 @@ pub struct CoreXPathEvaluator<'d> {
     doc: &'d Document,
     all: NodeSet,
     backend: AxisBackend,
+    /// Cost model driving [`AxisBackend::Adaptive`] kernel picks.
+    cost: xpath_axes::CostModel,
+    /// Tally of adaptive kernel decisions made during evaluations.
+    kernels: xpath_axes::KernelCounters,
     /// Lazily-built pre/post plane for [`AxisBackend::Plane`].
     plane: std::sync::OnceLock<xpath_axes::PrePostPlane>,
     /// Optional name index accelerating `T(t)` lookups in `S←`.
@@ -251,9 +260,10 @@ pub struct CoreXPathEvaluator<'d> {
 }
 
 impl<'d> CoreXPathEvaluator<'d> {
-    /// Create an evaluator over `doc` with the default (direct) axis backend.
+    /// Create an evaluator over `doc` with the default (adaptive) axis
+    /// backend.
     pub fn new(doc: &'d Document) -> Self {
-        Self::with_backend(doc, AxisBackend::Direct)
+        Self::with_backend(doc, AxisBackend::default())
     }
 
     /// Create an evaluator with an explicit axis backend (§3
@@ -263,9 +273,23 @@ impl<'d> CoreXPathEvaluator<'d> {
             doc,
             all: NodeSet::full(doc.len() as u32),
             backend,
+            cost: *xpath_axes::CostModel::global(),
+            kernels: xpath_axes::KernelCounters::new(),
             plane: std::sync::OnceLock::new(),
             index: None,
         }
+    }
+
+    /// Override the adaptive planner's cost model (tests, calibration).
+    pub fn with_cost_model(mut self, model: xpath_axes::CostModel) -> Self {
+        self.cost = model;
+        self
+    }
+
+    /// The adaptive kernel decisions recorded so far on this evaluator
+    /// (all zero under the non-adaptive backends).
+    pub fn kernel_counts(&self) -> xpath_axes::KernelCounts {
+        self.kernels.snapshot()
     }
 
     /// Build a [`NameIndex`](xpath_xml::index::NameIndex) (one `O(|D|)`
@@ -308,6 +332,12 @@ impl<'d> CoreXPathEvaluator<'d> {
         match axis {
             Axis::Id => NodeSet::from_sorted(xpath_axes::id::id_set_ref(self.doc, &set.to_vec())),
             _ => match self.backend {
+                AxisBackend::Adaptive => {
+                    let (out, kernel) =
+                        xpath_axes::bulk::axis_set_planned(self.doc, axis, set, &self.cost);
+                    self.kernels.record(kernel);
+                    out
+                }
                 AxisBackend::Bulk => xpath_axes::bulk::axis_set(self.doc, axis, set),
                 AxisBackend::Direct => {
                     NodeSet::from_sorted(xpath_axes::eval_axis(self.doc, axis, &set.to_vec()))
@@ -332,6 +362,12 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// its own set-at-a-time inverse; the others share the per-node one.
     fn axis_backward(&self, axis: Axis, set: &NodeSet) -> NodeSet {
         match self.backend {
+            AxisBackend::Adaptive => {
+                let (out, kernel) =
+                    xpath_axes::bulk::inverse_axis_set_planned(self.doc, axis, set, &self.cost);
+                self.kernels.record(kernel);
+                out
+            }
             AxisBackend::Bulk => xpath_axes::bulk::inverse_axis_set(self.doc, axis, set),
             _ => NodeSet::from_sorted(xpath_axes::inverse_axis_set(self.doc, axis, &set.to_vec())),
         }
@@ -607,6 +643,7 @@ mod tests {
             let alg32 = CoreXPathEvaluator::with_backend(d, AxisBackend::Alg32);
             let plane = CoreXPathEvaluator::with_backend(d, AxisBackend::Plane);
             let bulk = CoreXPathEvaluator::with_backend(d, AxisBackend::Bulk);
+            let adaptive = CoreXPathEvaluator::new(d);
             for q in queries {
                 let e = parse_normalized(q).unwrap();
                 let c = compile(&e).unwrap();
@@ -614,6 +651,35 @@ mod tests {
                 assert_eq!(alg32.evaluate(&c, &[d.root()]), want, "alg32 {q}");
                 assert_eq!(plane.evaluate(&c, &[d.root()]), want, "plane {q}");
                 assert_eq!(bulk.evaluate(&c, &[d.root()]), want, "bulk {q}");
+                assert_eq!(adaptive.evaluate(&c, &[d.root()]), want, "adaptive {q}");
+            }
+            assert!(
+                adaptive.kernel_counts().total() > 0,
+                "the adaptive backend records its kernel decisions"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_agrees_under_forced_cost_models() {
+        // Extreme models force every axis application onto one kernel
+        // class; results must not change, only the route taken.
+        use xpath_axes::CostModel;
+        let sparse = CostModel { dense_word_ns: 1e9, ..CostModel::CALIBRATED };
+        let dense = CostModel { dense_word_ns: 1e-9, chain_ns: 1e9, ..CostModel::CALIBRATED };
+        let d = doc_bookstore();
+        let queries =
+            ["//a/b", "//b[child::c]", "//d/ancestor::b", "//c/following::d", "//book[author]"];
+        let reference = CoreXPathEvaluator::with_backend(&d, AxisBackend::Direct);
+        for model in [sparse, dense] {
+            let ev = CoreXPathEvaluator::new(&d).with_cost_model(model);
+            for q in queries {
+                let c = compile(&parse_normalized(q).unwrap()).unwrap();
+                assert_eq!(
+                    ev.evaluate(&c, &[d.root()]),
+                    reference.evaluate(&c, &[d.root()]),
+                    "{q} under {model:?}"
+                );
             }
         }
     }

@@ -67,11 +67,12 @@ pub fn step_candidates(doc: &Document, axis: Axis, test: &NodeTest, x: NodeId) -
 }
 
 /// Set-at-a-time counterpart of [`step_candidates`]:
-/// `{y | ∃x ∈ S: x χ y, y ∈ T(t)}` via the bulk axis engine, in document
-/// order. This is the predicate-free step expansion every set-level
-/// evaluator shares.
+/// `{y | ∃x ∈ S: x χ y, y ∈ T(t)}` via the adaptive axis engine (the
+/// cost-based kernel planner of `xpath_axes::cost`), in document order.
+/// This is the predicate-free step expansion every set-level evaluator
+/// shares.
 pub fn step_candidates_set(doc: &Document, axis: Axis, test: &NodeTest, s: &NodeSet) -> NodeSet {
-    let mut out = xpath_axes::bulk::axis_set(doc, axis, s);
+    let mut out = xpath_axes::bulk::axis_set_adaptive(doc, axis, s);
     node_test::filter_set(doc, axis, test, &mut out);
     out
 }

@@ -58,6 +58,26 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
         }
     }
 
+    // Adaptive axis planner: which kernel each axis of the fragment
+    // program runs on and why — the crossovers are functions of |D| and
+    // the calibrated cost model, the final pick is made per application
+    // from the actual input density at runtime.
+    if let Ok(q) = crate::corexpath::compile_xpatterns(e) {
+        let model = xpath_axes::CostModel::global();
+        let mut axes = std::collections::BTreeMap::new();
+        collect_axes(&q.path, &mut axes);
+        let _ = writeln!(
+            report,
+            "axis planner (adaptive kernel picks @ |D| = {doc_size}; constants \
+             overridable via {}):",
+            xpath_axes::cost::COST_ENV
+        );
+        for axis in axes.into_values() {
+            let _ =
+                writeln!(report, "  {}", xpath_axes::cost::describe(axis, doc_size as u32, model));
+        }
+    }
+
     // Per-subexpression relevance and bottom-up candidacy.
     let mut bottomup_paths = 0usize;
     let _ = writeln!(report, "subexpressions (Relev, CVT rows @ |D| = {doc_size}):");
@@ -74,6 +94,35 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
         let _ = writeln!(report, "  {rel:?}  rows≈{rows:<10} {shown}{bu}");
     });
     Explanation { fragment: c.fragment, report, bottomup_paths }
+}
+
+/// Collect every axis a compiled Core XPath / XPatterns program applies
+/// (spine and predicate paths alike), keyed by name for stable output.
+fn collect_axes(
+    p: &crate::corexpath::CorePath,
+    out: &mut std::collections::BTreeMap<&'static str, xpath_syntax::Axis>,
+) {
+    for step in &p.steps {
+        out.insert(step.axis.name(), step.axis);
+        for pred in &step.preds {
+            collect_pred_axes(pred, out);
+        }
+    }
+}
+
+fn collect_pred_axes(
+    pred: &crate::corexpath::CorePred,
+    out: &mut std::collections::BTreeMap<&'static str, xpath_syntax::Axis>,
+) {
+    use crate::corexpath::CorePred;
+    match pred {
+        CorePred::And(l, r) | CorePred::Or(l, r) => {
+            collect_pred_axes(l, out);
+            collect_pred_axes(r, out);
+        }
+        CorePred::Not(inner) => collect_pred_axes(inner, out),
+        CorePred::Path(p) => collect_axes(p, out),
+    }
 }
 
 fn estimated_rows(n: usize, cn: bool, cp: bool, cs: bool) -> u64 {
@@ -135,6 +184,22 @@ mod tests {
         assert_eq!(x.fragment, Fragment::CoreXPath);
         assert!(x.report.contains("CoreXPath"), "{}", x.report);
         assert_eq!(x.bottomup_paths, 1, "boolean(child::b) is a candidate");
+    }
+
+    #[test]
+    fn explain_reports_axis_planner_kernels() {
+        let e = parse_normalized("//a[b]/following::c/ancestor::d").unwrap();
+        let x = explain(&e, 21846);
+        assert!(x.report.contains("axis planner"), "{}", x.report);
+        // One line per distinct axis, naming the kernel choice and why.
+        assert!(x.report.contains("descendant-or-self: staircase"), "{}", x.report);
+        assert!(x.report.contains("following: staircase"), "{}", x.report);
+        assert!(x.report.contains("ancestor: pointer-chain"), "{}", x.report);
+        assert!(x.report.contains("child: link-array"), "{}", x.report);
+        assert!(x.report.contains(xpath_axes::cost::COST_ENV), "{}", x.report);
+        // Outside the fragment engines there is no planner section.
+        let y = explain(&parse_normalized("count(//a)").unwrap(), 100);
+        assert!(!y.report.contains("axis planner"), "{}", y.report);
     }
 
     #[test]

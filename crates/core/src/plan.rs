@@ -149,6 +149,30 @@ impl Plan {
             self.naive_budget,
             doc,
             ctx,
+            None,
+        )
+    }
+
+    /// [`Plan::execute`], additionally merging the adaptive axis planner's
+    /// kernel decisions into `kernels` (fragment strategies only; the
+    /// general evaluators record nothing). This is how a
+    /// [`CompiledQuery`](crate::query::CompiledQuery) accumulates its
+    /// per-query planner statistics across evaluations.
+    pub fn execute_recording(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        kernels: &xpath_axes::KernelCounters,
+    ) -> EvalResult<Value> {
+        run(
+            &self.expr,
+            self.strategy,
+            self.algebra.as_ref(),
+            self.automaton.as_ref(),
+            self.naive_budget,
+            doc,
+            ctx,
+            Some(kernels),
         )
     }
 
@@ -195,18 +219,21 @@ pub fn execute_adhoc(
                 CoreDialect::XPatterns
             };
             let q = corexpath::compile_dialect(expr, dialect)?;
-            run(expr, strategy, Some(&q), None, naive_budget, doc, ctx)
+            run(expr, strategy, Some(&q), None, naive_budget, doc, ctx, None)
         }
         Strategy::Streaming => {
             let sq = streaming::compile_expr(expr)?;
-            run(expr, strategy, None, Some(&sq), naive_budget, doc, ctx)
+            run(expr, strategy, None, Some(&sq), naive_budget, doc, ctx, None)
         }
-        _ => run(expr, strategy, None, None, naive_budget, doc, ctx),
+        _ => run(expr, strategy, None, None, naive_budget, doc, ctx, None),
     }
 }
 
 /// Shared runtime dispatch. `strategy` is resolved (never `Auto`) and any
-/// fragment artifacts it needs are supplied by the caller.
+/// fragment artifacts it needs are supplied by the caller. When `kernels`
+/// is given, the fragment engines' adaptive planner decisions are merged
+/// into it after the evaluation.
+#[allow(clippy::too_many_arguments)]
 fn run(
     expr: &Expr,
     strategy: Strategy,
@@ -215,6 +242,7 @@ fn run(
     naive_budget: Option<u64>,
     doc: &Document,
     ctx: Context,
+    kernels: Option<&xpath_axes::KernelCounters>,
 ) -> EvalResult<Value> {
     match strategy {
         Strategy::Naive => match naive_budget {
@@ -228,7 +256,12 @@ fn run(
         Strategy::OptMinContext => OptMinContextEvaluator::new(doc).evaluate(expr, ctx),
         Strategy::CoreXPath | Strategy::XPatterns => {
             let q = algebra.expect("fragment dispatch requires a compiled algebra program");
-            Ok(Value::NodeSet(CoreXPathEvaluator::new(doc).evaluate(q, &[ctx.node])))
+            let ev = CoreXPathEvaluator::new(doc);
+            let out = ev.evaluate(q, &[ctx.node]);
+            if let Some(counters) = kernels {
+                counters.merge(ev.kernel_counts());
+            }
+            Ok(Value::NodeSet(out))
         }
         Strategy::Streaming => {
             // Streamable queries are absolute, so the context node is

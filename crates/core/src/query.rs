@@ -106,7 +106,12 @@ impl Compiler {
     pub fn compile(&self, query: &str) -> EvalResult<CompiledQuery> {
         let expr = self.parse(query)?;
         let plan = Plan::build(expr, self.default_strategy, self.naive_budget)?;
-        Ok(CompiledQuery { text: query.to_string(), optimized: self.optimize, plan })
+        Ok(CompiledQuery {
+            text: query.to_string(),
+            optimized: self.optimize,
+            plan,
+            kernels: std::sync::Arc::new(xpath_axes::KernelCounters::new()),
+        })
     }
 
     /// A stable fingerprint of this compiler's settings, used with the
@@ -141,6 +146,11 @@ pub struct CompiledQuery {
     text: String,
     optimized: bool,
     plan: Plan,
+    /// Adaptive axis-planner decisions accumulated across evaluations.
+    /// Shared by clones (and thus by every holder of a cached handle), so
+    /// the [`crate::cache::QueryCache`] can aggregate per-query planner
+    /// behaviour fleet-wide.
+    kernels: std::sync::Arc<xpath_axes::KernelCounters>,
 }
 
 impl CompiledQuery {
@@ -186,10 +196,18 @@ impl CompiledQuery {
         &self.plan
     }
 
+    /// The adaptive axis-planner decisions this query's evaluations have
+    /// made so far: how many axis applications ran on the per-node loop,
+    /// the sparse staircase and the dense word-parallel kernel. Zero for
+    /// strategies outside the Core XPath / XPatterns fragment engines.
+    pub fn planner_stats(&self) -> xpath_axes::KernelCounts {
+        self.kernels.snapshot()
+    }
+
     /// Evaluate against `doc` from an explicit context (runtime phase
     /// only).
     pub fn evaluate(&self, doc: &Document, ctx: Context) -> EvalResult<Value> {
-        self.plan.execute(doc, ctx)
+        self.plan.execute_recording(doc, ctx, &self.kernels)
     }
 
     /// Evaluate against `doc` from the document root.
@@ -303,6 +321,24 @@ mod tests {
         let reordered = Compiler::new()
             .bindings(&Bindings::new().boolean("c", true).string("b", "x").number("a", 1.0));
         assert_eq!(reordered.options_fingerprint(), fp);
+    }
+
+    #[test]
+    fn planner_stats_accumulate_across_evaluations_and_clones() {
+        let d = doc_bookstore();
+        let q = CompiledQuery::compile("//book[author]").unwrap();
+        assert_eq!(q.planner_stats().total(), 0);
+        q.evaluate_root(&d).unwrap();
+        let after_one = q.planner_stats().total();
+        assert!(after_one > 0, "Core XPath evaluations record kernel decisions");
+        // Clones share the tally (the cache hands out shared handles).
+        let clone = q.clone();
+        clone.evaluate_root(&d).unwrap();
+        assert_eq!(q.planner_stats().total(), after_one * 2);
+        // Non-fragment strategies record nothing.
+        let scalar = CompiledQuery::compile("count(//book)").unwrap();
+        scalar.evaluate_root(&d).unwrap();
+        assert_eq!(scalar.planner_stats().total(), 0);
     }
 
     #[test]

@@ -396,7 +396,22 @@ impl NodeSet {
                 }
                 NodeSet::from_sorted(out)
             }
-            (Repr::Bits { words: a, universe, .. }, Repr::Bits { words: b, .. }) => {
+            (
+                Repr::Bits { words: a, universe, len: alen },
+                Repr::Bits { words: b, len: blen, .. },
+            ) => {
+                // The result can't exceed the smaller operand; when that
+                // bound is already below the dense threshold, fuse the
+                // word sweep with the sparse collection instead of
+                // materializing an intermediate bitset that `adapt` would
+                // immediately tear back down (the measured low-density
+                // slow path in BENCH_axes set_ops).
+                if sparse_bound(*alen.min(blen), *universe) {
+                    let cap = *alen.min(blen) as usize;
+                    return NodeSet::from_sorted(collect_sparse(a, cap, |i, x| {
+                        x & b.get(i).copied().unwrap_or(0)
+                    }));
+                }
                 let mut words: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| x & y).collect();
                 words.resize(a.len(), 0);
                 let len = words.iter().map(|w| w.count_ones()).sum();
@@ -428,7 +443,14 @@ impl NodeSet {
                 }
                 NodeSet::from_sorted(out)
             }
-            (Repr::Bits { words: a, universe, .. }, Repr::Bits { words: b, .. }) => {
+            (Repr::Bits { words: a, universe, len: alen }, Repr::Bits { words: b, .. }) => {
+                // `self − other ⊆ self`: a sparse receiver means a sparse
+                // result, so collect ids in the same sweep (see intersect).
+                if sparse_bound(*alen, *universe) {
+                    return NodeSet::from_sorted(collect_sparse(a, *alen as usize, |i, x| {
+                        x & !b.get(i).copied().unwrap_or(0)
+                    }));
+                }
                 let mut words: Vec<u64> = a
                     .iter()
                     .enumerate()
@@ -536,6 +558,29 @@ impl NodeSet {
             }
         }
     }
+}
+
+/// Is a result bounded by `len` ids over `universe` guaranteed to end up
+/// in the sparse representation after [`NodeSet::adapt`]?
+#[inline]
+fn sparse_bound(len: u32, universe: u32) -> bool {
+    (len as u64) * NodeSet::DENSE_DEN < (universe as u64) * NodeSet::DENSE_NUM
+}
+
+/// One fused sweep over bitset words: apply `op` per word of `a` (by
+/// index) and push the surviving ids, ascending. `cap` is an upper bound
+/// on the result size (one allocation, no growth reallocs).
+fn collect_sparse(a: &[u64], cap: usize, op: impl Fn(usize, u64) -> u64) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(cap);
+    for (i, &x) in a.iter().enumerate() {
+        let mut w = op(i, x);
+        while w != 0 {
+            let bit = w & w.wrapping_neg();
+            out.push(NodeId(i as u32 * WORD_BITS + bit.trailing_zeros()));
+            w ^= bit;
+        }
+    }
+    out
 }
 
 fn merge_union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
@@ -789,6 +834,27 @@ mod tests {
     fn from_unsorted_normalizes() {
         let s = NodeSet::from_unsorted(vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
         assert_eq!(s, ns(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn low_density_bitset_ops_fuse_to_sparse_results() {
+        // Two low-density bitsets over a large universe: difference and
+        // intersect must come back sparse (no intermediate dense bitset)
+        // and agree with the sorted-vec reference.
+        let universe = 20_000u32;
+        let a_ids: Vec<u32> = (0..universe).step_by(97).collect();
+        let b_ids: Vec<u32> = (0..universe).step_by(194).collect();
+        let (av, bv) = (ns(&a_ids), ns(&b_ids));
+        let (ad, bd) = (dense(&a_ids, universe), dense(&b_ids, universe));
+        let diff = ad.difference(&bd);
+        assert!(!diff.is_dense(), "sparse receiver ⇒ sparse difference");
+        assert_eq!(diff, av.difference(&bv));
+        let inter = ad.intersect(&bd);
+        assert!(!inter.is_dense(), "sparse bound ⇒ sparse intersection");
+        assert_eq!(inter, av.intersect(&bv));
+        // A dense receiver still takes the word-parallel path.
+        let full = NodeSet::full(universe);
+        assert!(full.difference(&bd).is_dense());
     }
 
     /// Property test (deterministic seeds): the dense and sparse

@@ -22,8 +22,12 @@
 //!   -c, --classify          print the Figure-1 fragment classification and exit
 //!   -n, --normalize         print the normalized (unabbreviated) query and exit
 //!   -e, --explain           print the query plan (fragment, Relev sets,
-//!                           bottom-up candidates) and exit
-//!   -v, --verbose           print fragment + chosen strategy before results
+//!                           bottom-up candidates, adaptive axis-kernel
+//!                           crossovers) and exit
+//!   -v, --verbose           print fragment + chosen strategy before
+//!                           results, and the adaptive planner's kernel
+//!                           tally (per-node / bulk-sparse / bulk-dense)
+//!                           after evaluation
 //!       --serialize         print matched subtrees as XML instead of string values
 //!       --verify            run all algorithms and require agreement (the
 //!                           differential oracle) before printing results
@@ -261,6 +265,15 @@ fn main() -> ExitCode {
             "cache: {} hits, {} misses, {} resident",
             stats.hits, stats.misses, stats.entries
         );
+    }
+    // Adaptive axis-planner provenance: which kernels actually ran
+    // (per-query tally; the -r loop's cached handle is aggregated via the
+    // cache). Zero-total tallies (non-fragment strategies) are omitted.
+    if opts.verbose || opts.repeat > 1 {
+        let kernels = compiled.planner_stats().plus(cache.planner_stats());
+        if kernels.total() > 0 {
+            eprintln!("planner: {kernels} axis applications");
+        }
     }
     if opts.time {
         if opts.repeat > 1 {
