@@ -42,9 +42,20 @@
 //! and those sit an order of magnitude apart. Deployments on very
 //! different hardware can re-run `bench_axes --calibrate` and override at
 //! runtime via the [`COST_ENV`] environment variable
-//! (`GKP_AXIS_COST=dense_word_ns=2.2,sparse_out_ns=1.1,…`); unknown or
-//! malformed entries are ignored, keys not mentioned keep their defaults.
+//! (`GKP_AXIS_COST=dense_word_ns=2.2,sparse_out_ns=1.1,…`). Parsing is
+//! strict: unknown keys, unparsable values and non-positive numbers are
+//! rejected and reported through [`CostModel::env_diagnostics`] (surfaced
+//! once by `xpq -v`), so a typo'd calibration override never falls back
+//! to the defaults silently; keys not mentioned keep their defaults.
 //! [`CostModel::global`] reads the variable once per process.
+//!
+//! # Sharded parallel passes
+//!
+//! The same model gates the parallel CVT evaluation layer
+//! (`xpath_core::parallel`): [`CostModel::pick_shards`] weighs the
+//! divisible portion of a pass against the per-worker spawn cost
+//! ([`CostModel::spawn_ns`]) and the word-parallel merge at the join
+//! ([`CostModel::merge_word_ns`]), per pass — small passes stay serial.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -55,6 +66,13 @@ use xpath_syntax::Axis;
 /// a comma-separated `key=value` list over the [`CostModel`] field names,
 /// e.g. `GKP_AXIS_COST=dense_word_ns=2.2,chain_ns=4.0`.
 pub const COST_ENV: &str = "GKP_AXIS_COST";
+
+/// Hard cap on the shard count any single pass can split into,
+/// regardless of the requested thread budget: CVT passes are
+/// memory-bound, so fan-out beyond this buys nothing, and the cap keeps
+/// [`CostModel::pick_shards`] O(1) and the per-pass spawn count bounded
+/// even for absurd `--threads` requests.
+pub const MAX_SHARDS: usize = 64;
 
 /// Which kernel the planner picked for one axis application.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -96,6 +114,15 @@ pub struct CostModel {
     /// Assumed average chain length (tree depth / sibling-run length)
     /// when the real lengths are unknown before walking.
     pub est_chain_len: f64,
+    /// Cost of spawning + joining one scoped worker thread for a sharded
+    /// pass (`std::thread::scope`). Gates the parallel CVT layer: a pass
+    /// shards only when the divisible work saved exceeds this per extra
+    /// worker.
+    pub spawn_ns: f64,
+    /// Cost per bitset word per extra shard merged at a join (the
+    /// word-parallel union of per-shard results, plus each shard's scan
+    /// over its zero prefix/suffix words).
+    pub merge_word_ns: f64,
 }
 
 impl CostModel {
@@ -107,41 +134,84 @@ impl CostModel {
         input_ns: 0.7,
         chain_ns: 7.0,
         est_chain_len: 12.0,
+        spawn_ns: 25_000.0,
+        merge_word_ns: 0.25,
     };
 
-    /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied.
+    /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied,
+    /// discarding the parse diagnostics (see [`CostModel::from_env_report`]).
     pub fn from_env() -> CostModel {
-        let mut m = CostModel::CALIBRATED;
-        if let Ok(spec) = std::env::var(COST_ENV) {
-            m.apply_overrides(&spec);
-        }
-        m
+        CostModel::from_env_report().0
     }
 
-    /// Apply a `key=value,key=value` override spec in place. Unknown keys
-    /// and unparsable values are ignored (the calibrated default stands).
-    pub fn apply_overrides(&mut self, spec: &str) {
+    /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied,
+    /// plus one diagnostic line per rejected entry — how a typo'd
+    /// calibration override becomes visible instead of silently falling
+    /// back to the defaults.
+    pub fn from_env_report() -> (CostModel, Vec<String>) {
+        let mut m = CostModel::CALIBRATED;
+        let diagnostics = match std::env::var(COST_ENV) {
+            Ok(spec) => m
+                .apply_overrides(&spec)
+                .into_iter()
+                .map(|why| format!("{COST_ENV}: ignored {why}"))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        (m, diagnostics)
+    }
+
+    /// Apply a `key=value,key=value` override spec in place, parsing
+    /// **strictly**: an entry is applied only if its key names a
+    /// [`CostModel`] field and its value is a positive finite number.
+    /// Every rejected entry (unknown key, unparsable or non-positive
+    /// value, missing `=`) keeps the calibrated default and is returned as
+    /// a diagnostic message; empty segments (trailing commas) are allowed.
+    #[must_use = "rejected entries are reported, not silently dropped"]
+    pub fn apply_overrides(&mut self, spec: &str) -> Vec<String> {
+        let mut rejected = Vec::new();
         for part in spec.split(',') {
-            let Some((key, value)) = part.split_once('=') else { continue };
-            let Ok(v) = value.trim().parse::<f64>() else { continue };
-            if !v.is_finite() || v <= 0.0 {
+            if part.trim().is_empty() {
                 continue;
             }
-            match key.trim() {
-                "dense_word_ns" => self.dense_word_ns = v,
-                "sparse_out_ns" => self.sparse_out_ns = v,
-                "input_ns" => self.input_ns = v,
-                "chain_ns" => self.chain_ns = v,
-                "est_chain_len" => self.est_chain_len = v,
-                _ => {}
+            let Some((key, value)) = part.split_once('=') else {
+                rejected.push(format!("entry {:?}: expected key=value", part.trim()));
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let slot = match key {
+                "dense_word_ns" => &mut self.dense_word_ns,
+                "sparse_out_ns" => &mut self.sparse_out_ns,
+                "input_ns" => &mut self.input_ns,
+                "chain_ns" => &mut self.chain_ns,
+                "est_chain_len" => &mut self.est_chain_len,
+                "spawn_ns" => &mut self.spawn_ns,
+                "merge_word_ns" => &mut self.merge_word_ns,
+                _ => {
+                    rejected.push(format!("unknown key {key:?}"));
+                    continue;
+                }
+            };
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => *slot = v,
+                _ => rejected
+                    .push(format!("key {key:?}: value {value:?} is not a positive finite number")),
             }
         }
+        rejected
     }
 
-    /// The process-wide model: [`CostModel::from_env`] computed once.
+    /// The process-wide model: [`CostModel::from_env_report`] computed
+    /// once.
     pub fn global() -> &'static CostModel {
-        static GLOBAL: OnceLock<CostModel> = OnceLock::new();
-        GLOBAL.get_or_init(CostModel::from_env)
+        &global_with_diagnostics().0
+    }
+
+    /// Diagnostics from the one-time [`COST_ENV`] parse behind
+    /// [`CostModel::global`]: one line per rejected entry, empty when the
+    /// variable was unset or fully valid. `xpq -v` prints these.
+    pub fn env_diagnostics() -> &'static [String] {
+        &global_with_diagnostics().1
     }
 
     /// Estimated cost of a dense word-parallel materialization over
@@ -203,6 +273,60 @@ impl CostModel {
         let by_repr = (universe as u64 * NodeSet::DENSE_NUM).div_ceil(NodeSet::DENSE_DEN) as usize;
         (by_cost.ceil() as usize).min(by_repr)
     }
+
+    // ----- sharded parallel passes -----
+
+    /// How many shards a pass should run on, at most `max_threads`
+    /// (itself clamped to [`MAX_SHARDS`] — a pass never splits further
+    /// than that no matter how large a thread budget the caller requests,
+    /// which also bounds this search loop). `divisible_ns` is the
+    /// estimated pass cost that splits evenly across shards;
+    /// `per_shard_ns` is the fixed extra cost each additional shard adds
+    /// (its own materialization plus the word-parallel merge at the
+    /// join). Returns 1 — the planner *refuses to spawn* — whenever no
+    /// shard count beats running the pass serially on the caller's
+    /// thread.
+    pub fn pick_shards(&self, divisible_ns: f64, per_shard_ns: f64, max_threads: usize) -> usize {
+        let mut best = (divisible_ns, 1usize);
+        for k in 2..=max_threads.clamp(1, MAX_SHARDS) {
+            let extra = (k - 1) as f64;
+            let cost = divisible_ns / k as f64 + (self.spawn_ns + per_shard_ns) * extra;
+            if cost < best.0 {
+                best = (cost, k);
+            }
+        }
+        best.1
+    }
+
+    /// Calibrated per-row cost estimate for a bottom-up CVT row pass (one
+    /// per-node axis enumeration + predicate filtering per row) — the
+    /// chain-walk estimate stands in, as row costs are unknown before the
+    /// pass runs.
+    pub fn cvt_row_ns(&self) -> f64 {
+        self.chain_ns * self.est_chain_len
+    }
+
+    /// The row count at which a bottom-up CVT row pass first shards
+    /// (2 shards beat serial: the halved work must repay one spawn).
+    pub fn row_shard_crossover(&self) -> usize {
+        (2.0 * self.spawn_ns / self.cvt_row_ns()).ceil() as usize
+    }
+
+    /// The input cardinality at which a set-at-a-time axis pass over
+    /// `universe` ids first shards: the halved input scan must repay one
+    /// spawn plus one extra dense materialization + merge.
+    pub fn axis_shard_crossover(&self, universe: u32) -> usize {
+        let words = universe as f64 / 64.0;
+        let per_shard = (self.dense_word_ns + self.merge_word_ns) * words;
+        (2.0 * (self.spawn_ns + per_shard) / self.input_ns).ceil() as usize
+    }
+}
+
+/// The one-time [`COST_ENV`] read behind [`CostModel::global`] /
+/// [`CostModel::env_diagnostics`].
+fn global_with_diagnostics() -> &'static (CostModel, Vec<String>) {
+    static GLOBAL: OnceLock<(CostModel, Vec<String>)> = OnceLock::new();
+    GLOBAL.get_or_init(CostModel::from_env_report)
 }
 
 impl Default for CostModel {
@@ -247,6 +371,8 @@ pub struct KernelCounters {
     per_node: AtomicU64,
     bulk_sparse: AtomicU64,
     bulk_dense: AtomicU64,
+    sharded_passes: AtomicU64,
+    shards_spawned: AtomicU64,
 }
 
 impl KernelCounters {
@@ -255,7 +381,9 @@ impl KernelCounters {
         KernelCounters::default()
     }
 
-    /// Record one axis application that ran on `kernel`.
+    /// Record one axis application that ran on `kernel`. Sharded passes
+    /// record each shard's kernel individually (the per-shard planner
+    /// decisions merge losslessly) plus one [`KernelCounters::record_sharded`].
     pub fn record(&self, kernel: Kernel) {
         let slot = match kernel {
             Kernel::PerNode => &self.per_node,
@@ -265,11 +393,20 @@ impl KernelCounters {
         slot.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one pass that the parallel layer split across `shards`
+    /// scoped workers.
+    pub fn record_sharded(&self, shards: usize) {
+        self.sharded_passes.fetch_add(1, Ordering::Relaxed);
+        self.shards_spawned.fetch_add(shards as u64, Ordering::Relaxed);
+    }
+
     /// Merge another tally's counts into this one.
     pub fn merge(&self, counts: KernelCounts) {
         self.per_node.fetch_add(counts.per_node, Ordering::Relaxed);
         self.bulk_sparse.fetch_add(counts.bulk_sparse, Ordering::Relaxed);
         self.bulk_dense.fetch_add(counts.bulk_dense, Ordering::Relaxed);
+        self.sharded_passes.fetch_add(counts.sharded_passes, Ordering::Relaxed);
+        self.shards_spawned.fetch_add(counts.shards_spawned, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counts.
@@ -278,6 +415,8 @@ impl KernelCounters {
             per_node: self.per_node.load(Ordering::Relaxed),
             bulk_sparse: self.bulk_sparse.load(Ordering::Relaxed),
             bulk_dense: self.bulk_dense.load(Ordering::Relaxed),
+            sharded_passes: self.sharded_passes.load(Ordering::Relaxed),
+            shards_spawned: self.shards_spawned.load(Ordering::Relaxed),
         }
     }
 }
@@ -291,10 +430,16 @@ pub struct KernelCounts {
     pub bulk_sparse: u64,
     /// Axis applications run on the dense word-parallel kernels.
     pub bulk_dense: u64,
+    /// Passes the parallel layer split across scoped worker threads
+    /// (each contributing one kernel record per shard above).
+    pub sharded_passes: u64,
+    /// Total shards those passes spawned.
+    pub shards_spawned: u64,
 }
 
 impl KernelCounts {
-    /// Total recorded axis applications.
+    /// Total recorded axis applications (per-shard applications of a
+    /// sharded pass each count once).
     pub fn total(&self) -> u64 {
         self.per_node + self.bulk_sparse + self.bulk_dense
     }
@@ -305,6 +450,8 @@ impl KernelCounts {
             per_node: self.per_node + other.per_node,
             bulk_sparse: self.bulk_sparse + other.bulk_sparse,
             bulk_dense: self.bulk_dense + other.bulk_dense,
+            sharded_passes: self.sharded_passes + other.sharded_passes,
+            shards_spawned: self.shards_spawned + other.shards_spawned,
         }
     }
 }
@@ -315,7 +462,11 @@ impl std::fmt::Display for KernelCounts {
             f,
             "{} per-node, {} bulk-sparse, {} bulk-dense",
             self.per_node, self.bulk_sparse, self.bulk_dense
-        )
+        )?;
+        if self.sharded_passes > 0 {
+            write!(f, "; {} sharded passes ({} shards)", self.sharded_passes, self.shards_spawned)?;
+        }
+        Ok(())
     }
 }
 
@@ -324,16 +475,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn overrides_parse_and_ignore_garbage() {
+    fn overrides_parse_strictly_and_report_rejects() {
         let mut m = CostModel::CALIBRATED;
-        m.apply_overrides("dense_word_ns=5.5, chain_ns = 9 ,bogus=1,input_ns=oops,junk");
+        let rejected =
+            m.apply_overrides("dense_word_ns=5.5, chain_ns = 9 ,bogus=1,input_ns=oops,junk,");
         assert_eq!(m.dense_word_ns, 5.5);
         assert_eq!(m.chain_ns, 9.0);
-        assert_eq!(m.input_ns, CostModel::CALIBRATED.input_ns, "bad value ignored");
-        // Non-positive and non-finite values are rejected.
-        m.apply_overrides("sparse_out_ns=-1,est_chain_len=inf");
+        assert_eq!(m.input_ns, CostModel::CALIBRATED.input_ns, "bad value keeps default");
+        // Every malformed entry is reported — nothing is dropped silently
+        // (the trailing comma's empty segment is not an entry).
+        assert_eq!(rejected.len(), 3, "{rejected:?}");
+        assert!(rejected.iter().any(|r| r.contains("\"bogus\"")), "{rejected:?}");
+        assert!(rejected.iter().any(|r| r.contains("\"oops\"")), "{rejected:?}");
+        assert!(rejected.iter().any(|r| r.contains("key=value")), "{rejected:?}");
+        // Non-positive and non-finite values are rejected with a report.
+        let rejected = m.apply_overrides("sparse_out_ns=-1,est_chain_len=inf");
         assert_eq!(m.sparse_out_ns, CostModel::CALIBRATED.sparse_out_ns);
         assert_eq!(m.est_chain_len, CostModel::CALIBRATED.est_chain_len);
+        assert_eq!(rejected.len(), 2, "{rejected:?}");
+        // The spawn/merge constants are overridable like the rest.
+        let rejected = m.apply_overrides("spawn_ns=100,merge_word_ns=0.5");
+        assert!(rejected.is_empty(), "{rejected:?}");
+        assert_eq!((m.spawn_ns, m.merge_word_ns), (100.0, 0.5));
     }
 
     #[test]
@@ -382,6 +545,65 @@ mod tests {
         assert_eq!(c.snapshot().total(), 6);
         assert_eq!(s.plus(s).bulk_dense, 4);
         assert!(s.to_string().contains("per-node"));
+    }
+
+    #[test]
+    fn sharded_passes_tally_losslessly() {
+        let c = KernelCounters::new();
+        // One pass sharded 4 ways: four per-shard kernel records plus the
+        // shard provenance.
+        c.record_sharded(4);
+        for _ in 0..4 {
+            c.record(Kernel::BulkDense);
+        }
+        let s = c.snapshot();
+        assert_eq!((s.sharded_passes, s.shards_spawned, s.bulk_dense), (1, 4, 4));
+        c.merge(s);
+        let doubled = c.snapshot();
+        assert_eq!((doubled.sharded_passes, doubled.shards_spawned), (2, 8));
+        assert!(s.to_string().contains("1 sharded passes (4 shards)"), "{s}");
+        // Serial tallies don't mention sharding at all.
+        assert!(!KernelCounts::default().to_string().contains("sharded"));
+    }
+
+    #[test]
+    fn pick_shards_gates_on_spawn_cost() {
+        let m = CostModel::CALIBRATED;
+        // A pass far below the spawn cost stays serial.
+        assert_eq!(m.pick_shards(1_000.0, 0.0, 8), 1);
+        // A pass worth many spawns splits, but never past the budget.
+        assert!(m.pick_shards(100.0 * m.spawn_ns, 0.0, 4) > 1);
+        assert!(m.pick_shards(1e12, 0.0, 4) <= 4);
+        // A budget of one thread always refuses.
+        assert_eq!(m.pick_shards(1e12, 0.0, 1), 1);
+        // Per-shard merge cost pushes the crossover up.
+        let cheap = m.pick_shards(4.0 * m.spawn_ns, 0.0, 4);
+        let costly = m.pick_shards(4.0 * m.spawn_ns, 10.0 * m.spawn_ns, 4);
+        assert!(costly <= cheap);
+        // Forcing spawn/merge free makes sharding always win (the
+        // always-shard model the differential suite uses).
+        let free = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..m };
+        assert_eq!(free.pick_shards(1.0, 0.0, 8), 8);
+        // An absurd budget is clamped, not searched: the pick stays at
+        // MAX_SHARDS and returns immediately.
+        assert_eq!(free.pick_shards(1e18, 0.0, usize::MAX), MAX_SHARDS);
+    }
+
+    #[test]
+    fn shard_crossovers_are_consistent_with_pick() {
+        let m = CostModel::CALIBRATED;
+        let rows = m.row_shard_crossover();
+        assert!(rows > 0);
+        assert_eq!(m.pick_shards((rows - 1) as f64 * m.cvt_row_ns(), 0.0, 2), 1);
+        assert!(m.pick_shards((rows + 1) as f64 * m.cvt_row_ns(), 0.0, 2) > 1);
+        let n = 1 << 20;
+        let inputs = m.axis_shard_crossover(n);
+        let words = n as f64 / 64.0;
+        let per_shard = (m.dense_word_ns + m.merge_word_ns) * words;
+        assert_eq!(m.pick_shards((inputs - 1) as f64 * m.input_ns, per_shard, 2), 1);
+        assert!(m.pick_shards((inputs + 1) as f64 * m.input_ns, per_shard, 2) > 1);
+        // Bigger universes merge more words, so the axis crossover grows.
+        assert!(m.axis_shard_crossover(1 << 22) > m.axis_shard_crossover(1 << 16));
     }
 
     #[test]

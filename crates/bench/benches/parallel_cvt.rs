@@ -1,0 +1,71 @@
+//! Sharded parallel CVT evaluation (`xpath_core::parallel`) vs the serial
+//! baseline: bottom-up per-node table fills and set-at-a-time axis passes
+//! at 1/2/4 shards. Shard counts are forced through a spawn-free cost
+//! model so the parallel code path is exercised regardless of the
+//! machine's core count; wall-clock speedup above 1 shard needs real
+//! cores. `bench_axes` emits the machine-readable version of this into
+//! `BENCH_axes.json` on a ≥10⁵-node document.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpath_axes::{bulk, CostModel};
+use xpath_core::bottomup::BottomUpEvaluator;
+use xpath_core::parallel;
+use xpath_syntax::{parse_normalized, Axis};
+use xpath_xml::generate::doc_balanced;
+use xpath_xml::NodeSet;
+
+/// Spawn/merge-free model: the per-pass gate always approves the budget.
+fn always_shard() -> CostModel {
+    CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..*CostModel::global() }
+}
+
+fn bench_bottomup_fills(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_cvt/bottomup");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    let doc = doc_balanced(4, 7, &["a", "b", "c", "d"]);
+    doc.axis_index();
+    let e = parse_normalized("descendant::b").unwrap();
+    for shards in [1u32, 2, 4] {
+        let ev = BottomUpEvaluator::new(&doc).with_threads(shards).with_cost_model(always_shard());
+        g.bench_with_input(BenchmarkId::new("descendant_cvt", shards), &shards, |b, _| {
+            b.iter(|| criterion::black_box(ev.table(&e).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_axis_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_cvt/axis_pass");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let doc = doc_balanced(4, 7, &["a", "b", "c", "d"]);
+    doc.axis_index();
+    let all: NodeSet = doc.all_nodes().collect();
+    let forced = always_shard();
+    for axis in [Axis::Descendant, Axis::Following] {
+        // Serial reference: the pass the Adaptive backend runs.
+        g.bench_with_input(BenchmarkId::new(axis.name(), "serial"), &axis, |b, &axis| {
+            b.iter(|| {
+                criterion::black_box(bulk::axis_set_planned(&doc, axis, &all, CostModel::global()))
+            })
+        });
+        for shards in [2usize, 4] {
+            g.bench_with_input(BenchmarkId::new(axis.name(), shards), &axis, |b, &axis| {
+                b.iter(|| {
+                    criterion::black_box(parallel::axis_set_sharded(
+                        &doc, axis, &all, shards, &forced, None,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bottomup_fills, bench_axis_passes);
+criterion_main!(benches);

@@ -174,21 +174,58 @@ impl CvTable {
 type RowIter<'a> = Box<dyn Iterator<Item = ((u32, u32, u32), &'a Value)> + 'a>;
 
 /// The bottom-up evaluator (Algorithm 6.3).
+///
+/// The per-node table fills are data-parallel: every row of a CVT pass is
+/// computed independently from the (immutable) child tables. With a
+/// thread budget above 1 ([`BottomUpEvaluator::with_threads`]), passes
+/// whose row count clears the cost model's spawn gate run sharded over
+/// contiguous node-id ranges on a scoped thread pool
+/// ([`crate::parallel`]); smaller passes stay serial and bit-identical.
 pub struct BottomUpEvaluator<'d> {
     doc: &'d Document,
     /// Maximum rows per context-value table; exceeded → [`EvalError::Capacity`].
     row_cap: usize,
+    /// Shard budget for the CVT row passes (1 = always serial).
+    threads: usize,
+    /// Cost model gating the per-pass spawn decision.
+    cost: xpath_axes::CostModel,
 }
 
 impl<'d> BottomUpEvaluator<'d> {
     /// Default row cap: 2 million rows per table.
     pub fn new(doc: &'d Document) -> Self {
-        BottomUpEvaluator { doc, row_cap: 2_000_000 }
+        BottomUpEvaluator {
+            doc,
+            row_cap: 2_000_000,
+            threads: 1,
+            cost: *xpath_axes::CostModel::global(),
+        }
     }
 
     /// Evaluator with a custom per-table row cap.
     pub fn with_row_cap(doc: &'d Document, row_cap: usize) -> Self {
-        BottomUpEvaluator { doc, row_cap }
+        BottomUpEvaluator { row_cap, ..BottomUpEvaluator::new(doc) }
+    }
+
+    /// Set the shard budget for the CVT row passes: `0` resolves the
+    /// process default (`GKP_THREADS` / the machine's parallelism), `1`
+    /// keeps every pass serial, higher values cap the scoped pool.
+    /// Sharding is still cost-gated per pass — see [`crate::parallel`].
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = crate::parallel::resolve_threads(threads);
+        self
+    }
+
+    /// Override the cost model gating the spawn decisions (tests, forced
+    /// always/never-shard configurations, calibration).
+    pub fn with_cost_model(mut self, model: xpath_axes::CostModel) -> Self {
+        self.cost = model;
+        self
+    }
+
+    /// Shards for a pass of `rows` rows under the configured budget.
+    fn row_shards(&self, rows: usize) -> usize {
+        crate::parallel::plan_row_shards(rows, self.threads, &self.cost)
     }
 
     /// Evaluate `query` at `ctx` by building the full context-value tables
@@ -223,34 +260,53 @@ impl<'d> BottomUpEvaluator<'d> {
                 let lt = self.table(left)?;
                 let rt = self.table(right)?;
                 let rel = relev(e);
-                let mut out = CvTable::new(rel);
-                for ctx in self.contexts_for(rel)? {
+                let contexts = self.contexts_for(rel)?;
+                self.fill_table(rel, &contexts, |ctx| {
                     let l = lt.value_at(ctx).expect("child table covers context").clone();
                     let r = rt.value_at(ctx).expect("child table covers context").clone();
-                    let v = match op {
-                        BinaryOp::And => Value::Boolean(l.to_boolean() && r.to_boolean()),
-                        BinaryOp::Or => Value::Boolean(l.to_boolean() || r.to_boolean()),
-                        _ => apply_binary(self.doc, *op, l, r)?,
-                    };
-                    out.insert(ctx, v);
-                }
-                Ok(out)
+                    match op {
+                        BinaryOp::And => Ok(Value::Boolean(l.to_boolean() && r.to_boolean())),
+                        BinaryOp::Or => Ok(Value::Boolean(l.to_boolean() || r.to_boolean())),
+                        _ => apply_binary(self.doc, *op, l, r),
+                    }
+                })
             }
             Expr::Call { name, args } => {
                 let arg_tables: Vec<CvTable> =
                     args.iter().map(|a| self.table(a)).collect::<Result<_, _>>()?;
                 let rel = relev(e);
-                let mut out = CvTable::new(rel);
-                for ctx in self.contexts_for(rel)? {
+                let contexts = self.contexts_for(rel)?;
+                self.fill_table(rel, &contexts, |ctx| {
                     let argv: Vec<Value> = arg_tables
                         .iter()
                         .map(|t| t.value_at(ctx).expect("child table covers context").clone())
                         .collect();
-                    out.insert(ctx, functions::apply(self.doc, name, argv, &ctx)?);
-                }
-                Ok(out)
+                    functions::apply(self.doc, name, argv, &ctx)
+                })
             }
         }
+    }
+
+    /// Fill a table over `contexts` by evaluating `row` per context. The
+    /// row evaluations are independent reads of immutable child tables,
+    /// so the pass runs sharded across the thread budget when the spawn
+    /// gate approves; the (cheap) inserts are applied serially in context
+    /// order afterwards, keeping the table bit-identical to a serial fill.
+    fn fill_table(
+        &self,
+        rel: Relev,
+        contexts: &[Context],
+        row: impl Fn(Context) -> EvalResult<Value> + Sync,
+    ) -> EvalResult<CvTable> {
+        let shards = self.row_shards(contexts.len());
+        let values = crate::parallel::try_map_rows(contexts.len() as u32, shards, |lo, hi| {
+            contexts[lo as usize..hi as usize].iter().map(|&ctx| row(ctx)).collect()
+        })?;
+        let mut out = CvTable::new(rel);
+        for (&ctx, v) in contexts.iter().zip(values) {
+            out.insert(ctx, v);
+        }
+        Ok(out)
     }
 
     fn const_table(&self, v: Value) -> EvalResult<CvTable> {
@@ -304,32 +360,70 @@ impl<'d> BottomUpEvaluator<'d> {
         // (positional per-node lists; see `step_table`).
         let step_tables: Vec<Vec<Vec<NodeId>>> =
             p.steps.iter().map(|s| self.step_table(s)).collect::<Result<_, _>>()?;
-        // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y), with the
-        // unions accumulated in-place on the hybrid sets (dense
-        // accumulators go word-parallel).
+        // Fold right-to-left: R_i(x) = ∪_{y ∈ S_i(x)} R_{i+1}(y). `None`
+        // stands for the identity frontier R(x) = {x}, so the first folded
+        // step materializes its per-node lists directly instead of
+        // unioning singletons one at a time. Each pass's rows read only
+        // the previous (immutable) frontier, so they run sharded across
+        // the thread budget when the spawn gate approves.
         let n = self.doc.len();
-        let mut reach: Vec<NodeSet> =
-            (0..n as u32).map(|i| NodeSet::singleton(NodeId(i))).collect();
+        let mut reach: Option<Vec<NodeSet>> = None;
         for st in step_tables.iter().rev() {
-            let mut next: Vec<NodeSet> = Vec::with_capacity(n);
-            for step_result in st.iter().take(n) {
-                let mut acc = NodeSet::new();
-                for &y in step_result {
-                    acc.union_with(&reach[y.index()]);
-                }
-                next.push(acc);
-            }
-            reach = next;
+            let prev = reach.take();
+            let shards = self.row_shards(n);
+            let next = crate::parallel::map_rows(n as u32, shards, |lo, hi| {
+                (lo as usize..hi as usize)
+                    .map(|x| match &prev {
+                        None => NodeSet::from_sorted(st[x].clone()),
+                        Some(r) => {
+                            // Pre-size the accumulator: when the summed
+                            // input sizes clear the dense threshold, start
+                            // dense so the unions are word-parallel
+                            // instead of repeated vector merges
+                            // (quadratic on wide step results).
+                            let bound: usize = st[x].iter().map(|&y| r[y.index()].len()).sum();
+                            let mut acc = if bound as u64 * NodeSet::DENSE_DEN
+                                >= n as u64 * NodeSet::DENSE_NUM
+                            {
+                                NodeSet::empty_dense(n as u32)
+                            } else {
+                                NodeSet::new()
+                            };
+                            for &y in &st[x] {
+                                acc.union_with(&r[y.index()]);
+                            }
+                            acc.adapt()
+                        }
+                    })
+                    .collect()
+            });
+            reach = Some(next);
         }
         match &p.start {
             PathStart::Root => {
                 // E↑[[/π]] = C × {S | ⟨root, k, n, S⟩ ∈ E↑[[π]]}.
-                self.const_table(Value::NodeSet(reach[0].clone()))
+                let root = self.doc.root();
+                let at_root = match &reach {
+                    Some(r) => r[root.index()].clone(),
+                    None => NodeSet::singleton(root),
+                };
+                self.const_table(Value::NodeSet(at_root))
             }
             PathStart::ContextNode => {
                 let mut t = CvTable::new(Relev::CN);
-                for x in self.doc.all_nodes() {
-                    t.insert(Context::of(x), Value::NodeSet(reach[x.index()].clone()));
+                match reach {
+                    // Move each reach set into its row instead of cloning
+                    // (the frontier is dead after this loop).
+                    Some(r) => {
+                        for (i, set) in r.into_iter().enumerate() {
+                            t.insert(Context::of(NodeId(i as u32)), Value::NodeSet(set));
+                        }
+                    }
+                    None => {
+                        for x in self.doc.all_nodes() {
+                            t.insert(Context::of(x), Value::NodeSet(NodeSet::singleton(x)));
+                        }
+                    }
                 }
                 Ok(t)
             }
@@ -342,10 +436,16 @@ impl<'d> BottomUpEvaluator<'d> {
                             "path start must evaluate to a node set".into(),
                         ));
                     };
-                    let mut acc = NodeSet::new();
-                    for y in set {
-                        acc.union_with(&reach[y.index()]);
-                    }
+                    let acc = match &reach {
+                        Some(r) => {
+                            let mut acc = NodeSet::new();
+                            for y in set {
+                                acc.union_with(&r[y.index()]);
+                            }
+                            acc
+                        }
+                        None => set.clone(),
+                    };
                     t.insert_key(key, Value::NodeSet(acc));
                 }
                 Ok(t)
@@ -361,27 +461,36 @@ impl<'d> BottomUpEvaluator<'d> {
     fn step_table(&self, step: &Step) -> EvalResult<Vec<Vec<NodeId>>> {
         let pred_tables: Vec<CvTable> =
             step.predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
-        let mut out = Vec::with_capacity(self.doc.len());
-        for x in self.doc.all_nodes() {
-            let mut s = step_candidates(self.doc, step.axis, &step.test, x);
-            for pt in &pred_tables {
-                let len = s.len();
-                let mut kept = Vec::with_capacity(len);
-                for (j, &y) in s.iter().enumerate() {
-                    let pos = position_of(step.axis, j, len);
-                    let ctx = Context::new(y, pos, len.max(1) as u32);
-                    let v = pt
-                        .value_at(ctx)
-                        .ok_or_else(|| EvalError::Capacity(format!("missing context {ctx}")))?;
-                    if predicate_holds(v, pos) {
-                        kept.push(y);
-                    }
+        // One row per node of dom, each independent of the others: this is
+        // the CVT fill the parallel layer shards over contiguous id ranges
+        // (the predicate tables are immutable shared reads).
+        let n = self.doc.len() as u32;
+        let shards = self.row_shards(n as usize);
+        crate::parallel::try_map_rows(n, shards, |lo, hi| {
+            (lo..hi).map(|x| self.step_row(step, &pred_tables, NodeId(x))).collect()
+        })
+    }
+
+    /// One row of [`BottomUpEvaluator::step_table`]: the candidate set of
+    /// `x` with every predicate applied positionally.
+    fn step_row(&self, step: &Step, pred_tables: &[CvTable], x: NodeId) -> EvalResult<Vec<NodeId>> {
+        let mut s = step_candidates(self.doc, step.axis, &step.test, x);
+        for pt in pred_tables {
+            let len = s.len();
+            let mut kept = Vec::with_capacity(len);
+            for (j, &y) in s.iter().enumerate() {
+                let pos = position_of(step.axis, j, len);
+                let ctx = Context::new(y, pos, len.max(1) as u32);
+                let v = pt
+                    .value_at(ctx)
+                    .ok_or_else(|| EvalError::Capacity(format!("missing context {ctx}")))?;
+                if predicate_holds(v, pos) {
+                    kept.push(y);
                 }
-                s = kept;
             }
-            out.push(s);
+            s = kept;
         }
-        Ok(out)
+        Ok(s)
     }
 
     /// Filter expressions `(e)[p1]…[pm]` evaluated table-wise.
@@ -563,6 +672,51 @@ mod tests {
         }
         assert!(!t.rows_dense());
         assert_eq!(t.len(), 200 + 63, "id 0 overwrote the stride row");
+    }
+
+    #[test]
+    fn sharded_fills_match_serial_fills() {
+        // Forced always-shard model: every CVT pass splits across the
+        // scoped pool even on these small documents. Results must be
+        // bit-identical to the serial evaluator on the whole corpus.
+        use xpath_axes::CostModel;
+        let always = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..CostModel::CALIBRATED };
+        let docs = [doc_flat(6), doc_flat_text(3), doc_figure8()];
+        let queries = [
+            "//a/b",
+            "//b[2]",
+            "descendant::b/following-sibling::*[position() != last()]",
+            "//a/b[count(parent::a/b) > 1]",
+            "count(//b)",
+            "count(//*) * 2 + 1",
+            "//b[position() = last()]",
+        ];
+        for d in &docs {
+            for q in queries {
+                let e = parse_normalized(q).unwrap();
+                let serial = BottomUpEvaluator::new(d).evaluate(&e, Context::of(d.root())).unwrap();
+                for threads in [2u32, 4, 8] {
+                    let par = BottomUpEvaluator::new(d)
+                        .with_threads(threads)
+                        .with_cost_model(always)
+                        .evaluate(&e, Context::of(d.root()))
+                        .unwrap();
+                    assert_eq!(par, serial, "{q} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fills_propagate_errors() {
+        // A capacity failure inside a sharded pass surfaces as the same
+        // error a serial pass reports (all shards join, first error wins).
+        use xpath_axes::CostModel;
+        let always = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..CostModel::CALIBRATED };
+        let d = doc_flat(200);
+        let e = parse_normalized("//b[position() != last()]").unwrap();
+        let ev = BottomUpEvaluator::with_row_cap(&d, 1000).with_threads(4).with_cost_model(always);
+        assert!(matches!(ev.evaluate(&e, Context::of(d.root())), Err(EvalError::Capacity(_))));
     }
 
     #[test]

@@ -154,8 +154,13 @@ impl QueryCache {
     /// errors are returned and **not** cached.
     ///
     /// Compilation runs outside the shard lock, so a slow compile never
-    /// blocks unrelated lookups; two threads racing on the same new query
-    /// may both compile, with one result winning the insert.
+    /// blocks unrelated lookups on the same shard. Two threads racing on
+    /// the same new query may both compile, but the loser discards its
+    /// result and returns the winner's handle (lost-race discard), so all
+    /// holders of one key share a single `Arc` and per-query planner
+    /// tallies are never split across duplicate handles. `misses` counts
+    /// compilations actually run, so a race shows up as two misses and
+    /// one resident entry — the stats stay exact.
     pub fn get_or_compile(
         &self,
         compiler: &Compiler,
@@ -195,13 +200,21 @@ impl QueryCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
+        // Miss: compile OUTSIDE the lock (a slow compile must not block
+        // this shard's unrelated lookups, and racing compilers must not
+        // serialize). `misses` counts compilations actually run.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(compile()?);
-        let evicted = shard.lock().expect("query cache poisoned").insert(
-            key,
-            Arc::clone(&compiled),
-            self.shard_capacity,
-        );
+        let mut locked = shard.lock().expect("query cache poisoned");
+        // Lost-race discard: if another thread inserted this key while we
+        // compiled, drop our duplicate and hand out the winner's Arc so
+        // every caller shares one handle (and one planner tally). The
+        // re-check is not counted as a hit — this lookup already missed.
+        if let Some(winner) = locked.touch(&key) {
+            return Ok(winner);
+        }
+        let evicted = locked.insert(key, Arc::clone(&compiled), self.shard_capacity);
+        drop(locked);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -338,6 +351,69 @@ mod tests {
             "cache aggregates per-query planner tallies"
         );
         assert!(total > 0);
+    }
+
+    #[test]
+    fn slow_compile_does_not_block_the_shard() {
+        // Regression: the shard mutex used to be held across compilation,
+        // so one slow compile starved every lookup hashing to the same
+        // shard. With compilation outside the lock, an unrelated lookup
+        // on the single shard must complete while a compile is parked on
+        // the barrier — if the lock were held, this test would deadlock.
+        use std::sync::Barrier;
+        use std::thread;
+        let cache = QueryCache::with_shards(8, 1);
+        let gate = Barrier::new(2);
+        thread::scope(|s| {
+            s.spawn(|| {
+                cache
+                    .get_or_insert_with("fp", "//slow", || {
+                        gate.wait(); // parked mid-compile until main passes
+                        Compiler::new().compile("//slow")
+                    })
+                    .unwrap();
+            });
+            // Same (only) shard, different key: must not block.
+            cache.get_or_compile(&Compiler::new(), "//other").unwrap();
+            gate.wait();
+        });
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn racing_compiles_coalesce_with_exact_stats() {
+        // Two threads racing on the same new key: both compile (the
+        // barrier proves both are inside `compile` concurrently, i.e.
+        // neither holds the shard lock), the insert loser discards its
+        // result, and both callers get the same Arc.
+        use std::sync::Barrier;
+        use std::thread;
+        let cache = QueryCache::with_shards(8, 1);
+        let rendezvous = Barrier::new(2);
+        let handles: Vec<Arc<CompiledQuery>> = thread::scope(|s| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_insert_with("fp", "//b", || {
+                                rendezvous.wait();
+                                Compiler::new().compile("//b")
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        assert!(
+            Arc::ptr_eq(&handles[0], &handles[1]),
+            "the race loser must return the winner's handle"
+        );
+        let s = cache.stats();
+        // Exact stats: two compilations ran (two misses), no phantom
+        // hits, one resident entry.
+        assert_eq!((s.misses, s.hits, s.entries), (2, 0, 1));
     }
 
     #[test]

@@ -76,6 +76,27 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
             let _ =
                 writeln!(report, "  {}", xpath_axes::cost::describe(axis, doc_size as u32, model));
         }
+        // Parallel CVT layer: the per-pass spawn gate at this |D| and the
+        // process-default thread budget (an explicit Compiler/--threads
+        // budget overrides the default shown here).
+        let threads = crate::parallel::resolve_threads(0);
+        if threads <= 1 {
+            let _ = writeln!(
+                report,
+                "parallel: budget 1 thread ({} / machine) — passes never shard",
+                crate::parallel::THREADS_ENV
+            );
+        } else {
+            let _ = writeln!(
+                report,
+                "parallel: budget {threads} threads ({} / machine); CVT row passes \
+                 shard at ≥ {} rows, axis passes at |S| ≥ {} @ |D| = {doc_size}; \
+                 below, the planner refuses to spawn",
+                crate::parallel::THREADS_ENV,
+                model.row_shard_crossover(),
+                model.axis_shard_crossover(doc_size as u32),
+            );
+        }
     }
 
     // Per-subexpression relevance and bottom-up candidacy.
@@ -197,9 +218,18 @@ mod tests {
         assert!(x.report.contains("ancestor: pointer-chain"), "{}", x.report);
         assert!(x.report.contains("child: link-array"), "{}", x.report);
         assert!(x.report.contains(xpath_axes::cost::COST_ENV), "{}", x.report);
+        // The parallel spawn gate is surfaced alongside the kernel picks:
+        // either the budget is 1 (never shards) or the crossovers print.
+        assert!(x.report.contains("parallel: budget"), "{}", x.report);
+        assert!(
+            x.report.contains("never shard") || x.report.contains("refuses to spawn"),
+            "{}",
+            x.report
+        );
         // Outside the fragment engines there is no planner section.
         let y = explain(&parse_normalized("count(//a)").unwrap(), 100);
         assert!(!y.report.contains("axis planner"), "{}", y.report);
+        assert!(!y.report.contains("parallel: budget"), "{}", y.report);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`plan`] | — | document-independent execution plans (static phase) |
 //! | [`query`] | — | [`Compiler`] / [`CompiledQuery`]: compile once, evaluate many |
 //! | [`cache`] | — | sharded LRU [`QueryCache`] shared across workers |
+//! | [`parallel`] | — | sharded parallel CVT passes on a scoped thread pool |
 //! | [`engine`] | — | back-compat facade over `query` + `cache` |
 
 #![forbid(unsafe_code)]
@@ -41,6 +42,7 @@ pub mod naive;
 pub mod node_test;
 pub mod nodeset;
 pub mod optmincontext;
+pub mod parallel;
 pub mod plan;
 pub mod pool;
 pub mod query;

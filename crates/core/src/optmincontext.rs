@@ -31,13 +31,24 @@ pub struct OptReport {
 
 /// The OptMinContext evaluator.
 pub struct OptMinContextEvaluator<'d> {
+    /// Shard budget handed to the Core XPath fast path and the seeded
+    /// MinContext evaluator (`0` = auto; see [`crate::parallel`]).
+    threads: u32,
     doc: &'d Document,
 }
 
 impl<'d> OptMinContextEvaluator<'d> {
-    /// Create an evaluator over `doc`.
+    /// Create an evaluator over `doc` with the auto-resolved thread
+    /// budget.
     pub fn new(doc: &'d Document) -> Self {
-        OptMinContextEvaluator { doc }
+        OptMinContextEvaluator { doc, threads: 0 }
+    }
+
+    /// Pin the shard budget for the underlying engines: `0` (default)
+    /// auto-resolves, `1` keeps every pass serial.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Evaluate `query` at `ctx` (Algorithm 11.1).
@@ -56,14 +67,17 @@ impl<'d> OptMinContextEvaluator<'d> {
         // Corollary 11.5: whole-query Core XPath fast path.
         if let Ok(cq) = corexpath::compile(query) {
             report.used_core_xpath = true;
-            let ev = CoreXPathEvaluator::new(self.doc);
+            let ev = CoreXPathEvaluator::with_backend(
+                self.doc,
+                corexpath::AxisBackend::Parallel(self.threads),
+            );
             let out = ev.evaluate(&cq, &[ctx.node]);
             return Ok((Value::NodeSet(out), report));
         }
 
         // Algorithm 11.1: evaluate all bottom-up location paths inside Q,
         // innermost first, seeding their tables into MinContext.
-        let mc = MinContextEvaluator::new(self.doc);
+        let mc = MinContextEvaluator::new(self.doc).with_threads(self.threads);
         let candidates = collect_candidates_postorder(query);
         for e in candidates {
             let table = mc.eval_bottomup_expr(e)?;

@@ -95,6 +95,9 @@ pub struct Plan {
     automaton: Option<StreamQuery>,
     /// Step budget for the exponential naive baseline, if bounded.
     naive_budget: Option<u64>,
+    /// Shard budget for the parallel CVT layer (`0` = auto:
+    /// `GKP_THREADS` / the machine's parallelism; `1` = always serial).
+    threads: u32,
 }
 
 impl Plan {
@@ -106,7 +109,24 @@ impl Plan {
     /// that fragment is rejected **here**, so callers see
     /// [`EvalError::UnsupportedFragment`](crate::EvalError::UnsupportedFragment)
     /// once at compile time rather than on every evaluation.
+    ///
+    /// The plan runs with the auto-resolved thread budget; use
+    /// [`Plan::build_with_threads`] to pin it.
     pub fn build(expr: Expr, requested: Strategy, naive_budget: Option<u64>) -> EvalResult<Plan> {
+        Plan::build_with_threads(expr, requested, naive_budget, 0)
+    }
+
+    /// [`Plan::build`] with an explicit shard budget for the parallel CVT
+    /// layer: `0` resolves the process default (`GKP_THREADS` env, then
+    /// the machine's parallelism), `1` keeps every pass serial. Sharding
+    /// is still cost-gated per pass at runtime (see [`crate::parallel`]),
+    /// so the budget is a cap, not a mandate.
+    pub fn build_with_threads(
+        expr: Expr,
+        requested: Strategy,
+        naive_budget: Option<u64>,
+        threads: u32,
+    ) -> EvalResult<Plan> {
         let classification = classify(&expr);
         let auto = requested == Strategy::Auto;
         let mut strategy = if auto { resolve_auto(&classification) } else { requested };
@@ -133,7 +153,7 @@ impl Plan {
             Strategy::Streaming => automaton = Some(streaming::compile_expr(&expr)?),
             _ => {}
         }
-        Ok(Plan { expr, classification, strategy, algebra, automaton, naive_budget })
+        Ok(Plan { expr, classification, strategy, algebra, automaton, naive_budget, threads })
     }
 
     /// Run the plan against `doc` from context `ctx`.
@@ -147,6 +167,7 @@ impl Plan {
             self.algebra.as_ref(),
             self.automaton.as_ref(),
             self.naive_budget,
+            self.threads,
             doc,
             ctx,
             None,
@@ -170,10 +191,17 @@ impl Plan {
             self.algebra.as_ref(),
             self.automaton.as_ref(),
             self.naive_budget,
+            self.threads,
             doc,
             ctx,
             Some(kernels),
         )
+    }
+
+    /// The configured shard budget for the parallel CVT layer (`0` =
+    /// auto-resolve at evaluation time).
+    pub fn threads(&self) -> u32 {
+        self.threads
     }
 
     /// The compiled Core XPath / XPatterns algebra program, if this plan
@@ -219,20 +247,22 @@ pub fn execute_adhoc(
                 CoreDialect::XPatterns
             };
             let q = corexpath::compile_dialect(expr, dialect)?;
-            run(expr, strategy, Some(&q), None, naive_budget, doc, ctx, None)
+            run(expr, strategy, Some(&q), None, naive_budget, 0, doc, ctx, None)
         }
         Strategy::Streaming => {
             let sq = streaming::compile_expr(expr)?;
-            run(expr, strategy, None, Some(&sq), naive_budget, doc, ctx, None)
+            run(expr, strategy, None, Some(&sq), naive_budget, 0, doc, ctx, None)
         }
-        _ => run(expr, strategy, None, None, naive_budget, doc, ctx, None),
+        _ => run(expr, strategy, None, None, naive_budget, 0, doc, ctx, None),
     }
 }
 
 /// Shared runtime dispatch. `strategy` is resolved (never `Auto`) and any
 /// fragment artifacts it needs are supplied by the caller. When `kernels`
 /// is given, the fragment engines' adaptive planner decisions are merged
-/// into it after the evaluation.
+/// into it after the evaluation. `threads` caps the parallel CVT layer
+/// for the engines that have one (Core XPath / XPatterns axis passes, the
+/// bottom-up row fills); `0` auto-resolves.
 #[allow(clippy::too_many_arguments)]
 fn run(
     expr: &Expr,
@@ -240,6 +270,7 @@ fn run(
     algebra: Option<&CoreQuery>,
     automaton: Option<&StreamQuery>,
     naive_budget: Option<u64>,
+    threads: u32,
     doc: &Document,
     ctx: Context,
     kernels: Option<&xpath_axes::KernelCounters>,
@@ -250,13 +281,20 @@ fn run(
             None => NaiveEvaluator::new(doc).evaluate(expr, ctx),
         },
         Strategy::DataPool => PoolEvaluator::new(doc).evaluate(expr, ctx),
-        Strategy::BottomUp => BottomUpEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::BottomUp => BottomUpEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx),
         Strategy::TopDown => TopDownEvaluator::new(doc).evaluate(expr, ctx),
-        Strategy::MinContext => MinContextEvaluator::new(doc).evaluate(expr, ctx),
-        Strategy::OptMinContext => OptMinContextEvaluator::new(doc).evaluate(expr, ctx),
+        Strategy::MinContext => {
+            MinContextEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx)
+        }
+        Strategy::OptMinContext => {
+            OptMinContextEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx)
+        }
         Strategy::CoreXPath | Strategy::XPatterns => {
             let q = algebra.expect("fragment dispatch requires a compiled algebra program");
-            let ev = CoreXPathEvaluator::new(doc);
+            let ev = CoreXPathEvaluator::with_backend(
+                doc,
+                crate::corexpath::AxisBackend::Parallel(threads),
+            );
             let out = ev.evaluate(q, &[ctx.node]);
             if let Some(counters) = kernels {
                 counters.merge(ev.kernel_counts());
@@ -328,6 +366,23 @@ mod tests {
                 "{q}"
             );
         }
+    }
+
+    #[test]
+    fn plans_carry_a_thread_budget() {
+        let p = plan("//book[author]", Strategy::Auto).unwrap();
+        assert_eq!(p.threads(), 0, "default is auto-resolve");
+        let e = parse_normalized("//book[author]").unwrap();
+        let pinned = Plan::build_with_threads(e.clone(), Strategy::Auto, None, 4).unwrap();
+        assert_eq!(pinned.threads(), 4);
+        // Budgets change only the route, never the result.
+        let serial = Plan::build_with_threads(e, Strategy::Auto, None, 1).unwrap();
+        let d = doc_bookstore();
+        let ctx = Context::of(d.root());
+        assert!(pinned
+            .execute(&d, ctx)
+            .unwrap()
+            .semantically_equal(&serial.execute(&d, ctx).unwrap()));
     }
 
     #[test]

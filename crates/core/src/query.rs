@@ -46,6 +46,7 @@ pub struct Compiler {
     optimize: bool,
     default_strategy: Strategy,
     naive_budget: Option<u64>,
+    threads: u32,
     bindings: Bindings,
 }
 
@@ -81,6 +82,17 @@ impl Compiler {
         self
     }
 
+    /// Shard budget for the parallel CVT layer compiled queries evaluate
+    /// with: `0` (the default) auto-resolves from `GKP_THREADS` / the
+    /// machine's parallelism, `1` keeps every pass serial, higher values
+    /// cap the per-pass scoped thread pool. Sharding stays cost-gated per
+    /// pass either way — see [`crate::parallel`] — and never changes
+    /// results, only the route taken.
+    pub fn threads(mut self, threads: u32) -> Compiler {
+        self.threads = threads;
+        self
+    }
+
     /// Variable bindings substituted during normalization (the paper
     /// assumes bindings are inlined before evaluation).
     pub fn bindings(mut self, bindings: &Bindings) -> Compiler {
@@ -105,7 +117,8 @@ impl Compiler {
     /// [`EvalError::UnsupportedFragment`] — both at compile time.
     pub fn compile(&self, query: &str) -> EvalResult<CompiledQuery> {
         let expr = self.parse(query)?;
-        let plan = Plan::build(expr, self.default_strategy, self.naive_budget)?;
+        let plan =
+            Plan::build_with_threads(expr, self.default_strategy, self.naive_budget, self.threads)?;
         Ok(CompiledQuery {
             text: query.to_string(),
             optimized: self.optimize,
@@ -121,10 +134,11 @@ impl Compiler {
         // Bindings has no Hash/Eq, and its HashMap iteration order varies
         // per instance — render the entries in sorted name order instead.
         format!(
-            "opt={};strat={:?};budget={:?};bind={:?}",
+            "opt={};strat={:?};budget={:?};thr={};bind={:?}",
             self.optimize,
             self.default_strategy,
             self.naive_budget,
+            self.threads,
             self.bindings.sorted()
         )
     }
@@ -339,6 +353,22 @@ mod tests {
         let scalar = CompiledQuery::compile("count(//book)").unwrap();
         scalar.evaluate_root(&d).unwrap();
         assert_eq!(scalar.planner_stats().total(), 0);
+    }
+
+    #[test]
+    fn thread_budget_is_compiled_in_and_result_invariant() {
+        let d = doc_bookstore();
+        let serial = Compiler::new().threads(1).compile("//book[author]").unwrap();
+        let wide = Compiler::new().threads(8).compile("//book[author]").unwrap();
+        assert_eq!(serial.plan().threads(), 1);
+        assert_eq!(wide.plan().threads(), 8);
+        // The budget is part of the cache key (distinct compiled plans)…
+        assert_ne!(
+            Compiler::new().threads(1).options_fingerprint(),
+            Compiler::new().threads(8).options_fingerprint()
+        );
+        // …but never part of the answer.
+        assert_eq!(wide.evaluate_root(&d).unwrap(), serial.evaluate_root(&d).unwrap());
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!                           hits thereafter; hit/miss stats are printed to
 //!                           stderr; with --time, reports the amortized
 //!                           per-evaluation cost)
+//!   -T, --threads <N>       shard budget for the parallel CVT layer:
+//!                           0 = auto (GKP_THREADS env, then the machine's
+//!                           parallelism — the default), 1 = always serial,
+//!                           N caps the per-pass scoped thread pool.
+//!                           Sharding is cost-gated per pass and never
+//!                           changes results; decisions show up in -v
+//!                           (planner tally) and --explain (spawn gate)
 //!   -c, --classify          print the Figure-1 fragment classification and exit
 //!   -n, --normalize         print the normalized (unabbreviated) query and exit
 //!   -e, --explain           print the query plan (fragment, Relev sets,
@@ -52,6 +59,7 @@ struct Options {
     strategy: Strategy,
     optimize: bool,
     repeat: u32,
+    threads: u32,
     classify_only: bool,
     normalize_only: bool,
     explain_only: bool,
@@ -66,8 +74,9 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: xpq [-s STRATEGY] [-O] [-r N] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
-     strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto"
+    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
+     strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto\n\
+     -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         strategy: Strategy::Auto,
         optimize: false,
         repeat: 1,
+        threads: 0,
         classify_only: false,
         normalize_only: false,
         explain_only: false,
@@ -115,6 +125,10 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n| n >= 1)
                     .ok_or(format!("invalid repeat count {n:?}"))?;
             }
+            "-T" | "--threads" => {
+                let n = args.next().ok_or("missing thread count")?;
+                o.threads = n.parse::<u32>().map_err(|_| format!("invalid thread count {n:?}"))?;
+            }
             "-c" | "--classify" => o.classify_only = true,
             "-n" | "--normalize" => o.normalize_only = true,
             "-e" | "--explain" => o.explain_only = true,
@@ -145,7 +159,10 @@ fn main() -> ExitCode {
         }
     };
     let query = opts.query.as_deref().expect("checked");
-    let compiler = Compiler::new().optimize(opts.optimize).default_strategy(opts.strategy);
+    let compiler = Compiler::new()
+        .optimize(opts.optimize)
+        .default_strategy(opts.strategy)
+        .threads(opts.threads);
 
     // Parse-only modes (no document needed: the static phase is
     // document-independent).
@@ -193,6 +210,13 @@ fn main() -> ExitCode {
         let fragment = compiled.fragment();
         eprintln!("fragment: {} ({})", fragment.name(), fragment.complexity());
         eprintln!("strategy: {:?}", compiled.strategy());
+        let resolved = gkp_xpath::core::parallel::resolve_threads(opts.threads);
+        eprintln!("threads:  {resolved}{}", if opts.threads == 0 { " (auto)" } else { "" });
+        // One-time GKP_AXIS_COST parse diagnostics: a typo'd calibration
+        // override is reported here instead of being silently dropped.
+        for d in gkp_xpath::axes::CostModel::env_diagnostics() {
+            eprintln!("cost model: {d}");
+        }
     }
 
     // Load the document.

@@ -175,4 +175,26 @@ fn verbose_reports_fragment_and_strategy() {
     assert_eq!(code, 0);
     assert!(stderr.contains("fragment:"), "{stderr}");
     assert!(stderr.contains("strategy:"), "{stderr}");
+    assert!(stderr.contains("threads:"), "{stderr}");
+}
+
+#[test]
+fn threads_flag_caps_the_shard_budget_without_changing_results() {
+    let (serial, _, code) = xpq(&["--threads", "1", "//title"], XML);
+    assert_eq!(code, 0);
+    let (wide, stderr, code) = xpq(&["-T", "8", "-v", "//title"], XML);
+    assert_eq!(code, 0);
+    assert_eq!(wide, serial, "thread budget must not change results");
+    assert!(stderr.contains("threads:  8"), "{stderr}");
+    // Invalid counts are rejected.
+    let (_, stderr, code) = xpq(&["-T", "many", "//title"], XML);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid thread count"), "{stderr}");
+}
+
+#[test]
+fn explain_reports_the_parallel_spawn_gate() {
+    let (stdout, _, code) = xpq(&["-e", "//book[author]"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("parallel: budget"), "{stdout}");
 }
