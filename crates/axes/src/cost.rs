@@ -123,6 +123,14 @@ pub struct CostModel {
     /// word-parallel union of per-shard results, plus each shard's scan
     /// over its zero prefix/suffix words).
     pub merge_word_ns: f64,
+    /// Fixed cost of one batched-evaluation memo-table probe (key build,
+    /// hash-map lookup, and the result clone a hit hands back). Gates the
+    /// lock-step-shared batch mode: memoizing only pays when duplicated
+    /// axis passes across the batch save more than every pass's probe.
+    pub memo_probe_ns: f64,
+    /// Cost per bitset word of fingerprinting a memo key's input set
+    /// (`NodeSet::fingerprint`: one splitmix64 chain over nonzero words).
+    pub fingerprint_word_ns: f64,
 }
 
 impl CostModel {
@@ -136,6 +144,8 @@ impl CostModel {
         est_chain_len: 12.0,
         spawn_ns: 25_000.0,
         merge_word_ns: 0.25,
+        memo_probe_ns: 90.0,
+        fingerprint_word_ns: 0.4,
     };
 
     /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied,
@@ -187,6 +197,8 @@ impl CostModel {
                 "est_chain_len" => &mut self.est_chain_len,
                 "spawn_ns" => &mut self.spawn_ns,
                 "merge_word_ns" => &mut self.merge_word_ns,
+                "memo_probe_ns" => &mut self.memo_probe_ns,
+                "fingerprint_word_ns" => &mut self.fingerprint_word_ns,
                 _ => {
                     rejected.push(format!("unknown key {key:?}"));
                     continue;
@@ -320,6 +332,105 @@ impl CostModel {
         let per_shard = (self.dense_word_ns + self.merge_word_ns) * words;
         (2.0 * (self.spawn_ns + per_shard) / self.input_ns).ceil() as usize
     }
+
+    // ----- batched multi-query evaluation -----
+
+    /// Estimated overhead one memoized step unit adds in lock-step-shared
+    /// batch evaluation: a memo probe plus fingerprinting the input set
+    /// (bounded by the universe's word count).
+    pub fn memo_unit_ns(&self, universe: u32) -> f64 {
+        self.memo_probe_ns + self.fingerprint_word_ns * (universe as f64 / 64.0)
+    }
+
+    /// Estimated cost of one full axis pass over a `universe`-id document —
+    /// what a memo hit in a lock-step-shared batch avoids re-running.
+    pub fn shared_pass_ns(&self, universe: u32) -> f64 {
+        self.dense_word_ns * (universe as f64 / 64.0)
+    }
+
+    /// Pick how a batch of `queries` compiled spines should evaluate over
+    /// a `universe`-id document with a `threads` budget.
+    ///
+    /// `shared_units` is the number of step/predicate units the batch
+    /// duplicates (identical spine prefixes or predicate paths across
+    /// queries — each one a whole axis pass a shared memo table skips);
+    /// `memo_units` is the total number of units that would pay a memo
+    /// probe; `divisible_ns` is the estimated total evaluation work, the
+    /// portion per-query sharding splits across workers.
+    ///
+    /// Each viable mode is costed end to end and the cheapest estimate
+    /// wins: lock-step runs the batch's work minus the duplicated passes
+    /// plus every unit's probe (viable only when that is a net saving);
+    /// the fan-out runs `divisible_ns / k` plus `k − 1` spawns at the
+    /// [`CostModel::pick_shards`]-chosen worker count (viable only when
+    /// the gate approves a split). With a wide thread budget and thin
+    /// sharing, fan-out can beat a net-positive memo; neither viable
+    /// means serial — exactly N independent evaluations.
+    pub fn pick_batch_mode(
+        &self,
+        queries: usize,
+        shared_units: usize,
+        memo_units: usize,
+        divisible_ns: f64,
+        universe: u32,
+        threads: usize,
+    ) -> BatchMode {
+        if queries <= 1 {
+            return BatchMode::Serial;
+        }
+        let saved = shared_units as f64 * self.shared_pass_ns(universe);
+        let overhead = memo_units as f64 * self.memo_unit_ns(universe);
+        let lock_step =
+            (shared_units > 0 && saved > overhead).then_some(divisible_ns - saved + overhead);
+        let sharded = (threads > 1)
+            .then(|| self.pick_shards(divisible_ns, 0.0, threads.min(queries)))
+            .filter(|&k| k > 1)
+            .map(|k| divisible_ns / k as f64 + self.spawn_ns * (k - 1) as f64);
+        match (lock_step, sharded) {
+            (Some(l), Some(s)) if s < l => BatchMode::PerQuerySharded,
+            (Some(_), _) => BatchMode::LockStepShared,
+            (None, Some(_)) => BatchMode::PerQuerySharded,
+            (None, None) => BatchMode::Serial,
+        }
+    }
+
+    /// The duplicated-unit fraction at which [`CostModel::pick_batch_mode`]
+    /// switches to lock-step sharing for a given universe: sharing pays
+    /// once more than this fraction of the batch's step units repeat.
+    pub fn batch_share_crossover(&self, universe: u32) -> f64 {
+        (self.memo_unit_ns(universe) / self.shared_pass_ns(universe).max(f64::MIN_POSITIVE))
+            .min(1.0)
+    }
+}
+
+/// How a batched evaluation ([`pick_batch_mode`](CostModel::pick_batch_mode))
+/// runs its queries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BatchMode {
+    /// All compiled spines advance lock-step per step, deduplicating
+    /// identical `(axis, node-test, input-fingerprint)` applications
+    /// through a per-evaluation memo table — each distinct axis pass over
+    /// the document runs once for the whole batch.
+    LockStepShared,
+    /// The batch fans out one-query-per-worker across the scoped shard
+    /// pool (`parallel::run_sharded`); each worker evaluates its chunk
+    /// exactly as an independent evaluation would.
+    PerQuerySharded,
+    /// N independent evaluations on the caller's thread — the fallback
+    /// when neither sharing nor spawning repays its overhead.
+    Serial,
+}
+
+impl BatchMode {
+    /// Stable snake_case name (used in `BENCH_axes.json` and the CLI
+    /// batch report).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchMode::LockStepShared => "lock_step_shared",
+            BatchMode::PerQuerySharded => "per_query_sharded",
+            BatchMode::Serial => "serial",
+        }
+    }
 }
 
 /// The one-time [`COST_ENV`] read behind [`CostModel::global`] /
@@ -373,6 +484,7 @@ pub struct KernelCounters {
     bulk_dense: AtomicU64,
     sharded_passes: AtomicU64,
     shards_spawned: AtomicU64,
+    memo_hits: AtomicU64,
 }
 
 impl KernelCounters {
@@ -400,6 +512,12 @@ impl KernelCounters {
         self.shards_spawned.fetch_add(shards as u64, Ordering::Relaxed);
     }
 
+    /// Record one axis application a batched evaluation served from its
+    /// shared memo table instead of re-running the pass.
+    pub fn record_memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Merge another tally's counts into this one.
     pub fn merge(&self, counts: KernelCounts) {
         self.per_node.fetch_add(counts.per_node, Ordering::Relaxed);
@@ -407,6 +525,7 @@ impl KernelCounters {
         self.bulk_dense.fetch_add(counts.bulk_dense, Ordering::Relaxed);
         self.sharded_passes.fetch_add(counts.sharded_passes, Ordering::Relaxed);
         self.shards_spawned.fetch_add(counts.shards_spawned, Ordering::Relaxed);
+        self.memo_hits.fetch_add(counts.memo_hits, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counts.
@@ -417,6 +536,7 @@ impl KernelCounters {
             bulk_dense: self.bulk_dense.load(Ordering::Relaxed),
             sharded_passes: self.sharded_passes.load(Ordering::Relaxed),
             shards_spawned: self.shards_spawned.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -435,6 +555,10 @@ pub struct KernelCounts {
     pub sharded_passes: u64,
     /// Total shards those passes spawned.
     pub shards_spawned: u64,
+    /// Axis applications a batched evaluation served from its shared memo
+    /// table — whole passes that never ran because an identical
+    /// `(axis, node-test, input-fingerprint)` application already had.
+    pub memo_hits: u64,
 }
 
 impl KernelCounts {
@@ -452,6 +576,7 @@ impl KernelCounts {
             bulk_dense: self.bulk_dense + other.bulk_dense,
             sharded_passes: self.sharded_passes + other.sharded_passes,
             shards_spawned: self.shards_spawned + other.shards_spawned,
+            memo_hits: self.memo_hits + other.memo_hits,
         }
     }
 }
@@ -465,6 +590,9 @@ impl std::fmt::Display for KernelCounts {
         )?;
         if self.sharded_passes > 0 {
             write!(f, "; {} sharded passes ({} shards)", self.sharded_passes, self.shards_spawned)?;
+        }
+        if self.memo_hits > 0 {
+            write!(f, "; {} memo-shared", self.memo_hits)?;
         }
         Ok(())
     }
@@ -604,6 +732,76 @@ mod tests {
         assert!(m.pick_shards((inputs + 1) as f64 * m.input_ns, per_shard, 2) > 1);
         // Bigger universes merge more words, so the axis crossover grows.
         assert!(m.axis_shard_crossover(1 << 22) > m.axis_shard_crossover(1 << 16));
+    }
+
+    #[test]
+    fn batch_mode_pick_follows_sharing_and_threads() {
+        let m = CostModel::CALIBRATED;
+        let n = 1 << 20;
+        let pass = m.shared_pass_ns(n);
+        // A single query is always serial, whatever else is true.
+        assert_eq!(m.pick_batch_mode(1, 100, 100, 1e12, n, 8), BatchMode::Serial);
+        // Heavy sharing: half the units repeat → lock-step wins.
+        assert_eq!(m.pick_batch_mode(16, 48, 96, 96.0 * pass, n, 1), BatchMode::LockStepShared);
+        // No sharing + one thread → serial.
+        assert_eq!(m.pick_batch_mode(16, 0, 96, 96.0 * pass, n, 1), BatchMode::Serial);
+        // No sharing + wide budget + work worth many spawns → sharded.
+        assert_eq!(
+            m.pick_batch_mode(16, 0, 96, 100.0 * m.spawn_ns, n, 4),
+            BatchMode::PerQuerySharded
+        );
+        // No sharing + wide budget but tiny work → serial (spawn gate).
+        assert_eq!(m.pick_batch_mode(16, 0, 16, 1_000.0, n, 4), BatchMode::Serial);
+        // Thin sharing (net-positive, but small) on a wide budget: the
+        // fan-out's estimated time beats lock-step and wins; the same
+        // batch on one thread keeps lock-step.
+        assert_eq!(m.pick_batch_mode(16, 20, 96, 96.0 * pass, n, 8), BatchMode::PerQuerySharded);
+        assert_eq!(m.pick_batch_mode(16, 20, 96, 96.0 * pass, n, 1), BatchMode::LockStepShared);
+        // Heavy sharing can still beat the fan-out when nearly everything
+        // repeats and the remaining work is below the spawn repayment.
+        let small = 1u32 << 14;
+        let small_pass = m.shared_pass_ns(small);
+        assert_eq!(
+            m.pick_batch_mode(16, 95, 96, 96.0 * small_pass, small, 8),
+            BatchMode::LockStepShared
+        );
+        // The crossover fraction is consistent with the pick: sharing just
+        // above it flips to lock-step, just below it does not.
+        let frac = m.batch_share_crossover(n);
+        assert!(frac > 0.0 && frac < 1.0, "crossover fraction in (0,1), got {frac}");
+        let units = 1000usize;
+        let above = (frac * units as f64 * 1.1).ceil() as usize;
+        let below = (frac * units as f64 * 0.9).floor() as usize;
+        assert_eq!(m.pick_batch_mode(8, above, units, 0.0, n, 1), BatchMode::LockStepShared);
+        assert_eq!(m.pick_batch_mode(8, below, units, 0.0, n, 1), BatchMode::Serial);
+        // Forcing probes free makes any sharing win; forcing them absurd
+        // never shares (the overrides the differential suite pins modes
+        // with).
+        let free = CostModel { memo_probe_ns: 1e-9, fingerprint_word_ns: 1e-9, ..m };
+        assert_eq!(free.pick_batch_mode(2, 1, 1000, 0.0, n, 1), BatchMode::LockStepShared);
+        let never = CostModel { memo_probe_ns: 1e12, ..m };
+        assert_eq!(never.pick_batch_mode(16, 95, 96, 1_000.0, n, 1), BatchMode::Serial);
+        // The new constants parse from GKP_AXIS_COST like the rest.
+        let mut o = CostModel::CALIBRATED;
+        let rejected = o.apply_overrides("memo_probe_ns=7,fingerprint_word_ns=0.2");
+        assert!(rejected.is_empty(), "{rejected:?}");
+        assert_eq!((o.memo_probe_ns, o.fingerprint_word_ns), (7.0, 0.2));
+        assert_eq!(BatchMode::LockStepShared.name(), "lock_step_shared");
+    }
+
+    #[test]
+    fn memo_hits_tally_and_display() {
+        let c = KernelCounters::new();
+        c.record(Kernel::BulkDense);
+        c.record_memo_hit();
+        c.record_memo_hit();
+        let s = c.snapshot();
+        assert_eq!((s.total(), s.memo_hits), (1, 2), "memo hits are avoided passes, not runs");
+        assert!(s.to_string().contains("2 memo-shared"), "{s}");
+        c.merge(s);
+        assert_eq!(c.snapshot().memo_hits, 4);
+        assert_eq!(s.plus(s).memo_hits, 4);
+        assert!(!KernelCounts::default().to_string().contains("memo"));
     }
 
     #[test]

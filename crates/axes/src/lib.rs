@@ -42,7 +42,7 @@ pub mod regex;
 pub mod typed;
 
 pub use bulk::{axis_set, axis_set_adaptive, axis_set_planned};
-pub use cost::{CostModel, Kernel, KernelCounters, KernelCounts};
+pub use cost::{BatchMode, CostModel, Kernel, KernelCounters, KernelCounts};
 pub use fast::{
     axis_from, axis_from_into, eval_axis, eval_axis_untyped_fast, idx_in, inverse_axis_set,
     order_for_axis,

@@ -19,6 +19,11 @@
 //!   baseline, with `threads_available` recorded so single-core runs are
 //!   interpretable (shard counts are forced through a spawn-free cost
 //!   model; wall-clock speedup needs real cores);
+//! * **batch_eval** — the batched multi-query layer (`xpath_core::batch`):
+//!   a 16-query shared-prefix batch and a disjoint batch, each as one
+//!   `QuerySet::evaluate_all` (single-thread, lock-step memo sharing) vs
+//!   N independent `CompiledQuery` evaluations, with the mode taken and
+//!   the memo hit counts recorded;
 //! * **prepared_vs_adhoc** — the existing compile-once guard: a prepared
 //!   `CompiledQuery` must stay faster than compile+evaluate per call.
 //!
@@ -26,13 +31,17 @@
 //!   `cargo run --release -p xpath-bench --bin bench_axes [-- out.json]`
 //!   `… --check`      exit non-zero if the adaptive backend loses ≥10% to
 //!                    the per-node loop, or to the best alternative, in
-//!                    any axis-application cell (the CI crossover guard).
+//!                    any axis-application cell (the CI crossover guard),
+//!                    or if the batched shared-prefix workload drops below
+//!                    0.95× N independent evaluations (the batch guard).
 //!                    The timing baseline is pinned to a 1-thread budget —
 //!                    the parallel backend is correctness-checked here,
 //!                    never timed, so CI core counts can't flake the guard
 //!   `… --calibrate`  measure the cost-model constants (incl. the
-//!                    spawn/merge constants gating the parallel layer) on
-//!                    this machine and print a `GKP_AXIS_COST=…` override
+//!                    spawn/merge constants gating the parallel layer and
+//!                    the memo-probe/fingerprint constants gating batch
+//!                    sharing) on this machine and print a
+//!                    `GKP_AXIS_COST=…` override
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -211,6 +220,70 @@ fn measure_axis_cells(doc: &Document) -> Vec<AxisCell> {
     cells
 }
 
+use xpath_bench::workloads::{batch_disjoint, batch_shared_prefix};
+
+/// One batch_eval measurement: the batch as one single-threaded
+/// `QuerySet::evaluate_all` vs N independent prepared evaluations.
+struct BatchCell {
+    workload: &'static str,
+    queries: usize,
+    independent_ns: u64,
+    batched_ns: u64,
+    mode: &'static str,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl BatchCell {
+    fn speedup(&self) -> f64 {
+        self.independent_ns as f64 / self.batched_ns.max(1) as f64
+    }
+}
+
+fn measure_batch(doc: &Document, workload: &'static str, texts: &[String]) -> BatchCell {
+    let compiler = Compiler::new().threads(1);
+    let compiled: Vec<_> = texts.iter().map(|q| compiler.compile(q).unwrap()).collect();
+    let set = xpath_core::QuerySetBuilder::with_compiler(compiler)
+        .queries(texts.iter().cloned())
+        .build()
+        .unwrap();
+    // Equality sanity check before timing: batched results must be
+    // bit-identical to the independent evaluations.
+    let out = set.evaluate_all(doc);
+    for (q, (got, c)) in texts.iter().zip(out.results().iter().zip(&compiled)) {
+        assert_eq!(
+            got.as_ref().unwrap(),
+            &c.evaluate_root(doc).unwrap(),
+            "batched {q} diverges from independent evaluation"
+        );
+    }
+    let stats = *out.stats();
+    let mode = match stats.mode {
+        xpath_axes::BatchMode::LockStepShared => "lock_step_shared",
+        xpath_axes::BatchMode::PerQuerySharded => "per_query_sharded",
+        xpath_axes::BatchMode::Serial => "serial",
+    };
+    let times = time_ns_interleaved(&mut [
+        &mut || {
+            for c in &compiled {
+                std::hint::black_box(c.evaluate_root(doc).unwrap());
+            }
+        },
+        &mut || {
+            std::hint::black_box(set.evaluate_all(doc));
+        },
+    ]);
+    BatchCell {
+        workload,
+        queries: texts.len(),
+        independent_ns: times[0],
+        batched_ns: times[1],
+        mode,
+        memo_hits: stats.memo_hits,
+        memo_misses: stats.memo_misses,
+    }
+}
+
 /// `--check`: the CI crossover guard. Fails when the adaptive backend is
 /// more than 10% slower than the seed's per-node loop in any
 /// axis-application cell (the bar the planner exists to hold), or 20% slower than the
@@ -230,6 +303,34 @@ fn check(doc: &Document) -> Result<(), String> {
     let parallel_failures = check_parallel_equivalence(doc);
     if !parallel_failures.is_empty() {
         return Err(parallel_failures.join("\n"));
+    }
+    // Batch guard: one shared-prefix `evaluate_all` must stay within 5%
+    // of N independent evaluations (it should be well *faster* — the
+    // 0.95× bar only refuses real regressions, absorbing runner noise).
+    // Re-measured like the axis cells: only persistent violations fail.
+    let mut batch_failure = None;
+    for attempt in 1..=CHECK_ATTEMPTS {
+        let cell = measure_batch(doc, "shared_prefix", &batch_shared_prefix());
+        let speedup = cell.speedup();
+        eprintln!(
+            "check: batch shared_prefix x{} mode {} memo {}h/{}m  batched {:>9}ns  \
+             vs independent {speedup:>5.2}x",
+            cell.queries, cell.mode, cell.memo_hits, cell.memo_misses, cell.batched_ns
+        );
+        if speedup >= 0.95 {
+            batch_failure = None;
+            break;
+        }
+        batch_failure = Some(format!(
+            "shared-prefix batch: batched {}ns vs independent {}ns ({speedup:.2}x < 0.95x)",
+            cell.batched_ns, cell.independent_ns
+        ));
+        if attempt < CHECK_ATTEMPTS {
+            eprintln!("check: batch attempt {attempt}/{CHECK_ATTEMPTS} under 0.95x; re-measuring");
+        }
+    }
+    if let Some(failure) = batch_failure {
+        return Err(failure);
     }
     let mut last_failures = String::new();
     for attempt in 1..=CHECK_ATTEMPTS {
@@ -379,6 +480,23 @@ fn calibrate(doc: &Document) {
     });
     let merge_word_ns = (t_merge as f64 / words).max(0.01);
 
+    // fingerprint_word_ns: the content hash of a full dense universe set,
+    // per word — the per-unit key cost of the batch memo.
+    let t_fp = time_ns(|| {
+        std::hint::black_box(all.fingerprint());
+    });
+    let fingerprint_word_ns = (t_fp as f64 / words).max(0.01);
+
+    // memo_probe_ns: one hash-map probe plus the result clone a memo hit
+    // hands back, on a small sparse entry (the fixed part of a probe; the
+    // input-dependent fingerprint is costed separately above).
+    let mut memo = std::collections::HashMap::new();
+    memo.insert(42u64, NodeSet::from_sorted((0..32).map(NodeId).collect()));
+    let t_probe = time_ns(|| {
+        std::hint::black_box(memo.get(&42).cloned());
+    });
+    let memo_probe_ns = (t_probe as f64).max(1.0);
+
     println!("calibration on {n}-node document ({words:.0} words):");
     println!("  dense descendant sweep: {t_dense}ns -> dense_word_ns = {dense_word_ns:.2}");
     println!("  sparse staircase write: {t_sparse}ns -> sparse_out_ns = {sparse_out_ns:.2}");
@@ -390,11 +508,16 @@ fn calibrate(doc: &Document) {
     );
     println!("  scoped worker spawn:    {t_spawn}ns -> spawn_ns = {spawn_ns:.0}");
     println!("  dense shard merge:      {t_merge}ns -> merge_word_ns = {merge_word_ns:.2}");
+    println!(
+        "  full-set fingerprint:   {t_fp}ns -> fingerprint_word_ns = {fingerprint_word_ns:.2}"
+    );
+    println!("  memo probe + clone:     {t_probe}ns -> memo_probe_ns = {memo_probe_ns:.0}");
     println!();
     println!(
         "{}=dense_word_ns={dense_word_ns:.2},sparse_out_ns={sparse_out_ns:.2},\
          input_ns={input_ns:.2},chain_ns={chain_ns:.2},est_chain_len={est_chain_len:.1},\
-         spawn_ns={spawn_ns:.0},merge_word_ns={merge_word_ns:.2}",
+         spawn_ns={spawn_ns:.0},merge_word_ns={merge_word_ns:.2},\
+         memo_probe_ns={memo_probe_ns:.0},fingerprint_word_ns={fingerprint_word_ns:.2}",
         xpath_axes::cost::COST_ENV
     );
 }
@@ -627,6 +750,39 @@ fn main() {
                 std::hint::black_box(bulk::axis_set_planned(&big, axis, &all, CostModel::global()));
             });
             emit(&mut json, "axis_pass", axis.name(), serial_ns, shard_ns);
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- batched multi-query evaluation: one QuerySet pass vs N
+    // independent evaluations (single-thread budget, so the speedup is
+    // pure memo sharing, not parallelism) ----
+    json.push_str("  \"batch_eval\": [\n");
+    {
+        let threads_available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let cells = [
+            measure_batch(&doc, "shared_prefix", &batch_shared_prefix()),
+            measure_batch(&doc, "disjoint", &batch_disjoint()),
+        ];
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "    {{ \"workload\": \"{}\", \"queries\": {}, \"nodes\": {n}, \
+                 \"threads_available\": {threads_available}, \"mode\": \"{}\", \
+                 \"memo_hits\": {}, \"memo_misses\": {}, \"independent_ns\": {}, \
+                 \"batched_ns\": {}, \"speedup_batched\": {:.2} }}",
+                c.workload,
+                c.queries,
+                c.mode,
+                c.memo_hits,
+                c.memo_misses,
+                c.independent_ns,
+                c.batched_ns,
+                c.speedup(),
+            );
         }
     }
     json.push_str("\n  ],\n");

@@ -85,6 +85,46 @@ pub fn wadler_query(k: usize) -> String {
     format!("//*[{inner}]")
 }
 
+/// The 16-query shared-prefix batch workload: every query extends the
+/// same `//a//b` spine, so the root descendant pass, the `a`/`b` child
+/// expansions and the duplicated predicates dedupe under the batched
+/// evaluator's lock-step memo. One definition serves the `bench_axes`
+/// CI batch guard, the `batch_eval` Criterion bench and the differential
+/// suite, so the guard always protects the workload the bench reports.
+pub fn batch_shared_prefix() -> Vec<String> {
+    [
+        "//c",
+        "//d",
+        "/c",
+        "/c/d",
+        "//c/d",
+        "//c[d]",
+        "[c]",
+        "[c]/c",
+        "[descendant::d]",
+        "[descendant::d]//c",
+        "//d[not(c)]",
+        "//c[following-sibling::c]",
+        "[c and descendant::d]",
+        "[c]//d",
+        "//c/following-sibling::*",
+        "[not(descendant::d)]",
+    ]
+    .iter()
+    .map(|s| format!("//a//b{s}"))
+    .collect()
+}
+
+/// The disjoint control batch: no shared spine structure beyond the
+/// normalized `//` head, so batching should gain little — the honest
+/// baseline next to [`batch_shared_prefix`].
+pub fn batch_disjoint() -> Vec<String> {
+    ["//a/b", "//b/c", "//c/d", "//d[c]", "//b[following::c]", "//c/preceding-sibling::*"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

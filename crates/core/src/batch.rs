@@ -1,0 +1,810 @@
+//! Batched multi-query evaluation: compile N queries into one immutable
+//! [`QuerySet`] and amortize a single document traversal over the whole
+//! batch.
+//!
+//! The paper's set-at-a-time Core XPath algorithm (§10) amortizes one
+//! traversal over a whole *context set*; a production engine serving many
+//! concurrent queries amortizes the same traversal over *many queries at
+//! once*. A [`QuerySetBuilder`] compiles raw strings (or adopts cached
+//! [`Arc<CompiledQuery>`] handles from a
+//! [`QueryCache`](crate::cache::QueryCache)) into a `Send + Sync`
+//! [`QuerySet`]; [`QuerySet::evaluate_all`] then runs the batch in one of
+//! three modes, picked per document by the calibrated
+//! [`CostModel`] (see [`CostModel::pick_batch_mode`]):
+//!
+//! * **lock-step shared** ([`BatchMode::LockStepShared`]) — every compiled
+//!   Core XPath / XPatterns spine advances one step per round, and all
+//!   axis applications go through a per-evaluation [`AxisMemo`] keyed by
+//!   `(axis, node-test, input-set fingerprint)`
+//!   ([`NodeSet::fingerprint`]): identical applications across the batch
+//!   run **once**. Equal inputs fingerprint equally, so sharing cascades
+//!   down shared spine prefixes step by step, and the document-global
+//!   `T(t)`, predicate (`E1`) and `=s` scans dedupe across every position
+//!   in the batch.
+//! * **per-query sharded** ([`BatchMode::PerQuerySharded`]) — nothing to
+//!   share, but a multi-thread budget: the batch fans out one chunk of
+//!   queries per scoped worker ([`crate::parallel::run_sharded`]), each
+//!   evaluated exactly as an independent evaluation would be.
+//! * **serial** ([`BatchMode::Serial`]) — N independent evaluations on
+//!   the caller's thread, the fallback when neither sharing nor spawning
+//!   repays its overhead.
+//!
+//! # Memo-key semantics
+//!
+//! A memo entry is keyed by a 64-bit splitmix64 chain over the operation
+//! kind, the axis, the node test, and the input set's content fingerprint
+//! — *not* the input set itself. Distinct sets collide with probability
+//! ~2⁻⁶⁴ per pair; the differential suite
+//! (`tests/batch_differential.rs`) pins batched results bit-identical to
+//! independent evaluation across documents, batch shapes and thread
+//! budgets. Non-fragment queries (strategies outside Core XPath /
+//! XPatterns) always run their normal engines — batching never changes
+//! any result, only how often a pass runs.
+//!
+//! # When sharing wins
+//!
+//! A memo hit saves a whole axis pass (`O(|D|/64)` words or worse); a
+//! memo probe costs a hash-map lookup plus fingerprinting the input
+//! (`O(|D|/64)` with a much smaller constant —
+//! [`CostModel::memo_unit_ns`] vs [`CostModel::shared_pass_ns`]).
+//! Lock-step sharing therefore pays once a few percent of the batch's
+//! step units repeat ([`CostModel::batch_share_crossover`]); batches of
+//! unrelated queries fall back to sharding or serial evaluation. The
+//! decision — and the memo hit counts — surface in
+//! [`BatchStats`], [`QuerySet::planner_stats`] and `xpq --explain`.
+//!
+//! ```
+//! use xpath_core::batch::QuerySetBuilder;
+//! use xpath_xml::Document;
+//!
+//! let set = QuerySetBuilder::new()
+//!     .query("//b")
+//!     .query("//b/c")
+//!     .query("count(//b)")
+//!     .build()
+//!     .unwrap();
+//! let doc = Document::parse_str("<a><b><c/></b><b/></a>").unwrap();
+//! let out = set.evaluate_all(&doc);
+//! assert_eq!(out.len(), 3);
+//! assert_eq!(out.results()[2].as_ref().unwrap().to_string(), "2");
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xpath_axes::{BatchMode, CostModel, KernelCounters, KernelCounts};
+use xpath_syntax::{Axis, NodeTest};
+use xpath_xml::rng::splitmix64;
+use xpath_xml::Document;
+
+use crate::context::{Context, EvalResult};
+use crate::corexpath::{AxisBackend, CorePred, CoreQuery, CoreXPathEvaluator, EqTest};
+use crate::nodeset::NodeSet;
+use crate::plan::Strategy;
+use crate::query::{CompiledQuery, Compiler};
+use crate::value::Value;
+
+/// One splitmix64 chaining step for memo keys.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+/// Hash a value through its `Debug` rendering — derived `Debug` output is
+/// a faithful structural rendering of the compiled-query types, so equal
+/// structures hash equally (process-local keys only).
+fn hash_debug<T: std::fmt::Debug>(v: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{v:?}").hash(&mut h);
+    h.finish()
+}
+
+// Memo operation kinds (part of the key, so a forward step and an inverse
+// pass over the same input never alias).
+const OP_STEP: u64 = 0x5354_4550; // forward step: axis + node test
+const OP_TSET: u64 = 0x5453_4554; // document-global T(t)
+const OP_INV: u64 = 0x2049_4e56; // inverse axis pass χ⁻¹
+const OP_PRED: u64 = 0x5052_4544; // document-global E1[[pred]]
+const OP_EQ: u64 = 0x2045_5120; // document-global =s scan
+
+/// The per-evaluation axis-result memo behind
+/// [`BatchMode::LockStepShared`]: maps
+/// `(operation, axis, node-test, input-fingerprint)` keys to finished
+/// [`NodeSet`]s so each distinct application runs once per batch
+/// evaluation. Thread-safe (`Mutex`-guarded map, atomic counters);
+/// results are computed outside the lock.
+#[derive(Debug, Default)]
+pub struct AxisMemo {
+    map: Mutex<HashMap<u64, NodeSet>>,
+    /// Structural hashes of node tests / predicates, cached by address:
+    /// the compiled structures are pinned by the batch's
+    /// `Arc<CompiledQuery>` handles for the life of an evaluation (and a
+    /// memo lives no longer), so an address uniquely identifies one
+    /// structure and repeat probes skip the `Debug`-render hash entirely.
+    ptr_hashes: Mutex<HashMap<usize, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AxisMemo {
+    /// An empty memo. [`QuerySet::evaluate_all`] creates one per
+    /// evaluation — entries are only valid for a single document.
+    pub fn new() -> AxisMemo {
+        AxisMemo::default()
+    }
+
+    /// Applications served from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Applications that had to run their pass (and seeded the memo).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// [`hash_debug`] with the result cached by the value's address (see
+    /// `ptr_hashes`): the render runs once per distinct structure per
+    /// evaluation, not once per probe.
+    fn structural_hash<T: std::fmt::Debug>(&self, v: &T) -> u64 {
+        let addr = std::ptr::from_ref(v) as usize;
+        if let Some(&h) = self.ptr_hashes.lock().expect("axis memo poisoned").get(&addr) {
+            return h;
+        }
+        let h = hash_debug(v);
+        self.ptr_hashes.lock().expect("axis memo poisoned").insert(addr, h);
+        h
+    }
+
+    fn get_or(
+        &self,
+        key: u64,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        if let Some(hit) = self.map.lock().expect("axis memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            counters.record_memo_hit();
+            return hit.clone();
+        }
+        // Compute outside the lock: passes can be long, and predicate
+        // computation recurses back into the memo.
+        let out = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("axis memo poisoned").insert(key, out.clone());
+        out
+    }
+
+    pub(crate) fn step(
+        &self,
+        axis: Axis,
+        test: &NodeTest,
+        input: &NodeSet,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        let key =
+            mix(mix(mix(OP_STEP, axis as u64), self.structural_hash(test)), input.fingerprint());
+        self.get_or(key, counters, compute)
+    }
+
+    pub(crate) fn t_set(
+        &self,
+        axis: Axis,
+        test: &NodeTest,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        let key = mix(mix(OP_TSET, axis as u64), self.structural_hash(test));
+        self.get_or(key, counters, compute)
+    }
+
+    pub(crate) fn inverse(
+        &self,
+        axis: Axis,
+        input: &NodeSet,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        let key = mix(mix(OP_INV, axis as u64), input.fingerprint());
+        self.get_or(key, counters, compute)
+    }
+
+    pub(crate) fn pred(
+        &self,
+        pred: &CorePred,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        let key = mix(OP_PRED, self.structural_hash(pred));
+        self.get_or(key, counters, compute)
+    }
+
+    pub(crate) fn eq(
+        &self,
+        eq: &EqTest,
+        counters: &KernelCounters,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        let key = mix(OP_EQ, self.structural_hash(eq));
+        self.get_or(key, counters, compute)
+    }
+}
+
+/// Builder for a [`QuerySet`]: collects raw query strings (compiled with
+/// this builder's [`Compiler`]) and already-compiled
+/// [`Arc<CompiledQuery>`] handles, in order.
+///
+/// ```
+/// use std::sync::Arc;
+/// use xpath_core::batch::QuerySetBuilder;
+/// use xpath_core::cache::QueryCache;
+/// use xpath_core::query::Compiler;
+///
+/// let cache = QueryCache::new(64);
+/// let compiler = Compiler::new();
+/// let cached = cache.get_or_compile(&compiler, "//b[c]").unwrap();
+/// let set = QuerySetBuilder::with_compiler(compiler)
+///     .query("//b")                // compiled by the builder
+///     .compiled(Arc::clone(&cached)) // adopted from the cache
+///     .build()
+///     .unwrap();
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QuerySetBuilder {
+    compiler: Compiler,
+    threads: Option<u32>,
+    mode: Option<BatchMode>,
+    cost: Option<CostModel>,
+    pending: Vec<Pending>,
+}
+
+#[derive(Clone, Debug)]
+enum Pending {
+    Text(String),
+    Handle(Arc<CompiledQuery>),
+}
+
+impl QuerySetBuilder {
+    /// A builder compiling raw strings with default [`Compiler`] settings.
+    pub fn new() -> QuerySetBuilder {
+        QuerySetBuilder::default()
+    }
+
+    /// A builder compiling raw strings with a configured [`Compiler`]
+    /// (optimizer, strategy, bindings, thread budget — the compiler's
+    /// budget also becomes the batch default unless
+    /// [`QuerySetBuilder::threads`] overrides it).
+    pub fn with_compiler(compiler: Compiler) -> QuerySetBuilder {
+        QuerySetBuilder { compiler, ..QuerySetBuilder::default() }
+    }
+
+    /// Append one raw query string (compiled at [`QuerySetBuilder::build`]
+    /// time; compile errors surface there, identifying the query).
+    pub fn query(mut self, text: impl Into<String>) -> QuerySetBuilder {
+        self.pending.push(Pending::Text(text.into()));
+        self
+    }
+
+    /// Append several raw query strings.
+    pub fn queries<I, S>(mut self, texts: I) -> QuerySetBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.pending.extend(texts.into_iter().map(|t| Pending::Text(t.into())));
+        self
+    }
+
+    /// Append an already-compiled query handle (e.g. from
+    /// [`QueryCache::get_or_compile`](crate::cache::QueryCache::get_or_compile)
+    /// or [`QueryCache::get_or_compile_many`](crate::cache::QueryCache::get_or_compile_many)).
+    /// No recompilation happens; the handle is shared.
+    pub fn compiled(mut self, query: Arc<CompiledQuery>) -> QuerySetBuilder {
+        self.pending.push(Pending::Handle(query));
+        self
+    }
+
+    /// Thread budget for batch evaluation: `0` auto-resolves
+    /// (`GKP_THREADS` / the machine), `1` keeps everything on the
+    /// caller's thread. Defaults to the builder compiler's budget. The
+    /// budget gates [`BatchMode::PerQuerySharded`] and the parallel axis
+    /// passes inside lock-step evaluation; it never changes results.
+    pub fn threads(mut self, threads: u32) -> QuerySetBuilder {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Pin the evaluation mode instead of letting
+    /// [`CostModel::pick_batch_mode`] decide per document. Any mode is
+    /// bit-identical to the others; pinning exists for tests, benchmarks
+    /// and callers that know their workload.
+    pub fn mode(mut self, mode: BatchMode) -> QuerySetBuilder {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Override the cost model driving the mode decision (tests,
+    /// calibration; defaults to [`CostModel::global`]).
+    pub fn cost_model(mut self, model: CostModel) -> QuerySetBuilder {
+        self.cost = Some(model);
+        self
+    }
+
+    /// Number of queries queued so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no queries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Compile every queued string, adopt every handle, analyze the
+    /// batch's shared structure, and freeze the result into an immutable
+    /// [`QuerySet`]. Fails on the first compile error.
+    pub fn build(self) -> EvalResult<QuerySet> {
+        let queries: Vec<Arc<CompiledQuery>> = self
+            .pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Text(t) => self.compiler.compile(&t).map(Arc::new),
+                Pending::Handle(h) => Ok(h),
+            })
+            .collect::<EvalResult<_>>()?;
+        let sharing = analyze_sharing(&queries);
+        Ok(QuerySet {
+            queries,
+            threads: self.threads.unwrap_or_else(|| self.compiler.configured_threads()),
+            mode: self.mode,
+            cost: self.cost.unwrap_or(*CostModel::global()),
+            sharing,
+            kernels: Arc::new(KernelCounters::new()),
+        })
+    }
+}
+
+/// Static sharing profile of a batch, computed once at build time: how
+/// many spine-step and predicate units the batch contains, and how many
+/// of them repeat across queries (identical spine prefixes, identical
+/// predicate paths) — each repeat is an axis pass the lock-step memo
+/// will serve without re-running.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSharing {
+    /// Step + predicate units across all fragment-engine queries (each
+    /// pays one memo probe under lock-step evaluation).
+    pub total_units: usize,
+    /// Units duplicated across the batch (guaranteed memo hits).
+    pub shared_units: usize,
+    /// Queries running on the Core XPath / XPatterns fragment engines —
+    /// the ones that can share axis passes.
+    pub fragment_queries: usize,
+}
+
+/// The compiled Core XPath / XPatterns program of a query, if it runs on
+/// a fragment engine (only those share axis passes).
+fn fragment_program(q: &CompiledQuery) -> Option<&CoreQuery> {
+    match q.strategy() {
+        Strategy::CoreXPath | Strategy::XPatterns => q.plan().algebra(),
+        _ => None,
+    }
+}
+
+fn analyze_sharing(queries: &[Arc<CompiledQuery>]) -> BatchSharing {
+    let mut out = BatchSharing::default();
+    let mut seen_prefixes: HashSet<u64> = HashSet::new();
+    let mut seen_preds: HashSet<u64> = HashSet::new();
+    for q in queries {
+        let Some(program) = fragment_program(q) else { continue };
+        out.fragment_queries += 1;
+        // Chain step hashes down the spine: a step unit repeats exactly
+        // when its whole prefix (start + steps so far, predicates
+        // included) repeats — which is when the lock-step memo is
+        // guaranteed to hit it.
+        let mut h = hash_debug(&program.path.start);
+        for step in &program.path.steps {
+            h = mix(h, hash_debug(step));
+            out.total_units += 1;
+            if !seen_prefixes.insert(h) {
+                out.shared_units += 1;
+            }
+            // Predicates are document-global (E1 ignores the context
+            // set), so they dedupe across any position in any query.
+            for pred in &step.preds {
+                out.total_units += 1;
+                if !seen_preds.insert(hash_debug(pred)) {
+                    out.shared_units += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An immutable, `Send + Sync` batch of compiled queries. Built by
+/// [`QuerySetBuilder`]; evaluate with [`QuerySet::evaluate_all`] against
+/// any number of documents from any number of threads.
+#[derive(Debug)]
+pub struct QuerySet {
+    queries: Vec<Arc<CompiledQuery>>,
+    threads: u32,
+    mode: Option<BatchMode>,
+    cost: CostModel,
+    sharing: BatchSharing,
+    /// Planner decisions accumulated across batch evaluations (batch
+    /// evaluations record here, not into the member queries' per-handle
+    /// tallies — shared passes cannot be attributed to one query).
+    kernels: Arc<KernelCounters>,
+}
+
+impl QuerySet {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The compiled queries, in input order.
+    pub fn queries(&self) -> &[Arc<CompiledQuery>] {
+        &self.queries
+    }
+
+    /// The configured thread budget (`0` = auto-resolve at evaluation).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The batch's static sharing profile (computed at build time).
+    pub fn sharing(&self) -> BatchSharing {
+        self.sharing
+    }
+
+    /// Axis-planner decisions accumulated across this batch's
+    /// evaluations: kernel picks, sharded passes, and memo-shared
+    /// applications. Complements the per-query
+    /// [`CompiledQuery::planner_stats`] (which batch evaluations leave
+    /// untouched).
+    pub fn planner_stats(&self) -> KernelCounts {
+        self.kernels.snapshot()
+    }
+
+    /// The [`BatchMode`] [`QuerySet::evaluate_all`] will use on a
+    /// document of `universe` nodes under the current thread budget — the
+    /// cost model's decision, unless a mode was pinned at build time.
+    pub fn plan_mode(&self, universe: u32) -> BatchMode {
+        if let Some(pinned) = self.mode {
+            return pinned;
+        }
+        let threads = crate::parallel::resolve_threads(self.threads);
+        // Divisible work estimate for the per-query fan-out: one axis
+        // pass per fragment step unit, plus a CVT-row-scale estimate per
+        // general-engine query (their evaluators materialize per-node
+        // tables, far heavier than one pass).
+        let fragment_ns = self.sharing.total_units as f64 * self.cost.shared_pass_ns(universe);
+        let general = (self.len() - self.sharing.fragment_queries) as f64;
+        let general_ns = general * self.cost.cvt_row_ns() * f64::from(universe);
+        self.cost.pick_batch_mode(
+            self.len(),
+            self.sharing.shared_units,
+            self.sharing.total_units,
+            fragment_ns + general_ns,
+            universe,
+            threads,
+        )
+    }
+
+    /// Evaluate every query against `doc` from the document root, in one
+    /// batch pass. Per-query results come back in input order, each
+    /// exactly what [`CompiledQuery::evaluate_root`] would have returned
+    /// (bit-identical across all modes and thread budgets).
+    pub fn evaluate_all(&self, doc: &Document) -> BatchResult {
+        self.evaluate_all_at(doc, Context::of(doc.root()))
+    }
+
+    /// [`QuerySet::evaluate_all`] from an explicit context.
+    pub fn evaluate_all_at(&self, doc: &Document, ctx: Context) -> BatchResult {
+        let mode = self.plan_mode(doc.len() as u32);
+        match mode {
+            BatchMode::LockStepShared => self.run_lock_step(doc, ctx),
+            BatchMode::PerQuerySharded => self.run_sharded(doc, ctx),
+            BatchMode::Serial => self.run_serial(doc, ctx),
+        }
+    }
+
+    /// One independent evaluation, recording planner decisions into the
+    /// batch tally.
+    fn eval_one(&self, doc: &Document, ctx: Context, i: usize) -> EvalResult<Value> {
+        self.queries[i].plan().execute_recording(doc, ctx, &self.kernels)
+    }
+
+    fn run_serial(&self, doc: &Document, ctx: Context) -> BatchResult {
+        let results = (0..self.len()).map(|i| self.eval_one(doc, ctx, i)).collect();
+        BatchResult {
+            results,
+            stats: BatchStats {
+                mode: BatchMode::Serial,
+                queries: self.len(),
+                fragment_queries: self.sharing.fragment_queries,
+                memo_hits: 0,
+                memo_misses: 0,
+                workers: 1,
+            },
+        }
+    }
+
+    fn run_sharded(&self, doc: &Document, ctx: Context) -> BatchResult {
+        let threads = crate::parallel::resolve_threads(self.threads).min(self.len()).max(1);
+        let ranges = crate::parallel::chunk_ranges(self.len() as u32, threads);
+        let workers = ranges.len();
+        let parts = crate::parallel::run_sharded(&ranges, |_, lo, hi| {
+            (lo..hi).map(|i| self.eval_one(doc, ctx, i as usize)).collect::<Vec<_>>()
+        });
+        BatchResult {
+            results: parts.into_iter().flatten().collect(),
+            stats: BatchStats {
+                mode: BatchMode::PerQuerySharded,
+                queries: self.len(),
+                fragment_queries: self.sharing.fragment_queries,
+                memo_hits: 0,
+                memo_misses: 0,
+                workers,
+            },
+        }
+    }
+
+    fn run_lock_step(&self, doc: &Document, ctx: Context) -> BatchResult {
+        let memo = Arc::new(AxisMemo::new());
+        let ev = CoreXPathEvaluator::with_backend(doc, AxisBackend::Parallel(self.threads))
+            .with_cost_model(self.cost)
+            .with_memo(Arc::clone(&memo));
+        let ctx_nodes = [ctx.node];
+        // Fragment queries advance lock-step; the rest run their normal
+        // engines below.
+        let programs: Vec<Option<&CoreQuery>> =
+            self.queries.iter().map(|q| fragment_program(q)).collect();
+        let mut states: Vec<Option<NodeSet>> =
+            programs.iter().map(|p| p.map(|cq| ev.start_set(&cq.path.start, &ctx_nodes))).collect();
+        let rounds = programs.iter().flatten().map(|cq| cq.path.steps.len()).max().unwrap_or(0);
+        for k in 0..rounds {
+            for (program, state) in programs.iter().zip(states.iter_mut()) {
+                if let (Some(cq), Some(n)) = (program, state.as_mut()) {
+                    if let Some(step) = cq.path.steps.get(k) {
+                        *n = ev.advance_step(step, n);
+                    }
+                }
+            }
+        }
+        let results = programs
+            .iter()
+            .zip(states)
+            .enumerate()
+            .map(|(i, (program, state))| match (program, state) {
+                (Some(cq), Some(n)) => Ok(Value::NodeSet(ev.finish_path(&cq.path, n))),
+                _ => self.eval_one(doc, ctx, i),
+            })
+            .collect();
+        self.kernels.merge(ev.kernel_counts());
+        BatchResult {
+            results,
+            stats: BatchStats {
+                mode: BatchMode::LockStepShared,
+                queries: self.len(),
+                fragment_queries: self.sharing.fragment_queries,
+                memo_hits: memo.hits(),
+                memo_misses: memo.misses(),
+                workers: 1,
+            },
+        }
+    }
+
+    /// A rendered report of how this batch will evaluate on a document of
+    /// `doc_size` nodes — the batch counterpart of
+    /// [`crate::explain::explain`], surfaced by `xpq --explain` for batch
+    /// invocations.
+    pub fn explain(&self, doc_size: usize) -> String {
+        crate::explain::explain_batch(self, doc_size)
+    }
+
+    /// The cost model driving this set's mode decisions.
+    pub(crate) fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+/// Per-query results plus batch-level observability for one
+/// [`QuerySet::evaluate_all`] call.
+#[derive(Debug)]
+pub struct BatchResult {
+    results: Vec<EvalResult<Value>>,
+    stats: BatchStats,
+}
+
+impl BatchResult {
+    /// Per-query results, in the batch's input order. Each entry is
+    /// exactly what the corresponding independent
+    /// [`CompiledQuery::evaluate`] call would have produced — including
+    /// per-query errors, which never abort the rest of the batch.
+    pub fn results(&self) -> &[EvalResult<Value>] {
+        &self.results
+    }
+
+    /// Consume into the per-query results.
+    pub fn into_results(self) -> Vec<EvalResult<Value>> {
+        self.results
+    }
+
+    /// Number of queries evaluated.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Batch-level statistics: the mode taken and the sharing achieved.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+}
+
+/// How one batch evaluation ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchStats {
+    /// The evaluation mode the cost model picked (or the pinned one).
+    pub mode: BatchMode,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries that ran on the fragment engines (sharing-capable).
+    pub fragment_queries: usize,
+    /// Axis applications served from the shared memo (lock-step mode;
+    /// zero elsewhere).
+    pub memo_hits: u64,
+    /// Axis applications that ran and seeded the memo (lock-step mode).
+    pub memo_misses: u64,
+    /// Scoped workers the batch fanned out across (sharded mode; 1
+    /// elsewhere).
+    pub workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_xml::generate::{doc_bookstore, doc_figure8};
+
+    fn always_share() -> CostModel {
+        CostModel { memo_probe_ns: 1e-9, fingerprint_word_ns: 1e-9, ..CostModel::CALIBRATED }
+    }
+
+    #[test]
+    fn batch_matches_independent_evaluation_in_every_mode() {
+        let d = doc_bookstore();
+        let queries = [
+            "//book[author]",
+            "//book[author]/title",
+            "//book[author]", // duplicate: full sharing
+            "count(//book)",  // non-fragment: normal engine inside the batch
+            "//section/book[title = 'XPath Processing']",
+        ];
+        let independent: Vec<Value> = queries
+            .iter()
+            .map(|q| Compiler::new().compile(q).unwrap().evaluate_root(&d).unwrap())
+            .collect();
+        for mode in [BatchMode::LockStepShared, BatchMode::PerQuerySharded, BatchMode::Serial] {
+            for threads in [1u32, 4] {
+                let set = QuerySetBuilder::new()
+                    .queries(queries)
+                    .mode(mode)
+                    .threads(threads)
+                    .build()
+                    .unwrap();
+                let out = set.evaluate_all(&d);
+                assert_eq!(out.stats().mode, mode);
+                assert_eq!(out.len(), queries.len());
+                for (i, r) in out.results().iter().enumerate() {
+                    assert_eq!(
+                        r.as_ref().unwrap(),
+                        &independent[i],
+                        "{mode:?}/{threads}t diverges on {}",
+                        queries[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lock_step_shares_duplicate_prefixes() {
+        let d = doc_figure8();
+        let set = QuerySetBuilder::new()
+            .query("//b/c")
+            .query("//b/d")
+            .query("//b/c") // exact duplicate
+            .cost_model(always_share())
+            .build()
+            .unwrap();
+        assert!(set.sharing().shared_units > 0, "{:?}", set.sharing());
+        assert_eq!(set.plan_mode(d.len() as u32), BatchMode::LockStepShared);
+        let out = set.evaluate_all(&d);
+        assert!(out.stats().memo_hits > 0, "{:?}", out.stats());
+        // The duplicate shares everything: its step count in hits.
+        assert_eq!(out.results()[0].as_ref().unwrap(), out.results()[2].as_ref().unwrap());
+        // The batch tally surfaces the shared applications.
+        assert_eq!(set.planner_stats().memo_hits, out.stats().memo_hits);
+    }
+
+    #[test]
+    fn cost_model_falls_back_when_nothing_repeats() {
+        // Disjoint single-step queries on a tiny document: sharing cannot
+        // pay, and one thread rules out the fan-out.
+        let set =
+            QuerySetBuilder::new().query("//b").query("count(//c)").threads(1).build().unwrap();
+        assert_eq!(set.plan_mode(100), BatchMode::Serial);
+        // A single query is serial even when pinned sharing would win.
+        let one = QuerySetBuilder::new().query("//b").build().unwrap();
+        assert_eq!(one.plan_mode(1 << 20), BatchMode::Serial);
+    }
+
+    #[test]
+    fn build_reports_the_failing_query() {
+        let err = QuerySetBuilder::new().query("//b").query("//[").build();
+        assert!(matches!(err, Err(crate::context::EvalError::Parse(_))));
+    }
+
+    #[test]
+    fn per_query_errors_do_not_abort_the_batch() {
+        let d = doc_bookstore();
+        let budgeted = Compiler::new().naive_budget(1).default_strategy(Strategy::Naive);
+        let exhausted =
+            Arc::new(budgeted.compile("//book/ancestor::*/descendant::*/ancestor::*").unwrap());
+        let set =
+            QuerySetBuilder::new().query("count(//book)").compiled(exhausted).build().unwrap();
+        let out = set.evaluate_all(&d);
+        assert!(out.results()[0].is_ok());
+        assert!(matches!(out.results()[1], Err(crate::context::EvalError::BudgetExhausted)));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let d = doc_bookstore();
+        let set = QuerySetBuilder::new().build().unwrap();
+        assert!(set.is_empty());
+        let out = set.evaluate_all(&d);
+        assert!(out.is_empty());
+        assert_eq!(out.stats().mode, BatchMode::Serial);
+    }
+
+    #[test]
+    fn query_set_is_send_sync_and_reusable_across_documents() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuerySet>();
+        let set =
+            Arc::new(QuerySetBuilder::new().query("count(//b)").query("//b").build().unwrap());
+        std::thread::scope(|s| {
+            for docs in [2, 3] {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    let xml = format!("<a>{}</a>", "<b/>".repeat(docs));
+                    let d = Document::parse_str(&xml).unwrap();
+                    let out = set.evaluate_all(&d);
+                    assert_eq!(out.results()[0].as_ref().unwrap().to_string(), docs.to_string());
+                    assert_eq!(
+                        out.results()[1].as_ref().unwrap(),
+                        &Value::NodeSet(
+                            d.all_nodes().filter(|&n| d.name(n) == Some("b")).collect::<NodeSet>()
+                        )
+                    );
+                });
+            }
+        });
+    }
+}

@@ -184,6 +184,23 @@ impl QueryCache {
         self.get_or_insert_with(fingerprint, query, || compiler.compile(query))
     }
 
+    /// Resolve a whole batch of query texts in one call, compiling each
+    /// on first sight — the compiler's options fingerprint is rendered
+    /// once for the batch. The returned handles are in input order and
+    /// ready for
+    /// [`QuerySetBuilder::compiled`](crate::batch::QuerySetBuilder::compiled),
+    /// so a service can assemble a [`QuerySet`](crate::batch::QuerySet)
+    /// from its hot cache without recompiling anything. Fails on the
+    /// first compile error (earlier successful compilations stay cached).
+    pub fn get_or_compile_many(
+        &self,
+        compiler: &Compiler,
+        queries: &[&str],
+    ) -> EvalResult<Vec<Arc<CompiledQuery>>> {
+        let fingerprint = compiler.options_fingerprint();
+        queries.iter().map(|q| self.get_or_compile_keyed(compiler, &fingerprint, q)).collect()
+    }
+
     /// The primitive behind both `get_or_compile` variants: look up
     /// `(query, fingerprint)` and run `compile` only on a miss, so hit
     /// paths pay no compiler clone or option re-rendering. `fingerprint`

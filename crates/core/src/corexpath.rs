@@ -267,6 +267,12 @@ pub struct CoreXPathEvaluator<'d> {
     plane: std::sync::OnceLock<xpath_axes::PrePostPlane>,
     /// Optional name index accelerating `T(t)` lookups in `S←`.
     index: Option<xpath_xml::index::NameIndex>,
+    /// Optional shared axis-result memo for batched evaluation
+    /// ([`crate::batch`]): when present, step expansions, `T(t)` scans,
+    /// inverse passes, predicate sets and `=s` scans are served from the
+    /// memo on repeat applications. Never changes results — only whether a
+    /// pass re-runs.
+    memo: Option<std::sync::Arc<crate::batch::AxisMemo>>,
 }
 
 impl<'d> CoreXPathEvaluator<'d> {
@@ -292,12 +298,24 @@ impl<'d> CoreXPathEvaluator<'d> {
             kernels: xpath_axes::KernelCounters::new(),
             plane: std::sync::OnceLock::new(),
             index: None,
+            memo: None,
         }
     }
 
     /// Override the adaptive planner's cost model (tests, calibration).
     pub fn with_cost_model(mut self, model: xpath_axes::CostModel) -> Self {
         self.cost = model;
+        self
+    }
+
+    /// Attach a shared axis-result memo ([`crate::batch::AxisMemo`]):
+    /// repeat `(axis, node-test, input-fingerprint)` applications — and
+    /// the document-global `T(t)`, predicate and `=s` sets — are then
+    /// served from the memo instead of re-running their passes. This is
+    /// how [`crate::batch::QuerySet`] amortizes one document traversal
+    /// over a whole batch of queries; results are unchanged.
+    pub fn with_memo(mut self, memo: std::sync::Arc<crate::batch::AxisMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -317,12 +335,20 @@ impl<'d> CoreXPathEvaluator<'d> {
         self
     }
 
-    /// `T(t)` relative to an axis, through the name index when present.
+    /// `T(t)` relative to an axis, through the name index when present
+    /// and the batch memo when attached (the scan is document-global, so
+    /// one memo entry serves every query in a batch using the same test).
     fn t_set(&self, axis: Axis, test: &NodeTest) -> NodeSet {
-        NodeSet::from_sorted(match &self.index {
-            Some(ix) => node_test::matching_set_indexed(self.doc, ix, axis, test),
-            None => node_test::matching_set(self.doc, axis, test),
-        })
+        let compute = || {
+            NodeSet::from_sorted(match &self.index {
+                Some(ix) => node_test::matching_set_indexed(self.doc, ix, axis, test),
+                None => node_test::matching_set(self.doc, axis, test),
+            })
+        };
+        match &self.memo {
+            Some(m) => m.t_set(axis, test, &self.kernels, compute),
+            None => compute(),
+        }
     }
 
     /// Evaluate a compiled query with semantics `S→[[π]](N0)`.
@@ -404,7 +430,7 @@ impl<'d> CoreXPathEvaluator<'d> {
         }
     }
 
-    fn start_set(&self, start: &CoreStart, context_nodes: &[NodeId]) -> NodeSet {
+    pub(crate) fn start_set(&self, start: &CoreStart, context_nodes: &[NodeId]) -> NodeSet {
         match start {
             CoreStart::Context => NodeSet::from_unsorted(context_nodes.to_vec()),
             CoreStart::Root => NodeSet::singleton(self.doc.root()),
@@ -416,27 +442,65 @@ impl<'d> CoreXPathEvaluator<'d> {
     fn s_forward(&self, p: &CorePath, context_nodes: &[NodeId]) -> NodeSet {
         let mut n = self.start_set(&p.start, context_nodes);
         for step in &p.steps {
-            // χ(N) ∩ T(t).
-            let mut next = self.axis_forward(step.axis, &n);
-            node_test::filter_set(self.doc, step.axis, &step.test, &mut next);
-            // π[e] ↦ S→[[π]] ∩ E1[[e]].
-            for pred in &step.preds {
-                next = next.intersect(&self.e1(pred));
-            }
-            n = next;
+            n = self.advance_step(step, &n);
         }
-        if let Some(eq) = &p.eq {
-            n = n.intersect(&self.eq_set(eq));
+        self.finish_path(p, n)
+    }
+
+    /// Advance one spine step: `χ(N) ∩ T(t) ∩ E1[[e1]] ∩ …` — the
+    /// lock-step unit the batched evaluator ([`crate::batch`]) drives one
+    /// step at a time across a whole batch of spines.
+    pub(crate) fn advance_step(&self, step: &CoreStep, n: &NodeSet) -> NodeSet {
+        let mut next = self.expand_axis_test(step.axis, &step.test, n);
+        // π[e] ↦ S→[[π]] ∩ E1[[e]].
+        for pred in &step.preds {
+            next = next.intersect(&self.pred_set(pred));
         }
-        n
+        next
+    }
+
+    /// Apply a path's trailing `=s` restriction (XPatterns), completing
+    /// `S→` after the last step.
+    pub(crate) fn finish_path(&self, p: &CorePath, n: NodeSet) -> NodeSet {
+        match &p.eq {
+            Some(eq) => n.intersect(&self.eq_set(eq)),
+            None => n,
+        }
+    }
+
+    /// `χ(N) ∩ T(t)` — the axis application plus node test of one step,
+    /// memoized under `(axis, test, fingerprint(N))` when a batch memo is
+    /// attached: identical spine prefixes across a batch collapse to one
+    /// pass (equal inputs fingerprint equally, so sharing cascades down
+    /// shared prefixes step by step).
+    fn expand_axis_test(&self, axis: Axis, test: &NodeTest, n: &NodeSet) -> NodeSet {
+        let compute = || {
+            let mut next = self.axis_forward(axis, n);
+            node_test::filter_set(self.doc, axis, test, &mut next);
+            next
+        };
+        match &self.memo {
+            Some(m) => m.step(axis, test, n, &self.kernels, compute),
+            None => compute(),
+        }
+    }
+
+    /// `E1[[pred]]` through the batch memo when attached: predicate sets
+    /// are document-global (independent of the context set), so one entry
+    /// serves every occurrence of a predicate across the whole batch.
+    fn pred_set(&self, pred: &CorePred) -> NodeSet {
+        match &self.memo {
+            Some(m) => m.pred(pred, &self.kernels, || self.e1(pred)),
+            None => self.e1(pred),
+        }
     }
 
     /// `E1` (Definition 10.2): the set of nodes satisfying a predicate.
     fn e1(&self, pred: &CorePred) -> NodeSet {
         match pred {
-            CorePred::And(l, r) => self.e1(l).intersect(&self.e1(r)),
-            CorePred::Or(l, r) => self.e1(l).union(&self.e1(r)),
-            CorePred::Not(inner) => self.e1(inner).complement(self.doc.len() as u32),
+            CorePred::And(l, r) => self.pred_set(l).intersect(&self.pred_set(r)),
+            CorePred::Or(l, r) => self.pred_set(l).union(&self.pred_set(r)),
+            CorePred::Not(inner) => self.pred_set(inner).complement(self.doc.len() as u32),
             CorePred::Path(p) => self.s_backward(p),
         }
     }
@@ -450,12 +514,12 @@ impl<'d> CoreXPathEvaluator<'d> {
             // base = T(t) ∩ E1[[e1]] ∩ … (∩ S←[[rest]]).
             let mut base = self.t_set(step.axis, &step.test);
             for pred in &step.preds {
-                base = base.intersect(&self.e1(pred));
+                base = base.intersect(&self.pred_set(pred));
             }
             if let Some(a) = acc {
                 base = base.intersect(&a);
             }
-            acc = Some(self.axis_backward(step.axis, &base));
+            acc = Some(self.inverse_expand(step.axis, &base));
         }
         let acc = acc.unwrap_or_else(|| self.all.clone());
         match &p.start {
@@ -487,10 +551,20 @@ impl<'d> CoreXPathEvaluator<'d> {
         self.s_backward(&q.path)
     }
 
+    /// `χ⁻¹(X)` through the batch memo when attached, keyed on
+    /// `(axis, fingerprint(X))` like the forward expansions.
+    fn inverse_expand(&self, axis: Axis, set: &NodeSet) -> NodeSet {
+        match &self.memo {
+            Some(m) => m.inverse(axis, set, &self.kernels, || self.axis_backward(axis, set)),
+            None => self.axis_backward(axis, set),
+        }
+    }
+
     /// The unary predicate `{x | strval(x) = s}` of Table VI (computed by
-    /// string search over the document, `O(|D|)`).
+    /// string search over the document, `O(|D|)`; memoized per batch — the
+    /// scan is document-global).
     fn eq_set(&self, eq: &EqTest) -> NodeSet {
-        match eq {
+        let compute = || match eq {
             EqTest::Str(s) => {
                 self.doc.all_nodes().filter(|&n| self.doc.string_value(n) == s.as_str()).collect()
             }
@@ -499,6 +573,10 @@ impl<'d> CoreXPathEvaluator<'d> {
                 .all_nodes()
                 .filter(|&n| str_to_number(self.doc.string_value(n)) == *v)
                 .collect(),
+        };
+        match &self.memo {
+            Some(m) => m.eq(eq, &self.kernels, compute),
+            None => compute(),
         }
     }
 }

@@ -29,6 +29,7 @@ use std::sync::Mutex;
 use xpath_syntax::{Bindings, Expr};
 use xpath_xml::{Document, NodeId};
 
+use crate::batch::{BatchResult, QuerySetBuilder};
 use crate::bottomup::BottomUpEvaluator;
 use crate::cache::{CacheStats, QueryCache};
 use crate::context::{Context, EvalError, EvalResult};
@@ -173,6 +174,32 @@ impl<'d> Engine<'d> {
     /// Counters of the per-engine compiled-query cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Aggregate adaptive axis-planner decisions across every query this
+    /// engine has compiled and evaluated — the facade counterpart of
+    /// [`QueryCache::planner_stats`], so observability no longer requires
+    /// reaching into `xpath_core` internals.
+    pub fn planner_stats(&self) -> xpath_axes::KernelCounts {
+        self.cache.planner_stats()
+    }
+
+    /// Evaluate a batch of query strings at the document root in one
+    /// pass, sharing axis passes across the batch where the cost model
+    /// says it pays (see [`crate::batch`]). Compilations go through this
+    /// engine's cache, so repeated batches skip the static phase
+    /// entirely; compile errors fail the call, per-query evaluation
+    /// errors come back inside the [`BatchResult`].
+    pub fn evaluate_batch(&self, queries: &[&str]) -> EvalResult<BatchResult> {
+        let mut builder = QuerySetBuilder::with_compiler(self.compiler.clone());
+        for q in queries {
+            builder = builder.compiled(self.cache.get_or_compile_keyed(
+                &self.compiler,
+                &self.fingerprint,
+                q,
+            )?);
+        }
+        Ok(builder.build()?.evaluate_all(self.doc))
     }
 
     /// Run the same prepared query through every algorithm and check they
@@ -349,6 +376,24 @@ mod tests {
             Err(EvalError::Parse(_))
         ));
         assert!(matches!(engine.evaluate("///"), Err(EvalError::Parse(_))));
+    }
+
+    #[test]
+    fn evaluate_batch_matches_independent_and_reuses_the_cache() {
+        let d = doc_bookstore();
+        let engine = Engine::new(&d);
+        let queries = ["//book[author]", "count(//book)", "//book[author]"];
+        let batch = engine.evaluate_batch(&queries).unwrap();
+        for (q, r) in queries.iter().zip(batch.results()) {
+            let want = engine.evaluate(q).unwrap();
+            assert_eq!(r.as_ref().unwrap(), &want, "{q}");
+        }
+        // The duplicate text hit the engine cache during batch assembly.
+        assert!(engine.cache_stats().hits >= 1);
+        // Compile errors fail the whole call (nothing to evaluate).
+        assert!(matches!(engine.evaluate_batch(&["//["]), Err(EvalError::Parse(_))));
+        // The facade exposes fleet-wide planner stats without internals.
+        assert!(engine.planner_stats().total() > 0);
     }
 
     #[test]

@@ -117,6 +117,44 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
     Explanation { fragment: c.fragment, report, bottomup_paths }
 }
 
+/// Explain how a [`QuerySet`](crate::batch::QuerySet) will evaluate on a
+/// document of `doc_size` nodes: the static sharing profile, the batch
+/// mode the cost model picks, and the crossover it picked it at — the
+/// batch counterpart of [`explain`], surfaced by `xpq --explain` when
+/// several `-e` expressions (or a `--query-file`) form a batch.
+pub fn explain_batch(set: &crate::batch::QuerySet, doc_size: usize) -> String {
+    let universe = doc_size as u32;
+    let sharing = set.sharing();
+    let model = set.cost_model();
+    let threads = crate::parallel::resolve_threads(set.threads());
+    let mode = set.plan_mode(universe);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "batch:     {} queries ({} fragment-engine), {}/{} step units shared",
+        set.len(),
+        sharing.fragment_queries,
+        sharing.shared_units,
+        sharing.total_units,
+    );
+    let _ = writeln!(
+        report,
+        "batch mode @ |D| = {doc_size}, {threads} thread(s): {} (constants \
+         overridable via {})",
+        mode.name(),
+        xpath_axes::cost::COST_ENV
+    );
+    let _ = writeln!(
+        report,
+        "  lock-step sharing pays above {:.1}% duplicated units \
+         (memo probe {:.0}ns + fingerprint vs ~{:.0}ns per shared pass)",
+        model.batch_share_crossover(universe) * 100.0,
+        model.memo_probe_ns,
+        model.shared_pass_ns(universe),
+    );
+    report
+}
+
 /// Collect every axis a compiled Core XPath / XPatterns program applies
 /// (spine and predicate paths alike), keyed by name for stable output.
 fn collect_axes(

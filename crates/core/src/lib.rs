@@ -22,11 +22,13 @@
 //! | [`query`] | — | [`Compiler`] / [`CompiledQuery`]: compile once, evaluate many |
 //! | [`cache`] | — | sharded LRU [`QueryCache`] shared across workers |
 //! | [`parallel`] | — | sharded parallel CVT passes on a scoped thread pool |
+//! | [`batch`] | — | [`QuerySet`]: batched multi-query evaluation with shared axis passes |
 //! | [`engine`] | — | back-compat facade over `query` + `cache` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bottomup;
 pub mod cache;
 pub mod compare;
@@ -53,6 +55,7 @@ pub mod value;
 pub mod wadler;
 pub mod xpatterns;
 
+pub use batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use cache::{CacheStats, QueryCache};
 pub use context::{Context, EvalError, EvalResult};
 pub use engine::{Engine, Strategy};

@@ -238,7 +238,7 @@ where
     if shards <= 1 {
         return f(0, rows);
     }
-    let parts = run_sharded(&row_ranges(rows, shards), |_, lo, hi| f(lo, hi));
+    let parts = run_sharded(&chunk_ranges(rows, shards), |_, lo, hi| f(lo, hi));
     let mut out = Vec::with_capacity(rows as usize);
     for p in parts {
         out.extend(p);
@@ -257,7 +257,7 @@ where
     if shards <= 1 {
         return f(0, rows);
     }
-    let parts = run_sharded(&row_ranges(rows, shards), |_, lo, hi| f(lo, hi));
+    let parts = run_sharded(&chunk_ranges(rows, shards), |_, lo, hi| f(lo, hi));
     let mut out = Vec::with_capacity(rows as usize);
     for p in parts {
         out.extend(p?);
@@ -265,18 +265,20 @@ where
     Ok(out)
 }
 
-/// Split `[0, rows)` into at most `shards` near-equal contiguous row
-/// ranges (no word alignment needed — row passes write disjoint rows,
-/// not bitset words).
-fn row_ranges(rows: u32, shards: usize) -> Vec<(u32, u32)> {
-    if rows == 0 || shards <= 1 {
-        return vec![(0, rows)];
+/// Split `[0, items)` into at most `shards` near-equal contiguous ranges
+/// (no word alignment — unlike [`shard_ranges`], these partition plain
+/// indices: CVT table rows, or the query list of a
+/// [`batch::QuerySet`](crate::batch::QuerySet) fanning out one query per
+/// worker).
+pub fn chunk_ranges(items: u32, shards: usize) -> Vec<(u32, u32)> {
+    if items == 0 || shards <= 1 {
+        return vec![(0, items)];
     }
-    let per_shard = rows.div_ceil(shards as u32).max(1);
+    let per_shard = items.div_ceil(shards as u32).max(1);
     let mut out = Vec::with_capacity(shards);
     let mut lo = 0u32;
-    while lo < rows {
-        let hi = (lo + per_shard).min(rows);
+    while lo < items {
+        let hi = (lo + per_shard).min(items);
         out.push((lo, hi));
         lo = hi;
     }

@@ -147,6 +147,13 @@ impl Compiler {
     pub(crate) fn configured_naive_budget(&self) -> Option<u64> {
         self.naive_budget
     }
+
+    /// The configured shard budget (`0` = auto) — the default a
+    /// [`QuerySetBuilder`](crate::batch::QuerySetBuilder) built from this
+    /// compiler inherits.
+    pub(crate) fn configured_threads(&self) -> u32 {
+        self.threads
+    }
 }
 
 /// An immutable, document-independent compiled query.

@@ -559,6 +559,58 @@ impl NodeSet {
         }
     }
 
+    /// A cheap 64-bit content hash: splitmix64 chained over the set's
+    /// nonzero bitset words (synthesized on the fly for the sparse
+    /// representation), seeded with the cardinality.
+    ///
+    /// Two sets with equal contents fingerprint equally **regardless of
+    /// representation** — a dense bitset and a sorted vector holding the
+    /// same ids produce the same value — so the fingerprint can key
+    /// memo tables across repr boundaries (the batched query evaluator's
+    /// `(axis, node-test, input-fingerprint)` axis-result cache). Cost is
+    /// `O(nonzero words)` dense and `O(len)` sparse; distinct sets collide
+    /// with probability ~2⁻⁶⁴ per pair, which the memo consumers accept.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::rng::splitmix64;
+        let mut h = splitmix64(0x9E37_79B9_7F4A_7C15 ^ self.len() as u64);
+        let emit = |h: &mut u64, idx: u64, word: u64| {
+            *h = splitmix64(*h ^ idx);
+            *h = splitmix64(*h ^ word);
+        };
+        match &self.repr {
+            Repr::Bits { words, .. } => {
+                for (i, &w) in words.iter().enumerate() {
+                    if w != 0 {
+                        emit(&mut h, i as u64, w);
+                    }
+                }
+            }
+            Repr::Vec(v) => {
+                // Reconstruct the word stream the dense side would hash:
+                // group ascending ids by word index, emitting each word
+                // once its bits are complete (ids are strictly ascending,
+                // so words complete in order).
+                let mut wi = u64::MAX;
+                let mut acc = 0u64;
+                for n in v {
+                    let i = u64::from(n.0 / WORD_BITS);
+                    if i != wi {
+                        if wi != u64::MAX {
+                            emit(&mut h, wi, acc);
+                        }
+                        wi = i;
+                        acc = 0;
+                    }
+                    acc |= 1u64 << (n.0 % WORD_BITS);
+                }
+                if wi != u64::MAX {
+                    emit(&mut h, wi, acc);
+                }
+            }
+        }
+        h
+    }
+
     // ----- shard split / merge (parallel CVT evaluation) -----
 
     /// The subset of `self` with ids in `[lo, hi)` — the shard-input
@@ -999,6 +1051,43 @@ mod tests {
             NodeSet::union_shards(vec![ns(&[1, 2, 3]), dense(&[3, 4, 200], 300), ns(&[250])]);
         assert_eq!(merged, ns(&[1, 2, 3, 4, 200, 250]));
         assert_eq!(NodeSet::union_shards(Vec::new()), NodeSet::new());
+    }
+
+    #[test]
+    fn fingerprint_is_repr_independent_and_content_sensitive() {
+        // Equal contents, any representation (including differing
+        // universes — dense padding words are zero and never hashed).
+        let ids = [0u32, 1, 63, 64, 65, 500, 12_345];
+        let fp = ns(&ids).fingerprint();
+        assert_eq!(dense(&ids, 12_346).fingerprint(), fp);
+        assert_eq!(dense(&ids, 60_000).fingerprint(), fp, "universe padding must not matter");
+        assert_eq!(
+            NodeSet::from_sorted(ids.iter().map(|&i| NodeId(i)).collect()).fingerprint(),
+            fp
+        );
+        // Content changes change the fingerprint (w.h.p.; these pins catch
+        // the classic mistakes: dropped word boundaries, ignored len).
+        assert_ne!(ns(&[0, 1, 63, 64, 65, 500]).fingerprint(), fp);
+        assert_ne!(ns(&[0, 1, 62, 64, 65, 500, 12_345]).fingerprint(), fp);
+        assert_ne!(NodeSet::new().fingerprint(), fp);
+        // Empty sets agree across representations too.
+        assert_eq!(NodeSet::new().fingerprint(), NodeSet::empty_dense(4096).fingerprint());
+        // Randomized cross-check over densities.
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let p = [0.01, 0.1, 0.5, 0.9][(seed % 4) as usize];
+            let ids: Vec<u32> = (0..700u32).filter(|_| rng.random_bool(p)).collect();
+            let v = ns(&ids);
+            let d = dense(&ids, 700);
+            assert_eq!(v.fingerprint(), d.fingerprint(), "seed {seed}");
+            // Mutating one id moves the fingerprint.
+            if let Some(&first) = ids.first() {
+                let mut other: Vec<u32> = ids.clone();
+                other[0] = first + 701;
+                other.sort_unstable();
+                assert_ne!(ns(&other).fingerprint(), v.fingerprint(), "seed {seed}");
+            }
+        }
     }
 
     /// Property test (deterministic seeds): the dense and sparse

@@ -7,6 +7,19 @@
 //! splitmix64 (Steele, Lea & Flood, OOPSLA 2014), which passes BigCrush
 //! and is the usual choice for seeding/light-duty generation.
 
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Besides driving [`Rng`], it is the hash behind
+/// [`NodeSet::fingerprint`](crate::nodeset::NodeSet::fingerprint) — the
+/// content hash the batched query evaluator keys its axis-result memo
+/// table on. Deterministic across platforms and processes.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A seeded splitmix64 generator with the draw methods the generators use.
 #[derive(Clone, Debug)]
 pub struct Rng {
@@ -23,10 +36,7 @@ impl Rng {
     /// The next raw 64-bit draw (splitmix64).
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64(self.state)
     }
 
     /// A uniform draw from a range (`lo..hi` or `lo..=hi`).

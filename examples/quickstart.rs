@@ -1,10 +1,18 @@
-//! Quickstart: compile queries once, evaluate them against documents.
+//! Quickstart: the three-tier query API.
+//!
+//! 1. **Ad-hoc** — `Engine::evaluate` for one-off queries against one
+//!    document (compiles behind a per-engine cache);
+//! 2. **Compiled** — `Compiler`/`CompiledQuery` for compile-once,
+//!    evaluate-many (share via `QueryCache` across threads);
+//! 3. **Batched** — `QuerySetBuilder`/`QuerySet` for evaluating many
+//!    queries against a document in ONE pass, sharing identical axis
+//!    passes across the batch when the cost model says sharing pays.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use gkp_xpath::{CompiledQuery, Compiler, Document, Engine, QueryCache, Strategy};
+use gkp_xpath::{CompiledQuery, Compiler, Document, Engine, QueryCache, QuerySetBuilder, Strategy};
 
 fn main() {
     // 1. Parse an XML document (or build one with DocumentBuilder).
@@ -66,9 +74,44 @@ fn main() {
     let stats = cache.stats();
     println!("cache: {} compile(s), {} hits", stats.misses, stats.hits);
 
-    // 6. Every algorithm from the paper is available explicitly, and the
-    //    document-bound Engine facade remains for one-off queries.
+    // 6. The third tier: batch many queries into one immutable QuerySet
+    //    and evaluate them all in a single pass. Queries sharing spine
+    //    prefixes (here: every query starts //shelf/book) share their
+    //    axis passes through the lock-step memo — each distinct pass runs
+    //    once for the whole batch, and the planner records how much was
+    //    shared. Results come back in input order, bit-identical to
+    //    independent evaluation.
+    //    (On this toy document the cost model would rightly refuse to
+    //    share — a memo probe costs more than a 25-node pass — so the
+    //    mode is pinned here to show the machinery; on real documents
+    //    the decision is automatic and surfaces in `xpq --explain`.)
+    let batch = QuerySetBuilder::new()
+        .query("//shelf/book/title")
+        .query("//shelf/book[title]") // shares the //shelf/book prefix
+        .query("//shelf/book/title") // duplicate: fully shared
+        .query("count(//shelf)") // non-fragment queries ride along
+        .mode(gkp_xpath::BatchMode::LockStepShared)
+        .build()
+        .expect("all queries valid");
+    let out = batch.evaluate_all(&doc);
+    for (i, result) in out.results().iter().enumerate() {
+        println!("batch[{i}] -> {}", result.as_ref().unwrap());
+    }
+    let stats = out.stats();
+    println!(
+        "batch mode: {:?}, {} axis applications served from the shared memo",
+        stats.mode, stats.memo_hits
+    );
+
+    // 7. Every algorithm from the paper is available explicitly, and the
+    //    document-bound Engine facade remains for one-off queries — it
+    //    now also exposes batched evaluation and fleet-wide planner
+    //    stats without reaching into internals.
     let engine = Engine::new(&doc);
+    let facade = engine.evaluate_batch(&["count(//book)", "//book/title"]).unwrap();
+    println!("facade batch: {}", facade.results()[0].as_ref().unwrap());
+    engine.select("//shelf[book]").unwrap(); // a fragment query records kernel picks
+    println!("planner: {} axis applications so far", engine.planner_stats().total());
     for strategy in [
         Strategy::Naive,         // §2  exponential baseline
         Strategy::DataPool,      // §9  memoized

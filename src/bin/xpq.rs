@@ -3,10 +3,22 @@
 //!
 //! ```text
 //! xpq [OPTIONS] <QUERY> [FILE]
+//! xpq [OPTIONS] -e EXPR [-e EXPR]... [FILE]
+//! xpq [OPTIONS] --query-file QUERIES [FILE]
 //!
-//! Reads FILE (or stdin) as XML and evaluates QUERY at the document root.
+//! Reads FILE (or stdin) as XML and evaluates the query — or the whole
+//! batch of queries — at the document root.
 //!
 //! Options:
+//!   -e, --expr <EXPR>       add one query to the batch (repeatable). Two
+//!                           or more batch queries evaluate together in
+//!                           ONE pass through a QuerySet: identical axis
+//!                           applications across the batch are shared via
+//!                           the lock-step memo when the cost model says
+//!                           sharing pays (see --explain)
+//!       --query-file <F>    read batch queries from F, one per line
+//!                           (blank lines and #-comments skipped);
+//!                           combines with -e
 //!   -s, --strategy <name>   naive | pool | bottomup | topdown | mincontext |
 //!                           optmincontext | corexpath | xpatterns |
 //!                           streaming (alias: stream) | auto (default) —
@@ -14,27 +26,29 @@
 //!   -O, --optimize          run the semantics-preserving rewrite pass
 //!                           (//-step merging, self::node() elimination,
 //!                           constant folding) during compilation
-//!   -r, --repeat <N>        evaluate the query N times through a
-//!                           QueryCache (compiled on first sight, cache
-//!                           hits thereafter; hit/miss stats are printed to
+//!   -r, --repeat <N>        evaluate N times through a QueryCache
+//!                           (compiled on first sight, cache hits
+//!                           thereafter; hit/miss stats are printed to
 //!                           stderr; with --time, reports the amortized
-//!                           per-evaluation cost)
-//!   -T, --threads <N>       shard budget for the parallel CVT layer:
-//!                           0 = auto (GKP_THREADS env, then the machine's
-//!                           parallelism — the default), 1 = always serial,
-//!                           N caps the per-pass scoped thread pool.
-//!                           Sharding is cost-gated per pass and never
-//!                           changes results; decisions show up in -v
-//!                           (planner tally) and --explain (spawn gate)
+//!                           per-evaluation cost). Batches re-run
+//!                           evaluate_all N times
+//!   -T, --threads <N>       shard budget for the parallel CVT layer and
+//!                           the batch fan-out: 0 = auto (GKP_THREADS env,
+//!                           then the machine's parallelism — the
+//!                           default), 1 = always serial, N caps the
+//!                           per-pass scoped thread pool. Cost-gated,
+//!                           never changes results
 //!   -c, --classify          print the Figure-1 fragment classification and exit
 //!   -n, --normalize         print the normalized (unabbreviated) query and exit
-//!   -e, --explain           print the query plan (fragment, Relev sets,
+//!       --explain           print the query plan (fragment, Relev sets,
 //!                           bottom-up candidates, adaptive axis-kernel
-//!                           crossovers) and exit
+//!                           crossovers; for batches, additionally the
+//!                           batch-mode decision) and exit
 //!   -v, --verbose           print fragment + chosen strategy before
 //!                           results, and the adaptive planner's kernel
-//!                           tally (per-node / bulk-sparse / bulk-dense)
-//!                           after evaluation
+//!                           tally (per-node / bulk-sparse / bulk-dense /
+//!                           memo-shared) after evaluation; batches also
+//!                           report the mode taken and the memo hit rate
 //!       --serialize         print matched subtrees as XML instead of string values
 //!       --verify            run all algorithms and require agreement (the
 //!                           differential oracle) before printing results
@@ -43,17 +57,17 @@
 //!       --time              print parse, compile and evaluation wall times
 //! ```
 //!
-//! The tool follows the two-phase API: the query is **compiled once**
-//! (document-independent static phase — parse, normalize, classify,
-//! select the algorithm, build fragment artifacts) into a
-//! [`gkp_xpath::CompiledQuery`], then evaluated `--repeat` times against
-//! the document.
+//! The tool follows the two-phase API: queries are **compiled once**
+//! (document-independent static phase) into [`gkp_xpath::CompiledQuery`]
+//! handles — a batch into one [`gkp_xpath::QuerySet`] — then evaluated
+//! `--repeat` times against the document. Batch results print in input
+//! order, each preceded by a `# <query>` header line.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use gkp_xpath::core::{EvalError, Value};
-use gkp_xpath::{Compiler, Document, Engine, Strategy};
+use gkp_xpath::{Compiler, Document, Engine, QuerySetBuilder, Strategy};
 
 struct Options {
     strategy: Strategy,
@@ -69,13 +83,16 @@ struct Options {
     stats: bool,
     namespaces: bool,
     time: bool,
+    exprs: Vec<String>,
+    query_file: Option<String>,
     query: Option<String>,
     file: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [-e] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] <QUERY> [FILE]\n\
+    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [--explain] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] (<QUERY> | -e EXPR... | --query-file F) [FILE]\n\
      strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto\n\
+     -e/--expr: add a query to the batch (repeatable); --query-file: one query per line (#-comments skipped)\n\
      -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)"
 }
 
@@ -94,6 +111,8 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         namespaces: false,
         time: false,
+        exprs: Vec::new(),
+        query_file: None,
         query: None,
         file: None,
     };
@@ -129,9 +148,15 @@ fn parse_args() -> Result<Options, String> {
                 let n = args.next().ok_or("missing thread count")?;
                 o.threads = n.parse::<u32>().map_err(|_| format!("invalid thread count {n:?}"))?;
             }
+            "-e" | "--expr" => {
+                o.exprs.push(args.next().ok_or("missing expression after -e/--expr")?);
+            }
+            "--query-file" => {
+                o.query_file = Some(args.next().ok_or("missing path after --query-file")?);
+            }
             "-c" | "--classify" => o.classify_only = true,
             "-n" | "--normalize" => o.normalize_only = true,
-            "-e" | "--explain" => o.explain_only = true,
+            "--explain" => o.explain_only = true,
             "-v" | "--verbose" => o.verbose = true,
             "--serialize" => o.serialize = true,
             "--verify" => o.verify = true,
@@ -144,10 +169,84 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    if o.query.is_none() {
+    if !o.exprs.is_empty() || o.query_file.is_some() {
+        // Batch invocation: the only positional argument is the XML file.
+        if o.file.is_some() {
+            return Err("too many positional arguments for a batch invocation".to_string());
+        }
+        o.file = o.query.take();
+    } else if o.query.is_none() {
         return Err(usage().to_string());
     }
     Ok(o)
+}
+
+/// The batch's query texts in input order: `-e` expressions first, then
+/// the `--query-file` lines (blank lines and `#` comments skipped).
+fn collect_queries(opts: &Options) -> Result<Vec<String>, String> {
+    let mut queries = opts.exprs.clone();
+    if let Some(path) = &opts.query_file {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        queries.extend(
+            content
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from),
+        );
+    }
+    if let Some(q) = &opts.query {
+        // Single-query invocation: a batch of one.
+        queries.push(q.clone());
+    }
+    if queries.is_empty() {
+        return Err("no queries given (empty --query-file?)".to_string());
+    }
+    Ok(queries)
+}
+
+fn read_document(opts: &Options) -> Result<Document, (String, u8)> {
+    let xml = match &opts.file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| (format!("cannot read {path}: {e}"), 1u8))?
+        }
+        None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| (format!("cannot read stdin: {e}"), 1u8))?;
+            s
+        }
+    };
+    Document::parse_str_opts(
+        &xml,
+        gkp_xpath::xml::ParseOptions { namespaces: opts.namespaces, ..Default::default() },
+    )
+    .map_err(|e| (format!("XML error: {e}"), 1u8))
+}
+
+fn print_value(doc: &Document, opts: &Options, value: &Value) {
+    match value {
+        Value::NodeSet(nodes) => {
+            for n in nodes {
+                if opts.serialize {
+                    println!("{}", doc.serialize(n));
+                } else {
+                    let shown = match doc.kind(n) {
+                        gkp_xpath::NodeKind::Attribute => format!(
+                            "@{}={}",
+                            doc.name(n).unwrap_or("?"),
+                            doc.value(n).unwrap_or("")
+                        ),
+                        _ => doc.string_value(n).to_string(),
+                    };
+                    println!("{shown}");
+                }
+            }
+        }
+        v => println!("{v}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -158,44 +257,72 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let query = opts.query.as_deref().expect("checked");
+    let queries = match collect_queries(&opts) {
+        Ok(q) => q,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let batch = queries.len() > 1;
     let compiler = Compiler::new()
         .optimize(opts.optimize)
         .default_strategy(opts.strategy)
         .threads(opts.threads);
 
     // Parse-only modes (no document needed: the static phase is
-    // document-independent).
+    // document-independent). Each batch member prints under its own
+    // header; --explain additionally reports the batch-mode decision.
     if opts.normalize_only || opts.classify_only || opts.explain_only {
-        let parsed = match compiler.parse(query) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("query error: {e}");
-                return ExitCode::from(2);
+        for q in &queries {
+            let parsed = match compiler.parse(q) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("query error in {q:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if batch {
+                println!("# {q}");
             }
-        };
-        if opts.normalize_only {
-            println!("{parsed}");
-        } else if opts.classify_only {
-            let c = gkp_xpath::core::classify(&parsed);
-            println!("{} ({})", c.fragment.name(), c.fragment.complexity());
-            for v in c.wadler_violations {
-                println!("  {v}");
+            if opts.normalize_only {
+                println!("{parsed}");
+            } else if opts.classify_only {
+                let c = gkp_xpath::core::classify(&parsed);
+                println!("{} ({})", c.fragment.name(), c.fragment.complexity());
+                for v in c.wadler_violations {
+                    println!("  {v}");
+                }
+            } else {
+                let x = gkp_xpath::core::explain::explain(&parsed, 1000);
+                print!("{}", x.report);
             }
-        } else {
-            let x = gkp_xpath::core::explain::explain(&parsed, 1000);
-            print!("{}", x.report);
+        }
+        if batch && opts.explain_only {
+            match QuerySetBuilder::with_compiler(compiler.clone())
+                .queries(queries.iter().cloned())
+                .build()
+            {
+                Ok(set) => print!("{}", set.explain(1000)),
+                Err(e) => {
+                    eprintln!("query error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }
 
-    // Compile: one static phase for the whole invocation — parse,
-    // normalize, rewrite, classify, resolve the strategy, and build
-    // fragment artifacts eagerly. Queries outside an explicitly requested
-    // fragment fail here, before the document is even read.
+    // Compile: one static phase for the whole invocation. A batch
+    // compiles into a single QuerySet (shared-structure analysis
+    // included); queries outside an explicitly requested fragment fail
+    // here, before the document is even read.
     let compile_start = std::time::Instant::now();
-    let compiled = match compiler.compile(query) {
-        Ok(q) => q,
+    let set = match QuerySetBuilder::with_compiler(compiler.clone())
+        .queries(queries.iter().cloned())
+        .build()
+    {
+        Ok(s) => s,
         Err(e @ EvalError::Parse(_)) => {
             eprintln!("query error: {e}");
             return ExitCode::from(2);
@@ -207,9 +334,14 @@ fn main() -> ExitCode {
     };
     let compile_time = compile_start.elapsed();
     if opts.verbose {
-        let fragment = compiled.fragment();
-        eprintln!("fragment: {} ({})", fragment.name(), fragment.complexity());
-        eprintln!("strategy: {:?}", compiled.strategy());
+        for q in set.queries() {
+            let fragment = q.fragment();
+            if batch {
+                eprintln!("query:    {}", q.text());
+            }
+            eprintln!("fragment: {} ({})", fragment.name(), fragment.complexity());
+            eprintln!("strategy: {:?}", q.strategy());
+        }
         let resolved = gkp_xpath::core::parallel::resolve_threads(opts.threads);
         eprintln!("threads:  {resolved}{}", if opts.threads == 0 { " (auto)" } else { "" });
         // One-time GKP_AXIS_COST parse diagnostics: a typo'd calibration
@@ -220,32 +352,12 @@ fn main() -> ExitCode {
     }
 
     // Load the document.
-    let xml = match &opts.file {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::from(1);
-            }
-        },
-        None => {
-            let mut s = String::new();
-            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
-                eprintln!("cannot read stdin: {e}");
-                return ExitCode::from(1);
-            }
-            s
-        }
-    };
     let parse_start = std::time::Instant::now();
-    let doc = match Document::parse_str_opts(
-        &xml,
-        gkp_xpath::xml::ParseOptions { namespaces: opts.namespaces, ..Default::default() },
-    ) {
+    let doc = match read_document(&opts) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("XML error: {e}");
-            return ExitCode::from(1);
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            return ExitCode::from(code);
         }
     };
     let parse_time = parse_start.elapsed();
@@ -256,45 +368,76 @@ fn main() -> ExitCode {
     if opts.verify {
         let engine = Engine::new(&doc);
         let ctx = gkp_xpath::core::Context::of(doc.root());
-        match engine.evaluate_all_agree(compiled.expr(), ctx, 10_000_000) {
-            Ok(_) => eprintln!("verify: all algorithms agree"),
-            Err(e) => {
-                eprintln!("verify FAILED: {e}");
-                return ExitCode::from(1);
+        for q in set.queries() {
+            match engine.evaluate_all_agree(q.expr(), ctx, 10_000_000) {
+                Ok(_) => eprintln!("verify: all algorithms agree on {}", q.text()),
+                Err(e) => {
+                    eprintln!("verify FAILED on {}: {e}", q.text());
+                    return ExitCode::from(1);
+                }
             }
         }
     }
 
-    // Runtime phase: `--repeat` evaluations. Repeated runs go through a
-    // QueryCache — the compile-once / evaluate-many path a service would
-    // take — and its hit/miss counters are surfaced afterwards. The cache
-    // is warmed (one miss, compiling outside the timed region) so the
-    // timed loop measures the steady state: hit-path lookup + evaluation.
+    // Runtime phase: `--repeat` batch evaluations. For single queries,
+    // repeated runs additionally go through a QueryCache — the
+    // compile-once / evaluate-many path a service would take — and its
+    // hit/miss counters are surfaced afterwards. The cache is warmed (one
+    // miss, compiling outside the timed region) so the timed loop
+    // measures the steady state.
     let cache = gkp_xpath::core::QueryCache::new(16);
-    if opts.repeat > 1 {
-        let _ = cache.get_or_compile(&compiler, query);
+    let single = (!batch && opts.repeat > 1).then(|| queries[0].as_str());
+    if let Some(q) = single {
+        let _ = cache.get_or_compile(&compiler, q);
     }
     let eval_start = std::time::Instant::now();
-    let mut result = compiled.evaluate_root(&doc);
-    for _ in 1..opts.repeat {
-        result = match cache.get_or_compile(&compiler, query) {
-            Ok(q) => q.evaluate_root(&doc),
-            Err(e) => Err(e),
-        };
-    }
+    let mut batch_stats = None;
+    let results: Vec<Result<Value, EvalError>> = if let Some(q) = single {
+        // Single query under -r: first run on the precompiled handle,
+        // steady-state runs through the warmed cache.
+        let mut result = set.queries()[0].evaluate_root(&doc);
+        for _ in 1..opts.repeat {
+            result = match cache.get_or_compile(&compiler, q) {
+                Ok(compiled) => compiled.evaluate_root(&doc),
+                Err(e) => Err(e),
+            };
+        }
+        vec![result]
+    } else {
+        let mut out = set.evaluate_all(&doc);
+        for _ in 1..opts.repeat {
+            out = set.evaluate_all(&doc);
+        }
+        batch_stats = Some(*out.stats());
+        out.into_results()
+    };
     let eval_time = eval_start.elapsed();
-    if opts.repeat > 1 {
+    if single.is_some() {
         let stats = cache.stats();
         eprintln!(
             "cache: {} hits, {} misses, {} resident",
             stats.hits, stats.misses, stats.entries
         );
     }
-    // Adaptive axis-planner provenance: which kernels actually ran
-    // (per-query tally; the -r loop's cached handle is aggregated via the
-    // cache). Zero-total tallies (non-fragment strategies) are omitted.
     if opts.verbose || opts.repeat > 1 {
-        let kernels = compiled.planner_stats().plus(cache.planner_stats());
+        if let (true, Some(s)) = (batch, batch_stats) {
+            eprintln!(
+                "batch: mode={}, {} queries ({} fragment), {} memo hits / {} misses, {} worker(s)",
+                s.mode.name(),
+                s.queries,
+                s.fragment_queries,
+                s.memo_hits,
+                s.memo_misses,
+                s.workers
+            );
+        }
+        // Adaptive axis-planner provenance: which kernels actually ran,
+        // and how many applications the batch memo shared. Zero-total
+        // tallies (non-fragment strategies) are omitted.
+        let mut kernels = set.planner_stats().plus(cache.planner_stats());
+        for q in set.queries() {
+            kernels = kernels.plus(q.planner_stats());
+        }
         if kernels.total() > 0 {
             eprintln!("planner: {kernels} axis applications");
         }
@@ -311,32 +454,23 @@ fn main() -> ExitCode {
             eprintln!("parse: {parse_time:?}  compile: {compile_time:?}  evaluate: {eval_time:?}");
         }
     }
-    match result {
-        Ok(Value::NodeSet(nodes)) => {
-            for n in nodes {
-                if opts.serialize {
-                    println!("{}", doc.serialize(n));
-                } else {
-                    let shown = match doc.kind(n) {
-                        gkp_xpath::NodeKind::Attribute => format!(
-                            "@{}={}",
-                            doc.name(n).unwrap_or("?"),
-                            doc.value(n).unwrap_or("")
-                        ),
-                        _ => doc.string_value(n).to_string(),
-                    };
-                    println!("{shown}");
-                }
+
+    let mut failed = false;
+    for (q, result) in queries.iter().zip(&results) {
+        if batch {
+            println!("# {q}");
+        }
+        match result {
+            Ok(v) => print_value(&doc, &opts, v),
+            Err(e) => {
+                eprintln!("evaluation error in {q:?}: {e}");
+                failed = true;
             }
-            ExitCode::SUCCESS
         }
-        Ok(v) => {
-            println!("{v}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("evaluation error: {e}");
-            ExitCode::from(1)
-        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -47,9 +47,30 @@
 //! assert_eq!(cache.stats().misses, 1); // static phase ran once
 //! ```
 //!
+//! Many queries against one document evaluate together through the
+//! batch-native third tier: a [`QuerySet`] runs all compiled Core XPath
+//! spines lock-step, deduplicating identical axis applications through a
+//! shared memo table so each distinct pass over the document happens once
+//! for the whole batch (see [`xpath_core::batch`]):
+//!
+//! ```
+//! use gkp_xpath::{Document, QuerySetBuilder};
+//!
+//! let set = QuerySetBuilder::new()
+//!     .query("//b/c")
+//!     .query("//b[c]")      // shares the //b prefix pass
+//!     .query("count(//b)")  // non-fragment queries ride along
+//!     .build()
+//!     .unwrap();
+//! let doc = Document::parse_str("<a><b><c/></b><b/></a>").unwrap();
+//! let out = set.evaluate_all(&doc);
+//! assert_eq!(out.results()[2].as_ref().unwrap().to_string(), "2");
+//! ```
+//!
 //! The document-bound [`Engine`] remains as a convenience facade over
 //! `Compiler` + `QueryCache` for one-off evaluation against a single
-//! document.
+//! document; it also exposes the batch tier ([`Engine::evaluate_batch`])
+//! and fleet-wide planner statistics ([`Engine::planner_stats`]).
 
 #![forbid(unsafe_code)]
 
@@ -58,6 +79,8 @@ pub use xpath_core as core;
 pub use xpath_syntax as syntax;
 pub use xpath_xml as xml;
 
+pub use xpath_axes::{BatchMode, KernelCounts};
+pub use xpath_core::batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use xpath_core::cache::{CacheStats, QueryCache};
 pub use xpath_core::engine::{Engine, Strategy};
 pub use xpath_core::query::{CompiledQuery, Compiler};

@@ -71,10 +71,10 @@ fn normalize_mode() {
 
 #[test]
 fn explain_mode_reports_streamability() {
-    let (stdout, _, code) = xpq(&["-e", "//book[title]"], "");
+    let (stdout, _, code) = xpq(&["--explain", "//book[title]"], "");
     assert_eq!(code, 0);
     assert!(stdout.contains("streaming: yes"), "{stdout}");
-    let (stdout, _, _) = xpq(&["-e", "//book/parent::*"], "");
+    let (stdout, _, _) = xpq(&["--explain", "//book/parent::*"], "");
     assert!(stdout.contains("streaming: no"), "{stdout}");
 }
 
@@ -194,7 +194,89 @@ fn threads_flag_caps_the_shard_budget_without_changing_results() {
 
 #[test]
 fn explain_reports_the_parallel_spawn_gate() {
-    let (stdout, _, code) = xpq(&["-e", "//book[author]"], "");
+    let (stdout, _, code) = xpq(&["--explain", "//book[author]"], "");
     assert_eq!(code, 0);
     assert!(stdout.contains("parallel: budget"), "{stdout}");
+}
+
+#[test]
+fn batch_expressions_evaluate_in_one_pass_with_headers() {
+    let (stdout, _, code) = xpq(&["-e", "//title", "-e", "count(//book)"], XML);
+    assert_eq!(code, 0);
+    assert_eq!(stdout, "# //title\nFoundations\nXPath\n# count(//book)\n2\n");
+}
+
+#[test]
+fn batch_results_match_independent_invocations() {
+    let queries = ["//title", "count(//book)", "//book[@year > 2000]/title", "//title"];
+    let mut args: Vec<&str> = Vec::new();
+    for q in &queries {
+        args.push("-e");
+        args.push(q);
+    }
+    let (stdout, _, code) = xpq(&args, XML);
+    assert_eq!(code, 0);
+    let mut expected = String::new();
+    for q in &queries {
+        let (one, _, code) = xpq(&[q], XML);
+        assert_eq!(code, 0, "{q}");
+        expected.push_str(&format!("# {q}\n{one}"));
+    }
+    assert_eq!(stdout, expected, "batched output must equal N independent runs");
+}
+
+#[test]
+fn batch_verbose_reports_mode_and_memo_hits() {
+    // Shared prefixes + a 1-thread budget: the cost model picks lock-step
+    // sharing on the duplicated steps.
+    let (_, stderr, code) = xpq(
+        &["-v", "-T", "1", "-e", "//book/title", "-e", "//book/title", "-e", "//book/@year"],
+        XML,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("batch: mode="), "{stderr}");
+}
+
+#[test]
+fn query_file_feeds_the_batch() {
+    let dir = std::env::temp_dir().join(format!("xpq-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("queries.txt");
+    std::fs::write(&path, "# a comment\n//title\n\ncount(//book)\n").unwrap();
+    let (stdout, stderr, code) = xpq(&["--query-file", path.to_str().unwrap()], XML);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(stdout, "# //title\nFoundations\nXPath\n# count(//book)\n2\n");
+    // A missing file is a usage error.
+    let (_, stderr, code) = xpq(&["--query-file", "/no/such/file"], XML);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_explain_reports_the_mode_decision() {
+    let (stdout, _, code) = xpq(&["--explain", "-e", "//book[author]", "-e", "//book[author]"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("batch:"), "{stdout}");
+    assert!(stdout.contains("batch mode @"), "{stdout}");
+    assert!(stdout.contains("step units shared"), "{stdout}");
+}
+
+#[test]
+fn batch_per_query_errors_keep_the_rest() {
+    // A query outside the requested fragment fails the whole compile...
+    let (_, stderr, code) = xpq(&["-s", "corexpath", "-e", "//title", "-e", "count(//book)"], XML);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("unsupported"), "{stderr}");
+    // ...while a runtime-failing member (unknown functions surface at
+    // evaluation time) only fails its own slot: the healthy result still
+    // prints, the error goes to stderr, and the exit code reports it.
+    let (stdout, stderr, code) = xpq(&["-e", "count(//book)", "-e", "bogus(//book)"], XML);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stdout.contains("# count(//book)\n2\n"), "{stdout}");
+    assert!(stderr.contains("unknown function"), "{stderr}");
+    // Scalar oddities are results, not errors.
+    let (stdout, _, code) = xpq(&["-e", "count(//book)", "-e", "1 div 0"], XML);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("Infinity") || stdout.contains("inf"), "{stdout}");
 }
