@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
                 continue;
             }
             g.bench_with_input(BenchmarkId::new(*sname, qname), qname, |b, _| {
-                b.iter(|| engine.evaluate_expr(&e, *s, ctx).unwrap())
+                b.iter(|| engine.evaluate_expr(&e, *s, ctx).unwrap());
             });
         }
     }

@@ -82,7 +82,7 @@ fn bench_structural_join(c: &mut Criterion) {
         }
 
         g.bench_with_input(BenchmarkId::new("stack-tree", size), &size, |b, _| {
-            b.iter(|| join_descendants(&doc, &alist, &dlist))
+            b.iter(|| join_descendants(&doc, &alist, &dlist));
         });
         g.bench_with_input(BenchmarkId::new("axis-then-filter", size), &size, |b, _| {
             b.iter(|| {
@@ -102,7 +102,7 @@ fn bench_structural_join(c: &mut Criterion) {
                     }
                 }
                 out
-            })
+            });
         });
     }
     g.finish();
@@ -124,10 +124,10 @@ fn bench_name_index(c: &mut Criterion) {
         let plain = CoreXPathEvaluator::new(&doc);
         let indexed = CoreXPathEvaluator::new(&doc).with_name_index();
         g.bench_with_input(BenchmarkId::new("scan", size), &size, |b, _| {
-            b.iter(|| plain.evaluate(&q, &[doc.root()]))
+            b.iter(|| plain.evaluate(&q, &[doc.root()]));
         });
         g.bench_with_input(BenchmarkId::new("indexed", size), &size, |b, _| {
-            b.iter(|| indexed.evaluate(&q, &[doc.root()]))
+            b.iter(|| indexed.evaluate(&q, &[doc.root()]));
         });
     }
     g.finish();

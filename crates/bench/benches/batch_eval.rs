@@ -40,10 +40,10 @@ fn bench(c: &mut Criterion) {
                 for q in &compiled {
                     std::hint::black_box(q.evaluate_root(&doc).unwrap());
                 }
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("batched", name), &(), |b, ()| {
-            b.iter(|| std::hint::black_box(set.evaluate_all(&doc)))
+            b.iter(|| std::hint::black_box(set.evaluate_all(&doc)));
         });
     }
     g.finish();

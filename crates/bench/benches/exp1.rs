@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
     for k in [4usize, 8, 12, 14] {
         let e = engine.prepare(&exp1_query(k)).unwrap();
         g.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::Naive, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::Naive, ctx).unwrap());
         });
     }
     // The paper's engines across the full range.
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             ("opt-min-context", Strategy::OptMinContext),
         ] {
             g.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
-                b.iter(|| engine.evaluate_expr(&e, s, ctx).unwrap())
+                b.iter(|| engine.evaluate_expr(&e, s, ctx).unwrap());
             });
         }
     }

@@ -23,10 +23,10 @@ fn bench(c: &mut Criterion) {
         let ctx = Context::of(doc.root());
         let e = engine.prepare(&q).unwrap();
         g.bench_with_input(BenchmarkId::new("top-down(quadratic)", leaves), &leaves, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("core-xpath(linear)", leaves), &leaves, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap());
         });
     }
     // Larger sizes for the linear route only.
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
         let ctx = Context::of(doc.root());
         let e = engine.prepare(&q).unwrap();
         g.bench_with_input(BenchmarkId::new("core-xpath(linear)", leaves), &leaves, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap());
         });
     }
     g.finish();

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         let ctx = Context::of(doc.root());
         let e = engine.prepare(&q).unwrap();
         g.bench_with_input(BenchmarkId::new("core/data-sweep", size), &size, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap());
         });
     }
 
@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 8, 32] {
         let e = engine.prepare(&core_query(k)).unwrap();
         g.bench_with_input(BenchmarkId::new("core/query-sweep", k), &k, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::CoreXPath, ctx).unwrap());
         });
     }
 
@@ -45,11 +45,11 @@ fn bench(c: &mut Criterion) {
         let ctx = Context::of(doc.root());
         let e = engine.prepare("id(//item[not(preceding-sibling::*)])/self::*").unwrap();
         g.bench_with_input(BenchmarkId::new("xpatterns/id-axis", size), &size, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::XPatterns, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::XPatterns, ctx).unwrap());
         });
         let e = engine.prepare("//item[self::* = 'i1 i2 ']").unwrap();
         g.bench_with_input(BenchmarkId::new("xpatterns/eq-s", size), &size, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::XPatterns, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::XPatterns, ctx).unwrap());
         });
     }
     g.finish();

@@ -32,7 +32,7 @@ fn bench_bottomup_fills(c: &mut Criterion) {
     for shards in [1u32, 2, 4] {
         let ev = BottomUpEvaluator::new(&doc).with_threads(shards).with_cost_model(always_shard());
         g.bench_with_input(BenchmarkId::new("descendant_cvt", shards), &shards, |b, _| {
-            b.iter(|| criterion::black_box(ev.table(&e).unwrap()))
+            b.iter(|| criterion::black_box(ev.table(&e).unwrap()));
         });
     }
     g.finish();
@@ -52,7 +52,7 @@ fn bench_axis_passes(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(axis.name(), "serial"), &axis, |b, &axis| {
             b.iter(|| {
                 criterion::black_box(bulk::axis_set_planned(&doc, axis, &all, CostModel::global()))
-            })
+            });
         });
         for shards in [2usize, 4] {
             g.bench_with_input(BenchmarkId::new(axis.name(), shards), &axis, |b, &axis| {
@@ -60,7 +60,7 @@ fn bench_axis_passes(c: &mut Criterion) {
                     criterion::black_box(parallel::axis_set_sharded(
                         &doc, axis, &all, shards, &forced, None,
                     ))
-                })
+                });
             });
         }
     }

@@ -31,16 +31,16 @@ fn bench_doc(c: &mut Criterion, group: &str, doc: &Document) {
 
     for (name, q) in QUERIES {
         g.bench_with_input(BenchmarkId::new("adhoc", name), q, |b, q| {
-            b.iter(|| Compiler::new().compile(q).unwrap().evaluate_root(doc).unwrap())
+            b.iter(|| Compiler::new().compile(q).unwrap().evaluate_root(doc).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("prepared", name), q, |b, q| {
             let compiled = Compiler::new().compile(q).unwrap();
-            b.iter(|| compiled.evaluate_root(doc).unwrap())
+            b.iter(|| compiled.evaluate_root(doc).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("cached", name), q, |b, q| {
             let cache = QueryCache::new(64);
             let compiler = Compiler::new();
-            b.iter(|| cache.get_or_compile(&compiler, q).unwrap().evaluate_root(doc).unwrap())
+            b.iter(|| cache.get_or_compile(&compiler, q).unwrap().evaluate_root(doc).unwrap());
         });
     }
     g.finish();

@@ -35,10 +35,10 @@ fn bench(c: &mut Criterion) {
             let ev = CoreXPathEvaluator::new(&doc);
 
             g.bench_with_input(BenchmarkId::new(format!("stream/{name}"), size), &size, |b, _| {
-                b.iter(|| streaming::evaluate_stream(&sq, &doc))
+                b.iter(|| streaming::evaluate_stream(&sq, &doc));
             });
             g.bench_with_input(BenchmarkId::new(format!("tree/{name}"), size), &size, |b, _| {
-                b.iter(|| ev.evaluate(&core, &[doc.root()]))
+                b.iter(|| ev.evaluate(&core, &[doc.root()]));
             });
         }
     }

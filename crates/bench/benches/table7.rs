@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         for depth in [1usize, 10, 30, 50] {
             let e = engine.prepare(&exp2_query(depth)).unwrap();
             g.bench_with_input(BenchmarkId::new(format!("doc{size}"), depth), &depth, |b, _| {
-                b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap())
+                b.iter(|| engine.evaluate_expr(&e, Strategy::TopDown, ctx).unwrap());
             });
         }
     }

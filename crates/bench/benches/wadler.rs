@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
             [("opt-min-context", Strategy::OptMinContext), ("min-context", Strategy::MinContext)]
         {
             g.bench_with_input(BenchmarkId::new(format!("{name}/data"), size), &size, |b, _| {
-                b.iter(|| engine.evaluate_expr(&e, s, ctx).unwrap())
+                b.iter(|| engine.evaluate_expr(&e, s, ctx).unwrap());
             });
         }
     }
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
     for k in [1usize, 3, 6] {
         let e = engine.prepare(&wadler_query(k)).unwrap();
         g.bench_with_input(BenchmarkId::new("opt-min-context/nesting", k), &k, |b, _| {
-            b.iter(|| engine.evaluate_expr(&e, Strategy::OptMinContext, ctx).unwrap())
+            b.iter(|| engine.evaluate_expr(&e, Strategy::OptMinContext, ctx).unwrap());
         });
     }
     g.finish();

@@ -109,8 +109,10 @@ fn time_ns(mut f: impl FnMut()) -> u64 {
     samples[samples.len() / 2]
 }
 
-/// The six whole-query shapes benchmarked below (and mirrored by
-/// `tests/backend_differential.rs`).
+/// The seven whole-query shapes benchmarked below (and mirrored by
+/// `tests/backend_differential.rs`). The last is provably empty: it
+/// measures the analyzer's constant-empty short-circuit against backends
+/// that evaluate it for real.
 const BENCH_QUERIES: &[&str] = &[
     "//a//c",
     "//a//b//c//d",
@@ -118,6 +120,7 @@ const BENCH_QUERIES: &[&str] = &[
     "//c[preceding::a]/descendant::d",
     "//*[not(ancestor::b)]",
     "//a[descendant::d]/following::b",
+    "//text()/child::*",
 ];
 
 /// The seed's per-node hot path: `axis_from` per source node, then one
@@ -350,7 +353,7 @@ fn check(doc: &Document) -> Result<(), String> {
 }
 
 /// Deterministic (untimed) guard: the parallel backend at a forced
-/// always-shard model must be bit-identical to Adaptive on the six bench
+/// always-shard model must be bit-identical to Adaptive on the seven bench
 /// queries — sharding may only change the route, never the answer.
 fn check_parallel_equivalence(doc: &Document) -> Vec<String> {
     let always_shard = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..*CostModel::global() };
@@ -682,7 +685,8 @@ fn main() {
         let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
         let bn = big.len();
         big.axis_index();
-        let threads_available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads_available =
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let forced = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..*CostModel::global() };
         let mut first = true;
         let mut emit = |json: &mut String,
@@ -759,7 +763,8 @@ fn main() {
     // pure memo sharing, not parallelism) ----
     json.push_str("  \"batch_eval\": [\n");
     {
-        let threads_available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads_available =
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let cells = [
             measure_batch(&doc, "shared_prefix", &batch_shared_prefix()),
             measure_batch(&doc, "disjoint", &batch_disjoint()),

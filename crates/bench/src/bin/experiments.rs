@@ -29,7 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let which: Vec<&str> =
-        args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+        args.iter().map(std::string::String::as_str).filter(|a| !a.starts_with("--")).collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
     let cfg = Config {
         quick,
@@ -271,8 +271,7 @@ fn table5(cfg: &Config) {
     }
     let pool_completes = p200.len() == depths.len();
     let naive_dies = n200.len() < depths.len();
-    let pool_linearish =
-        mean_growth_ratio(&p200, Duration::from_millis(1)).map(|r| r < 1.8).unwrap_or(true);
+    let pool_linearish = mean_growth_ratio(&p200, Duration::from_millis(1)).is_none_or(|r| r < 1.8);
     shape_line(
         pool_completes && naive_dies && pool_linearish,
         "data pool turns the exponential curve into (near-)linear growth in |Q| (Table V)",
@@ -292,7 +291,7 @@ fn table7(cfg: &Config) {
     };
     print!("{:>4}", "|Q|");
     for &n in &doc_sizes {
-        print!(" {:>9}", n);
+        print!(" {n:>9}");
     }
     println!();
     let docs: Vec<Document> = doc_sizes.iter().map(|&n| doc_flat_text(n)).collect();

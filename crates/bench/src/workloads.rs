@@ -121,7 +121,7 @@ pub fn batch_shared_prefix() -> Vec<String> {
 pub fn batch_disjoint() -> Vec<String> {
     ["//a/b", "//b/c", "//c/d", "//d[c]", "//b[following::c]", "//c/preceding-sibling::*"]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect()
 }
 

@@ -243,8 +243,8 @@ impl<'d> BottomUpEvaluator<'d> {
     /// Example 6.4 and Figure 9.
     pub fn table(&self, e: &Expr) -> EvalResult<CvTable> {
         match e {
-            Expr::Number(v) => self.const_table(Value::Number(*v)),
-            Expr::Literal(s) => self.const_table(Value::String(s.clone())),
+            Expr::Number(v) => Ok(self.const_table(Value::Number(*v))),
+            Expr::Literal(s) => Ok(self.const_table(Value::String(s.clone()))),
             Expr::Var(name) => Err(EvalError::UnboundVariable(name.clone())),
             Expr::Path(p) => self.path_table(p),
             Expr::Filter { primary, predicates } => self.filter_table(primary, predicates),
@@ -309,10 +309,10 @@ impl<'d> BottomUpEvaluator<'d> {
         Ok(out)
     }
 
-    fn const_table(&self, v: Value) -> EvalResult<CvTable> {
+    fn const_table(&self, v: Value) -> CvTable {
         let mut t = CvTable::new(Relev::NONE);
         t.insert_key((0, 0, 0), v);
-        Ok(t)
+        t
     }
 
     /// Enumerate the contexts spanning the relevant components: all of
@@ -407,7 +407,7 @@ impl<'d> BottomUpEvaluator<'d> {
                     Some(r) => r[root.index()].clone(),
                     None => NodeSet::singleton(root),
                 };
-                self.const_table(Value::NodeSet(at_root))
+                Ok(self.const_table(Value::NodeSet(at_root)))
             }
             PathStart::ContextNode => {
                 let mut t = CvTable::new(Relev::CN);

@@ -252,6 +252,24 @@ impl QueryCache {
             .fold(xpath_axes::KernelCounts::default(), xpath_axes::KernelCounts::plus)
     }
 
+    /// Aggregate static-analysis verdicts across every resident compiled
+    /// query: how many are provably empty, const-folded, reverse-axis
+    /// rewritten, and how the fleet splits across the streamability
+    /// lattice. The analyzer's counterpart of [`QueryCache::planner_stats`].
+    pub fn analysis_stats(&self) -> crate::analyze::AnalysisStats {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let shard = s.lock().expect("query cache poisoned");
+                shard
+                    .entries
+                    .values()
+                    .map(|e| crate::analyze::AnalysisStats::of(e.query.report()))
+                    .collect::<Vec<_>>()
+            })
+            .fold(crate::analyze::AnalysisStats::default(), crate::analyze::AnalysisStats::plus)
+    }
+
     /// Current hit/miss/eviction counters and resident entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -328,14 +328,17 @@ mod tests {
     fn streaming_strategy_through_the_engine() {
         let d = doc_bookstore();
         let engine = Engine::new(&d);
-        for q in ["//book[author]", "//book[2]", "//section/book[last()]"] {
+        // `//author/parent::book` streams through the analyzer's
+        // reverse-axis rewrite.
+        for q in ["//book[author]", "//book[2]", "//section/book[last()]", "//author/parent::book"]
+        {
             let got = engine.evaluate_with(q, Strategy::Streaming).unwrap();
             let want = engine.evaluate_with(q, Strategy::TopDown).unwrap();
             assert!(got.semantically_equal(&want), "{q}");
         }
-        // Upward axes are outside the streamable fragment.
+        // preceding:: stays outside the fragment even after rewriting.
         assert!(matches!(
-            engine.evaluate_with("//author/parent::book", Strategy::Streaming),
+            engine.evaluate_with("//book/preceding::author", Strategy::Streaming),
             Err(EvalError::UnsupportedFragment(_))
         ));
     }
@@ -345,9 +348,10 @@ mod tests {
         let d = doc_bookstore();
         let engine =
             Engine::with_compiler(&d, Compiler::new().default_strategy(Strategy::Streaming));
-        // Outside the streamable fragment: evaluate, evaluate_at and
-        // select must all reject consistently.
-        let q = "//author/parent::book";
+        // Outside the streamable fragment (even after the reverse-axis
+        // rewrite): evaluate, evaluate_at and select must all reject
+        // consistently.
+        let q = "//book/preceding::author";
         assert!(matches!(engine.evaluate(q), Err(EvalError::UnsupportedFragment(_))));
         assert!(matches!(engine.evaluate_at(q, d.root()), Err(EvalError::UnsupportedFragment(_))));
         assert!(matches!(engine.select(q), Err(EvalError::UnsupportedFragment(_))));

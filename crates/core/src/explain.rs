@@ -48,14 +48,31 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
     for v in &c.wadler_violations {
         let _ = writeln!(report, "  wadler:  {v}");
     }
-    // Streamability (forward Core XPath fragment, §1–§2 related work).
-    match crate::corexpath::compile_xpatterns(e).and_then(|q| crate::streaming::compile(&q)) {
-        Ok(_) => {
+    // Static analysis (crate::analyze): satisfiability, reverse-axis
+    // rewriting, streamability classification, diagnostics.
+    let report_a = crate::analyze::analyze(e);
+    if let Some(v) = &report_a.const_result {
+        let _ = writeln!(
+            report,
+            "const:     result is document-independent — the plan short-circuits to {v}"
+        );
+    }
+    if let Some(f) = &report_a.forward_expr {
+        let _ = writeln!(report, "rewrite:   reverse axes eliminated → {f}");
+    }
+    match &report_a.streamability {
+        crate::analyze::Streamability::Streamable => {
             let _ = writeln!(report, "streaming: yes (single pass, O(depth·|Q|) memory)");
         }
-        Err(why) => {
+        crate::analyze::Streamability::NeedsBuffering(why) => {
+            let _ = writeln!(report, "streaming: yes, buffered — {why}");
+        }
+        crate::analyze::Streamability::InMemoryOnly(why) => {
             let _ = writeln!(report, "streaming: no — {why}");
         }
+    }
+    for d in &report_a.diagnostics {
+        let _ = writeln!(report, "  lint:    {d}");
     }
 
     // Adaptive axis planner: which kernel each axis of the fragment
@@ -268,6 +285,24 @@ mod tests {
         let y = explain(&parse_normalized("count(//a)").unwrap(), 100);
         assert!(!y.report.contains("axis planner"), "{}", y.report);
         assert!(!y.report.contains("parallel: budget"), "{}", y.report);
+    }
+
+    #[test]
+    fn explain_reports_the_static_analysis() {
+        // Provably empty: the constant-empty short-circuit is visible.
+        let x = explain(&parse_normalized("//text()/child::*").unwrap(), 100);
+        assert!(x.report.contains("const:"), "{}", x.report);
+        assert!(x.report.contains("lint:"), "{}", x.report);
+        // Reverse axes: the rewrite and the buffered classification print.
+        let x = explain(&parse_normalized("//author/parent::book").unwrap(), 100);
+        assert!(x.report.contains("rewrite:   reverse axes eliminated"), "{}", x.report);
+        assert!(x.report.contains("streaming: yes, buffered"), "{}", x.report);
+        // Pure forward spines keep the unqualified "streaming: yes".
+        let x = explain(&parse_normalized("//a/b").unwrap(), 100);
+        assert!(x.report.contains("streaming: yes (single pass"), "{}", x.report);
+        // In-memory-only queries keep "streaming: no".
+        let x = explain(&parse_normalized("count(//a)").unwrap(), 100);
+        assert!(x.report.contains("streaming: no"), "{}", x.report);
     }
 
     #[test]

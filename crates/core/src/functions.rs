@@ -279,7 +279,7 @@ pub fn apply(doc: &Document, name: &str, args: Vec<Value>, ctx: &Context) -> Eva
         "lang" => {
             need(&args, name, 1)?;
             let want = args[0].to_xpath_string(doc).to_ascii_lowercase();
-            let have = doc.lang(ctx.node).map(|l| l.to_ascii_lowercase());
+            let have = doc.lang(ctx.node).map(str::to_ascii_lowercase);
             Ok(Value::Boolean(match have {
                 None => false,
                 Some(h) => {

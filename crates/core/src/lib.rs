@@ -18,6 +18,7 @@
 //! | [`optmincontext`] | §11.2 | OptMinContext (Algorithm 11.1) |
 //! | [`nodeset`] | §3 | the hybrid bitset/sorted-vec [`nodeset::NodeSet`] currency |
 //! | [`fragment`] | Fig. 1 | fragment lattice classification |
+//! | [`analyze`] | — | static analysis: satisfiability, reverse-axis rewriting, streamability |
 //! | [`plan`] | — | document-independent execution plans (static phase) |
 //! | [`query`] | — | [`Compiler`] / [`CompiledQuery`]: compile once, evaluate many |
 //! | [`cache`] | — | sharded LRU [`QueryCache`] shared across workers |
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod batch;
 pub mod bottomup;
 pub mod cache;
@@ -55,6 +57,9 @@ pub mod value;
 pub mod wadler;
 pub mod xpatterns;
 
+pub use analyze::{
+    AnalysisStats, Diagnostic, QueryReport, Satisfiability, Severity, Streamability,
+};
 pub use batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use cache::{CacheStats, QueryCache};
 pub use context::{Context, EvalError, EvalResult};

@@ -155,7 +155,7 @@ impl<'d> NaiveEvaluator<'d> {
         self.charge()?;
         let mut s = step_candidates(self.doc, step.axis, &step.test, n0);
         for pred in &step.predicates {
-            s = self.filter_with_axis(s, step.axis, pred)?;
+            s = self.filter_with_axis(&s, step.axis, pred)?;
         }
         for n in s {
             self.process_location_step(&steps[1..], n, out)?;
@@ -167,7 +167,7 @@ impl<'d> NaiveEvaluator<'d> {
     /// along `<doc,χ` (Figure 5: `idx_χ(y, S)`).
     fn filter_with_axis(
         &self,
-        s: Vec<NodeId>,
+        s: &[NodeId],
         axis: xpath_syntax::Axis,
         pred: &Expr,
     ) -> EvalResult<Vec<NodeId>> {

@@ -86,9 +86,7 @@ pub fn resolve_threads(requested: u32) -> usize {
     *AUTO.get_or_init(|| {
         match std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok()) {
             Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
-                .map(|n| n.get().min(MAX_AUTO_THREADS))
-                .unwrap_or(1),
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_AUTO_THREADS)),
         }
     })
 }

@@ -21,6 +21,7 @@
 use xpath_syntax::Expr;
 use xpath_xml::Document;
 
+use crate::analyze::{self, QueryReport, Streamability};
 use crate::bottomup::BottomUpEvaluator;
 use crate::context::{Context, EvalResult};
 use crate::corexpath::{self, CoreDialect, CoreQuery, CoreXPathEvaluator};
@@ -93,6 +94,9 @@ pub struct Plan {
     /// Eagerly compiled streaming automaton, present iff `strategy` is
     /// [`Strategy::Streaming`].
     automaton: Option<StreamQuery>,
+    /// The static-analysis report ([`crate::analyze`]): satisfiability,
+    /// reverse-axis rewrite, streamability classification, diagnostics.
+    report: QueryReport,
     /// Step budget for the exponential naive baseline, if bounded.
     naive_budget: Option<u64>,
     /// Shard budget for the parallel CVT layer (`0` = auto:
@@ -128,6 +132,7 @@ impl Plan {
         threads: u32,
     ) -> EvalResult<Plan> {
         let classification = classify(&expr);
+        let report = analyze::analyze(&expr);
         let auto = requested == Strategy::Auto;
         let mut strategy = if auto { resolve_auto(&classification) } else { requested };
 
@@ -150,10 +155,35 @@ impl Plan {
                     Err(e) => return Err(e),
                 }
             }
-            Strategy::Streaming => automaton = Some(streaming::compile_expr(&expr)?),
+            // The streaming matcher is picked from the analyzer's
+            // classification, not a fresh fragment probe: a query that
+            // streams only in its reverse-axis-rewritten form compiles
+            // the automaton from that rewrite.
+            Strategy::Streaming => match &report.streamability {
+                Streamability::InMemoryOnly(why) => {
+                    return Err(crate::context::EvalError::UnsupportedFragment(why.clone()));
+                }
+                _ => {
+                    let source = if report.streams_via_rewrite {
+                        report.forward_expr.as_ref().expect("streams_via_rewrite implies a rewrite")
+                    } else {
+                        &expr
+                    };
+                    automaton = Some(streaming::compile_expr(source)?);
+                }
+            },
             _ => {}
         }
-        Ok(Plan { expr, classification, strategy, algebra, automaton, naive_budget, threads })
+        Ok(Plan {
+            expr,
+            classification,
+            strategy,
+            algebra,
+            automaton,
+            report,
+            naive_budget,
+            threads,
+        })
     }
 
     /// Run the plan against `doc` from context `ctx`.
@@ -161,6 +191,11 @@ impl Plan {
     /// Pure runtime phase: no parsing, classification, or fragment
     /// compilation happens here.
     pub fn execute(&self, doc: &Document, ctx: Context) -> EvalResult<Value> {
+        // Constant-empty plan node: the analyzer proved the result is
+        // document-independent, so no evaluator runs at all.
+        if let Some(v) = &self.report.const_result {
+            return Ok(v.clone());
+        }
         run(
             &self.expr,
             self.strategy,
@@ -185,6 +220,9 @@ impl Plan {
         ctx: Context,
         kernels: &xpath_axes::KernelCounters,
     ) -> EvalResult<Value> {
+        if let Some(v) = &self.report.const_result {
+            return Ok(v.clone());
+        }
         run(
             &self.expr,
             self.strategy,
@@ -218,6 +256,12 @@ impl Plan {
     /// The naive-evaluator step budget, if one was configured.
     pub fn naive_budget(&self) -> Option<u64> {
         self.naive_budget
+    }
+
+    /// The static-analysis report produced at build time (satisfiability,
+    /// reverse-axis rewrite, streamability classification, diagnostics).
+    pub fn report(&self) -> &QueryReport {
+        &self.report
     }
 }
 
@@ -346,10 +390,42 @@ mod tests {
             plan("count(//book)", Strategy::CoreXPath),
             Err(EvalError::UnsupportedFragment(_))
         ));
+        // preceding:: forwardizes to following-inside-a-predicate, which
+        // the matcher rejects even after the rewrite.
         assert!(matches!(
-            plan("//author/parent::book", Strategy::Streaming),
+            plan("//c/preceding::a", Strategy::Streaming),
             Err(EvalError::UnsupportedFragment(_))
         ));
+    }
+
+    #[test]
+    fn streaming_plans_through_the_reverse_axis_rewrite() {
+        // Unstreamable as written, streamable once forwardized: the plan
+        // compiles the automaton from the rewritten IR and agrees with
+        // the reference evaluator.
+        let p = plan("//author/parent::book", Strategy::Streaming).unwrap();
+        assert!(p.automaton().is_some());
+        assert!(p.report().streams_via_rewrite);
+        let d = doc_bookstore();
+        let ctx = Context::of(d.root());
+        let reference = plan("//author/parent::book", Strategy::TopDown).unwrap();
+        assert!(p
+            .execute(&d, ctx)
+            .unwrap()
+            .semantically_equal(&reference.execute(&d, ctx).unwrap()));
+    }
+
+    #[test]
+    fn provably_empty_queries_short_circuit() {
+        let p = plan("//text()/child::*", Strategy::Auto).unwrap();
+        assert!(p.report().is_empty_query());
+        let d = doc_bookstore();
+        let out = p.execute(&d, Context::of(d.root())).unwrap();
+        assert!(matches!(out, Value::NodeSet(ref s) if s.is_empty()));
+        // Scalar wrappers fold too.
+        let p = plan("count(//text()/child::*)", Strategy::Auto).unwrap();
+        let out = p.execute(&d, Context::of(d.root())).unwrap();
+        assert_eq!(out.to_string(), "0");
     }
 
     #[test]

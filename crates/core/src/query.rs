@@ -217,6 +217,13 @@ impl CompiledQuery {
         &self.plan
     }
 
+    /// The static-analysis report computed at compile time: satisfiability
+    /// verdict, reverse-axis rewrite, streamability classification and
+    /// lint diagnostics (see [`crate::analyze`]).
+    pub fn report(&self) -> &crate::analyze::QueryReport {
+        self.plan.report()
+    }
+
     /// The adaptive axis-planner decisions this query's evaluations have
     /// made so far: how many axis applications ran on the per-node loop,
     /// the sparse staircase and the dense word-parallel kernel. Zero for

@@ -77,6 +77,17 @@ pub struct StreamQuery {
     path: SPath,
 }
 
+impl StreamQuery {
+    /// Does evaluation buffer candidate matches until their subtree
+    /// closes? True when the final step carries predicates, an `= s`
+    /// restriction, or positional state; false for pure spines, which
+    /// emit at the start tag. Feeds the analyzer's
+    /// `Streamable`-vs-`NeedsBuffering` classification.
+    pub fn buffers(&self) -> bool {
+        self.path.positional.is_some() || !self.path.preds.is_empty() || self.path.eq.is_some()
+    }
+}
+
 /// A positional test on the spine's final step (beyond Core XPath — real
 /// stream processors support these, cf. Peng & Chawathe 2003). Restricted
 /// to `child`-axis final steps, where the position of a match among its
@@ -580,7 +591,7 @@ impl PathRun {
                 // depth == frames.len(); they must not see the EndElement.
                 let depth = self.frames.len();
                 let first = self.candidates.iter().position(|c| c.depth >= depth);
-                for c in self.candidates.iter_mut() {
+                for c in &mut self.candidates {
                     if c.depth < depth {
                         for p in &mut c.preds {
                             p.on_event(ev);
@@ -590,7 +601,7 @@ impl PathRun {
                 first
             }
             _ => {
-                for c in self.candidates.iter_mut() {
+                for c in &mut self.candidates {
                     for p in &mut c.preds {
                         p.on_event(ev);
                     }

@@ -131,18 +131,18 @@ impl<'d> TopDownEvaluator<'d> {
     /// Composition of location steps: `S↓[[π1/π2]] = S↓[[π2]] ∘ S↓[[π1]]`.
     fn s_down_steps(&self, steps: &[Step], mut sets: Vec<NodeSet>) -> EvalResult<Vec<NodeSet>> {
         for step in steps {
-            sets = self.location_step(step, sets)?;
+            sets = self.location_step(step, &sets)?;
         }
         Ok(sets)
     }
 
     /// One location step `χ::t[e1]…[em]` on a vector of input sets —
     /// the core of Figure 7.
-    fn location_step(&self, step: &Step, inputs: Vec<NodeSet>) -> EvalResult<Vec<NodeSet>> {
+    fn location_step(&self, step: &Step, inputs: &[NodeSet]) -> EvalResult<Vec<NodeSet>> {
         // S := {⟨x, y⟩ | x ∈ ∪Xi, x χ y, y ∈ T(t)} — grouped by x. The
         // union of the input vector accumulates in-place on the hybrid set.
         let mut xs = NodeSet::new();
-        for set in &inputs {
+        for set in inputs {
             xs.union_with(set);
         }
         // S_x for each distinct source node, in document order (positional
@@ -157,7 +157,7 @@ impl<'d> TopDownEvaluator<'d> {
         // R_i := {y | ⟨x, y⟩ ∈ S, x ∈ Xi}.
         let by_x: HashMap<NodeId, &Vec<NodeId>> = groups.iter().map(|(x, sx)| (*x, sx)).collect();
         let mut outputs = Vec::with_capacity(inputs.len());
-        for xi in &inputs {
+        for xi in inputs {
             let mut r: Vec<NodeId> = Vec::new();
             for x in xi {
                 if let Some(sx) = by_x.get(&x) {

@@ -148,6 +148,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a routine that takes a borrowed input.
+    // By-value `id` mirrors the real criterion signature — the shim must
+    // stay call-compatible with the upstream crate.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: BenchmarkId,

@@ -210,7 +210,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
                 if bytes.get(pos + 1) == Some(&b'.') {
                     toks.push((pos, Token::DotDot));
                     pos += 2;
-                } else if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                } else if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) {
                     let (tok, next) = lex_number(input, pos)?;
                     toks.push((pos, tok));
                     pos = next;
@@ -245,7 +245,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
                 pos = next;
             }
             b'*' => {
-                let operand_position = toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                let operand_position = toks.last().is_none_or(|(_, t)| t.forces_operand());
                 if operand_position {
                     toks.push((pos, Token::WildcardName));
                 } else {
@@ -256,7 +256,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
             _ if is_name_start(b) => {
                 let end = scan_ncname(bytes, pos);
                 let name = &input[pos..end];
-                let operand_position = toks.last().map(|(_, t)| t.forces_operand()).unwrap_or(true);
+                let operand_position = toks.last().is_none_or(|(_, t)| t.forces_operand());
                 // Operator-name rule.
                 if !operand_position {
                     let op = match name {
@@ -291,7 +291,7 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
                 let full = &input[pos..full_end];
                 // Look ahead past whitespace.
                 let mut la = full_end;
-                while bytes.get(la).is_some_and(|c| c.is_ascii_whitespace()) {
+                while bytes.get(la).is_some_and(u8::is_ascii_whitespace) {
                     la += 1;
                 }
                 let tok = if bytes.get(la) == Some(&b'(') {
@@ -323,12 +323,12 @@ pub fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SyntaxError> {
 fn lex_number(input: &str, pos: usize) -> Result<(Token, usize), SyntaxError> {
     let bytes = input.as_bytes();
     let mut end = pos;
-    while bytes.get(end).is_some_and(|c| c.is_ascii_digit()) {
+    while bytes.get(end).is_some_and(u8::is_ascii_digit) {
         end += 1;
     }
     if bytes.get(end) == Some(&b'.') && bytes.get(end + 1) != Some(&b'.') {
         end += 1;
-        while bytes.get(end).is_some_and(|c| c.is_ascii_digit()) {
+        while bytes.get(end).is_some_and(u8::is_ascii_digit) {
             end += 1;
         }
     }

@@ -48,7 +48,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len)
+        self.toks.get(self.pos).map_or(self.input_len, |(o, _)| *o)
     }
 
     fn err_here(&self, msg: impl Into<String>) -> SyntaxError {

@@ -252,9 +252,8 @@ impl<'a> DtdParser<'a> {
     }
 
     fn quoted(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.err("expected a quoted literal in DTD")),
+        let Some(quote @ (b'"' | b'\'')) = self.peek() else {
+            return Err(self.err("expected a quoted literal in DTD"));
         };
         self.pos += 1;
         let start = self.pos;

@@ -182,7 +182,7 @@ impl Default for RandomDocConfig {
             elements: 60,
             max_children: 5,
             max_depth: 6,
-            labels: ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+            labels: ["a", "b", "c", "d"].iter().map(ToString::to_string).collect(),
             text_prob: 0.35,
             id_prob: 0.2,
         }

@@ -77,12 +77,12 @@ impl NameIndex {
 
     /// `T(element(n))`: element nodes named `n`, in document order.
     pub fn elements_named(&self, name: NameId) -> &[NodeId] {
-        self.elements.get(&name).map(Vec::as_slice).unwrap_or(&[])
+        self.elements.get(&name).map_or(&[], Vec::as_slice)
     }
 
     /// `T(attribute(n))`: attribute nodes named `n`, in document order.
     pub fn attributes_named(&self, name: NameId) -> &[NodeId] {
-        self.attributes.get(&name).map(Vec::as_slice).unwrap_or(&[])
+        self.attributes.get(&name).map_or(&[], Vec::as_slice)
     }
 
     /// `T(element(*))`: all element nodes.

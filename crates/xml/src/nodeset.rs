@@ -668,9 +668,8 @@ impl NodeSet {
     pub fn union_shards(parts: impl IntoIterator<Item = NodeSet>) -> NodeSet {
         let mut parts: Vec<NodeSet> = parts.into_iter().collect();
         let Some(dense_at) = parts.iter().position(NodeSet::is_dense) else {
-            let mut acc = match parts.pop() {
-                Some(p) => p,
-                None => return NodeSet::new(),
+            let Some(mut acc) = parts.pop() else {
+                return NodeSet::new();
             };
             for p in &parts {
                 acc.union_with(p);

@@ -234,7 +234,7 @@ impl<'a> Parser<'a> {
             return Err(ParseError::new(start, "names must not start with a digit, '-' or '.'"));
         }
         std::str::from_utf8(&self.input[start..self.pos])
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .map_err(|_| self.err("invalid UTF-8 in name"))
     }
 

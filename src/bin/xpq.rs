@@ -42,8 +42,19 @@
 //!   -n, --normalize         print the normalized (unabbreviated) query and exit
 //!       --explain           print the query plan (fragment, Relev sets,
 //!                           bottom-up candidates, adaptive axis-kernel
-//!                           crossovers; for batches, additionally the
-//!                           batch-mode decision) and exit
+//!                           crossovers, static-analysis verdicts; for
+//!                           batches, additionally the batch-mode
+//!                           decision) and exit
+//!       --lint              run the static analyzer over every query and
+//!                           print its diagnostics (satisfiability,
+//!                           reverse-axis rewrites, streamability
+//!                           classification) without reading a document.
+//!                           Exits 1 if any diagnostic has error severity
+//!                           (unknown functions, unparseable queries) —
+//!                           suitable as a CI gate over query corpora
+//!       --json              with --lint, emit the report as JSON (one
+//!                           object per query plus a summary) instead of
+//!                           human-readable text
 //!   -v, --verbose           print fragment + chosen strategy before
 //!                           results, and the adaptive planner's kernel
 //!                           tally (per-node / bulk-sparse / bulk-dense /
@@ -77,6 +88,8 @@ struct Options {
     classify_only: bool,
     normalize_only: bool,
     explain_only: bool,
+    lint_only: bool,
+    json: bool,
     verbose: bool,
     serialize: bool,
     verify: bool,
@@ -90,10 +103,11 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [--explain] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] (<QUERY> | -e EXPR... | --query-file F) [FILE]\n\
+    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [--explain] [--lint [--json]] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] (<QUERY> | -e EXPR... | --query-file F) [FILE]\n\
      strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto\n\
      -e/--expr: add a query to the batch (repeatable); --query-file: one query per line (#-comments skipped)\n\
-     -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)"
+     -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)\n\
+     --lint: static-analyze the queries (no document); exits 1 on error-severity diagnostics"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -105,6 +119,8 @@ fn parse_args() -> Result<Options, String> {
         classify_only: false,
         normalize_only: false,
         explain_only: false,
+        lint_only: false,
+        json: false,
         verbose: false,
         serialize: false,
         verify: false,
@@ -157,6 +173,8 @@ fn parse_args() -> Result<Options, String> {
             "-c" | "--classify" => o.classify_only = true,
             "-n" | "--normalize" => o.normalize_only = true,
             "--explain" => o.explain_only = true,
+            "--lint" => o.lint_only = true,
+            "--json" => o.json = true,
             "-v" | "--verbose" => o.verbose = true,
             "--serialize" => o.serialize = true,
             "--verify" => o.verify = true,
@@ -168,6 +186,9 @@ fn parse_args() -> Result<Options, String> {
             _ if o.file.is_none() => o.file = Some(a),
             other => return Err(format!("unexpected argument {other:?}")),
         }
+    }
+    if o.json && !o.lint_only {
+        return Err("--json requires --lint".to_string());
     }
     if !o.exprs.is_empty() || o.query_file.is_some() {
         // Batch invocation: the only positional argument is the XML file.
@@ -249,6 +270,150 @@ fn print_value(doc: &Document, opts: &Options, value: &Value) {
     }
 }
 
+/// Minimal JSON string escaping (the report carries no exotic content,
+/// but query text is user input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `--lint`: run the static analyzer over every query (document-free) and
+/// report diagnostics. Exit code 1 when any diagnostic reaches error
+/// severity — including unparseable queries — so corpora can be gated in
+/// CI; warnings and infos exit 0.
+fn lint(compiler: &Compiler, queries: &[String], json: bool) -> ExitCode {
+    use gkp_xpath::core::analyze::{analyze, AnalysisStats, Severity, Streamability};
+
+    let mut any_error = false;
+    let mut stats = AnalysisStats::default();
+    // (query text, Ok(report) | Err(parse error)) in input order.
+    let reports: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let outcome = match compiler.parse(q) {
+                Ok(e) => Ok(analyze(&e)),
+                Err(err) => Err(err.to_string()),
+            };
+            match &outcome {
+                Ok(r) => {
+                    stats = stats.plus(AnalysisStats::of(r));
+                    any_error |= r.max_severity() == Some(Severity::Error);
+                }
+                Err(_) => any_error = true,
+            }
+            (q, outcome)
+        })
+        .collect();
+
+    if json {
+        println!("{{");
+        println!("  \"queries\": [");
+        for (i, (q, outcome)) in reports.iter().enumerate() {
+            let comma = if i + 1 < reports.len() { "," } else { "" };
+            match outcome {
+                Ok(r) => {
+                    let (class, why) = match &r.streamability {
+                        Streamability::Streamable => ("streamable", None),
+                        Streamability::NeedsBuffering(w) => ("needs-buffering", Some(w)),
+                        Streamability::InMemoryOnly(w) => ("in-memory-only", Some(w)),
+                    };
+                    let diags: Vec<String> = r
+                        .diagnostics
+                        .iter()
+                        .map(|d| {
+                            format!(
+                                "{{\"severity\": \"{}\", \"code\": \"{}\", \"message\": \"{}\"}}",
+                                d.severity.name(),
+                                d.code,
+                                json_escape(&d.message)
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "    {{\"query\": \"{}\", \"satisfiable\": {}, \
+                         \"streamability\": \"{class}\"{}, \"rewritten\": {}, \
+                         \"const\": {}, \"diagnostics\": [{}]}}{comma}",
+                        json_escape(q),
+                        !r.is_empty_query(),
+                        why.map(|w| format!(", \"reason\": \"{}\"", json_escape(w)))
+                            .unwrap_or_default(),
+                        r.forward_expr.is_some(),
+                        r.const_result.as_ref().map_or_else(
+                            || "null".to_string(),
+                            |v| format!("\"{}\"", json_escape(&v.to_string()))
+                        ),
+                        diags.join(", ")
+                    );
+                }
+                Err(msg) => {
+                    println!(
+                        "    {{\"query\": \"{}\", \"diagnostics\": [{{\"severity\": \"error\", \
+                         \"code\": \"parse-error\", \"message\": \"{}\"}}]}}{comma}",
+                        json_escape(q),
+                        json_escape(msg)
+                    );
+                }
+            }
+        }
+        println!("  ],");
+        println!(
+            "  \"summary\": {{\"analyzed\": {}, \"provably_empty\": {}, \"const_folded\": {}, \
+             \"rewritten\": {}, \"streamable\": {}, \"needs_buffering\": {}, \
+             \"in_memory_only\": {}, \"errors\": {}, \"warnings\": {}}}",
+            stats.analyzed,
+            stats.provably_empty,
+            stats.const_folded,
+            stats.rewritten,
+            stats.streamable,
+            stats.needs_buffering,
+            stats.in_memory_only,
+            stats.errors,
+            stats.warnings
+        );
+        println!("}}");
+    } else {
+        for (q, outcome) in &reports {
+            println!("# {q}");
+            match outcome {
+                Ok(r) => {
+                    let class = match &r.streamability {
+                        Streamability::Streamable => "streamable".to_string(),
+                        Streamability::NeedsBuffering(w) => format!("needs buffering — {w}"),
+                        Streamability::InMemoryOnly(w) => format!("in-memory only — {w}"),
+                    };
+                    println!("  streamability: {class}");
+                    for d in &r.diagnostics {
+                        println!("  {d}");
+                    }
+                    if r.diagnostics.is_empty() {
+                        println!("  ok");
+                    }
+                }
+                Err(msg) => println!("  error[parse-error]: {msg}"),
+            }
+        }
+        println!("lint: {stats}");
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -269,6 +434,14 @@ fn main() -> ExitCode {
         .optimize(opts.optimize)
         .default_strategy(opts.strategy)
         .threads(opts.threads);
+
+    // Lint mode: static analysis only, no document. Per-query parse
+    // failures are reported as error-severity diagnostics (affecting the
+    // exit code) rather than aborting the run, so a whole corpus is
+    // always checked end to end.
+    if opts.lint_only {
+        return lint(&compiler, &queries, opts.json);
+    }
 
     // Parse-only modes (no document needed: the static phase is
     // document-independent). Each batch member prints under its own
@@ -342,6 +515,14 @@ fn main() -> ExitCode {
             eprintln!("fragment: {} ({})", fragment.name(), fragment.complexity());
             eprintln!("strategy: {:?}", q.strategy());
         }
+        // Aggregated static-analysis verdicts for the invocation (the
+        // per-query details are available under --lint / --explain).
+        let analysis = set
+            .queries()
+            .iter()
+            .map(|q| gkp_xpath::AnalysisStats::of(q.report()))
+            .fold(gkp_xpath::AnalysisStats::default(), gkp_xpath::AnalysisStats::plus);
+        eprintln!("analysis: {analysis}");
         let resolved = gkp_xpath::core::parallel::resolve_threads(opts.threads);
         eprintln!("threads:  {resolved}{}", if opts.threads == 0 { " (auto)" } else { "" });
         // One-time GKP_AXIS_COST parse diagnostics: a typo'd calibration

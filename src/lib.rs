@@ -80,6 +80,9 @@ pub use xpath_syntax as syntax;
 pub use xpath_xml as xml;
 
 pub use xpath_axes::{BatchMode, KernelCounts};
+pub use xpath_core::analyze::{
+    AnalysisStats, Diagnostic, QueryReport, Satisfiability, Severity, Streamability,
+};
 pub use xpath_core::batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use xpath_core::cache::{CacheStats, QueryCache};
 pub use xpath_core::engine::{Engine, Strategy};

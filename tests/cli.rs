@@ -74,8 +74,65 @@ fn explain_mode_reports_streamability() {
     let (stdout, _, code) = xpq(&["--explain", "//book[title]"], "");
     assert_eq!(code, 0);
     assert!(stdout.contains("streaming: yes"), "{stdout}");
+    // Reverse axes now stream through the analyzer's rewrite; only
+    // queries outside the rewritten forward fragment stay in-memory.
     let (stdout, _, _) = xpq(&["--explain", "//book/parent::*"], "");
+    assert!(stdout.contains("streaming: yes, buffered"), "{stdout}");
+    assert!(stdout.contains("rewrite:"), "{stdout}");
+    let (stdout, _, _) = xpq(&["--explain", "//title/preceding::book"], "");
     assert!(stdout.contains("streaming: no"), "{stdout}");
+}
+
+#[test]
+fn explain_shows_the_constant_empty_short_circuit() {
+    let (stdout, _, code) = xpq(&["--explain", "//text()/child::*"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("const:"), "{stdout}");
+    assert!(stdout.contains("short-circuits"), "{stdout}");
+    assert!(stdout.contains("lint:"), "{stdout}");
+}
+
+#[test]
+fn lint_mode_reports_diagnostics_and_exit_codes() {
+    // Warnings (provably empty) exit 0.
+    let (stdout, _, code) = xpq(&["--lint", "//text()/child::*"], "");
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("warning[empty-query]"), "{stdout}");
+    assert!(stdout.contains("lint: 1 analyzed"), "{stdout}");
+    // Errors (unknown function) exit 1.
+    let (stdout, _, code) = xpq(&["--lint", "//a[string-join(b, ',')]"], "");
+    assert_eq!(code, 1);
+    assert!(stdout.contains("error[unknown-function]"), "{stdout}");
+    // An unparseable corpus member is an error diagnostic, not an abort:
+    // the rest of the batch is still checked.
+    let (stdout, _, code) = xpq(&["--lint", "-e", "(((", "-e", "//a/b"], "");
+    assert_eq!(code, 1);
+    assert!(stdout.contains("error[parse-error]"), "{stdout}");
+    assert!(stdout.contains("# //a/b"), "{stdout}");
+    // Clean queries report their classification and exit 0.
+    let (stdout, _, code) = xpq(&["--lint", "-e", "//a/b", "-e", "//author/parent::book"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("streamability: streamable"), "{stdout}");
+    assert!(stdout.contains("info[reverse-axes-rewritten]"), "{stdout}");
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let (stdout, _, code) =
+        xpq(&["--lint", "--json", "-e", "//text()/child::*", "-e", "//a/b"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"satisfiable\": false"), "{stdout}");
+    assert!(stdout.contains("\"streamability\": \"streamable\""), "{stdout}");
+    assert!(stdout.contains("\"code\": \"empty-query\""), "{stdout}");
+    assert!(stdout.contains("\"summary\""), "{stdout}");
+    assert!(stdout.contains("\"provably_empty\": 1"), "{stdout}");
+    // Quotes inside query text are escaped.
+    let (stdout, _, _) = xpq(&["--lint", "--json", "//a[b = \"x\"]"], "");
+    assert!(stdout.contains("\\\"x\\\""), "{stdout}");
+    // --json without --lint is a usage error.
+    let (_, stderr, code) = xpq(&["--json", "//a"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--json requires --lint"), "{stderr}");
 }
 
 #[test]
@@ -260,6 +317,32 @@ fn batch_explain_reports_the_mode_decision() {
     assert!(stdout.contains("batch:"), "{stdout}");
     assert!(stdout.contains("batch mode @"), "{stdout}");
     assert!(stdout.contains("step units shared"), "{stdout}");
+}
+
+#[test]
+fn batch_explain_sections_print_in_input_order() {
+    let queries = ["//book[author]", "count(//book)", "//title", "//book[2]"];
+    let mut args = vec!["--explain"];
+    for q in &queries {
+        args.push("-e");
+        args.push(q);
+    }
+    let (stdout, _, code) = xpq(&args, "");
+    assert_eq!(code, 0);
+    // One `# query` header per member, in exactly the order given.
+    let headers: Vec<&str> =
+        stdout.lines().filter(|l| l.starts_with("# ")).map(|l| &l[2..]).collect();
+    assert_eq!(headers, queries, "{stdout}");
+    // --lint honors the same ordering contract.
+    let mut args = vec!["--lint"];
+    for q in &queries {
+        args.push("-e");
+        args.push(q);
+    }
+    let (stdout, _, _) = xpq(&args, "");
+    let headers: Vec<&str> =
+        stdout.lines().filter(|l| l.starts_with("# ")).map(|l| &l[2..]).collect();
+    assert_eq!(headers, queries, "{stdout}");
 }
 
 #[test]

@@ -14,12 +14,16 @@ const ALL_STRATEGIES: &[Strategy] = &[
     Strategy::OptMinContext,
 ];
 
-fn expect_nodes(engine: &Engine, q: &str, ctx: Context, expect: &[NodeId]) {
+fn expect_nodes(engine: &Engine<'_>, q: &str, ctx: Context, expect: &[NodeId]) {
     for &s in ALL_STRATEGIES {
         let e = engine.prepare(q).unwrap();
         let v =
             engine.evaluate_expr(&e, s, ctx).unwrap_or_else(|err| panic!("{s:?} on {q}: {err}"));
-        assert_eq!(v.as_node_set().map(|ns| ns.to_vec()), Some(expect.to_vec()), "{s:?} on {q}");
+        assert_eq!(
+            v.as_node_set().map(gkp_xpath::xml::NodeSet::to_vec),
+            Some(expect.to_vec()),
+            "{s:?} on {q}"
+        );
     }
 }
 

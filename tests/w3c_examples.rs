@@ -30,7 +30,7 @@ fn check(q: &str, expect_count: usize) {
     let v = engine
         .evaluate_all_agree(&e, Context::of(d.root()), 2_000_000)
         .unwrap_or_else(|err| panic!("{q}: {err}"));
-    let n = v.as_node_set().map(|s| s.len()).unwrap_or(usize::MAX);
+    let n = v.as_node_set().map_or(usize::MAX, gkp_xpath::xml::NodeSet::len);
     assert_eq!(n, expect_count, "{q}");
 }
 
