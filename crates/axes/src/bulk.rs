@@ -23,7 +23,7 @@
 
 use xpath_syntax::Axis;
 use xpath_xml::axis_index::NONE;
-use xpath_xml::{Document, NodeId, NodeKind, NodeSet};
+use xpath_xml::{pool, simd, Document, NodeId, NodeKind, NodeSet};
 
 use crate::cost::{CostModel, Kernel};
 
@@ -135,7 +135,9 @@ pub fn inverse_axis_set(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
         }
         Axis::Id => {
             let v = set.to_vec();
-            NodeSet::from_sorted(crate::id::id_inverse_ref(doc, &v))
+            let out = NodeSet::from_sorted(crate::id::id_inverse_ref(doc, &v));
+            pool::give_ids(v);
+            out
         }
         _ => {
             // χ⁻¹(X) = χ0⁻¹(X ∩ non-special), no result filtering.
@@ -159,22 +161,33 @@ fn axis_set_inner(doc: &Document, axis: Axis, set: &NodeSet, typed: bool) -> Nod
     match axis {
         Axis::SelfAxis => strip(set.clone()),
         Axis::Child => {
-            let mut out = Vec::new();
+            // Children of distinct parents are disjoint, so the walk
+            // never produces duplicates; track sortedness inline and
+            // sort only when an out-of-order push actually happened
+            // (nested parents interleave their child ranges).
+            let mut out = pool::take_ids();
+            let mut prev = NONE;
+            let mut sorted = true;
             for x in set {
                 let mut c = ix.first_child(x.0);
                 while c != NONE {
                     if !typed || !ix.is_special(c) {
+                        sorted &= prev == NONE || c > prev;
+                        prev = c;
                         out.push(NodeId(c));
                     }
                     c = ix.next_sibling(c);
                 }
             }
-            NodeSet::from_unsorted(out)
+            if !sorted {
+                out.sort_unstable();
+            }
+            NodeSet::from_sorted(out)
         }
         Axis::Attribute | Axis::Namespace => {
             let want =
                 if axis == Axis::Attribute { NodeKind::Attribute } else { NodeKind::Namespace };
-            let mut out = Vec::new();
+            let mut out = pool::take_ids();
             for x in set {
                 let mut c = ix.first_child(x.0);
                 while c != NONE {
@@ -187,8 +200,8 @@ fn axis_set_inner(doc: &Document, axis: Axis, set: &NodeSet, typed: bool) -> Nod
             NodeSet::from_unsorted(out)
         }
         Axis::Parent => {
-            let mut out: Vec<NodeId> =
-                set.iter().map(|x| ix.parent(x.0)).filter(|&p| p != NONE).map(NodeId).collect();
+            let mut out = pool::take_ids();
+            out.extend(set.iter().map(|x| ix.parent(x.0)).filter(|&p| p != NONE).map(NodeId));
             out.sort_unstable();
             out.dedup();
             NodeSet::from_sorted(out)
@@ -279,6 +292,7 @@ fn axis_set_inner(doc: &Document, axis: Axis, set: &NodeSet, typed: bool) -> Nod
                     s = ix.prev_sibling(s);
                 }
             }
+            pool::give_ids(ids);
             strip(out)
         }
         Axis::Id => {
@@ -314,7 +328,7 @@ fn planned_inner(
             // ascending) intervals and the exact output cardinality; the
             // materialization pick then runs over the recorded ranges, so
             // the subtree-interval lookups are never repeated.
-            let mut ranges: Vec<(u32, u32)> = Vec::new();
+            let mut ranges = pool::take_ranges();
             let mut m = 0u64;
             let mut next_free = 0u32;
             for x in set {
@@ -327,7 +341,9 @@ fn planned_inner(
                 }
                 next_free = next_free.max(hi);
             }
-            materialize_ranges(&ranges, m as usize, set.len(), n, ix, typed, model)
+            let out = materialize_ranges(&ranges, m as usize, set.len(), n, ix, typed, model);
+            pool::give_ranges(ranges);
+            out
         }
         Axis::Following => {
             let Some(lo) = set.iter().map(|x| ix.subtree_end(x.0)).min() else {
@@ -344,17 +360,18 @@ fn planned_inner(
             match model.pick_interval(n, set.len(), max.0 as usize) {
                 Kernel::BulkSparse | Kernel::PerNode => {
                     // Ancestor ids of max, ascending (parents descend).
-                    let mut anc = Vec::new();
+                    let mut anc = pool::take_ids();
                     let mut a = ix.parent(max.0);
                     while a != NONE {
-                        anc.push(a);
+                        anc.push(NodeId(a));
                         a = ix.parent(a);
                     }
                     anc.reverse();
-                    let mut out = Vec::with_capacity(max.0 as usize);
+                    let mut out = pool::take_ids();
+                    out.reserve(max.0 as usize);
                     let mut ai = 0usize;
                     for i in 0..max.0 {
-                        if ai < anc.len() && anc[ai] == i {
+                        if ai < anc.len() && anc[ai].0 == i {
                             ai += 1;
                             continue;
                         }
@@ -362,6 +379,7 @@ fn planned_inner(
                             out.push(NodeId(i));
                         }
                     }
+                    pool::give_ids(anc);
                     (NodeSet::from_sorted(out), Kernel::BulkSparse)
                 }
                 Kernel::BulkDense => (axis_set_inner(doc, axis, set, typed), Kernel::BulkDense),
@@ -404,12 +422,40 @@ fn materialize_ranges(
 ) -> (NodeSet, Kernel) {
     match model.pick_interval(universe, input_len, total) {
         Kernel::BulkSparse | Kernel::PerNode => {
-            let mut out = Vec::with_capacity(total);
+            let mut out = pool::take_ids();
+            out.reserve(total);
+            let specials = ix.special_words();
             for &(lo, hi) in ranges {
-                if typed {
-                    out.extend((lo..hi).filter(|&i| !ix.is_special(i)).map(NodeId));
-                } else {
-                    out.extend((lo..hi).map(NodeId));
+                if !typed {
+                    simd::extend_id_run(&mut out, lo, hi);
+                    continue;
+                }
+                // Typed strip, blockwise: 64-aligned blocks whose
+                // special-mask word is zero — the common case outside
+                // attribute-heavy regions — take the vectorized id-run
+                // writer; blocks with special nodes filter per id.
+                let mut i = lo;
+                while i < hi {
+                    let word = specials.get((i / 64) as usize).copied().unwrap_or(0);
+                    if word == 0 && i % 64 == 0 {
+                        let mut seg = (i + 64).min(hi);
+                        while seg < hi
+                            && seg % 64 == 0
+                            && specials.get((seg / 64) as usize).copied().unwrap_or(0) == 0
+                        {
+                            seg = (seg + 64).min(hi);
+                        }
+                        simd::extend_id_run(&mut out, i, seg);
+                        i = seg;
+                    } else {
+                        let seg = ((i / 64 + 1) * 64).min(hi);
+                        if word == 0 {
+                            simd::extend_id_run(&mut out, i, seg);
+                        } else {
+                            out.extend((i..seg).filter(|&j| !ix.is_special(j)).map(NodeId));
+                        }
+                        i = seg;
+                    }
                 }
             }
             (NodeSet::from_sorted(out), Kernel::BulkSparse)
@@ -432,12 +478,13 @@ fn materialize_ranges(
 /// which stays the cheapest plan when `|S| · chain` is far below the
 /// document's word count.
 fn per_node_union(doc: &Document, axis: Axis, set: &NodeSet) -> NodeSet {
-    let mut out = Vec::new();
-    let mut buf = Vec::new();
+    let mut out = pool::take_ids();
+    let mut buf = pool::take_ids();
     for x in set {
         crate::fast::axis_from_into(doc, axis, x, &mut buf);
         out.extend_from_slice(&buf);
     }
+    pool::give_ids(buf);
     NodeSet::from_unsorted(out)
 }
 

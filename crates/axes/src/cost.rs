@@ -135,17 +135,26 @@ pub struct CostModel {
 
 impl CostModel {
     /// Constants measured by `bench_axes --calibrate` (balanced 4-ary
-    /// depth-7 document, 21846 nodes, x86-64; 2026-07 pass).
+    /// depth-7 document, 21846 nodes, x86-64; 2026-08 pass, after the
+    /// tiered word-sweep kernels landed in `xpath_xml::simd`). The
+    /// vectorized sweeps pulled the per-word costs down ~3× relative to
+    /// the 2026-07 pass (`dense_word_ns` 2.6 → 0.9, `sparse_out_ns`
+    /// 1.4 → 0.25, `merge_word_ns` 0.25 → 0.5 re-measured), which moves
+    /// every dense-vs-sparse crossover toward the dense kernels. The
+    /// fingerprint is vectorized too (AVX-512 where available), but its
+    /// multiply chain keeps it near `dense_word_ns` per word — the reason
+    /// [`CostModel::shared_pass_ns`] must count the avoided pass's input
+    /// term, not just its word sweep.
     pub const CALIBRATED: CostModel = CostModel {
-        dense_word_ns: 2.6,
-        sparse_out_ns: 1.4,
-        input_ns: 0.7,
-        chain_ns: 7.0,
+        dense_word_ns: 0.9,
+        sparse_out_ns: 0.25,
+        input_ns: 0.75,
+        chain_ns: 7.4,
         est_chain_len: 12.0,
-        spawn_ns: 25_000.0,
-        merge_word_ns: 0.25,
-        memo_probe_ns: 90.0,
-        fingerprint_word_ns: 0.4,
+        spawn_ns: 18_000.0,
+        merge_word_ns: 0.5,
+        memo_probe_ns: 30.0,
+        fingerprint_word_ns: 0.85,
     };
 
     /// [`CostModel::CALIBRATED`] with any [`COST_ENV`] overrides applied,
@@ -343,9 +352,16 @@ impl CostModel {
     }
 
     /// Estimated cost of one full axis pass over a `universe`-id document —
-    /// what a memo hit in a lock-step-shared batch avoids re-running.
+    /// what a memo hit in a lock-step-shared batch avoids re-running:
+    /// the dense kernel's word sweep **plus** its per-input dispatch scan
+    /// (a shared pass walks its whole input set, up to the universe).
+    /// Before the vectorized kernels the word term dominated and the
+    /// input term was noise; now the sweep is ~3× cheaper and dropping
+    /// the input term would price an avoided pass at barely more than
+    /// fingerprinting its key, gating off sharing that measures ~7×
+    /// faster end to end (`BENCH_axes.json` `batch_eval`).
     pub fn shared_pass_ns(&self, universe: u32) -> f64 {
-        self.dense_word_ns * (universe as f64 / 64.0)
+        self.dense_cost(universe, universe as usize)
     }
 
     /// Pick how a batch of `queries` compiled spines should evaluate over

@@ -224,6 +224,88 @@ fn measure_axis_cells(doc: &Document) -> Vec<AxisCell> {
 }
 
 use xpath_bench::workloads::{batch_disjoint, batch_shared_prefix};
+use xpath_xml::simd;
+
+/// One `simd` cell: a word-sweep kernel timed on every dispatch tier over
+/// the same dense word buffer. `vector_ns` is absent on machines without
+/// AVX2 (the vector tier would silently run the unrolled kernel there,
+/// and a ratio of 1.0 would read as a regression rather than a downgrade).
+struct SimdCell {
+    op: &'static str,
+    words: usize,
+    scalar_ns: u64,
+    unrolled_ns: u64,
+    vector_ns: Option<u64>,
+}
+
+impl SimdCell {
+    fn ratio_vs_scalar(&self, tier_ns: u64) -> f64 {
+        self.scalar_ns as f64 / tier_ns.max(1) as f64
+    }
+}
+
+/// One timeable kernel shape: `(tier, a, b, out) -> count`; unary ops
+/// ignore `b`/`out`.
+type KernelFn = fn(simd::Tier, &[u64], &[u64], &mut [u64]) -> u64;
+
+/// Time the five hot kernels — union / intersect / difference sweeps,
+/// popcount and the memo fingerprint — per tier on a dense buffer sized
+/// like the bench document's bitset universe.
+fn measure_simd_cells() -> Vec<SimdCell> {
+    const WORDS: usize = 4096;
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    let a: Vec<u64> = (0..WORDS).map(|_| rng.next_u64()).collect();
+    let b: Vec<u64> = (0..WORDS).map(|_| rng.next_u64()).collect();
+    let tiers: Vec<simd::Tier> = if simd::vector_available() {
+        vec![simd::Tier::Scalar, simd::Tier::Unrolled, simd::Tier::Vector]
+    } else {
+        vec![simd::Tier::Scalar, simd::Tier::Unrolled]
+    };
+    // The union row times the bare `dst |= src` sweep: `out` accumulates
+    // across iterations (OR is idempotent — every iteration sweeps the
+    // same words), so no per-iteration copy dilutes the tier ratio.
+    let ops: &[(&'static str, KernelFn)] = &[
+        ("union", |t, _a, b, out| simd::or_assign_count_with(t, out, b)),
+        ("intersect", |t, a, b, out| simd::and_into_count_with(t, a, b, out)),
+        ("difference", |t, a, b, out| simd::andnot_into_count_with(t, a, b, out)),
+        ("popcount", |t, a, _, _| simd::popcount_with(t, a)),
+        ("fingerprint", |t, a, _, _| simd::fingerprint_words_with(t, a)),
+    ];
+    let mut cells = Vec::new();
+    for &(op, f) in ops {
+        // Per-tier results must agree before the timings mean anything.
+        let mut out = vec![0u64; WORDS];
+        let reference = f(simd::Tier::Scalar, &a, &b, &mut out);
+        for &tier in &tiers {
+            let mut out = vec![0u64; WORDS];
+            assert_eq!(f(tier, &a, &b, &mut out), reference, "{op} diverges on {tier:?}");
+        }
+        let (mut out_s, mut out_u, mut out_v) =
+            (vec![0u64; WORDS], vec![0u64; WORDS], vec![0u64; WORDS]);
+        let mut run_scalar = || {
+            std::hint::black_box(f(simd::Tier::Scalar, &a, &b, &mut out_s));
+        };
+        let mut run_unrolled = || {
+            std::hint::black_box(f(simd::Tier::Unrolled, &a, &b, &mut out_u));
+        };
+        let mut run_vector = || {
+            std::hint::black_box(f(simd::Tier::Vector, &a, &b, &mut out_v));
+        };
+        let mut timed: Vec<&mut dyn FnMut()> = vec![&mut run_scalar, &mut run_unrolled];
+        if simd::vector_available() {
+            timed.push(&mut run_vector);
+        }
+        let times = time_ns_interleaved(&mut timed);
+        cells.push(SimdCell {
+            op,
+            words: WORDS,
+            scalar_ns: times[0],
+            unrolled_ns: times[1],
+            vector_ns: times.get(2).copied(),
+        });
+    }
+    cells
+}
 
 /// One batch_eval measurement: the batch as one single-threaded
 /// `QuerySet::evaluate_all` vs N independent prepared evaluations.
@@ -306,6 +388,45 @@ fn check(doc: &Document) -> Result<(), String> {
     let parallel_failures = check_parallel_equivalence(doc);
     if !parallel_failures.is_empty() {
         return Err(parallel_failures.join("\n"));
+    }
+    // Kernel-tier guard: on AVX2 hardware the vector sweeps must beat the
+    // scalar loop by ≥1.3x on the dense set ops (the ratio the cost model
+    // and the BENCH_axes.json `simd` section advertise; the real margin is
+    // far larger — the low bar only refuses a silently broken dispatch).
+    // Skipped entirely when the tier is pinned down via GKP_NO_SIMD.
+    if simd::vector_available() && simd::active_tier() == simd::Tier::Vector {
+        let mut simd_failure = None;
+        for attempt in 1..=CHECK_ATTEMPTS {
+            simd_failure = None;
+            for c in measure_simd_cells() {
+                let Some(v) = c.vector_ns else { continue };
+                if !matches!(c.op, "union" | "intersect" | "difference") {
+                    continue;
+                }
+                let ratio = c.ratio_vs_scalar(v);
+                eprintln!(
+                    "check: simd {:<11} scalar {:>7}ns  vector {:>7}ns  {ratio:>5.2}x",
+                    c.op, c.scalar_ns, v
+                );
+                if ratio < 1.3 {
+                    simd_failure = Some(format!(
+                        "simd {}: vector {v}ns vs scalar {}ns ({ratio:.2}x < 1.3x)",
+                        c.op, c.scalar_ns
+                    ));
+                }
+            }
+            if simd_failure.is_none() {
+                break;
+            }
+            if attempt < CHECK_ATTEMPTS {
+                eprintln!(
+                    "check: simd attempt {attempt}/{CHECK_ATTEMPTS} under 1.3x; re-measuring"
+                );
+            }
+        }
+        if let Some(failure) = simd_failure {
+            return Err(failure);
+        }
     }
     // Batch guard: one shared-prefix `evaluate_all` must stay within 5%
     // of N independent evaluations (it should be well *faster* — the
@@ -483,12 +604,18 @@ fn calibrate(doc: &Document) {
     });
     let merge_word_ns = (t_merge as f64 / words).max(0.01);
 
-    // fingerprint_word_ns: the content hash of a full dense universe set,
-    // per word — the per-unit key cost of the batch memo.
+    // fingerprint_word_ns: the content hash of a dense set, per word —
+    // the per-unit key cost of the batch memo. Probed on a large dense
+    // universe so the measured value is the per-word *slope* (the fixed
+    // call overhead belongs to memo_probe_ns, and a small probe would
+    // fold it into the slope and overstate big-document memo costs).
+    let fp_universe = 1u32 << 20;
+    let fp_words = f64::from(fp_universe) / 64.0;
+    let dense_all = NodeSet::full(fp_universe);
     let t_fp = time_ns(|| {
-        std::hint::black_box(all.fingerprint());
+        std::hint::black_box(dense_all.fingerprint());
     });
-    let fingerprint_word_ns = (t_fp as f64 / words).max(0.01);
+    let fingerprint_word_ns = (t_fp as f64 / fp_words).max(0.01);
 
     // memo_probe_ns: one hash-map probe plus the result clone a memo hit
     // hands back, on a small sparse entry (the fixed part of a probe; the
@@ -590,6 +717,43 @@ fn main() {
         );
     }
     json.push_str("\n  ],\n");
+
+    // ---- word-sweep kernel tiers: scalar vs unrolled vs vector ----
+    {
+        let _ = writeln!(
+            json,
+            "  \"simd\": {{ \"active_tier\": \"{}\", \"vector_available\": {}, \
+             \"avx512_fingerprint\": {}, \"kernels\": [",
+            simd::active_tier().name(),
+            simd::vector_available(),
+            simd::avx512_fingerprint_available(),
+        );
+        let cells = measure_simd_cells();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "    {{ \"op\": \"{}\", \"words\": {}, \"scalar_ns\": {}, \
+                 \"unrolled_ns\": {}, \"speedup_unrolled_vs_scalar\": {:.2}",
+                c.op,
+                c.words,
+                c.scalar_ns,
+                c.unrolled_ns,
+                c.ratio_vs_scalar(c.unrolled_ns),
+            );
+            if let Some(v) = c.vector_ns {
+                let _ = write!(
+                    json,
+                    ", \"vector_ns\": {v}, \"speedup_vector_vs_scalar\": {:.2}",
+                    c.ratio_vs_scalar(v)
+                );
+            }
+            json.push_str(" }");
+        }
+        json.push_str("\n  ] },\n");
+    }
 
     // ---- representation micro-bench: set ops across densities ----
     json.push_str("  \"set_ops\": [\n");

@@ -120,19 +120,33 @@ pub struct AxisMemo {
     map: Mutex<HashMap<u64, NodeSet>>,
     /// Structural hashes of node tests / predicates, cached by address:
     /// the compiled structures are pinned by the batch's
-    /// `Arc<CompiledQuery>` handles for the life of an evaluation (and a
-    /// memo lives no longer), so an address uniquely identifies one
-    /// structure and repeat probes skip the `Debug`-render hash entirely.
+    /// `Arc<CompiledQuery>` handles, which outlive every memo the set
+    /// uses (the shared scratch memo lives as long as the `QuerySet`
+    /// itself), so an address uniquely identifies one structure and
+    /// repeat probes skip the `Debug`-render hash entirely.
     ptr_hashes: Mutex<HashMap<usize, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl AxisMemo {
-    /// An empty memo. [`QuerySet::evaluate_all`] creates one per
-    /// evaluation — entries are only valid for a single document.
+    /// An empty memo. [`QuerySet::evaluate_all`] reuses one per set
+    /// (resetting it with [`AxisMemo::begin_evaluation`] each round) —
+    /// entries are only valid for a single document.
     pub fn new() -> AxisMemo {
         AxisMemo::default()
+    }
+
+    /// Reset for a new evaluation round: drop the previous round's
+    /// entries (their node-set buffers recycle into the thread-local
+    /// shelves; the map keeps its capacity for reuse) and zero the
+    /// hit/miss counters. The structural ptr-hash cache survives — the
+    /// structures it keys are pinned by the owning set's
+    /// `Arc<CompiledQuery>` handles for the memo's whole life.
+    pub fn begin_evaluation(&self) {
+        self.map.lock().expect("axis memo poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Applications served from the memo so far.
@@ -364,8 +378,21 @@ impl QuerySetBuilder {
             cost: self.cost.unwrap_or(*CostModel::global()),
             sharing,
             kernels: Arc::new(KernelCounters::new()),
+            scratch: Mutex::new(LockStepScratch::default()),
         })
     }
+}
+
+/// Reusable lock-step evaluation scratch, kept on the [`QuerySet`] so
+/// repeated [`QuerySet::evaluate_all`] calls reach an allocation-free
+/// steady state: the memo map keeps its capacity (and its structural
+/// ptr-hash cache) across rounds, and the arena's slot vector replaces
+/// the per-call `states` allocation. Guarded by a `try_lock` — a
+/// concurrent evaluation on another thread simply takes a fresh scratch.
+#[derive(Debug, Default)]
+struct LockStepScratch {
+    memo: Arc<AxisMemo>,
+    arena: crate::pool::NodeSetArena,
 }
 
 /// Static sharing profile of a batch, computed once at build time: how
@@ -439,6 +466,8 @@ pub struct QuerySet {
     /// evaluations record here, not into the member queries' per-handle
     /// tallies — shared passes cannot be attributed to one query).
     kernels: Arc<KernelCounters>,
+    /// Reusable lock-step scratch (memo + arena), `try_lock`-guarded.
+    scratch: Mutex<LockStepScratch>,
 }
 
 impl QuerySet {
@@ -526,7 +555,8 @@ impl QuerySet {
     }
 
     fn run_serial(&self, doc: &Document, ctx: Context) -> BatchResult {
-        let results = (0..self.len()).map(|i| self.eval_one(doc, ctx, i)).collect();
+        let mut results = crate::pool::take_results();
+        results.extend((0..self.len()).map(|i| self.eval_one(doc, ctx, i)));
         BatchResult {
             results,
             stats: BatchStats {
@@ -547,8 +577,10 @@ impl QuerySet {
         let parts = crate::parallel::run_sharded(&ranges, |_, lo, hi| {
             (lo..hi).map(|i| self.eval_one(doc, ctx, i as usize)).collect::<Vec<_>>()
         });
+        let mut results = crate::pool::take_results();
+        results.extend(parts.into_iter().flatten());
         BatchResult {
-            results: parts.into_iter().flatten().collect(),
+            results,
             stats: BatchStats {
                 mode: BatchMode::PerQuerySharded,
                 queries: self.len(),
@@ -561,36 +593,51 @@ impl QuerySet {
     }
 
     fn run_lock_step(&self, doc: &Document, ctx: Context) -> BatchResult {
-        let memo = Arc::new(AxisMemo::new());
+        // Reuse the set's scratch (memo map + slot arena) when it is
+        // free; a concurrent evaluation on another thread falls back to
+        // a fresh one rather than waiting.
+        let mut fallback = None;
+        let mut guard = self.scratch.try_lock().ok();
+        let scratch = match guard.as_deref_mut() {
+            Some(s) => s,
+            None => fallback.get_or_insert_with(LockStepScratch::default),
+        };
+        scratch.memo.begin_evaluation();
+        let memo = Arc::clone(&scratch.memo);
         let ev = CoreXPathEvaluator::with_backend(doc, AxisBackend::Parallel(self.threads))
             .with_cost_model(self.cost)
             .with_memo(Arc::clone(&memo));
         let ctx_nodes = [ctx.node];
         // Fragment queries advance lock-step; the rest run their normal
         // engines below.
-        let programs: Vec<Option<&CoreQuery>> =
-            self.queries.iter().map(|q| fragment_program(q)).collect();
-        let mut states: Vec<Option<NodeSet>> =
-            programs.iter().map(|p| p.map(|cq| ev.start_set(&cq.path.start, &ctx_nodes))).collect();
-        let rounds = programs.iter().flatten().map(|cq| cq.path.steps.len()).max().unwrap_or(0);
+        let states = scratch.arena.begin();
+        states.extend(
+            self.queries
+                .iter()
+                .map(|q| fragment_program(q).map(|cq| ev.start_set(&cq.path.start, &ctx_nodes))),
+        );
+        let rounds = self
+            .queries
+            .iter()
+            .filter_map(|q| fragment_program(q).map(|cq| cq.path.steps.len()))
+            .max()
+            .unwrap_or(0);
         for k in 0..rounds {
-            for (program, state) in programs.iter().zip(states.iter_mut()) {
-                if let (Some(cq), Some(n)) = (program, state.as_mut()) {
+            for (q, state) in self.queries.iter().zip(states.iter_mut()) {
+                if let (Some(cq), Some(n)) = (fragment_program(q), state.as_mut()) {
                     if let Some(step) = cq.path.steps.get(k) {
                         *n = ev.advance_step(step, n);
                     }
                 }
             }
         }
-        let results = programs
-            .iter()
-            .zip(states)
-            .enumerate()
-            .map(|(i, (program, state))| match (program, state) {
+        let mut results = crate::pool::take_results();
+        results.extend(self.queries.iter().zip(states.drain(..)).enumerate().map(
+            |(i, (q, state))| match (fragment_program(q), state) {
                 (Some(cq), Some(n)) => Ok(Value::NodeSet(ev.finish_path(&cq.path, n))),
                 _ => self.eval_one(doc, ctx, i),
-            })
-            .collect();
+            },
+        ));
         self.kernels.merge(ev.kernel_counts());
         BatchResult {
             results,
@@ -636,9 +683,10 @@ impl BatchResult {
         &self.results
     }
 
-    /// Consume into the per-query results.
-    pub fn into_results(self) -> Vec<EvalResult<Value>> {
-        self.results
+    /// Consume into the per-query results. The vector becomes the
+    /// caller's (it no longer returns to the recycling shelf on drop).
+    pub fn into_results(mut self) -> Vec<EvalResult<Value>> {
+        std::mem::take(&mut self.results)
     }
 
     /// Number of queries evaluated.
@@ -654,6 +702,15 @@ impl BatchResult {
     /// Batch-level statistics: the mode taken and the sharing achieved.
     pub fn stats(&self) -> &BatchStats {
         &self.stats
+    }
+}
+
+impl Drop for BatchResult {
+    /// Recycle the result vector (values first — their node-set buffers
+    /// go back to the xml shelves) so the next batch evaluation on this
+    /// thread starts with a warm buffer.
+    fn drop(&mut self) {
+        crate::pool::give_results(std::mem::take(&mut self.results));
     }
 }
 

@@ -374,7 +374,13 @@ impl<'d> BottomUpEvaluator<'d> {
             let next = crate::parallel::map_rows(n as u32, shards, |lo, hi| {
                 (lo as usize..hi as usize)
                     .map(|x| match &prev {
-                        None => NodeSet::from_sorted(st[x].clone()),
+                        None => {
+                            // Copy through the recycling shelves: the
+                            // frontier sets churn once per fold pass.
+                            let mut v = xpath_xml::pool::take_ids();
+                            v.extend_from_slice(&st[x]);
+                            NodeSet::from_sorted(v)
+                        }
                         Some(r) => {
                             // Pre-size the accumulator: when the summed
                             // input sizes clear the dense threshold, start
@@ -398,6 +404,14 @@ impl<'d> BottomUpEvaluator<'d> {
                     .collect()
             });
             reach = Some(next);
+        }
+        // The per-step candidate lists are dead once the fold finishes:
+        // recycle them so the next pass (or evaluation) reuses the
+        // buffers instead of reallocating per row.
+        for st in step_tables {
+            for row in st {
+                xpath_xml::pool::give_ids(row);
+            }
         }
         match &p.start {
             PathStart::Root => {
@@ -477,7 +491,8 @@ impl<'d> BottomUpEvaluator<'d> {
         let mut s = step_candidates(self.doc, step.axis, &step.test, x);
         for pt in pred_tables {
             let len = s.len();
-            let mut kept = Vec::with_capacity(len);
+            let mut kept = xpath_xml::pool::take_ids();
+            kept.reserve(len);
             for (j, &y) in s.iter().enumerate() {
                 let pos = position_of(step.axis, j, len);
                 let ctx = Context::new(y, pos, len.max(1) as u32);
@@ -488,7 +503,7 @@ impl<'d> BottomUpEvaluator<'d> {
                     kept.push(y);
                 }
             }
-            s = kept;
+            xpath_xml::pool::give_ids(std::mem::replace(&mut s, kept));
         }
         Ok(s)
     }
@@ -509,7 +524,8 @@ impl<'d> BottomUpEvaluator<'d> {
             let mut s: Vec<NodeId> = set.to_vec();
             for pt in &pred_tables {
                 let len = s.len();
-                let mut kept = Vec::with_capacity(len);
+                let mut kept = xpath_xml::pool::take_ids();
+                kept.reserve(len);
                 for (j, &y) in s.iter().enumerate() {
                     let pos = (j + 1) as u32;
                     let ctx = Context::new(y, pos, len.max(1) as u32);
@@ -520,7 +536,7 @@ impl<'d> BottomUpEvaluator<'d> {
                         kept.push(y);
                     }
                 }
-                s = kept;
+                xpath_xml::pool::give_ids(std::mem::replace(&mut s, kept));
             }
             out.insert_key(key, Value::NodeSet(NodeSet::from_sorted(s)));
         }

@@ -432,7 +432,14 @@ impl<'d> CoreXPathEvaluator<'d> {
 
     pub(crate) fn start_set(&self, start: &CoreStart, context_nodes: &[NodeId]) -> NodeSet {
         match start {
-            CoreStart::Context => NodeSet::from_unsorted(context_nodes.to_vec()),
+            CoreStart::Context => {
+                // Copy through the recycling pool: `S→` runs once per
+                // evaluation, and a plain `to_vec` here would be the one
+                // heap allocation left on the steady-state path.
+                let mut v = xpath_xml::pool::take_ids();
+                v.extend_from_slice(context_nodes);
+                NodeSet::from_unsorted(v)
+            }
             CoreStart::Root => NodeSet::singleton(self.doc.root()),
             CoreStart::Ids(s) => NodeSet::from_sorted(self.doc.deref_ids(s)),
         }

@@ -46,9 +46,21 @@ fn kind_matches(doc: &Document, k: &KindTest, n: NodeId) -> bool {
 }
 
 /// The set `T(t)` (§4) relative to an axis: all nodes of the document
-/// satisfying the test. Sorted in document order. `O(|D|)`.
+/// satisfying the test. Sorted in document order. `O(|D|)`. The returned
+/// vector is drawn from the thread-local recycling pool
+/// ([`xpath_xml::pool`]), so repeated scans reuse one buffer.
 pub fn matching_set(doc: &Document, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
-    doc.all_nodes().filter(|&n| matches(doc, axis, test, n)).collect()
+    let mut out = xpath_xml::pool::take_ids();
+    out.extend(doc.all_nodes().filter(|&n| matches(doc, axis, test, n)));
+    out
+}
+
+/// A pooled copy of a precomputed id list (the [`matching_set_indexed`]
+/// fast paths hand out index-owned slices).
+fn pooled_copy(ids: &[NodeId]) -> Vec<NodeId> {
+    let mut out = xpath_xml::pool::take_ids();
+    out.extend_from_slice(ids);
+    out
 }
 
 /// [`matching_set`] backed by a prebuilt
@@ -64,29 +76,32 @@ pub fn matching_set_indexed(
     use xpath_syntax::PrincipalKind;
     match test {
         NodeTest::Name(name) => {
-            let Some(id) = doc.lookup_name(name) else { return Vec::new() };
+            let Some(id) = doc.lookup_name(name) else { return xpath_xml::pool::take_ids() };
             match axis.principal_kind() {
-                PrincipalKind::Element => index.elements_named(id).to_vec(),
-                PrincipalKind::Attribute => index.attributes_named(id).to_vec(),
+                PrincipalKind::Element => pooled_copy(index.elements_named(id)),
+                PrincipalKind::Attribute => pooled_copy(index.attributes_named(id)),
                 PrincipalKind::Namespace => {
                     // Namespace nodes are few; filter the kind list by name.
-                    index
-                        .namespace_nodes()
-                        .iter()
-                        .copied()
-                        .filter(|&n| doc.name_id(n) == Some(id))
-                        .collect()
+                    let mut out = xpath_xml::pool::take_ids();
+                    out.extend(
+                        index
+                            .namespace_nodes()
+                            .iter()
+                            .copied()
+                            .filter(|&n| doc.name_id(n) == Some(id)),
+                    );
+                    out
                 }
             }
         }
         NodeTest::Wildcard => match axis.principal_kind() {
-            PrincipalKind::Element => index.elements().to_vec(),
-            PrincipalKind::Attribute => index.attributes().to_vec(),
-            PrincipalKind::Namespace => index.namespace_nodes().to_vec(),
+            PrincipalKind::Element => pooled_copy(index.elements()),
+            PrincipalKind::Attribute => pooled_copy(index.attributes()),
+            PrincipalKind::Namespace => pooled_copy(index.namespace_nodes()),
         },
-        NodeTest::Kind(KindTest::Text) => index.text_nodes().to_vec(),
-        NodeTest::Kind(KindTest::Comment) => index.comments().to_vec(),
-        NodeTest::Kind(KindTest::Pi(None)) => index.processing_instructions().to_vec(),
+        NodeTest::Kind(KindTest::Text) => pooled_copy(index.text_nodes()),
+        NodeTest::Kind(KindTest::Comment) => pooled_copy(index.comments()),
+        NodeTest::Kind(KindTest::Pi(None)) => pooled_copy(index.processing_instructions()),
         NodeTest::Kind(KindTest::Pi(Some(_)))
         | NodeTest::Kind(KindTest::Node)
         | NodeTest::NsWildcard(_) => matching_set(doc, axis, test),

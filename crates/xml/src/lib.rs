@@ -27,9 +27,18 @@
 //!   ([`events`]) for the streaming matcher, document statistics
 //!   ([`stats`]), and name indexes ([`index`]);
 //! * generators for every document family used in the paper's experiments
-//!   ([`generate`]).
+//!   ([`generate`]);
+//! * the tiered word-sweep kernels under every set operation ([`simd`]):
+//!   scalar reference loops, a portable 4-wide unrolled fallback, and
+//!   runtime-detected AVX2/AVX-512 vector paths — the one module in the
+//!   workspace with a scoped, documented `unsafe` exemption;
+//! * thread-local buffer recycling ([`pool`]) behind [`NodeSet`]'s
+//!   `Clone`/`Drop`, giving repeated evaluation an allocation-free steady
+//!   state.
 
-#![forbid(unsafe_code)]
+// `simd` carries the workspace's single scoped `unsafe` exemption (the
+// workspace lints pin `unsafe_code = deny`; a crate-level `forbid` would
+// make that module-level allow impossible).
 #![warn(missing_docs)]
 
 pub mod axis_index;
@@ -43,7 +52,9 @@ pub mod index;
 mod node;
 pub mod nodeset;
 mod parser;
+pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use axis_index::AxisIndex;

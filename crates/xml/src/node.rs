@@ -15,6 +15,7 @@ use std::fmt;
 /// `NodeId`s with `<` is exactly the document-order relation `<doc` of §4,
 /// and sorting a node set by id yields document order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -28,6 +28,7 @@
 //! axes (parent/siblings), then let the set adapt.
 
 use crate::node::NodeId;
+use crate::{pool, simd};
 
 /// Number of bits per bitset word.
 const WORD_BITS: u32 = 64;
@@ -36,12 +37,17 @@ const WORD_BITS: u32 = 64;
 ///
 /// See the [module docs](self) for invariants and the representation
 /// strategy.
-#[derive(Clone)]
+///
+/// # Buffer recycling
+///
+/// `Clone` and `Drop` route the backing buffers through the
+/// thread-local [`pool`], so transient sets created during evaluation
+/// reuse capacity instead of hitting the allocator — see the pool's
+/// module docs for the steady-state guarantee.
 pub struct NodeSet {
     repr: Repr,
 }
 
-#[derive(Clone)]
 enum Repr {
     /// Strictly ascending, duplicate-free.
     Vec(Vec<NodeId>),
@@ -59,16 +65,17 @@ impl NodeSet {
     /// See [`NodeSet::DENSE_NUM`].
     pub const DENSE_DEN: u64 = 32;
 
-    /// The empty set (sparse representation).
+    /// The empty set (sparse representation, recycled capacity).
     #[inline]
     pub fn new() -> NodeSet {
-        NodeSet { repr: Repr::Vec(Vec::new()) }
+        NodeSet { repr: Repr::Vec(pool::take_ids()) }
     }
 
     /// The empty set with a dense bitset over `[0, universe)` — the
     /// starting point for bulk builders that expect dense results.
     pub fn empty_dense(universe: u32) -> NodeSet {
-        let words = vec![0u64; universe.div_ceil(WORD_BITS) as usize];
+        let mut words = pool::take_words();
+        words.resize(universe.div_ceil(WORD_BITS) as usize, 0);
         NodeSet { repr: Repr::Bits { words, universe, len: 0 } }
     }
 
@@ -81,7 +88,9 @@ impl NodeSet {
 
     /// A one-element set.
     pub fn singleton(n: NodeId) -> NodeSet {
-        NodeSet { repr: Repr::Vec(vec![n]) }
+        let mut v = pool::take_ids();
+        v.push(n);
+        NodeSet { repr: Repr::Vec(v) }
     }
 
     /// Build from a vector already in strictly ascending document order.
@@ -201,19 +210,28 @@ impl NodeSet {
         }
     }
 
-    /// Copy out the ids as a sorted vector.
+    /// Copy out the ids as a sorted vector (recycled capacity).
     pub fn to_vec(&self) -> Vec<NodeId> {
         match &self.repr {
-            Repr::Vec(v) => v.clone(),
-            Repr::Bits { .. } => self.iter().collect(),
+            Repr::Vec(v) => {
+                let mut out = pool::take_ids();
+                out.extend_from_slice(v);
+                out
+            }
+            Repr::Bits { words, len, .. } => collect_sparse(words, *len as usize, |_, x| x),
         }
     }
 
-    /// Consume into a sorted vector (free for the sparse representation).
-    pub fn into_vec(self) -> Vec<NodeId> {
-        match self.repr {
+    /// Consume into a sorted vector (free for the sparse representation;
+    /// the bitset's words are recycled for the dense one).
+    pub fn into_vec(mut self) -> Vec<NodeId> {
+        match std::mem::replace(&mut self.repr, Repr::Vec(Vec::new())) {
             Repr::Vec(v) => v,
-            Repr::Bits { .. } => self.iter().collect(),
+            Repr::Bits { words, len, .. } => {
+                let out = collect_sparse(&words, len as usize, |_, x| x);
+                pool::give_words(words);
+                out
+            }
         }
     }
 
@@ -283,10 +301,7 @@ impl NodeSet {
                 } else {
                     added += (lo_mask & !words[lw]).count_ones();
                     words[lw] |= lo_mask;
-                    for w in &mut words[lw + 1..hw] {
-                        added += w.count_zeros();
-                        *w = u64::MAX;
-                    }
+                    added += simd::fill_ones_count_added(&mut words[lw + 1..hw]) as u32;
                     if hb != 0 {
                         added += (hi_mask & !words[hw]).count_ones();
                         words[hw] |= hi_mask;
@@ -354,15 +369,7 @@ impl NodeSet {
                     *universe = *ou;
                     words.resize(ou.div_ceil(WORD_BITS) as usize, 0);
                 }
-                let mut count = 0u32;
-                for (w, &o) in words.iter_mut().zip(ow.iter()) {
-                    *w |= o;
-                    count += w.count_ones();
-                }
-                for w in &words[ow.len()..] {
-                    count += w.count_ones();
-                }
-                *len = count;
+                *len = simd::or_assign_count(words, ow) as u32;
             }
             (Repr::Bits { .. }, Repr::Vec(b)) => {
                 for &n in b {
@@ -381,7 +388,8 @@ impl NodeSet {
     pub fn intersect(&self, other: &NodeSet) -> NodeSet {
         match (&self.repr, &other.repr) {
             (Repr::Vec(a), Repr::Vec(b)) => {
-                let mut out = Vec::new();
+                let mut out = pool::take_ids();
+                out.reserve(a.len().min(b.len()));
                 let (mut i, mut j) = (0, 0);
                 while i < a.len() && j < b.len() {
                     match a[i].cmp(&b[j]) {
@@ -412,17 +420,17 @@ impl NodeSet {
                         x & b.get(i).copied().unwrap_or(0)
                     }));
                 }
-                let mut words: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| x & y).collect();
+                let mut words = pool::take_words();
                 words.resize(a.len(), 0);
-                let len = words.iter().map(|w| w.count_ones()).sum();
+                let len = simd::and_into_count(a, b, &mut words) as u32;
                 NodeSet { repr: Repr::Bits { words, universe: *universe, len } }.adapt()
             }
             // One sparse side: filter it through the dense side.
             (Repr::Vec(v), Repr::Bits { .. }) => {
-                NodeSet::from_sorted(v.iter().copied().filter(|&n| other.contains(n)).collect())
+                NodeSet::from_sorted(pooled_filter(v, |n| other.contains(n)))
             }
             (Repr::Bits { .. }, Repr::Vec(v)) => {
-                NodeSet::from_sorted(v.iter().copied().filter(|&n| self.contains(n)).collect())
+                NodeSet::from_sorted(pooled_filter(v, |n| self.contains(n)))
             }
         }
     }
@@ -431,7 +439,8 @@ impl NodeSet {
     pub fn difference(&self, other: &NodeSet) -> NodeSet {
         match (&self.repr, &other.repr) {
             (Repr::Vec(a), Repr::Vec(b)) => {
-                let mut out = Vec::new();
+                let mut out = pool::take_ids();
+                out.reserve(a.len());
                 let mut j = 0;
                 for &x in a {
                     while j < b.len() && b[j] < x {
@@ -451,17 +460,13 @@ impl NodeSet {
                         x & !b.get(i).copied().unwrap_or(0)
                     }));
                 }
-                let mut words: Vec<u64> = a
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &x)| x & !b.get(i).copied().unwrap_or(0))
-                    .collect();
+                let mut words = pool::take_words();
                 words.resize(a.len(), 0);
-                let len = words.iter().map(|w| w.count_ones()).sum();
+                let len = simd::andnot_into_count(a, b, &mut words) as u32;
                 NodeSet { repr: Repr::Bits { words, universe: *universe, len } }.adapt()
             }
             (Repr::Vec(v), Repr::Bits { .. }) => {
-                NodeSet::from_sorted(v.iter().copied().filter(|&n| !other.contains(n)).collect())
+                NodeSet::from_sorted(pooled_filter(v, |n| !other.contains(n)))
             }
             (Repr::Bits { .. }, Repr::Vec(_)) => {
                 let mut out = self.clone();
@@ -475,15 +480,7 @@ impl NodeSet {
     pub fn difference_with(&mut self, other: &NodeSet) {
         match (&mut self.repr, &other.repr) {
             (Repr::Bits { words, len, .. }, Repr::Bits { words: ow, .. }) => {
-                let mut count = 0u32;
-                for (w, &o) in words.iter_mut().zip(ow.iter()) {
-                    *w &= !o;
-                    count += w.count_ones();
-                }
-                for w in &words[ow.len().min(words.len())..] {
-                    count += w.count_ones();
-                }
-                *len = count;
+                *len = simd::andnot_assign_count(words, ow) as u32;
             }
             (Repr::Bits { words, universe, len }, Repr::Vec(v)) => {
                 for &n in v {
@@ -508,12 +505,7 @@ impl NodeSet {
     pub fn subtract_words(&mut self, mask: &[u64]) {
         match &mut self.repr {
             Repr::Bits { words, len, .. } => {
-                let mut count = 0u32;
-                for (i, w) in words.iter_mut().enumerate() {
-                    *w &= !mask.get(i).copied().unwrap_or(0);
-                    count += w.count_ones();
-                }
-                *len = count;
+                *len = simd::andnot_assign_count(words, mask) as u32;
             }
             Repr::Vec(v) => v.retain(|&n| {
                 mask.get((n.0 / WORD_BITS) as usize).is_none_or(|w| w >> (n.0 % WORD_BITS) & 1 == 0)
@@ -535,10 +527,9 @@ impl NodeSet {
     /// sets directly when the shape warrants it.)
     pub fn adapt(self) -> NodeSet {
         match &self.repr {
-            Repr::Bits { universe, len, .. }
-                if (*len as u64) * Self::DENSE_DEN < (*universe as u64) * Self::DENSE_NUM =>
-            {
-                NodeSet::from_sorted(self.iter().collect())
+            Repr::Bits { universe, len, words } if sparse_bound(*len, *universe) => {
+                // `self` drops on return, recycling the bitset words.
+                NodeSet::from_sorted(collect_sparse(words, *len as usize, |_, x| x))
             }
             _ => self,
         }
@@ -546,69 +537,64 @@ impl NodeSet {
 
     /// Convert to the dense representation over `[0, universe)` if not
     /// already dense. Every id must be `< universe`.
-    pub fn densify(self, universe: u32) -> NodeSet {
-        match self.repr {
-            Repr::Bits { .. } => self,
+    pub fn densify(mut self, universe: u32) -> NodeSet {
+        match std::mem::replace(&mut self.repr, Repr::Vec(Vec::new())) {
+            bits @ Repr::Bits { .. } => NodeSet { repr: bits },
             Repr::Vec(v) => {
                 let mut out = NodeSet::empty_dense(universe);
-                for n in v {
+                for &n in &v {
                     out.insert(n);
                 }
+                pool::give_ids(v);
                 out
             }
         }
     }
 
-    /// A cheap 64-bit content hash: splitmix64 chained over the set's
-    /// nonzero bitset words (synthesized on the fly for the sparse
-    /// representation), seeded with the cardinality.
+    /// A cheap 64-bit content hash: the XOR of a per-word `splitmix64`
+    /// mix ([`simd::fp_mix`]) over the set's nonzero bitset words
+    /// (synthesized on the fly for the sparse representation), combined
+    /// with a cardinality-seeded header. XOR combination makes the hash
+    /// independent of word order, which is what lets the vector tier
+    /// compute eight lanes at once and the sparse side emit words as ids
+    /// stream by.
     ///
     /// Two sets with equal contents fingerprint equally **regardless of
     /// representation** — a dense bitset and a sorted vector holding the
     /// same ids produce the same value — so the fingerprint can key
     /// memo tables across repr boundaries (the batched query evaluator's
     /// `(axis, node-test, input-fingerprint)` axis-result cache). Cost is
-    /// `O(nonzero words)` dense and `O(len)` sparse; distinct sets collide
+    /// `O(words)` dense and `O(len)` sparse; distinct sets collide
     /// with probability ~2⁻⁶⁴ per pair, which the memo consumers accept.
     pub fn fingerprint(&self) -> u64 {
         use crate::rng::splitmix64;
-        let mut h = splitmix64(0x9E37_79B9_7F4A_7C15 ^ self.len() as u64);
-        let emit = |h: &mut u64, idx: u64, word: u64| {
-            *h = splitmix64(*h ^ idx);
-            *h = splitmix64(*h ^ word);
-        };
+        let seed = splitmix64(0x9E37_79B9_7F4A_7C15 ^ self.len() as u64);
         match &self.repr {
-            Repr::Bits { words, .. } => {
-                for (i, &w) in words.iter().enumerate() {
-                    if w != 0 {
-                        emit(&mut h, i as u64, w);
-                    }
-                }
-            }
+            Repr::Bits { words, .. } => seed ^ simd::fingerprint_words(words),
             Repr::Vec(v) => {
-                // Reconstruct the word stream the dense side would hash:
-                // group ascending ids by word index, emitting each word
-                // once its bits are complete (ids are strictly ascending,
-                // so words complete in order).
-                let mut wi = u64::MAX;
+                // Synthesize the (word index, word) pairs the dense side
+                // would hash: group ascending ids by word index; each
+                // completed word contributes one XOR term.
                 let mut acc = 0u64;
+                let mut wi = u64::MAX;
+                let mut w = 0u64;
                 for n in v {
                     let i = u64::from(n.0 / WORD_BITS);
                     if i != wi {
                         if wi != u64::MAX {
-                            emit(&mut h, wi, acc);
+                            acc ^= simd::fp_mix(wi, w);
                         }
                         wi = i;
-                        acc = 0;
+                        w = 0;
                     }
-                    acc |= 1u64 << (n.0 % WORD_BITS);
+                    w |= 1u64 << (n.0 % WORD_BITS);
                 }
                 if wi != u64::MAX {
-                    emit(&mut h, wi, acc);
+                    acc ^= simd::fp_mix(wi, w);
                 }
+                seed ^ acc
             }
         }
-        h
     }
 
     // ----- shard split / merge (parallel CVT evaluation) -----
@@ -626,14 +612,17 @@ impl NodeSet {
             Repr::Vec(v) => {
                 let start = v.partition_point(|n| n.0 < lo);
                 let end = v.partition_point(|n| n.0 < hi);
-                NodeSet::from_sorted(v[start..end].to_vec())
+                let mut out = pool::take_ids();
+                out.extend_from_slice(&v[start..end]);
+                NodeSet::from_sorted(out)
             }
             Repr::Bits { words, universe, .. } => {
                 let hi = hi.min(*universe);
                 if lo >= hi {
                     return NodeSet::new();
                 }
-                let mut out = vec![0u64; words.len()];
+                let mut out = pool::take_words();
+                out.resize(words.len(), 0);
                 let (lw, lb) = ((lo / WORD_BITS) as usize, lo % WORD_BITS);
                 let (hw, hb) = ((hi / WORD_BITS) as usize, hi % WORD_BITS);
                 let lo_mask = u64::MAX << lb;
@@ -645,10 +634,7 @@ impl NodeSet {
                 } else {
                     out[lw] = words[lw] & lo_mask;
                     len += out[lw].count_ones();
-                    for i in lw + 1..hw {
-                        out[i] = words[i];
-                        len += out[i].count_ones();
-                    }
+                    len += simd::copy_into_count(&words[lw + 1..hw], &mut out[lw + 1..hw]) as u32;
                     if hb != 0 {
                         out[hw] = words[hw] & hi_mask;
                         len += out[hw].count_ones();
@@ -714,22 +700,38 @@ fn sparse_bound(len: u32, universe: u32) -> bool {
 
 /// One fused sweep over bitset words: apply `op` per word of `a` (by
 /// index) and push the surviving ids, ascending. `cap` is an upper bound
-/// on the result size (one allocation, no growth reallocs).
+/// on the result size (at most one growth of the recycled buffer).
 fn collect_sparse(a: &[u64], cap: usize, op: impl Fn(usize, u64) -> u64) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(cap);
+    let mut out = pool::take_ids();
+    out.reserve(cap);
     for (i, &x) in a.iter().enumerate() {
         let mut w = op(i, x);
+        // Runs of consecutive set bits go through the vectorized id
+        // writer; isolated bits fall back to per-bit pushes.
         while w != 0 {
-            let bit = w & w.wrapping_neg();
-            out.push(NodeId(i as u32 * WORD_BITS + bit.trailing_zeros()));
-            w ^= bit;
+            let lo = w.trailing_zeros();
+            let run = (w >> lo).trailing_ones();
+            let base = i as u32 * WORD_BITS + lo;
+            simd::extend_id_run(&mut out, base, base + run);
+            if run == WORD_BITS {
+                break;
+            }
+            w &= !(((1u64 << run) - 1) << lo);
         }
     }
     out
 }
 
+/// Filter a sorted id slice into a recycled buffer.
+fn pooled_filter(v: &[NodeId], mut keep: impl FnMut(NodeId) -> bool) -> Vec<NodeId> {
+    let mut out = pool::take_ids();
+    out.extend(v.iter().copied().filter(|&n| keep(n)));
+    out
+}
+
 fn merge_union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut out = pool::take_ids();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -751,6 +753,34 @@ fn merge_union(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
     out
+}
+
+impl Clone for NodeSet {
+    /// Copies into recycled buffers (see the [`pool`] docs).
+    fn clone(&self) -> NodeSet {
+        match &self.repr {
+            Repr::Vec(v) => {
+                let mut out = pool::take_ids();
+                out.extend_from_slice(v);
+                NodeSet { repr: Repr::Vec(out) }
+            }
+            Repr::Bits { words, universe, len } => {
+                let mut out = pool::take_words();
+                out.extend_from_slice(words);
+                NodeSet { repr: Repr::Bits { words: out, universe: *universe, len: *len } }
+            }
+        }
+    }
+}
+
+impl Drop for NodeSet {
+    /// Returns the backing buffer to this thread's [`pool`] shelf.
+    fn drop(&mut self) {
+        match std::mem::replace(&mut self.repr, Repr::Vec(Vec::new())) {
+            Repr::Vec(v) => pool::give_ids(v),
+            Repr::Bits { words, .. } => pool::give_words(words),
+        }
+    }
 }
 
 impl Default for NodeSet {
@@ -811,7 +841,9 @@ impl From<NodeSet> for Vec<NodeId> {
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> NodeSet {
-        NodeSet::from_unsorted(iter.into_iter().collect())
+        let mut v = pool::take_ids();
+        v.extend(iter);
+        NodeSet::from_unsorted(v)
     }
 }
 

@@ -66,6 +66,11 @@
 //!       --stats             print document statistics after parsing
 //!       --ns                synthesize namespace nodes from xmlns declarations
 //!       --time              print parse, compile and evaluation wall times
+//!       --bench-info        print the detected CPU features, the kernel
+//!                           dispatch tier the word-sweep kernels will run
+//!                           on (scalar / unrolled / vector), the
+//!                           GKP_NO_SIMD override state and the resolved
+//!                           thread budget, then exit (no query needed)
 //! ```
 //!
 //! The tool follows the two-phase API: queries are **compiled once**
@@ -96,6 +101,7 @@ struct Options {
     stats: bool,
     namespaces: bool,
     time: bool,
+    bench_info: bool,
     exprs: Vec<String>,
     query_file: Option<String>,
     query: Option<String>,
@@ -107,7 +113,8 @@ fn usage() -> &'static str {
      strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto\n\
      -e/--expr: add a query to the batch (repeatable); --query-file: one query per line (#-comments skipped)\n\
      -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)\n\
-     --lint: static-analyze the queries (no document); exits 1 on error-severity diagnostics"
+     --lint: static-analyze the queries (no document); exits 1 on error-severity diagnostics\n\
+     --bench-info: print detected CPU features, the active kernel tier and the GKP_NO_SIMD state, then exit"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -127,6 +134,7 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         namespaces: false,
         time: false,
+        bench_info: false,
         exprs: Vec::new(),
         query_file: None,
         query: None,
@@ -181,6 +189,7 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => o.stats = true,
             "--ns" => o.namespaces = true,
             "--time" => o.time = true,
+            "--bench-info" => o.bench_info = true,
             "-h" | "--help" => return Err(usage().to_string()),
             _ if o.query.is_none() => o.query = Some(a),
             _ if o.file.is_none() => o.file = Some(a),
@@ -196,7 +205,7 @@ fn parse_args() -> Result<Options, String> {
             return Err("too many positional arguments for a batch invocation".to_string());
         }
         o.file = o.query.take();
-    } else if o.query.is_none() {
+    } else if o.query.is_none() && !o.bench_info {
         return Err(usage().to_string());
     }
     Ok(o)
@@ -414,6 +423,35 @@ fn lint(compiler: &Compiler, queries: &[String], json: bool) -> ExitCode {
     }
 }
 
+/// `--bench-info`: the runtime CPU-feature probe, the kernel tier the
+/// word-sweep dispatch resolved to, and the `GKP_NO_SIMD` override state —
+/// the context needed to interpret a BENCH_axes.json `simd` section
+/// captured on this machine.
+fn print_bench_info(threads: u32) {
+    use gkp_xpath::xml::simd;
+
+    println!("cpu features:");
+    for (name, present) in simd::detected_features() {
+        println!("  {name:<12} {}", if present { "yes" } else { "no" });
+    }
+    let tier = simd::active_tier();
+    println!("kernel tier:  {}", tier.name());
+    match simd::no_simd_env_value() {
+        Some(v) => println!("{}:  set ({v:?})", simd::NO_SIMD_ENV),
+        None => println!("{}:  unset (auto dispatch)", simd::NO_SIMD_ENV),
+    }
+    // The 8-lane fingerprint only engages from the vector tier, so a
+    // GKP_NO_SIMD downgrade idles it even on AVX-512 hardware.
+    let fp = match (simd::avx512_fingerprint_available(), tier) {
+        (true, simd::Tier::Vector) => "active",
+        (true, _) => "available (idle at current tier)",
+        (false, _) => "unavailable",
+    };
+    println!("avx512 fingerprint: {fp}");
+    let resolved = gkp_xpath::core::parallel::resolve_threads(threads);
+    println!("threads:      {resolved}{}", if threads == 0 { " (auto)" } else { "" });
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -422,6 +460,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Kernel-dispatch introspection: which word-sweep tier the SIMD
+    // module selected and why. No query or document is involved.
+    if opts.bench_info {
+        print_bench_info(opts.threads);
+        return ExitCode::SUCCESS;
+    }
     let queries = match collect_queries(&opts) {
         Ok(q) => q,
         Err(msg) => {
