@@ -417,6 +417,60 @@ impl CostModel {
         (self.memo_unit_ns(universe) / self.shared_pass_ns(universe).max(f64::MIN_POSITIVE))
             .min(1.0)
     }
+
+    // ----- lazy cursor evaluation -----
+
+    /// Ids per window the lazy cursor pipeline (`xpath_core::cursor`)
+    /// processes between budget checks. One window of per-candidate
+    /// filtering is the minimum overhead a lazy evaluation pays before
+    /// its first early exit can fire.
+    pub const LAZY_BLOCK: u32 = 4096;
+
+    /// Estimated per-candidate cost of the lazy pipeline's block filter:
+    /// a pointer-chasing node-test probe plus the amortized share of
+    /// per-candidate witness walks. As in [`CostModel::cvt_row_ns`], the
+    /// chain-walk constant stands in — both are cache-missing pointer
+    /// chases through the node arena.
+    pub fn lazy_candidate_ns(&self) -> f64 {
+        self.chain_ns
+    }
+
+    /// Estimated per-id cost of the materializing path: the name-table
+    /// scan plus each id's share of the word-parallel sweeps.
+    pub fn materialize_id_ns(&self) -> f64 {
+        self.input_ns + self.dense_word_ns / 64.0
+    }
+
+    /// The universe size at which a **bounded** lazy take (`first()`,
+    /// `exists()`, `take(k)`) starts beating full materialization even
+    /// when the take is not a small fraction of the document: one
+    /// [`CostModel::LAZY_BLOCK`] of per-candidate filtering versus the
+    /// whole document's per-id materialization share.
+    pub fn lazy_take_crossover(&self) -> u32 {
+        (f64::from(Self::LAZY_BLOCK) * self.lazy_candidate_ns() / self.materialize_id_ns()).ceil()
+            as u32
+    }
+
+    /// Should a cursor evaluation stream block-wise (`true`) or
+    /// materialize once and drain (`false`)? `take_hint` is how many
+    /// results the caller intends to pull — `Some(1)` for
+    /// `first()`/`exists()`, `None` for an unbounded drain.
+    ///
+    /// A bounded take streams whenever it asks for a small fraction of
+    /// the document (early exit skips most of the per-id work) or the
+    /// document is past [`CostModel::lazy_take_crossover`]. An unbounded
+    /// drain filters every candidate at [`CostModel::lazy_candidate_ns`]
+    /// — more per id than the word-parallel sweeps — so it only streams
+    /// on documents large enough that the caller abandoning mid-drain
+    /// (the reason to hold a cursor at all) repays the difference.
+    pub fn pick_lazy(&self, universe: u32, take_hint: Option<usize>) -> bool {
+        match take_hint {
+            Some(k) => {
+                (k as u64) * 8 <= u64::from(universe) || universe >= self.lazy_take_crossover()
+            }
+            None => universe >= self.lazy_take_crossover(),
+        }
+    }
 }
 
 /// How a batched evaluation ([`pick_batch_mode`](CostModel::pick_batch_mode))
@@ -803,6 +857,26 @@ mod tests {
         assert!(rejected.is_empty(), "{rejected:?}");
         assert_eq!((o.memo_probe_ns, o.fingerprint_word_ns), (7.0, 0.2));
         assert_eq!(BatchMode::LockStepShared.name(), "lock_step_shared");
+    }
+
+    #[test]
+    fn lazy_pick_follows_take_hint_and_crossover() {
+        let m = CostModel::CALIBRATED;
+        let cross = m.lazy_take_crossover();
+        assert!(cross > CostModel::LAZY_BLOCK, "one block must cost more than its own ids");
+        // first()/exists() stream on anything but trivially small docs:
+        // pulling 1 of ≥8 candidates skips most of the per-id work.
+        assert!(m.pick_lazy(64, Some(1)));
+        assert!(m.pick_lazy(349_526, Some(1)));
+        assert!(!m.pick_lazy(4, Some(1)), "a 4-node doc materializes in one gulp");
+        // A bounded take that covers most of a small doc materializes;
+        // past the crossover even full-width takes stream.
+        assert!(!m.pick_lazy(100, Some(50)));
+        assert!(m.pick_lazy(cross, Some(cross as usize)));
+        // Unbounded drains materialize below the crossover and stream
+        // above it.
+        assert!(!m.pick_lazy(cross - 1, None));
+        assert!(m.pick_lazy(cross, None));
     }
 
     #[test]

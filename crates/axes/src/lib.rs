@@ -21,6 +21,10 @@
 //!   [`NodeSet`](xpath_xml::NodeSet) and the structure-of-arrays
 //!   [`AxisIndex`](xpath_xml::AxisIndex): staircase joins for the interval
 //!   axes, word-parallel range fills and type filtering;
+//! * [`stream`] — resumable block-synchronous expansion of the forward
+//!   axes ([`stream::StepStreamer`]) for the lazy cursor layer: early
+//!   exit, deadlines and cancellation without giving up the bulk
+//!   kernels' staircase and chain-walk routes;
 //! * [`cost`] — the calibrated cost model behind the **adaptive** kernel
 //!   planner ([`bulk::axis_set_planned`]): per axis application, pick the
 //!   cheapest of the per-node loop, the sparse staircase and the dense
@@ -39,6 +43,7 @@ pub mod fast;
 pub mod id;
 pub mod prepost;
 pub mod regex;
+pub mod stream;
 pub mod typed;
 
 pub use bulk::{axis_set, axis_set_adaptive, axis_set_planned};
@@ -48,6 +53,7 @@ pub use fast::{
     order_for_axis,
 };
 pub use prepost::{join_ancestors, join_descendants, stack_tree_join, PrePostPlane};
+pub use stream::{is_streamable, StepStreamer};
 pub use typed::eval_axis_alg32;
 
 // Property tests need the external `proptest` crate, which is not

@@ -24,6 +24,11 @@
 //!   `QuerySet::evaluate_all` (single-thread, lock-step memo sharing) vs
 //!   N independent `CompiledQuery` evaluations, with the mode taken and
 //!   the memo hit counts recorded;
+//! * **early_exit** — the lazy cursor layer (`xpath_core::cursor`):
+//!   `first()`/`exists()` (stop at the first witness) vs a full
+//!   materializing evaluation of the same compiled query on the
+//!   ≥10⁵-node document, including the `//b[following::c]` shape whose
+//!   per-candidate predicate check short-circuits on the first witness;
 //! * **prepared_vs_adhoc** — the existing compile-once guard: a prepared
 //!   `CompiledQuery` must stay faster than compile+evaluate per call.
 //!
@@ -32,8 +37,11 @@
 //!   `… --check`      exit non-zero if the adaptive backend loses ≥10% to
 //!                    the per-node loop, or to the best alternative, in
 //!                    any axis-application cell (the CI crossover guard),
-//!                    or if the batched shared-prefix workload drops below
-//!                    0.95× N independent evaluations (the batch guard).
+//!                    if the batched shared-prefix workload drops below
+//!                    0.95× N independent evaluations (the batch guard),
+//!                    or if lazy `first()` on the ≥10⁵-node document is
+//!                    not ≥10× faster than a full evaluation for a
+//!                    predicate-free streamable spine (the cursor guard).
 //!                    The timing baseline is pinned to a 1-thread budget —
 //!                    the parallel backend is correctness-checked here,
 //!                    never timed, so CI core counts can't flake the guard
@@ -456,6 +464,47 @@ fn check(doc: &Document) -> Result<(), String> {
     if let Some(failure) = batch_failure {
         return Err(failure);
     }
+    // Cursor guard: lazy `first()` on the ≥10⁵-node document must be ≥10×
+    // faster than a full materializing evaluation for the predicate-free
+    // streamable spines (the point of the cursor layer); the
+    // witness-short-circuit shape only has to win at all (≥2×, its full
+    // evaluation already short-circuits per candidate). Re-measured like
+    // the other timing guards: only persistent violations fail.
+    {
+        let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
+        big.axis_index();
+        let mut cursor_failure = None;
+        for attempt in 1..=CHECK_ATTEMPTS {
+            cursor_failure = None;
+            for c in measure_early_exit(&big) {
+                let speedup = c.speedup_first();
+                let bar = if c.query.contains('[') { 2.0 } else { 10.0 };
+                eprintln!(
+                    "check: early-exit {:<20} first {:>7}ns  exists {:>7}ns  \
+                     full {:>9}ns  {speedup:>7.1}x",
+                    c.query, c.first_ns, c.exists_ns, c.full_ns
+                );
+                if speedup < bar {
+                    cursor_failure = Some(format!(
+                        "early-exit {}: first {}ns vs full {}ns ({speedup:.1}x < {bar}x)",
+                        c.query, c.first_ns, c.full_ns
+                    ));
+                }
+            }
+            if cursor_failure.is_none() {
+                break;
+            }
+            if attempt < CHECK_ATTEMPTS {
+                eprintln!(
+                    "check: early-exit attempt {attempt}/{CHECK_ATTEMPTS} under the bar; \
+                     re-measuring"
+                );
+            }
+        }
+        if let Some(failure) = cursor_failure {
+            return Err(failure);
+        }
+    }
     let mut last_failures = String::new();
     for attempt in 1..=CHECK_ATTEMPTS {
         let failures = check_pass(doc);
@@ -521,6 +570,52 @@ fn check_pass(doc: &Document) -> Vec<String> {
         }
     }
     failures
+}
+
+/// Early-exit workloads on the ≥10⁵-node document: two predicate-free
+/// streamable spines that ride the lazy cursor end to end, plus
+/// `//b[following::c]`, whose per-candidate predicate check stops at the
+/// first witness (the S→ membership equivalence from the paper).
+const EARLY_EXIT_QUERIES: &[&str] = &["//a//c", "//a//b//c//d", "//b[following::c]"];
+
+/// One early-exit cell: lazy `first()`/`exists()` against a full
+/// materializing evaluation of the same compiled query. Answers are
+/// cross-checked before anything is timed.
+struct EarlyExitCell {
+    query: &'static str,
+    matches: usize,
+    first_ns: u64,
+    exists_ns: u64,
+    full_ns: u64,
+}
+
+impl EarlyExitCell {
+    fn speedup_first(&self) -> f64 {
+        self.full_ns as f64 / self.first_ns.max(1) as f64
+    }
+}
+
+fn measure_early_exit(big: &Document) -> Vec<EarlyExitCell> {
+    let compiler = Compiler::new();
+    EARLY_EXIT_QUERIES
+        .iter()
+        .map(|&q| {
+            let c = compiler.compile(q).unwrap();
+            let full = c.select(big).unwrap();
+            assert_eq!(c.first(big).unwrap(), full.first(), "{q}: first() vs full evaluation");
+            assert_eq!(c.exists(big).unwrap(), !full.is_empty(), "{q}: exists() vs full");
+            let first_ns = time_ns(|| {
+                std::hint::black_box(c.first(big).unwrap());
+            });
+            let exists_ns = time_ns(|| {
+                std::hint::black_box(c.exists(big).unwrap());
+            });
+            let full_ns = time_ns(|| {
+                std::hint::black_box(c.select(big).unwrap());
+            });
+            EarlyExitCell { query: q, matches: full.len(), first_ns, exists_ns, full_ns }
+        })
+        .collect()
 }
 
 /// `--calibrate`: measure the cost-model constants on this machine and
@@ -669,7 +764,8 @@ fn main() {
             Ok(()) => {
                 eprintln!(
                     "check: adaptive within 10% of per-node and 20% of the best \
-                     backend in every axis-application cell"
+                     backend in every axis-application cell; batch and lazy \
+                     early-exit bars met"
                 );
                 return;
             }
@@ -843,12 +939,12 @@ fn main() {
     // real cores: on a 1-core runner the 2/4-shard columns measure
     // sharding overhead, not parallelism.
     json.push_str("  \"parallel_cvt\": [\n");
+    let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
+    big.axis_index();
     {
         use xpath_core::bottomup::BottomUpEvaluator;
         use xpath_core::Context;
-        let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
         let bn = big.len();
-        big.axis_index();
         let threads_available =
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let forced = CostModel { spawn_ns: 1e-9, merge_word_ns: 1e-9, ..*CostModel::global() };
@@ -951,6 +1047,31 @@ fn main() {
                 c.independent_ns,
                 c.batched_ns,
                 c.speedup(),
+            );
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // ---- early-exit: lazy cursor first()/exists() vs full evaluation on
+    // the ≥1e5-node document ----
+    json.push_str("  \"early_exit\": [\n");
+    {
+        let bn = big.len();
+        for (i, c) in measure_early_exit(&big).iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "    {{ \"query\": \"{}\", \"nodes\": {bn}, \"matches\": {}, \
+                 \"first_ns\": {}, \"exists_ns\": {}, \"full_eval_ns\": {}, \
+                 \"speedup_first_vs_full\": {:.2} }}",
+                c.query,
+                c.matches,
+                c.first_ns,
+                c.exists_ns,
+                c.full_ns,
+                c.speedup_first(),
             );
         }
     }

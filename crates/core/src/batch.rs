@@ -15,12 +15,12 @@
 //! * **lock-step shared** ([`BatchMode::LockStepShared`]) — every compiled
 //!   Core XPath / XPatterns spine advances one step per round, and all
 //!   axis applications go through a per-evaluation [`AxisMemo`] keyed by
-//!   `(axis, node-test, input-set fingerprint)`
-//!   ([`NodeSet::fingerprint`]): identical applications across the batch
-//!   run **once**. Equal inputs fingerprint equally, so sharing cascades
-//!   down shared spine prefixes step by step, and the document-global
-//!   `T(t)`, predicate (`E1`) and `=s` scans dedupe across every position
-//!   in the batch.
+//!   `(axis, node-test, input-set memo key)` ([`NodeSet::memo_key`]):
+//!   identical applications across the batch run **once**. Equal inputs
+//!   (in the same representation) key equally, so sharing cascades down
+//!   shared spine prefixes step by step, and the document-global `T(t)`,
+//!   predicate (`E1`) and `=s` scans dedupe across every position in
+//!   the batch.
 //! * **per-query sharded** ([`BatchMode::PerQuerySharded`]) — nothing to
 //!   share, but a multi-thread budget: the batch fans out one chunk of
 //!   queries per scoped worker ([`crate::parallel::run_sharded`]), each
@@ -32,14 +32,18 @@
 //! # Memo-key semantics
 //!
 //! A memo entry is keyed by a 64-bit splitmix64 chain over the operation
-//! kind, the axis, the node test, and the input set's content fingerprint
-//! — *not* the input set itself. Distinct sets collide with probability
-//! ~2⁻⁶⁴ per pair; the differential suite
-//! (`tests/batch_differential.rs`) pins batched results bit-identical to
-//! independent evaluation across documents, batch shapes and thread
-//! budgets. Non-fragment queries (strategies outside Core XPath /
-//! XPatterns) always run their normal engines — batching never changes
-//! any result, only how often a pass runs.
+//! kind, the axis, the node test, and the input set's content hash
+//! ([`NodeSet::memo_key`]) — *not* the input set itself. Sparse inputs
+//! hash their raw id slice directly (one mix per id, never materializing
+//! bitset words), so keying a small frontier costs `O(len)` with a tiny
+//! constant; a key mismatch across representations is just a miss, never
+//! a wrong answer. Distinct sets collide with probability ~2⁻⁶⁴ per
+//! pair; the differential suite (`tests/batch_differential.rs`) pins
+//! batched results bit-identical to independent evaluation across
+//! documents, batch shapes and thread budgets. Non-fragment queries
+//! (strategies outside Core XPath / XPatterns) always run their normal
+//! engines — batching never changes any result, only how often a pass
+//! runs.
 //!
 //! # When sharing wins
 //!
@@ -79,7 +83,7 @@ use xpath_syntax::{Axis, NodeTest};
 use xpath_xml::rng::splitmix64;
 use xpath_xml::Document;
 
-use crate::context::{Context, EvalResult};
+use crate::context::{Context, EvalBudget, EvalResult};
 use crate::corexpath::{AxisBackend, CorePred, CoreQuery, CoreXPathEvaluator, EqTest};
 use crate::nodeset::NodeSet;
 use crate::plan::Strategy;
@@ -111,7 +115,7 @@ const OP_EQ: u64 = 0x2045_5120; // document-global =s scan
 
 /// The per-evaluation axis-result memo behind
 /// [`BatchMode::LockStepShared`]: maps
-/// `(operation, axis, node-test, input-fingerprint)` keys to finished
+/// `(operation, axis, node-test, input-memo-key)` keys to finished
 /// [`NodeSet`]s so each distinct application runs once per batch
 /// evaluation. Thread-safe (`Mutex`-guarded map, atomic counters);
 /// results are computed outside the lock.
@@ -199,8 +203,7 @@ impl AxisMemo {
         counters: &KernelCounters,
         compute: impl FnOnce() -> NodeSet,
     ) -> NodeSet {
-        let key =
-            mix(mix(mix(OP_STEP, axis as u64), self.structural_hash(test)), input.fingerprint());
+        let key = mix(mix(mix(OP_STEP, axis as u64), self.structural_hash(test)), input.memo_key());
         self.get_or(key, counters, compute)
     }
 
@@ -222,7 +225,7 @@ impl AxisMemo {
         counters: &KernelCounters,
         compute: impl FnOnce() -> NodeSet,
     ) -> NodeSet {
-        let key = mix(mix(OP_INV, axis as u64), input.fingerprint());
+        let key = mix(mix(OP_INV, axis as u64), input.memo_key());
         self.get_or(key, counters, compute)
     }
 
@@ -540,23 +543,46 @@ impl QuerySet {
 
     /// [`QuerySet::evaluate_all`] from an explicit context.
     pub fn evaluate_all_at(&self, doc: &Document, ctx: Context) -> BatchResult {
+        self.evaluate_all_with(doc, ctx, &EvalBudget::unlimited())
+    }
+
+    /// [`QuerySet::evaluate_all_at`] under an [`EvalBudget`]: the budget
+    /// is polled between lock-step rounds and between per-query
+    /// evaluations (and inside each member query's own evaluation). When
+    /// it trips, every not-yet-finished query's slot carries the trip
+    /// error ([`crate::EvalError::Cancelled`] /
+    /// [`crate::EvalError::DeadlineExceeded`]); already-finished results
+    /// are kept. The batch never hangs past one round.
+    pub fn evaluate_all_with(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        budget: &EvalBudget,
+    ) -> BatchResult {
         let mode = self.plan_mode(doc.len() as u32);
         match mode {
-            BatchMode::LockStepShared => self.run_lock_step(doc, ctx),
-            BatchMode::PerQuerySharded => self.run_sharded(doc, ctx),
-            BatchMode::Serial => self.run_serial(doc, ctx),
+            BatchMode::LockStepShared => self.run_lock_step(doc, ctx, budget),
+            BatchMode::PerQuerySharded => self.run_sharded(doc, ctx, budget),
+            BatchMode::Serial => self.run_serial(doc, ctx, budget),
         }
     }
 
     /// One independent evaluation, recording planner decisions into the
     /// batch tally.
-    fn eval_one(&self, doc: &Document, ctx: Context, i: usize) -> EvalResult<Value> {
-        self.queries[i].plan().execute_recording(doc, ctx, &self.kernels)
+    fn eval_one(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        i: usize,
+        budget: &EvalBudget,
+    ) -> EvalResult<Value> {
+        budget.check()?;
+        self.queries[i].plan().execute_recording_with(doc, ctx, &self.kernels, budget)
     }
 
-    fn run_serial(&self, doc: &Document, ctx: Context) -> BatchResult {
+    fn run_serial(&self, doc: &Document, ctx: Context, budget: &EvalBudget) -> BatchResult {
         let mut results = crate::pool::take_results();
-        results.extend((0..self.len()).map(|i| self.eval_one(doc, ctx, i)));
+        results.extend((0..self.len()).map(|i| self.eval_one(doc, ctx, i, budget)));
         BatchResult {
             results,
             stats: BatchStats {
@@ -570,12 +596,12 @@ impl QuerySet {
         }
     }
 
-    fn run_sharded(&self, doc: &Document, ctx: Context) -> BatchResult {
+    fn run_sharded(&self, doc: &Document, ctx: Context, budget: &EvalBudget) -> BatchResult {
         let threads = crate::parallel::resolve_threads(self.threads).min(self.len()).max(1);
         let ranges = crate::parallel::chunk_ranges(self.len() as u32, threads);
         let workers = ranges.len();
         let parts = crate::parallel::run_sharded(&ranges, |_, lo, hi| {
-            (lo..hi).map(|i| self.eval_one(doc, ctx, i as usize)).collect::<Vec<_>>()
+            (lo..hi).map(|i| self.eval_one(doc, ctx, i as usize, budget)).collect::<Vec<_>>()
         });
         let mut results = crate::pool::take_results();
         results.extend(parts.into_iter().flatten());
@@ -592,7 +618,7 @@ impl QuerySet {
         }
     }
 
-    fn run_lock_step(&self, doc: &Document, ctx: Context) -> BatchResult {
+    fn run_lock_step(&self, doc: &Document, ctx: Context, budget: &EvalBudget) -> BatchResult {
         // Reuse the set's scratch (memo map + slot arena) when it is
         // free; a concurrent evaluation on another thread falls back to
         // a fresh one rather than waiting.
@@ -622,7 +648,15 @@ impl QuerySet {
             .filter_map(|q| fragment_program(q).map(|cq| cq.path.steps.len()))
             .max()
             .unwrap_or(0);
+        // Budget granularity: one lock-step round (a whole batch-wide
+        // layer of axis passes). A trip poisons no state — every
+        // unfinished slot just reports the trip error.
+        let mut tripped = None;
         for k in 0..rounds {
+            if let Err(e) = budget.check() {
+                tripped = Some(e);
+                break;
+            }
             for (q, state) in self.queries.iter().zip(states.iter_mut()) {
                 if let (Some(cq), Some(n)) = (fragment_program(q), state.as_mut()) {
                     if let Some(step) = cq.path.steps.get(k) {
@@ -633,9 +667,10 @@ impl QuerySet {
         }
         let mut results = crate::pool::take_results();
         results.extend(self.queries.iter().zip(states.drain(..)).enumerate().map(
-            |(i, (q, state))| match (fragment_program(q), state) {
-                (Some(cq), Some(n)) => Ok(Value::NodeSet(ev.finish_path(&cq.path, n))),
-                _ => self.eval_one(doc, ctx, i),
+            |(i, (q, state))| match (&tripped, fragment_program(q), state) {
+                (Some(e), ..) => Err(e.clone()),
+                (None, Some(cq), Some(n)) => Ok(Value::NodeSet(ev.finish_path(&cq.path, n))),
+                _ => self.eval_one(doc, ctx, i, budget),
             },
         ));
         self.kernels.merge(ev.kernel_counts());

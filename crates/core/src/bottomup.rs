@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use xpath_syntax::{BinaryOp, Expr, LocationPath, PathStart, Step};
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
 use crate::nodeset::NodeSet;
@@ -189,6 +189,8 @@ pub struct BottomUpEvaluator<'d> {
     threads: usize,
     /// Cost model gating the per-pass spawn decision.
     cost: xpath_axes::CostModel,
+    /// Deadline/cancellation budget, polled before every table pass.
+    eval_budget: EvalBudget,
 }
 
 impl<'d> BottomUpEvaluator<'d> {
@@ -199,7 +201,17 @@ impl<'d> BottomUpEvaluator<'d> {
             row_cap: 2_000_000,
             threads: 1,
             cost: *xpath_axes::CostModel::global(),
+            eval_budget: EvalBudget::unlimited(),
         }
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`], polled before every
+    /// context-value table pass (each an `O(|D|·…)` unit, so a trip costs
+    /// at most one more pass).
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
+        self
     }
 
     /// Evaluator with a custom per-table row cap.
@@ -298,6 +310,7 @@ impl<'d> BottomUpEvaluator<'d> {
         contexts: &[Context],
         row: impl Fn(Context) -> EvalResult<Value> + Sync,
     ) -> EvalResult<CvTable> {
+        self.eval_budget.check()?;
         let shards = self.row_shards(contexts.len());
         let values = crate::parallel::try_map_rows(contexts.len() as u32, shards, |lo, hi| {
             contexts[lo as usize..hi as usize].iter().map(|&ctx| row(ctx)).collect()
@@ -369,6 +382,7 @@ impl<'d> BottomUpEvaluator<'d> {
         let n = self.doc.len();
         let mut reach: Option<Vec<NodeSet>> = None;
         for st in step_tables.iter().rev() {
+            self.eval_budget.check()?;
             let prev = reach.take();
             let shards = self.row_shards(n);
             let next = crate::parallel::map_rows(n as u32, shards, |lo, hi| {
@@ -473,6 +487,7 @@ impl<'d> BottomUpEvaluator<'d> {
     /// Per-node lists stay plain vectors: predicate evaluation is
     /// positional (`<doc,χ` indexing).
     fn step_table(&self, step: &Step) -> EvalResult<Vec<Vec<NodeId>>> {
+        self.eval_budget.check()?;
         let pred_tables: Vec<CvTable> =
             step.predicates.iter().map(|e| self.table(e)).collect::<Result<_, _>>()?;
         // One row per node of dom, each independent of the others: this is

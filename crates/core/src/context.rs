@@ -1,6 +1,10 @@
-//! Evaluation contexts (paper §5: `~c = ⟨x, k, n⟩`) and evaluation errors.
+//! Evaluation contexts (paper §5: `~c = ⟨x, k, n⟩`), evaluation errors,
+//! and the cooperative evaluation budget ([`EvalBudget`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use xpath_xml::NodeId;
 
@@ -72,6 +76,13 @@ pub enum EvalError {
     /// The query is outside the fragment this evaluator supports (e.g. a
     /// non-Core-XPath query given to the Core XPath engine).
     UnsupportedFragment(String),
+    /// The evaluation was cancelled through the [`EvalBudget`] cancel
+    /// flag. The worker unwinds cleanly at the next block boundary —
+    /// nothing is poisoned, no buffers leak.
+    Cancelled,
+    /// The [`EvalBudget`] deadline passed before the evaluation finished.
+    /// Like [`EvalError::Cancelled`], this is a clean cooperative exit.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EvalError {
@@ -87,6 +98,8 @@ impl fmt::Display for EvalError {
             EvalError::BudgetExhausted => write!(f, "evaluation step budget exhausted"),
             EvalError::Capacity(m) => write!(f, "capacity exceeded: {m}"),
             EvalError::UnsupportedFragment(m) => write!(f, "unsupported fragment: {m}"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
         }
     }
 }
@@ -95,6 +108,79 @@ impl std::error::Error for EvalError {}
 
 /// Result alias for evaluation.
 pub type EvalResult<T> = Result<T, EvalError>;
+
+/// A cooperative evaluation budget: an optional wall-clock deadline and
+/// an optional shared cancel flag.
+///
+/// Every evaluation entry point accepts a budget (`evaluate_with`,
+/// `Plan::execute_with`, `QuerySet::evaluate_all_with`, the cursor
+/// layer) and polls it at **block boundaries** — between axis passes,
+/// CVT row fills, cursor blocks, streaming event chunks — never inside
+/// a kernel's inner loop. A tripped budget surfaces as
+/// [`EvalError::Cancelled`] or [`EvalError::DeadlineExceeded`]; the
+/// evaluator unwinds through ordinary `Result` propagation, so pooled
+/// buffers are released by `Drop` as usual and the worker thread is
+/// reusable immediately.
+///
+/// The check granularity is a pass over the document (or a ~4096-node
+/// cursor block), so cancellation latency is bounded by one pass, not
+/// by whole-query time — the property a deadline exists to provide on
+/// pathological queries.
+#[derive(Clone, Debug, Default)]
+pub struct EvalBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl EvalBudget {
+    /// A budget that never trips (the default for every plain
+    /// `evaluate` entry point).
+    pub fn unlimited() -> EvalBudget {
+        EvalBudget::default()
+    }
+
+    /// A budget that trips once `deadline` passes.
+    pub fn deadline(deadline: Instant) -> EvalBudget {
+        EvalBudget { deadline: Some(deadline), cancel: None }
+    }
+
+    /// A budget that trips `timeout` from now.
+    pub fn timeout(timeout: Duration) -> EvalBudget {
+        EvalBudget::deadline(Instant::now() + timeout)
+    }
+
+    /// Attach a shared cancel flag; setting it to `true` (any ordering)
+    /// trips the budget at the next check.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> EvalBudget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// `true` when no deadline and no cancel flag are attached — the
+    /// evaluators skip per-block polling entirely then.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Poll the budget: `Err(Cancelled)` if the cancel flag is set,
+    /// `Err(DeadlineExceeded)` if the deadline has passed, else `Ok`.
+    /// Cancellation wins over the deadline when both apply.
+    #[inline]
+    pub fn check(&self) -> EvalResult<()> {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return Err(EvalError::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(EvalError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -124,5 +210,33 @@ mod tests {
             EvalError::Parse("unexpected token".into()).to_string(),
             "parse error: unexpected token"
         );
+        assert_eq!(EvalError::Cancelled.to_string(), "evaluation cancelled");
+        assert_eq!(EvalError::DeadlineExceeded.to_string(), "evaluation deadline exceeded");
+    }
+
+    #[test]
+    fn budget_unlimited_never_trips() {
+        let b = EvalBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.check(), Ok(()));
+    }
+
+    #[test]
+    fn budget_deadline_trips() {
+        let b = EvalBudget::deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.check(), Err(EvalError::DeadlineExceeded));
+        let later = EvalBudget::timeout(Duration::from_secs(3600));
+        assert_eq!(later.check(), Ok(()));
+    }
+
+    #[test]
+    fn budget_cancel_wins_over_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = EvalBudget::deadline(Instant::now() - Duration::from_millis(1))
+            .with_cancel(Arc::clone(&flag));
+        assert_eq!(b.check(), Err(EvalError::DeadlineExceeded));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(b.check(), Err(EvalError::Cancelled));
     }
 }

@@ -21,7 +21,7 @@
 use xpath_syntax::{Axis, BinaryOp, Expr, LocationPath, NodeTest, PathStart};
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{EvalError, EvalResult};
+use crate::context::{EvalBudget, EvalError, EvalResult};
 use crate::node_test;
 use crate::nodeset::NodeSet;
 use crate::value::str_to_number;
@@ -356,6 +356,31 @@ impl<'d> CoreXPathEvaluator<'d> {
         self.s_forward(&q.path, context_nodes)
     }
 
+    /// [`CoreXPathEvaluator::evaluate`] under an [`EvalBudget`]: the
+    /// budget is polled before every axis pass (forward expansions,
+    /// inverse passes, predicate sets) — the paper's per-pass `O(|D|)`
+    /// unit is the cancellation granularity, so a trip costs at most one
+    /// more pass, never whole-query time. An unlimited budget takes the
+    /// exact infallible path.
+    pub fn try_evaluate(
+        &self,
+        q: &CoreQuery,
+        context_nodes: &[NodeId],
+        budget: &EvalBudget,
+    ) -> EvalResult<NodeSet> {
+        if budget.is_unlimited() {
+            return Ok(self.evaluate(q, context_nodes));
+        }
+        let p = &q.path;
+        let mut n = self.start_set(&p.start, context_nodes);
+        for step in &p.steps {
+            budget.check()?;
+            n = self.try_advance_step(step, &n, budget)?;
+        }
+        budget.check()?;
+        Ok(self.finish_path(p, n))
+    }
+
     /// Compile and evaluate a query string.
     pub fn evaluate_str(
         &self,
@@ -464,6 +489,125 @@ impl<'d> CoreXPathEvaluator<'d> {
             next = next.intersect(&self.pred_set(pred));
         }
         next
+    }
+
+    /// [`CoreXPathEvaluator::advance_step`] with the budget polled before
+    /// every predicate pass.
+    pub(crate) fn try_advance_step(
+        &self,
+        step: &CoreStep,
+        n: &NodeSet,
+        budget: &EvalBudget,
+    ) -> EvalResult<NodeSet> {
+        let mut next = self.expand_axis_test(step.axis, &step.test, n);
+        for pred in &step.preds {
+            budget.check()?;
+            next = next.intersect(&self.try_pred_set(pred, budget)?);
+        }
+        Ok(next)
+    }
+
+    /// Budgeted [`CoreXPathEvaluator::pred_set`]. With a batch memo
+    /// attached, the memoized (infallible) computation runs whole — the
+    /// outer per-predicate check still bounds cancellation latency by one
+    /// predicate pass.
+    pub(crate) fn try_pred_set(&self, pred: &CorePred, budget: &EvalBudget) -> EvalResult<NodeSet> {
+        budget.check()?;
+        match &self.memo {
+            Some(m) => Ok(m.pred(pred, &self.kernels, || self.e1(pred))),
+            None => match pred {
+                CorePred::And(l, r) => {
+                    Ok(self.try_pred_set(l, budget)?.intersect(&self.try_pred_set(r, budget)?))
+                }
+                CorePred::Or(l, r) => {
+                    Ok(self.try_pred_set(l, budget)?.union(&self.try_pred_set(r, budget)?))
+                }
+                CorePred::Not(inner) => {
+                    Ok(self.try_pred_set(inner, budget)?.complement(self.doc.len() as u32))
+                }
+                CorePred::Path(p) => self.try_s_backward(p, budget),
+            },
+        }
+    }
+
+    /// Budgeted [`CoreXPathEvaluator::s_backward`]: polls before each
+    /// step's `T(t)`/inverse pass.
+    fn try_s_backward(&self, p: &CorePath, budget: &EvalBudget) -> EvalResult<NodeSet> {
+        let mut acc: Option<NodeSet> = p.eq.as_ref().map(|eq| self.eq_set(eq));
+        for step in p.steps.iter().rev() {
+            budget.check()?;
+            let mut base = self.t_set(step.axis, &step.test);
+            for pred in &step.preds {
+                base = base.intersect(&self.try_pred_set(pred, budget)?);
+            }
+            if let Some(a) = acc {
+                base = base.intersect(&a);
+            }
+            acc = Some(self.inverse_expand(step.axis, &base));
+        }
+        let acc = acc.unwrap_or_else(|| self.all.clone());
+        Ok(match &p.start {
+            CoreStart::Context => acc,
+            CoreStart::Root => {
+                if acc.contains(self.doc.root()) {
+                    self.all.clone()
+                } else {
+                    NodeSet::new()
+                }
+            }
+            CoreStart::Ids(s) => {
+                if acc.intersect(&NodeSet::from_sorted(self.doc.deref_ids(s))).is_empty() {
+                    NodeSet::new()
+                } else {
+                    self.all.clone()
+                }
+            }
+        })
+    }
+
+    /// Witness-only predicate check for one candidate node: does `pred`
+    /// hold at `x`?
+    ///
+    /// Where the set-at-a-time `E1`/`S←` route computes the
+    /// document-global predicate set (one `T(t)` + inverse pass per
+    /// step), this walks the predicate path **forward from `{x}` alone**
+    /// — `x ∈ S←[[π]] ⇔ S→[[π]]({x}) ≠ ∅` (Definition 10.2) — so a
+    /// quantified predicate like `[following::c]` touches only the
+    /// frontier reachable from `x` and stops at the first witness (or the
+    /// first empty frontier). The cursor layer uses this per candidate,
+    /// short-circuiting `and`/`or`/`not` along the way; the materialized
+    /// evaluators keep the set-at-a-time route, which stays the source of
+    /// truth for differential testing.
+    pub(crate) fn pred_holds(
+        &self,
+        pred: &CorePred,
+        x: NodeId,
+        budget: &EvalBudget,
+    ) -> EvalResult<bool> {
+        match pred {
+            CorePred::And(l, r) => {
+                Ok(self.pred_holds(l, x, budget)? && self.pred_holds(r, x, budget)?)
+            }
+            CorePred::Or(l, r) => {
+                Ok(self.pred_holds(l, x, budget)? || self.pred_holds(r, x, budget)?)
+            }
+            CorePred::Not(inner) => Ok(!self.pred_holds(inner, x, budget)?),
+            CorePred::Path(p) => self.path_holds_from(p, x, budget),
+        }
+    }
+
+    /// `S→[[π]]({x}) ≠ ∅` with empty-frontier early exit.
+    fn path_holds_from(&self, p: &CorePath, x: NodeId, budget: &EvalBudget) -> EvalResult<bool> {
+        let ctx = [x];
+        let mut n = self.start_set(&p.start, &ctx);
+        for step in &p.steps {
+            if n.is_empty() {
+                return Ok(false);
+            }
+            budget.check()?;
+            n = self.try_advance_step(step, &n, budget)?;
+        }
+        Ok(!self.finish_path(p, n).is_empty())
     }
 
     /// Apply a path's trailing `=s` restriction (XPatterns), completing

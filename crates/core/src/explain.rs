@@ -114,6 +114,28 @@ pub fn explain(e: &Expr, doc_size: usize) -> Explanation {
                 model.axis_shard_crossover(doc_size as u32),
             );
         }
+        // Lazy cursor verdict: can exists/first/take(k) early-exit on the
+        // block-synchronous pipeline, and would the cost model pick it at
+        // this |D| for a full drain?
+        let streamable_spine =
+            q.path.eq.is_none() && q.path.steps.iter().all(|s| xpath_axes::is_streamable(s.axis));
+        if streamable_spine {
+            let _ = writeln!(
+                report,
+                "lazy:      spine streams (forward axes, preorder-monotone) — \
+                 exists/first/take(k) early-exit; full drains go lazy at \
+                 |D| ≥ {} (here: {})",
+                model.lazy_take_crossover(),
+                if model.pick_lazy(doc_size as u32, None) { "lazy" } else { "materialize" },
+            );
+        } else {
+            let why = if q.path.eq.is_some() {
+                "trailing =s restriction needs the finished set"
+            } else {
+                "non-forward step in the spine"
+            };
+            let _ = writeln!(report, "lazy:      materialize — {why}");
+        }
     }
 
     // Per-subexpression relevance and bottom-up candidacy.
@@ -303,6 +325,21 @@ mod tests {
         // In-memory-only queries keep "streaming: no".
         let x = explain(&parse_normalized("count(//a)").unwrap(), 100);
         assert!(x.report.contains("streaming: no"), "{}", x.report);
+    }
+
+    #[test]
+    fn explain_reports_lazy_cursor_verdict() {
+        // Streamable spine, small document: early-exit available, but a
+        // full drain stays materialized below the crossover.
+        let x = explain(&parse_normalized("//a[b]").unwrap(), 100);
+        assert!(x.report.contains("lazy:      spine streams"), "{}", x.report);
+        assert!(x.report.contains("here: materialize"), "{}", x.report);
+        // Past the crossover the drain verdict flips.
+        let x = explain(&parse_normalized("//a[b]").unwrap(), 200_000);
+        assert!(x.report.contains("here: lazy"), "{}", x.report);
+        // A reverse step in the spine rules the pipeline out.
+        let x = explain(&parse_normalized("//a/parent::b").unwrap(), 100);
+        assert!(x.report.contains("lazy:      materialize — non-forward step"), "{}", x.report);
     }
 
     #[test]

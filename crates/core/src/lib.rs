@@ -12,6 +12,7 @@
 //! | [`topdown`] | §7 | vectorized `S↓`/`E↓` (the "XMLTaskforce" engine) |
 //! | [`mincontext`] | §8, App. A | relevant-context analysis + MinContext |
 //! | [`corexpath`] | §10.1 | linear-time Core XPath algebra |
+//! | [`cursor`] | — | lazy pull-based [`NodeCursor`] layer: early exit, deadlines, cancellation |
 //! | [`streaming`] | §1–§2 related work | single-pass matcher for the forward Core XPath fragment |
 //! | [`xpatterns`] | §10.2 | Core XPath + id axis + XSLT-Patterns predicates |
 //! | [`wadler`] | §11.1 | Extended Wadler fragment, bottom-up inner paths |
@@ -36,6 +37,7 @@ pub mod cache;
 pub mod compare;
 pub mod context;
 pub mod corexpath;
+pub mod cursor;
 pub mod engine;
 pub mod eval_common;
 pub mod explain;
@@ -62,7 +64,8 @@ pub use analyze::{
 };
 pub use batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use cache::{CacheStats, QueryCache};
-pub use context::{Context, EvalError, EvalResult};
+pub use context::{Context, EvalBudget, EvalError, EvalResult};
+pub use cursor::{NodeCursor, QueryCursor};
 pub use engine::{Engine, Strategy};
 pub use fragment::{classify, Classification, Fragment};
 pub use plan::Plan;

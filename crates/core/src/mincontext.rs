@@ -25,7 +25,7 @@ use xpath_syntax::{BinaryOp, Expr, LocationPath, PathStart, Step};
 use xpath_xml::{Document, NodeId};
 
 use crate::bottomup::CvTable;
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
 use crate::eval_common::{
     apply_binary, position_of, predicate_holds, step_candidates, step_candidates_set_sharded,
 };
@@ -43,6 +43,9 @@ pub struct MinContextEvaluator<'d> {
     /// Resolved shard budget for the set-at-a-time axis passes (1 = every
     /// pass serial; sharding stays cost-gated — see [`crate::parallel`]).
     threads: usize,
+    /// Deadline/cancellation budget, polled before every outermost step,
+    /// table build and inner-path pass.
+    eval_budget: EvalBudget,
 }
 
 fn key_of(e: &Expr) -> usize {
@@ -57,6 +60,7 @@ impl<'d> MinContextEvaluator<'d> {
             doc,
             tables: RefCell::new(HashMap::new()),
             threads: crate::parallel::resolve_threads(0),
+            eval_budget: EvalBudget::unlimited(),
         }
     }
 
@@ -64,6 +68,14 @@ impl<'d> MinContextEvaluator<'d> {
     /// re-resolves the process default, `1` keeps every pass serial.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = crate::parallel::resolve_threads(threads);
+        self
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`], polled before every
+    /// outermost step, context-value table build and inner-path pass.
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
         self
     }
 
@@ -116,6 +128,7 @@ impl<'d> MinContextEvaluator<'d> {
     /// bulk axis engine, then predicates either per node (cn-only) or in
     /// the (p, s) loop.
     fn outermost_step(&self, step: &Step, x: &NodeSet, _ctx: Context) -> EvalResult<NodeSet> {
+        self.eval_budget.check()?;
         // Y := nodes reachable from X via χ::t.
         let y = step_candidates_set_sharded(self.doc, step.axis, &step.test, x, self.threads);
         for pred in &step.predicates {
@@ -165,6 +178,7 @@ impl<'d> MinContextEvaluator<'d> {
         if self.tables.borrow().contains_key(&key_of(e)) {
             return Ok(());
         }
+        self.eval_budget.check()?;
         let rel = relev(e);
         if rel.has_pos_or_size() {
             // Recurse; N itself is evaluated later per single context.
@@ -352,6 +366,7 @@ impl<'d> MinContextEvaluator<'d> {
         };
         let mut rel_map = starts;
         for step in &p.steps {
+            self.eval_budget.check()?;
             // Frontier: the distinct target nodes.
             let mut frontier = NodeSet::new();
             for (_, set) in &rel_map {

@@ -22,7 +22,7 @@ use std::cell::Cell;
 use xpath_syntax::{BinaryOp, Expr, LocationPath, PathStart, Step};
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
 use crate::nodeset::NodeSet;
@@ -32,6 +32,9 @@ use crate::value::Value;
 pub struct NaiveEvaluator<'d> {
     doc: &'d Document,
     budget: Option<Cell<u64>>,
+    /// Deadline/cancellation budget, polled at every location-step
+    /// application (the same granularity as the step budget).
+    eval_budget: EvalBudget,
     /// Number of location-step applications performed (for the complexity
     /// assertions in tests and the experiment harness).
     steps_applied: Cell<u64>,
@@ -40,13 +43,29 @@ pub struct NaiveEvaluator<'d> {
 impl<'d> NaiveEvaluator<'d> {
     /// Evaluator without a step budget.
     pub fn new(doc: &'d Document) -> Self {
-        NaiveEvaluator { doc, budget: None, steps_applied: Cell::new(0) }
+        NaiveEvaluator {
+            doc,
+            budget: None,
+            eval_budget: EvalBudget::unlimited(),
+            steps_applied: Cell::new(0),
+        }
     }
 
     /// Evaluator that fails with [`EvalError::BudgetExhausted`] after
     /// `budget` location-step applications.
     pub fn with_budget(doc: &'d Document, budget: u64) -> Self {
-        NaiveEvaluator { doc, budget: Some(Cell::new(budget)), steps_applied: Cell::new(0) }
+        let mut e = Self::new(doc);
+        e.budget = Some(Cell::new(budget));
+        e
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`]; evaluation fails
+    /// with [`EvalError::DeadlineExceeded`] / [`EvalError::Cancelled`] at
+    /// the next location step after the budget trips.
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
+        self
     }
 
     /// Location-step applications performed so far.
@@ -61,6 +80,7 @@ impl<'d> NaiveEvaluator<'d> {
 
     fn charge(&self) -> EvalResult<()> {
         self.steps_applied.set(self.steps_applied.get() + 1);
+        self.eval_budget.check()?;
         if let Some(b) = &self.budget {
             let left = b.get();
             if left == 0 {

@@ -13,7 +13,7 @@
 use xpath_syntax::Expr;
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{Context, EvalResult};
+use crate::context::{Context, EvalBudget, EvalResult};
 use crate::corexpath::{self, CoreXPathEvaluator};
 use crate::mincontext::MinContextEvaluator;
 use crate::value::Value;
@@ -35,19 +35,30 @@ pub struct OptMinContextEvaluator<'d> {
     /// MinContext evaluator (`0` = auto; see [`crate::parallel`]).
     threads: u32,
     doc: &'d Document,
+    /// Deadline/cancellation budget, forwarded to whichever route the
+    /// dispatch takes (the Core XPath fast path or seeded MinContext).
+    eval_budget: EvalBudget,
 }
 
 impl<'d> OptMinContextEvaluator<'d> {
     /// Create an evaluator over `doc` with the auto-resolved thread
     /// budget.
     pub fn new(doc: &'d Document) -> Self {
-        OptMinContextEvaluator { doc, threads: 0 }
+        OptMinContextEvaluator { doc, threads: 0, eval_budget: EvalBudget::unlimited() }
     }
 
     /// Pin the shard budget for the underlying engines: `0` (default)
     /// auto-resolves, `1` keeps every pass serial.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`]: both dispatch routes
+    /// poll it at their pass boundaries.
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
         self
     }
 
@@ -71,15 +82,18 @@ impl<'d> OptMinContextEvaluator<'d> {
                 self.doc,
                 corexpath::AxisBackend::Parallel(self.threads),
             );
-            let out = ev.evaluate(&cq, &[ctx.node]);
+            let out = ev.try_evaluate(&cq, &[ctx.node], &self.eval_budget)?;
             return Ok((Value::NodeSet(out), report));
         }
 
         // Algorithm 11.1: evaluate all bottom-up location paths inside Q,
         // innermost first, seeding their tables into MinContext.
-        let mc = MinContextEvaluator::new(self.doc).with_threads(self.threads);
+        let mc = MinContextEvaluator::new(self.doc)
+            .with_threads(self.threads)
+            .with_eval_budget(self.eval_budget.clone());
         let candidates = collect_candidates_postorder(query);
         for e in candidates {
+            self.eval_budget.check()?;
             let table = mc.eval_bottomup_expr(e)?;
             mc.seed_table(e, table);
             report.bottomup_paths += 1;

@@ -23,7 +23,7 @@ use xpath_xml::Document;
 
 use crate::analyze::{self, QueryReport, Streamability};
 use crate::bottomup::BottomUpEvaluator;
-use crate::context::{Context, EvalResult};
+use crate::context::{Context, EvalBudget, EvalResult};
 use crate::corexpath::{self, CoreDialect, CoreQuery, CoreXPathEvaluator};
 use crate::fragment::{classify, Classification, Fragment};
 use crate::mincontext::MinContextEvaluator;
@@ -191,6 +191,21 @@ impl Plan {
     /// Pure runtime phase: no parsing, classification, or fragment
     /// compilation happens here.
     pub fn execute(&self, doc: &Document, ctx: Context) -> EvalResult<Value> {
+        self.execute_with(doc, ctx, &EvalBudget::unlimited())
+    }
+
+    /// [`Plan::execute`] under an [`EvalBudget`]: every strategy polls the
+    /// budget at its natural pass boundary (location steps, table passes,
+    /// axis passes, stream-event blocks) and fails with
+    /// [`EvalError::Cancelled`](crate::EvalError::Cancelled) /
+    /// [`EvalError::DeadlineExceeded`](crate::EvalError::DeadlineExceeded)
+    /// once it trips — never a poisoned evaluator or a partial result.
+    pub fn execute_with(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        budget: &EvalBudget,
+    ) -> EvalResult<Value> {
         // Constant-empty plan node: the analyzer proved the result is
         // document-independent, so no evaluator runs at all.
         if let Some(v) = &self.report.const_result {
@@ -206,6 +221,7 @@ impl Plan {
             doc,
             ctx,
             None,
+            budget,
         )
     }
 
@@ -220,6 +236,18 @@ impl Plan {
         ctx: Context,
         kernels: &xpath_axes::KernelCounters,
     ) -> EvalResult<Value> {
+        self.execute_recording_with(doc, ctx, kernels, &EvalBudget::unlimited())
+    }
+
+    /// [`Plan::execute_recording`] under an [`EvalBudget`] (see
+    /// [`Plan::execute_with`]).
+    pub fn execute_recording_with(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        kernels: &xpath_axes::KernelCounters,
+        budget: &EvalBudget,
+    ) -> EvalResult<Value> {
         if let Some(v) = &self.report.const_result {
             return Ok(v.clone());
         }
@@ -233,6 +261,7 @@ impl Plan {
             doc,
             ctx,
             Some(kernels),
+            budget,
         )
     }
 
@@ -291,13 +320,46 @@ pub fn execute_adhoc(
                 CoreDialect::XPatterns
             };
             let q = corexpath::compile_dialect(expr, dialect)?;
-            run(expr, strategy, Some(&q), None, naive_budget, 0, doc, ctx, None)
+            run(
+                expr,
+                strategy,
+                Some(&q),
+                None,
+                naive_budget,
+                0,
+                doc,
+                ctx,
+                None,
+                &EvalBudget::unlimited(),
+            )
         }
         Strategy::Streaming => {
             let sq = streaming::compile_expr(expr)?;
-            run(expr, strategy, None, Some(&sq), naive_budget, 0, doc, ctx, None)
+            run(
+                expr,
+                strategy,
+                None,
+                Some(&sq),
+                naive_budget,
+                0,
+                doc,
+                ctx,
+                None,
+                &EvalBudget::unlimited(),
+            )
         }
-        _ => run(expr, strategy, None, None, naive_budget, 0, doc, ctx, None),
+        _ => run(
+            expr,
+            strategy,
+            None,
+            None,
+            naive_budget,
+            0,
+            doc,
+            ctx,
+            None,
+            &EvalBudget::unlimited(),
+        ),
     }
 }
 
@@ -318,28 +380,40 @@ fn run(
     doc: &Document,
     ctx: Context,
     kernels: Option<&xpath_axes::KernelCounters>,
+    budget: &EvalBudget,
 ) -> EvalResult<Value> {
     match strategy {
         Strategy::Naive => match naive_budget {
-            Some(b) => NaiveEvaluator::with_budget(doc, b).evaluate(expr, ctx),
-            None => NaiveEvaluator::new(doc).evaluate(expr, ctx),
+            Some(b) => NaiveEvaluator::with_budget(doc, b)
+                .with_eval_budget(budget.clone())
+                .evaluate(expr, ctx),
+            None => NaiveEvaluator::new(doc).with_eval_budget(budget.clone()).evaluate(expr, ctx),
         },
-        Strategy::DataPool => PoolEvaluator::new(doc).evaluate(expr, ctx),
-        Strategy::BottomUp => BottomUpEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx),
-        Strategy::TopDown => TopDownEvaluator::new(doc).evaluate(expr, ctx),
-        Strategy::MinContext => {
-            MinContextEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx)
+        Strategy::DataPool => {
+            PoolEvaluator::new(doc).with_eval_budget(budget.clone()).evaluate(expr, ctx)
         }
-        Strategy::OptMinContext => {
-            OptMinContextEvaluator::new(doc).with_threads(threads).evaluate(expr, ctx)
+        Strategy::BottomUp => BottomUpEvaluator::new(doc)
+            .with_threads(threads)
+            .with_eval_budget(budget.clone())
+            .evaluate(expr, ctx),
+        Strategy::TopDown => {
+            TopDownEvaluator::new(doc).with_eval_budget(budget.clone()).evaluate(expr, ctx)
         }
+        Strategy::MinContext => MinContextEvaluator::new(doc)
+            .with_threads(threads)
+            .with_eval_budget(budget.clone())
+            .evaluate(expr, ctx),
+        Strategy::OptMinContext => OptMinContextEvaluator::new(doc)
+            .with_threads(threads)
+            .with_eval_budget(budget.clone())
+            .evaluate(expr, ctx),
         Strategy::CoreXPath | Strategy::XPatterns => {
             let q = algebra.expect("fragment dispatch requires a compiled algebra program");
             let ev = CoreXPathEvaluator::with_backend(
                 doc,
                 crate::corexpath::AxisBackend::Parallel(threads),
             );
-            let out = ev.evaluate(q, &[ctx.node]);
+            let out = ev.try_evaluate(q, &[ctx.node], budget)?;
             if let Some(counters) = kernels {
                 counters.merge(ev.kernel_counts());
             }
@@ -349,7 +423,7 @@ fn run(
             // Streamable queries are absolute, so the context node is
             // irrelevant to the result (P[[/π]] starts at the root).
             let sq = automaton.expect("streaming dispatch requires a compiled automaton");
-            Ok(Value::NodeSet(streaming::evaluate_stream(sq, doc)))
+            Ok(Value::NodeSet(streaming::try_evaluate_stream(sq, doc, budget)?))
         }
         Strategy::Auto => unreachable!("callers resolve Auto before run()"),
     }

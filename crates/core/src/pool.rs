@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use xpath_syntax::{BinaryOp, Expr, LocationPath, PathStart, Step};
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
 use crate::nodeset::NodeSet;
@@ -55,6 +55,8 @@ pub struct PoolEvaluator<'d> {
     misses: Cell<u64>,
     steps_applied: Cell<u64>,
     budget: Option<Cell<u64>>,
+    /// Deadline/cancellation budget, polled alongside the step budget.
+    eval_budget: EvalBudget,
 }
 
 impl<'d> PoolEvaluator<'d> {
@@ -68,6 +70,7 @@ impl<'d> PoolEvaluator<'d> {
             misses: Cell::new(0),
             steps_applied: Cell::new(0),
             budget: None,
+            eval_budget: EvalBudget::unlimited(),
         }
     }
 
@@ -78,6 +81,14 @@ impl<'d> PoolEvaluator<'d> {
         let mut e = Self::new(doc);
         e.budget = Some(Cell::new(budget));
         e
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`], polled at every
+    /// location-step application.
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
+        self
     }
 
     /// Pool statistics.
@@ -98,6 +109,7 @@ impl<'d> PoolEvaluator<'d> {
 
     fn charge(&self) -> EvalResult<()> {
         self.steps_applied.set(self.steps_applied.get() + 1);
+        self.eval_budget.check()?;
         if let Some(b) = &self.budget {
             if b.get() == 0 {
                 return Err(EvalError::BudgetExhausted);

@@ -31,11 +31,13 @@ use std::fmt;
 use xpath_syntax::{normalize, Bindings, Expr};
 use xpath_xml::Document;
 
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
+use crate::cursor::{NodeCursor, QueryCursor};
 use crate::fragment::{Classification, Fragment};
 use crate::nodeset::NodeSet;
 use crate::plan::{Plan, Strategy};
 use crate::value::Value;
+use xpath_xml::NodeId;
 
 /// Builder for the static phase: configures how queries are compiled.
 ///
@@ -259,6 +261,96 @@ impl CompiledQuery {
     /// first evaluation error.
     pub fn evaluate_many(&self, docs: &[&Document]) -> EvalResult<Vec<Value>> {
         docs.iter().map(|doc| self.evaluate_root(doc)).collect()
+    }
+
+    // ----- lazy / budgeted evaluation (tier 4) -----
+
+    /// [`CompiledQuery::evaluate`] under an [`EvalBudget`]: every
+    /// strategy polls the budget at its pass boundaries and fails with
+    /// [`EvalError::Cancelled`] / [`EvalError::DeadlineExceeded`] once it
+    /// trips — partial work is discarded, the query handle stays valid.
+    pub fn evaluate_with(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        budget: &EvalBudget,
+    ) -> EvalResult<Value> {
+        self.plan.execute_recording_with(doc, ctx, &self.kernels, budget)
+    }
+
+    /// Does the query match at least one node from the root context?
+    /// Early-exits on the first witness when the spine is streamable
+    /// (never materializes the full answer).
+    pub fn exists(&self, doc: &Document) -> EvalResult<bool> {
+        self.exists_at(doc, Context::of(doc.root()))
+    }
+
+    /// [`CompiledQuery::exists`] from an explicit context.
+    pub fn exists_at(&self, doc: &Document, ctx: Context) -> EvalResult<bool> {
+        Ok(self.first_at(doc, ctx)?.is_some())
+    }
+
+    /// The first matching node in document order, early-exiting like
+    /// [`CompiledQuery::exists`].
+    pub fn first(&self, doc: &Document) -> EvalResult<Option<NodeId>> {
+        self.first_at(doc, Context::of(doc.root()))
+    }
+
+    /// [`CompiledQuery::first`] from an explicit context.
+    pub fn first_at(&self, doc: &Document, ctx: Context) -> EvalResult<Option<NodeId>> {
+        self.select_lazy_with(doc, ctx, EvalBudget::unlimited(), Some(1)).next()
+    }
+
+    /// A lazy [`NodeCursor`] over the matches from the root context:
+    /// nodes are produced in document order, block by block, and a caller
+    /// that stops pulling never pays for the rest of the document (when
+    /// the spine streams — see [`crate::cursor`] for the dispatch rules).
+    pub fn select_lazy<'q, 'd>(&'q self, doc: &'d Document) -> QueryCursor<'q, 'd> {
+        self.select_lazy_at(doc, Context::of(doc.root()))
+    }
+
+    /// [`CompiledQuery::select_lazy`] from an explicit context.
+    pub fn select_lazy_at<'q, 'd>(
+        &'q self,
+        doc: &'d Document,
+        ctx: Context,
+    ) -> QueryCursor<'q, 'd> {
+        self.select_lazy_with(doc, ctx, EvalBudget::unlimited(), None)
+    }
+
+    /// The general lazy entry point: an explicit [`EvalBudget`] plus an
+    /// optional *take hint* — how many nodes the caller expects to pull
+    /// (`Some(1)` for `exists`/`first`, `None` for a full drain). The
+    /// hint feeds [`CostModel::pick_lazy`](xpath_axes::CostModel::pick_lazy),
+    /// which arbitrates between the lazy pipeline and the materializing
+    /// fallback; the choice never changes the nodes produced, only when
+    /// the work happens. Construction is infallible — evaluation errors
+    /// surface on the first pull.
+    pub fn select_lazy_with<'q, 'd>(
+        &'q self,
+        doc: &'d Document,
+        ctx: Context,
+        budget: EvalBudget,
+        take_hint: Option<usize>,
+    ) -> QueryCursor<'q, 'd> {
+        if self.lazy_eligible() {
+            let path = &self.plan.algebra().expect("lazy_eligible checked algebra").path;
+            let universe = doc.len() as u32;
+            if xpath_axes::CostModel::global().pick_lazy(universe, take_hint) {
+                return QueryCursor::lazy(doc, path, ctx, budget);
+            }
+        }
+        QueryCursor::materializing(doc, &self.plan, self.kernels.clone(), ctx, budget)
+    }
+
+    /// Can this query run on the lazy cursor pipeline at all (fragment
+    /// strategy, compiled algebra, fully streamable spine)? The cost
+    /// model may still choose to materialize small documents — see
+    /// [`CompiledQuery::select_lazy_with`].
+    pub fn lazy_eligible(&self) -> bool {
+        matches!(self.plan.strategy, Strategy::CoreXPath | Strategy::XPatterns)
+            && self.plan.report().const_result.is_none()
+            && self.plan.algebra().is_some_and(|q| QueryCursor::spine_is_streamable(&q.path))
     }
 }
 

@@ -62,7 +62,7 @@ use xpath_syntax::{Axis, KindTest, NodeTest};
 use xpath_xml::events::StreamEvent;
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{EvalError, EvalResult};
+use crate::context::{EvalBudget, EvalError, EvalResult};
 use crate::corexpath::{self, CorePath, CorePred, CoreQuery, CoreStart, EqTest};
 use crate::nodeset::NodeSet;
 use crate::value::str_to_number;
@@ -923,6 +923,37 @@ pub fn evaluate_stream(query: &StreamQuery, doc: &Document) -> NodeSet {
         m.on_event(&ev);
     }
     m.finish()
+}
+
+/// How many stream events [`try_evaluate_stream`] consumes between budget
+/// polls: often enough that a trip costs microseconds of extra streaming,
+/// rarely enough that the `Instant::now` poll is noise against the
+/// per-event matching work.
+const STREAM_CHECK_EVENTS: u32 = 1024;
+
+/// [`evaluate_stream`] under an [`EvalBudget`]: the budget is polled every
+/// `STREAM_CHECK_EVENTS` (1024) events. An unlimited budget takes the
+/// exact infallible path.
+pub fn try_evaluate_stream(
+    query: &StreamQuery,
+    doc: &Document,
+    budget: &EvalBudget,
+) -> EvalResult<NodeSet> {
+    if budget.is_unlimited() {
+        return Ok(evaluate_stream(query, doc));
+    }
+    let mut m = StreamMatcher::new(query);
+    let mut until_check = STREAM_CHECK_EVENTS;
+    for ev in doc.events() {
+        until_check -= 1;
+        if until_check == 0 {
+            budget.check()?;
+            until_check = STREAM_CHECK_EVENTS;
+        }
+        m.on_event(&ev);
+    }
+    budget.check()?;
+    Ok(m.finish())
 }
 
 /// Is this Core XPath query in the streamable fragment?

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use xpath_syntax::{Axis, BinaryOp, Expr, LocationPath, PathStart, Step};
 use xpath_xml::{Document, NodeId};
 
-use crate::context::{Context, EvalError, EvalResult};
+use crate::context::{Context, EvalBudget, EvalError, EvalResult};
 use crate::eval_common::{apply_binary, position_of, predicate_holds, step_candidates};
 use crate::functions;
 use crate::nodeset::NodeSet;
@@ -29,12 +29,23 @@ use crate::value::Value;
 /// The top-down vectorized evaluator.
 pub struct TopDownEvaluator<'d> {
     doc: &'d Document,
+    /// Deadline/cancellation budget, polled before every vectorized
+    /// location step (each an `O(|D|·l)` unit).
+    eval_budget: EvalBudget,
 }
 
 impl<'d> TopDownEvaluator<'d> {
     /// Create an evaluator over `doc`.
     pub fn new(doc: &'d Document) -> Self {
-        TopDownEvaluator { doc }
+        TopDownEvaluator { doc, eval_budget: EvalBudget::unlimited() }
+    }
+
+    /// Attach a deadline/cancellation [`EvalBudget`], polled before every
+    /// vectorized location step.
+    #[must_use]
+    pub fn with_eval_budget(mut self, budget: EvalBudget) -> Self {
+        self.eval_budget = budget;
+        self
     }
 
     /// Evaluate `query` in a single context.
@@ -139,6 +150,7 @@ impl<'d> TopDownEvaluator<'d> {
     /// One location step `χ::t[e1]…[em]` on a vector of input sets —
     /// the core of Figure 7.
     fn location_step(&self, step: &Step, inputs: &[NodeSet]) -> EvalResult<Vec<NodeSet>> {
+        self.eval_budget.check()?;
         // S := {⟨x, y⟩ | x ∈ ∪Xi, x χ y, y ∈ T(t)} — grouped by x. The
         // union of the input vector accumulates in-place on the hybrid set.
         let mut xs = NodeSet::new();

@@ -597,6 +597,39 @@ impl NodeSet {
         }
     }
 
+    /// A cheap 64-bit **memo key**: like [`NodeSet::fingerprint`] but
+    /// optimized for keying axis-result caches, where a key mismatch is
+    /// only ever a cache miss, never a wrong answer.
+    ///
+    /// * **Sparse** (`Vec`) inputs hash the raw id slice with one
+    ///   sequential `splitmix64` chain — `O(len)` with one mix per id,
+    ///   touching **no bitset word buffers** (no pooled takes, no word
+    ///   synthesis; pinned by a `PoolStats` unit test). This is strictly
+    ///   cheaper than `fingerprint`'s word-grouping emulation.
+    /// * **Dense** (`Bits`) inputs reuse the vectorized word
+    ///   fingerprint.
+    ///
+    /// The trade: unlike `fingerprint`, the key is **not**
+    /// representation-independent (a sparse and a dense set with equal
+    /// contents key differently — the chain is order-sensitive and the
+    /// domains are disjoint by construction, sparse keys being
+    /// re-mixed through a repr tag). Memo consumers (`AxisMemo`) accept
+    /// that: cross-repr sharing was already rare, and the sparse keying
+    /// cost is what gates lock-step sharing on small frontier sets.
+    pub fn memo_key(&self) -> u64 {
+        use crate::rng::splitmix64;
+        match &self.repr {
+            Repr::Bits { .. } => splitmix64(0xB175_E7A1 ^ self.fingerprint()),
+            Repr::Vec(v) => {
+                let mut h = splitmix64(0x5BA5_E000 ^ v.len() as u64);
+                for n in v {
+                    h = splitmix64(h ^ u64::from(n.0));
+                }
+                h
+            }
+        }
+    }
+
     // ----- shard split / merge (parallel CVT evaluation) -----
 
     /// The subset of `self` with ids in `[lo, hi)` — the shard-input
@@ -1119,6 +1152,32 @@ mod tests {
                 assert_ne!(ns(&other).fingerprint(), v.fingerprint(), "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn memo_key_is_content_sensitive_and_sparse_key_touches_no_words() {
+        let ids = [0u32, 1, 63, 64, 65, 500, 12_345];
+        let sparse = ns(&ids);
+        // Deterministic, content-sensitive.
+        assert_eq!(sparse.memo_key(), ns(&ids).memo_key());
+        assert_ne!(ns(&[0, 1, 63, 64, 65, 500]).memo_key(), sparse.memo_key());
+        assert_ne!(NodeSet::new().memo_key(), sparse.memo_key());
+        // Dense keys are deterministic too (and derive from the word
+        // fingerprint, so equal dense contents key equally).
+        assert_eq!(dense(&ids, 12_346).memo_key(), dense(&ids, 60_000).memo_key());
+        // The satellite pin: keying a sparse set must never materialize
+        // bitset words — zero pooled word-buffer traffic during the call.
+        pool::clear();
+        pool::reset_stats();
+        for _ in 0..16 {
+            std::hint::black_box(sparse.memo_key());
+        }
+        let s = pool::stats();
+        assert_eq!(
+            (s.hits, s.misses, s.recycled, s.discarded),
+            (0, 0, 0, 0),
+            "sparse memo_key must not take or return pooled buffers: {s:?}"
+        );
     }
 
     /// Property test (deterministic seeds): the dense and sparse

@@ -1,4 +1,4 @@
-//! Quickstart: the three-tier query API.
+//! Quickstart: the four-tier query API.
 //!
 //! 1. **Ad-hoc** — `Engine::evaluate` for one-off queries against one
 //!    document (compiles behind a per-engine cache);
@@ -6,13 +6,19 @@
 //!    evaluate-many (share via `QueryCache` across threads);
 //! 3. **Batched** — `QuerySetBuilder`/`QuerySet` for evaluating many
 //!    queries against a document in ONE pass, sharing identical axis
-//!    passes across the batch when the cost model says sharing pays.
+//!    passes across the batch when the cost model says sharing pays;
+//! 4. **Lazy / budgeted** — `exists`/`first`/`select_lazy` for
+//!    early-exit evaluation, and `EvalBudget` for deadlines and
+//!    cooperative cancellation on every evaluation path.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use gkp_xpath::{CompiledQuery, Compiler, Document, Engine, QueryCache, QuerySetBuilder, Strategy};
+use gkp_xpath::{
+    CompiledQuery, Compiler, Document, Engine, EvalBudget, NodeCursor, QueryCache, QuerySetBuilder,
+    Strategy,
+};
 
 fn main() {
     // 1. Parse an XML document (or build one with DocumentBuilder).
@@ -103,7 +109,29 @@ fn main() {
         stats.mode, stats.memo_hits
     );
 
-    // 7. Every algorithm from the paper is available explicitly, and the
+    // 7. The fourth tier: ask smaller questions and stop early. exists()
+    //    and first() return on the first witness; select_lazy() hands out
+    //    a pull-based cursor yielding matches in document order; every
+    //    evaluation path takes an EvalBudget whose deadline / cancel flag
+    //    is polled cooperatively (a tripped budget returns a clean error,
+    //    never a poisoned state). Streamable spines — forward axes only,
+    //    decided statically — never materialize the full result.
+    let any_book = CompiledQuery::compile("//book[title]").unwrap();
+    println!("any titled book? {}", any_book.exists(&doc).unwrap());
+    if let Some(first) = any_book.first(&doc).unwrap() {
+        println!("first titled book: {}", doc.string_value(first));
+    }
+    let mut cursor = any_book.select_lazy(&doc);
+    while let Some(b) = cursor.next().unwrap() {
+        println!("  cursor -> {}", doc.string_value(b));
+    }
+    let budget = EvalBudget::timeout(std::time::Duration::from_millis(50));
+    let v = any_book
+        .evaluate_with(&doc, gkp_xpath::core::Context::of(doc.root()), &budget)
+        .expect("a 25-node document beats a 50ms deadline");
+    println!("under budget: {v}");
+
+    // 8. Every algorithm from the paper is available explicitly, and the
     //    document-bound Engine facade remains for one-off queries — it
     //    now also exposes batched evaluation and fleet-wide planner
     //    stats without reaching into internals.

@@ -66,6 +66,18 @@
 //!       --stats             print document statistics after parsing
 //!       --ns                synthesize namespace nodes from xmlns declarations
 //!       --time              print parse, compile and evaluation wall times
+//!       --exists            print "true"/"false" and exit 0/1 on whether the
+//!                           query matches at all — early-exits on the first
+//!                           witness via the lazy cursor, never materializing
+//!                           the full answer (single node-set query only)
+//!       --first             print only the first match in document order
+//!                           (early-exiting like --exists); exit 1 if none
+//!       --limit <K>         print at most the first K matches in document
+//!                           order, stopping the evaluation there
+//!       --timeout-ms <N>    give the whole evaluation a deadline of N
+//!                           milliseconds; a deadline trip exits 124 (like
+//!                           timeout(1)) with no partial output. Applies to
+//!                           every mode, including batches and --repeat
 //!       --bench-info        print the detected CPU features, the kernel
 //!                           dispatch tier the word-sweep kernels will run
 //!                           on (scalar / unrolled / vector), the
@@ -82,8 +94,18 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use gkp_xpath::core::{EvalError, Value};
+use gkp_xpath::core::{EvalBudget, EvalError, NodeCursor, Value};
 use gkp_xpath::{Compiler, Document, Engine, QuerySetBuilder, Strategy};
+
+/// `timeout(1)`-compatible exit code for a tripped deadline/cancellation.
+const EXIT_TIMED_OUT: u8 = 124;
+
+fn exit_for(e: &EvalError) -> u8 {
+    match e {
+        EvalError::DeadlineExceeded | EvalError::Cancelled => EXIT_TIMED_OUT,
+        _ => 1,
+    }
+}
 
 struct Options {
     strategy: Strategy,
@@ -102,6 +124,10 @@ struct Options {
     namespaces: bool,
     time: bool,
     bench_info: bool,
+    exists: bool,
+    first: bool,
+    limit: Option<usize>,
+    timeout_ms: Option<u64>,
     exprs: Vec<String>,
     query_file: Option<String>,
     query: Option<String>,
@@ -109,11 +135,13 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [--explain] [--lint [--json]] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] (<QUERY> | -e EXPR... | --query-file F) [FILE]\n\
+    "usage: xpq [-s STRATEGY] [-O] [-r N] [-T N] [-c] [-n] [--explain] [--lint [--json]] [-v] [--serialize] [--verify] [--stats] [--ns] [--time] [--exists | --first | --limit K] [--timeout-ms N] (<QUERY> | -e EXPR... | --query-file F) [FILE]\n\
      strategies: naive pool bottomup topdown mincontext optmincontext corexpath xpatterns streaming auto\n\
      -e/--expr: add a query to the batch (repeatable); --query-file: one query per line (#-comments skipped)\n\
      -T/--threads: parallel shard budget (0 = auto via GKP_THREADS/machine, 1 = serial)\n\
      --lint: static-analyze the queries (no document); exits 1 on error-severity diagnostics\n\
+     --exists/--first/--limit: early-exit evaluation via the lazy cursor (single node-set query)\n\
+     --timeout-ms: deadline for the whole evaluation; exits 124 when it trips\n\
      --bench-info: print detected CPU features, the active kernel tier and the GKP_NO_SIMD state, then exit"
 }
 
@@ -135,6 +163,10 @@ fn parse_args() -> Result<Options, String> {
         namespaces: false,
         time: false,
         bench_info: false,
+        exists: false,
+        first: false,
+        limit: None,
+        timeout_ms: None,
         exprs: Vec::new(),
         query_file: None,
         query: None,
@@ -190,6 +222,22 @@ fn parse_args() -> Result<Options, String> {
             "--ns" => o.namespaces = true,
             "--time" => o.time = true,
             "--bench-info" => o.bench_info = true,
+            "--exists" => o.exists = true,
+            "--first" => o.first = true,
+            "--limit" => {
+                let n = args.next().ok_or("missing count after --limit")?;
+                o.limit = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or(format!("invalid limit {n:?}"))?,
+                );
+            }
+            "--timeout-ms" => {
+                let n = args.next().ok_or("missing milliseconds after --timeout-ms")?;
+                o.timeout_ms =
+                    Some(n.parse::<u64>().map_err(|_| format!("invalid timeout {n:?}"))?);
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             _ if o.query.is_none() => o.query = Some(a),
             _ if o.file.is_none() => o.file = Some(a),
@@ -198,6 +246,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if o.json && !o.lint_only {
         return Err("--json requires --lint".to_string());
+    }
+    if (o.exists as u8) + (o.first as u8) + (o.limit.is_some() as u8) > 1 {
+        return Err("--exists, --first and --limit are mutually exclusive".to_string());
+    }
+    if (o.exists || o.first || o.limit.is_some()) && o.repeat > 1 {
+        return Err("--exists/--first/--limit do not combine with --repeat".to_string());
     }
     if !o.exprs.is_empty() || o.query_file.is_some() {
         // Batch invocation: the only positional argument is the XML file.
@@ -604,6 +658,44 @@ fn main() -> ExitCode {
         }
     }
 
+    let budget = match opts.timeout_ms {
+        Some(ms) => EvalBudget::timeout(std::time::Duration::from_millis(ms)),
+        None => EvalBudget::unlimited(),
+    };
+
+    // Early-exit modes: pull from the lazy cursor instead of
+    // materializing the whole answer (streamable spines stop at the last
+    // block they needed; everything else falls back to one budgeted
+    // materialized run).
+    if opts.exists || opts.first || opts.limit.is_some() {
+        if batch {
+            eprintln!("--exists/--first/--limit take exactly one query");
+            return ExitCode::from(2);
+        }
+        let q = &set.queries()[0];
+        let ctx = gkp_xpath::core::Context::of(doc.root());
+        let take = if opts.limit.is_some() { opts.limit } else { Some(1) };
+        let mut cursor = q.select_lazy_with(&doc, ctx, budget, take);
+        let mut out = gkp_xpath::NodeSet::new();
+        match cursor.next_block(&mut out, take.unwrap_or(usize::MAX)) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("evaluation error: {e}");
+                return ExitCode::from(exit_for(&e));
+            }
+        }
+        if opts.exists {
+            println!("{}", !out.is_empty());
+        } else {
+            print_value(&doc, &opts, &Value::NodeSet(out.clone()));
+        }
+        return if out.is_empty() && opts.limit.is_none() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     // Runtime phase: `--repeat` batch evaluations. For single queries,
     // repeated runs additionally go through a QueryCache — the
     // compile-once / evaluate-many path a service would take — and its
@@ -616,22 +708,23 @@ fn main() -> ExitCode {
         let _ = cache.get_or_compile(&compiler, q);
     }
     let eval_start = std::time::Instant::now();
+    let ctx = gkp_xpath::core::Context::of(doc.root());
     let mut batch_stats = None;
     let results: Vec<Result<Value, EvalError>> = if let Some(q) = single {
         // Single query under -r: first run on the precompiled handle,
         // steady-state runs through the warmed cache.
-        let mut result = set.queries()[0].evaluate_root(&doc);
+        let mut result = set.queries()[0].evaluate_with(&doc, ctx, &budget);
         for _ in 1..opts.repeat {
             result = match cache.get_or_compile(&compiler, q) {
-                Ok(compiled) => compiled.evaluate_root(&doc),
+                Ok(compiled) => compiled.evaluate_with(&doc, ctx, &budget),
                 Err(e) => Err(e),
             };
         }
         vec![result]
     } else {
-        let mut out = set.evaluate_all(&doc);
+        let mut out = set.evaluate_all_with(&doc, ctx, &budget);
         for _ in 1..opts.repeat {
-            out = set.evaluate_all(&doc);
+            out = set.evaluate_all_with(&doc, ctx, &budget);
         }
         batch_stats = Some(*out.stats());
         out.into_results()
@@ -680,7 +773,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut failed = false;
+    let mut failed: u8 = 0;
     for (q, result) in queries.iter().zip(&results) {
         if batch {
             println!("# {q}");
@@ -689,13 +782,9 @@ fn main() -> ExitCode {
             Ok(v) => print_value(&doc, &opts, v),
             Err(e) => {
                 eprintln!("evaluation error in {q:?}: {e}");
-                failed = true;
+                failed = failed.max(exit_for(e));
             }
         }
     }
-    if failed {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(failed)
 }

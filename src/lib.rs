@@ -67,6 +67,31 @@
 //! assert_eq!(out.results()[2].as_ref().unwrap().to_string(), "2");
 //! ```
 //!
+//! The fourth tier is **lazy and budgeted**: a [`CompiledQuery`] also
+//! answers `exists`/`first` by early-exiting on the first witness, hands
+//! out a pull-based [`NodeCursor`] via
+//! [`select_lazy`](CompiledQuery::select_lazy), and accepts an
+//! [`EvalBudget`] (deadline + cooperative cancel flag) on every
+//! evaluation path — single, batched or CLI (see [`xpath_core::cursor`]):
+//!
+//! ```
+//! use gkp_xpath::{core::NodeCursor, Document, EvalBudget};
+//! use gkp_xpath::CompiledQuery;
+//!
+//! let q = CompiledQuery::compile("//b").unwrap();
+//! let doc = Document::parse_str("<a><b/><b/></a>").unwrap();
+//! assert!(q.exists(&doc).unwrap());                  // stops at the first <b>
+//! let first = q.first(&doc).unwrap().unwrap();       // document order
+//! let mut cursor = q.select_lazy(&doc);              // pull-based iteration
+//! assert_eq!(cursor.next().unwrap(), Some(first));
+//! let ok = q.evaluate_with(
+//!     &doc,
+//!     gkp_xpath::core::Context::of(doc.root()),
+//!     &EvalBudget::timeout(std::time::Duration::from_secs(5)),
+//! );
+//! assert!(ok.is_ok());
+//! ```
+//!
 //! The document-bound [`Engine`] remains as a convenience facade over
 //! `Compiler` + `QueryCache` for one-off evaluation against a single
 //! document; it also exposes the batch tier ([`Engine::evaluate_batch`])
@@ -85,7 +110,9 @@ pub use xpath_core::analyze::{
 };
 pub use xpath_core::batch::{BatchResult, BatchStats, QuerySet, QuerySetBuilder};
 pub use xpath_core::cache::{CacheStats, QueryCache};
+pub use xpath_core::context::{EvalBudget, EvalError};
+pub use xpath_core::cursor::{NodeCursor, QueryCursor};
 pub use xpath_core::engine::{Engine, Strategy};
 pub use xpath_core::query::{CompiledQuery, Compiler};
 pub use xpath_core::value::Value;
-pub use xpath_xml::{Document, DocumentBuilder, NodeId, NodeKind};
+pub use xpath_xml::{Document, DocumentBuilder, NodeId, NodeKind, NodeSet};
