@@ -42,7 +42,7 @@ pub fn id_set_ref(doc: &Document, set: &[NodeId]) -> Vec<NodeId> {
         }
     }
     let mut mark = vec![false; doc.len()];
-    for &(x, y) in doc.refs() {
+    for (x, y) in doc.refs().iter() {
         if in_dos[x.index()] {
             mark[y.index()] = true;
         }
@@ -58,7 +58,7 @@ pub fn id_inverse_ref(doc: &Document, set: &[NodeId]) -> Vec<NodeId> {
         in_s[s.index()] = true;
     }
     let mut mark = vec![false; doc.len()];
-    for &(x, y) in doc.refs() {
+    for (x, y) in doc.refs().iter() {
         if in_s[y.index()] {
             // ancestor-or-self of x, with early exit on marked.
             let mut cur = Some(x);

@@ -29,6 +29,10 @@
 //!   materializing evaluation of the same compiled query on the
 //!   ≥10⁵-node document, including the `//b[following::c]` shape whose
 //!   per-candidate predicate check short-circuits on the first witness;
+//! * **snapshot** — the zero-copy document store (`xpath_xml::snap`): a
+//!   cold parse of the ≥10⁵-node document's XML text vs an mmap'd
+//!   snapshot load of the same document (O(header) open, arenas mapped
+//!   in place), with on-disk size and bytes/node recorded;
 //! * **prepared_vs_adhoc** — the existing compile-once guard: a prepared
 //!   `CompiledQuery` must stay faster than compile+evaluate per call.
 //!
@@ -41,7 +45,10 @@
 //!                    0.95× N independent evaluations (the batch guard),
 //!                    or if lazy `first()` on the ≥10⁵-node document is
 //!                    not ≥10× faster than a full evaluation for a
-//!                    predicate-free streamable spine (the cursor guard).
+//!                    predicate-free streamable spine (the cursor guard),
+//!                    or if an mmap snapshot load is not ≥100× faster
+//!                    than a cold parse / the snapshot file exceeds 2×
+//!                    the in-memory arena size (the snapshot guard).
 //!                    The timing baseline is pinned to a 1-thread budget —
 //!                    the parallel backend is correctness-checked here,
 //!                    never timed, so CI core counts can't flake the guard
@@ -470,9 +477,9 @@ fn check(doc: &Document) -> Result<(), String> {
     // witness-short-circuit shape only has to win at all (≥2×, its full
     // evaluation already short-circuits per candidate). Re-measured like
     // the other timing guards: only persistent violations fail.
+    let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
+    big.axis_index();
     {
-        let big = doc_balanced(4, 9, &["a", "b", "c", "d"]);
-        big.axis_index();
         let mut cursor_failure = None;
         for attempt in 1..=CHECK_ATTEMPTS {
             cursor_failure = None;
@@ -502,6 +509,47 @@ fn check(doc: &Document) -> Result<(), String> {
             }
         }
         if let Some(failure) = cursor_failure {
+            return Err(failure);
+        }
+    }
+    // Snapshot guard: an mmap load of the ≥1e5-node document must beat a
+    // cold parse by ≥100× (the point of the O(header) open), and the
+    // on-disk size must stay within 2× of the in-memory arenas. The size
+    // bound is deterministic; only the timing ratio is re-measured.
+    {
+        let mut snap_failure = None;
+        for attempt in 1..=CHECK_ATTEMPTS {
+            let c = measure_snapshot(&big);
+            if c.snapshot_bytes as f64 > 2.0 * c.resident_bytes as f64 {
+                return Err(format!(
+                    "snapshot: {} bytes on disk vs {} resident (> 2x)",
+                    c.snapshot_bytes, c.resident_bytes
+                ));
+            }
+            let speedup = c.speedup_load();
+            eprintln!(
+                "check: snapshot parse {:>10}ns  mmap load {:>8}ns  {speedup:>6.0}x  \
+                 {} bytes ({:.1}/node)",
+                c.parse_ns,
+                c.load_ns,
+                c.snapshot_bytes,
+                c.bytes_per_node()
+            );
+            if speedup >= 100.0 {
+                snap_failure = None;
+                break;
+            }
+            snap_failure = Some(format!(
+                "snapshot: mmap load {}ns vs parse {}ns ({speedup:.0}x < 100x)",
+                c.load_ns, c.parse_ns
+            ));
+            if attempt < CHECK_ATTEMPTS {
+                eprintln!(
+                    "check: snapshot attempt {attempt}/{CHECK_ATTEMPTS} under 100x; re-measuring"
+                );
+            }
+        }
+        if let Some(failure) = snap_failure {
             return Err(failure);
         }
     }
@@ -616,6 +664,67 @@ fn measure_early_exit(big: &Document) -> Vec<EarlyExitCell> {
             EarlyExitCell { query: q, matches: full.len(), first_ns, exists_ns, full_ns }
         })
         .collect()
+}
+
+/// One snapshot cell: a cold parse of the document's XML text against an
+/// mmap snapshot load of the same document (`xpath_xml::snap`). The
+/// loaded document is cross-checked against the parsed one on a bench
+/// query before anything is timed.
+struct SnapshotCell {
+    nodes: usize,
+    xml_bytes: usize,
+    snapshot_bytes: u64,
+    resident_bytes: usize,
+    parse_ns: u64,
+    load_ns: u64,
+}
+
+impl SnapshotCell {
+    fn speedup_load(&self) -> f64 {
+        self.parse_ns as f64 / self.load_ns.max(1) as f64
+    }
+    fn bytes_per_node(&self) -> f64 {
+        self.snapshot_bytes as f64 / self.nodes.max(1) as f64
+    }
+}
+
+fn measure_snapshot(big: &Document) -> SnapshotCell {
+    use xpath_xml::snap;
+    let xml = big.serialize(big.root());
+    let path =
+        std::env::temp_dir().join(format!("gkp_bench_snapshot_{}.gksnap", std::process::id()));
+    let info = snap::write(big, &path).expect("snapshot write");
+    // Correctness gate: the mapped document must answer a bench query
+    // identically to a freshly parsed one.
+    {
+        let parsed = Document::parse_str(&xml).expect("reparse of serialized bench doc");
+        let loaded = snap::load(&path).expect("snapshot load");
+        let c = compile(&xpath_syntax::parse_normalized(BENCH_QUERIES[0]).unwrap()).unwrap();
+        let ev_parsed = CoreXPathEvaluator::with_backend(&parsed, AxisBackend::Adaptive);
+        let ev_loaded = CoreXPathEvaluator::with_backend(&loaded, AxisBackend::Adaptive);
+        assert_eq!(
+            ev_parsed.evaluate(&c, &[parsed.root()]),
+            ev_loaded.evaluate(&c, &[loaded.root()]),
+            "snapshot load diverges from parse on {}",
+            BENCH_QUERIES[0]
+        );
+    }
+    let parse_ns = time_ns(|| {
+        std::hint::black_box(Document::parse_str(&xml).expect("reparse"));
+    });
+    let load_ns = time_ns(|| {
+        std::hint::black_box(snap::load(&path).expect("snapshot load"));
+    });
+    let cell = SnapshotCell {
+        nodes: big.len(),
+        xml_bytes: xml.len(),
+        snapshot_bytes: info.file_bytes,
+        resident_bytes: big.resident_bytes(),
+        parse_ns,
+        load_ns,
+    };
+    let _ = std::fs::remove_file(&path);
+    cell
 }
 
 /// `--calibrate`: measure the cost-model constants on this machine and
@@ -1076,6 +1185,26 @@ fn main() {
         }
     }
     json.push_str("\n  ],\n");
+
+    // ---- snapshot: cold XML parse vs mmap'd snapshot load of the
+    // ≥1e5-node document (`xpath_xml::snap`) ----
+    {
+        let c = measure_snapshot(&big);
+        let _ = writeln!(
+            json,
+            "  \"snapshot\": {{ \"nodes\": {}, \"xml_bytes\": {}, \"snapshot_bytes\": {}, \
+             \"resident_bytes\": {}, \"bytes_per_node\": {:.1}, \"parse_ns\": {}, \
+             \"mmap_load_ns\": {}, \"speedup_load_vs_parse\": {:.1} }},",
+            c.nodes,
+            c.xml_bytes,
+            c.snapshot_bytes,
+            c.resident_bytes,
+            c.bytes_per_node(),
+            c.parse_ns,
+            c.load_ns,
+            c.speedup_load(),
+        );
+    }
 
     // ---- prepared_vs_adhoc guard (original bench conditions: small doc,
     // static phase comparable to the runtime phase) ----

@@ -25,6 +25,7 @@
 //! | [`cache`] | — | sharded LRU [`QueryCache`] shared across workers |
 //! | [`parallel`] | — | sharded parallel CVT passes on a scoped thread pool |
 //! | [`batch`] | — | [`QuerySet`]: batched multi-query evaluation with shared axis passes |
+//! | [`store`] | — | [`DocumentStore`]: directory of mmap'd snapshots, generational reload |
 //! | [`engine`] | — | back-compat facade over `query` + `cache` |
 
 #![forbid(unsafe_code)]
@@ -53,6 +54,7 @@ pub mod plan;
 pub mod pool;
 pub mod query;
 pub mod relev;
+pub mod store;
 pub mod streaming;
 pub mod topdown;
 pub mod value;
@@ -70,4 +72,5 @@ pub use engine::{Engine, Strategy};
 pub use fragment::{classify, Classification, Fragment};
 pub use plan::Plan;
 pub use query::{CompiledQuery, Compiler};
+pub use store::{DocumentStore, StoreError, StoreStats};
 pub use value::Value;

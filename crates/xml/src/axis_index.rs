@@ -19,15 +19,22 @@
 //! filtering of range-shaped axis results is a word-parallel and-not
 //! instead of a per-node kind check.
 //!
+//! Since the snapshot refactor the document arena itself stores the five
+//! link arrays in exactly this flat form, so building the index is five
+//! O(1) array-handle clones plus one `O(|D|)` traversal for the
+//! post-order ranks and the special mask — and a snapshot load
+//! ([`crate::snap`]) gets all seven arrays as views into the mapped
+//! region, making [`crate::Document::axis_index`] free.
+//!
 //! The preorder interval (`id`, `subtree_end`) and the post-order rank
 //! together give both classical tree encodings: `y` is a descendant of `x`
 //! iff `x < y < subtree_end(x)` iff `pre(y) > pre(x) ∧ post(y) < post(x)`
-//! (the pre/post-plane of Grust et al.). The index is built once per
-//! document in `O(|D|)` ([`crate::Document::axis_index`] caches it) and
-//! backs the set-at-a-time axis functions in `xpath-axes::bulk`.
+//! (the pre/post-plane of Grust et al.). The index is built (or mapped)
+//! once per document and backs the set-at-a-time axis functions in
+//! `xpath-axes::bulk`.
 
+use crate::bytes::Arr;
 use crate::document::Document;
-use crate::node::NodeId;
 
 /// "No node" sentinel in the link arrays.
 pub const NONE: u32 = u32::MAX;
@@ -36,65 +43,87 @@ pub const NONE: u32 = u32::MAX;
 /// [module docs](self) for the layout).
 #[derive(Debug)]
 pub struct AxisIndex {
-    parent: Vec<u32>,
-    first_child: Vec<u32>,
-    next_sibling: Vec<u32>,
-    prev_sibling: Vec<u32>,
-    subtree_end: Vec<u32>,
-    post: Vec<u32>,
+    pub(crate) parent: Arr<u32>,
+    pub(crate) first_child: Arr<u32>,
+    pub(crate) next_sibling: Arr<u32>,
+    pub(crate) prev_sibling: Arr<u32>,
+    pub(crate) subtree_end: Arr<u32>,
+    pub(crate) post: Arr<u32>,
     /// Bitset of attribute/namespace nodes, one bit per id.
-    special: Vec<u64>,
+    pub(crate) special: Arr<u64>,
 }
 
 impl AxisIndex {
-    /// Build the index in one `O(|D|)` pass (plus one traversal for the
-    /// post-order ranks).
+    /// Build the index: share the document's link arrays (O(1) handle
+    /// clones) and compute the post-order ranks plus the special mask in
+    /// one `O(|D|)` traversal.
     pub fn new(doc: &Document) -> AxisIndex {
+        let d = &doc.data;
         let n = doc.len();
-        let opt = |x: Option<NodeId>| x.map_or(NONE, |id| id.0);
-        let mut ix = AxisIndex {
-            parent: Vec::with_capacity(n),
-            first_child: Vec::with_capacity(n),
-            next_sibling: Vec::with_capacity(n),
-            prev_sibling: Vec::with_capacity(n),
-            subtree_end: Vec::with_capacity(n),
-            post: vec![0; n],
-            special: vec![0; n.div_ceil(64)],
-        };
-        for id in doc.all_nodes() {
-            ix.parent.push(opt(doc.parent(id)));
-            ix.first_child.push(opt(doc.first_child(id)));
-            ix.next_sibling.push(opt(doc.next_sibling(id)));
-            ix.prev_sibling.push(opt(doc.prev_sibling(id)));
-            ix.subtree_end.push(doc.subtree_end(id));
-            if doc.kind(id).is_special_child() {
-                ix.special[id.index() / 64] |= 1 << (id.index() % 64);
+        let mut special = vec![0u64; n.div_ceil(64)];
+        let kinds = d.kind.as_slice();
+        for (i, &k) in kinds.iter().enumerate() {
+            if crate::NodeKind::from_u8(k).is_some_and(crate::NodeKind::is_special_child) {
+                special[i / 64] |= 1 << (i % 64);
             }
         }
         // Post-order ranks via the pointer-walk traversal (no stack, no
         // allocation): descend to the leftmost leaf, emit, then move to
         // the next sibling's leftmost leaf or up to the parent.
+        let mut post = vec![0u32; n];
+        let first_child = d.first_child.as_slice();
+        let next_sibling = d.next_sibling.as_slice();
+        let parent = d.parent.as_slice();
         let leftmost_leaf = |mut id: u32| {
-            while ix.first_child[id as usize] != NONE {
-                id = ix.first_child[id as usize];
+            while first_child[id as usize] != NONE {
+                id = first_child[id as usize];
             }
             id
         };
         let mut rank = 0u32;
         let mut cur = leftmost_leaf(0);
         loop {
-            ix.post[cur as usize] = rank;
+            post[cur as usize] = rank;
             rank += 1;
-            if ix.next_sibling[cur as usize] != NONE {
-                cur = leftmost_leaf(ix.next_sibling[cur as usize]);
-            } else if ix.parent[cur as usize] != NONE {
-                cur = ix.parent[cur as usize];
+            if next_sibling[cur as usize] != NONE {
+                cur = leftmost_leaf(next_sibling[cur as usize]);
+            } else if parent[cur as usize] != NONE {
+                cur = parent[cur as usize];
             } else {
                 break;
             }
         }
         debug_assert_eq!(rank as usize, n, "post-order visits every node once");
-        ix
+        AxisIndex {
+            parent: d.parent.clone(),
+            first_child: d.first_child.clone(),
+            next_sibling: d.next_sibling.clone(),
+            prev_sibling: d.prev_sibling.clone(),
+            subtree_end: d.subtree_end.clone(),
+            post: Arr::from_vec(post),
+            special: Arr::from_vec(special),
+        }
+    }
+
+    /// Assemble an index directly from snapshot sections (the five link
+    /// arrays are shared with the document; `post` and `special` were
+    /// serialized eagerly at write time).
+    pub(crate) fn from_arrays(
+        parent: Arr<u32>,
+        first_child: Arr<u32>,
+        next_sibling: Arr<u32>,
+        prev_sibling: Arr<u32>,
+        subtree_end: Arr<u32>,
+        post: Arr<u32>,
+        special: Arr<u64>,
+    ) -> AxisIndex {
+        AxisIndex { parent, first_child, next_sibling, prev_sibling, subtree_end, post, special }
+    }
+
+    /// Bytes of the arrays the index holds *beyond* the document arenas
+    /// (the five link arrays are shared handles, not copies).
+    pub(crate) fn extra_bytes(&self) -> usize {
+        self.post.byte_len() + self.special.byte_len()
     }
 
     /// Number of nodes covered (`|dom|`).
@@ -112,50 +141,50 @@ impl AxisIndex {
     /// Parent id, or [`NONE`] for the root.
     #[inline]
     pub fn parent(&self, id: u32) -> u32 {
-        self.parent[id as usize]
+        self.parent.as_slice()[id as usize]
     }
 
     /// First child id, or [`NONE`].
     #[inline]
     pub fn first_child(&self, id: u32) -> u32 {
-        self.first_child[id as usize]
+        self.first_child.as_slice()[id as usize]
     }
 
     /// Next sibling id, or [`NONE`].
     #[inline]
     pub fn next_sibling(&self, id: u32) -> u32 {
-        self.next_sibling[id as usize]
+        self.next_sibling.as_slice()[id as usize]
     }
 
     /// Previous sibling id, or [`NONE`].
     #[inline]
     pub fn prev_sibling(&self, id: u32) -> u32 {
-        self.prev_sibling[id as usize]
+        self.prev_sibling.as_slice()[id as usize]
     }
 
     /// Exclusive end of the preorder interval of `id`'s subtree.
     #[inline]
     pub fn subtree_end(&self, id: u32) -> u32 {
-        self.subtree_end[id as usize]
+        self.subtree_end.as_slice()[id as usize]
     }
 
     /// Post-order rank of `id`.
     #[inline]
     pub fn post(&self, id: u32) -> u32 {
-        self.post[id as usize]
+        self.post.as_slice()[id as usize]
     }
 
     /// Is `id` an attribute or namespace node?
     #[inline]
     pub fn is_special(&self, id: u32) -> bool {
-        self.special[(id / 64) as usize] >> (id % 64) & 1 == 1
+        self.special.as_slice()[(id / 64) as usize] >> (id % 64) & 1 == 1
     }
 
     /// The attribute/namespace marker bitset, one bit per id — the mask
     /// the bulk axis functions subtract for §4 type filtering.
     #[inline]
     pub fn special_words(&self) -> &[u64] {
-        &self.special
+        self.special.as_slice()
     }
 }
 
@@ -163,6 +192,7 @@ impl AxisIndex {
 /// aid used by tests).
 #[doc(hidden)]
 pub fn verify_against(doc: &Document, ix: &AxisIndex) {
+    use crate::node::NodeId;
     assert_eq!(ix.len(), doc.len());
     for id in doc.all_nodes() {
         let opt = |x: Option<NodeId>| x.map_or(NONE, |n| n.0);

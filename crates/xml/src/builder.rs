@@ -7,11 +7,16 @@
 //! 2. attribute and namespace children precede content children;
 //! 3. `subtree_end` ranges are correct preorder intervals;
 //! 4. adjacent text children are merged (the data model has no adjacent
-//!    text siblings).
+//!    text siblings);
+//! 5. node values are appended to one contiguous text arena, so the
+//!    finished [`Document`] is flat and relocatable (snapshot-ready, see
+//!    [`crate::snap`]) with no per-node heap strings.
 
 use std::collections::HashMap;
 
-use crate::document::{Document, IdPolicy, NameId, NodeRec};
+use crate::axis_index::NONE;
+use crate::bytes::Arr;
+use crate::document::{DocData, Document, IdPolicy, NameId};
 use crate::node::{NodeId, NodeKind};
 
 /// Incremental builder for [`Document`]s.
@@ -27,8 +32,20 @@ use crate::node::{NodeId, NodeKind};
 /// assert_eq!(doc.len(), 4); // root, <a>, @id, text
 /// ```
 pub struct DocumentBuilder {
-    nodes: Vec<NodeRec>,
+    kind: Vec<u8>,
+    name: Vec<u32>,
+    value_off: Vec<u32>,
+    value_len: Vec<u32>,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
+    subtree_end: Vec<u32>,
+    /// The shared text arena values are appended to.
+    text: Vec<u8>,
     names: Vec<Box<str>>,
+    /// Build-time intern map; dropped at [`finish`](Self::finish) — the
+    /// document resolves names through its sorted offset table instead.
     name_ids: HashMap<Box<str>, NameId>,
     /// Stack of open elements (root is index 0, never popped).
     stack: Vec<NodeId>,
@@ -54,18 +71,17 @@ impl DocumentBuilder {
 
     /// Start a new document with a custom [`IdPolicy`].
     pub fn with_id_policy(id_policy: IdPolicy) -> DocumentBuilder {
-        let root = NodeRec {
-            kind: NodeKind::Root,
-            name: None,
-            value: None,
-            parent: None,
-            first_child: None,
-            next_sibling: None,
-            prev_sibling: None,
-            subtree_end: 1,
-        };
         DocumentBuilder {
-            nodes: vec![root],
+            kind: vec![NodeKind::Root as u8],
+            name: vec![NONE],
+            value_off: vec![NONE],
+            value_len: vec![0],
+            parent: vec![NONE],
+            first_child: vec![NONE],
+            next_sibling: vec![NONE],
+            prev_sibling: vec![NONE],
+            subtree_end: vec![1],
+            text: Vec::new(),
             names: Vec::new(),
             name_ids: HashMap::new(),
             stack: vec![NodeId::ROOT],
@@ -76,14 +92,26 @@ impl DocumentBuilder {
     }
 
     /// Mutable access to the ID policy, so a parser can fold DTD-declared
-    /// `ID` attributes in before [`finish`](Self::finish) indexes IDs.
+    /// `ID` attributes in before the (lazily built) ID table sees them.
     pub fn id_policy_mut(&mut self) -> &mut IdPolicy {
         &mut self.id_policy
     }
 
     /// Reserve arena capacity (useful for generators that know the size).
     pub fn reserve(&mut self, additional: usize) {
-        self.nodes.reserve(additional);
+        self.kind.reserve(additional);
+        self.name.reserve(additional);
+        self.value_off.reserve(additional);
+        self.value_len.reserve(additional);
+        self.parent.reserve(additional);
+        self.first_child.reserve(additional);
+        self.next_sibling.reserve(additional);
+        self.prev_sibling.reserve(additional);
+        self.subtree_end.reserve(additional);
+    }
+
+    fn len(&self) -> usize {
+        self.kind.len()
     }
 
     fn intern(&mut self, name: &str) -> NameId {
@@ -96,30 +124,33 @@ impl DocumentBuilder {
         id
     }
 
-    fn push_node(
-        &mut self,
-        kind: NodeKind,
-        name: Option<NameId>,
-        value: Option<Box<str>>,
-    ) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+    fn push_node(&mut self, kind: NodeKind, name: Option<NameId>, value: Option<&str>) -> NodeId {
+        let id = NodeId(self.len() as u32);
         let parent = *self.stack.last().expect("stack never empty");
-        self.nodes.push(NodeRec {
-            kind,
-            name,
-            value,
-            parent: Some(parent),
-            first_child: None,
-            next_sibling: None,
-            prev_sibling: None,
-            subtree_end: id.0 + 1,
-        });
+        self.kind.push(kind as u8);
+        self.name.push(name.map_or(NONE, |n| n.0));
+        match value {
+            Some(v) => {
+                self.value_off.push(self.text.len() as u32);
+                self.value_len.push(v.len() as u32);
+                self.text.extend_from_slice(v.as_bytes());
+            }
+            None => {
+                self.value_off.push(NONE);
+                self.value_len.push(0);
+            }
+        }
+        self.parent.push(parent.0);
+        self.first_child.push(NONE);
+        self.next_sibling.push(NONE);
+        self.prev_sibling.push(NONE);
+        self.subtree_end.push(id.0 + 1);
         let slot = self.stack.len() - 1;
         match self.last_child[slot] {
-            None => self.nodes[parent.index()].first_child = Some(id),
+            None => self.first_child[parent.index()] = id.0,
             Some(prev) => {
-                self.nodes[prev.index()].next_sibling = Some(id);
-                self.nodes[id.index()].prev_sibling = Some(prev);
+                self.next_sibling[prev.index()] = id.0;
+                self.prev_sibling[id.index()] = prev.0;
             }
         }
         self.last_child[slot] = Some(id);
@@ -146,7 +177,7 @@ impl DocumentBuilder {
         let id = self.stack.pop().expect("non-empty");
         self.last_child.pop();
         self.has_content.pop();
-        self.nodes[id.index()].subtree_end = self.nodes.len() as u32;
+        self.subtree_end[id.index()] = self.len() as u32;
     }
 
     /// Add an attribute to the currently open element. Must precede any
@@ -161,7 +192,7 @@ impl DocumentBuilder {
             "attributes must precede content children"
         );
         let name = self.intern(name);
-        self.push_node(NodeKind::Attribute, Some(name), Some(value.into()))
+        self.push_node(NodeKind::Attribute, Some(name), Some(value))
     }
 
     /// Add a namespace node to the currently open element (prefix → URI).
@@ -173,7 +204,7 @@ impl DocumentBuilder {
             "namespace nodes must precede content children"
         );
         let name = self.intern(prefix);
-        self.push_node(NodeKind::Namespace, Some(name), Some(uri.into()))
+        self.push_node(NodeKind::Namespace, Some(name), Some(uri))
     }
 
     fn mark_content(&mut self) {
@@ -190,32 +221,34 @@ impl DocumentBuilder {
         self.mark_content();
         let slot = self.stack.len() - 1;
         if let Some(prev) = self.last_child[slot] {
-            if self.nodes[prev.index()].kind == NodeKind::Text {
-                let merged = {
-                    let old = self.nodes[prev.index()].value.as_deref().unwrap_or("");
-                    let mut s = String::with_capacity(old.len() + content.len());
-                    s.push_str(old);
-                    s.push_str(content);
-                    s
-                };
-                self.nodes[prev.index()].value = Some(merged.into_boxed_str());
+            if self.kind[prev.index()] == NodeKind::Text as u8 {
+                // `prev` being the last emitted child means nothing was
+                // pushed since it, so its value span is the arena tail —
+                // merging is appending to the arena and growing the span.
+                debug_assert_eq!(
+                    self.value_off[prev.index()] as usize + self.value_len[prev.index()] as usize,
+                    self.text.len(),
+                    "text merge target must own the arena tail"
+                );
+                self.text.extend_from_slice(content.as_bytes());
+                self.value_len[prev.index()] += content.len() as u32;
                 return prev;
             }
         }
-        self.push_node(NodeKind::Text, None, Some(content.into()))
+        self.push_node(NodeKind::Text, None, Some(content))
     }
 
     /// Add a comment node.
     pub fn comment(&mut self, content: &str) -> NodeId {
         self.mark_content();
-        self.push_node(NodeKind::Comment, None, Some(content.into()))
+        self.push_node(NodeKind::Comment, None, Some(content))
     }
 
     /// Add a processing-instruction node.
     pub fn processing_instruction(&mut self, target: &str, data: &str) -> NodeId {
         self.mark_content();
         let name = self.intern(target);
-        self.push_node(NodeKind::ProcessingInstruction, Some(name), Some(data.into()))
+        self.push_node(NodeKind::ProcessingInstruction, Some(name), Some(data))
     }
 
     /// Convenience: an element with a single text child.
@@ -235,14 +268,43 @@ impl DocumentBuilder {
         id
     }
 
-    /// Finish the document.
+    /// Finish the document: flatten the name table into its contiguous
+    /// arena + offset form and hand the arenas to [`Document`].
     ///
     /// # Panics
     /// Panics if elements remain open.
     pub fn finish(mut self) -> Document {
         assert!(self.stack.len() == 1, "finish with {} unclosed element(s)", self.stack.len() - 1);
-        self.nodes[0].subtree_end = self.nodes.len() as u32;
-        Document::from_parts(self.nodes, self.names, self.name_ids, self.id_policy)
+        self.subtree_end[0] = self.len() as u32;
+
+        let mut name_bytes = Vec::new();
+        let mut name_off = Vec::with_capacity(self.names.len() + 1);
+        name_off.push(0u32);
+        for n in &self.names {
+            name_bytes.extend_from_slice(n.as_bytes());
+            name_off.push(name_bytes.len() as u32);
+        }
+        let mut name_sorted: Vec<u32> = (0..self.names.len() as u32).collect();
+        name_sorted.sort_unstable_by(|&a, &b| {
+            self.names[a as usize].as_bytes().cmp(self.names[b as usize].as_bytes())
+        });
+
+        let data = DocData {
+            kind: Arr::from_vec(self.kind),
+            name: Arr::from_vec(self.name),
+            value_off: Arr::from_vec(self.value_off),
+            value_len: Arr::from_vec(self.value_len),
+            parent: Arr::from_vec(self.parent),
+            first_child: Arr::from_vec(self.first_child),
+            next_sibling: Arr::from_vec(self.next_sibling),
+            prev_sibling: Arr::from_vec(self.prev_sibling),
+            subtree_end: Arr::from_vec(self.subtree_end),
+            text: Arr::from_vec(self.text),
+            name_bytes: Arr::from_vec(name_bytes),
+            name_off: Arr::from_vec(name_off),
+            name_sorted: Arr::from_vec(name_sorted),
+        };
+        Document::from_parts(data, self.id_policy)
     }
 }
 
@@ -279,6 +341,29 @@ mod tests {
         let kids: Vec<_> = d.children(a).collect();
         assert_eq!(kids.len(), 1);
         assert_eq!(d.value(kids[0]), Some("foobar"));
+    }
+
+    #[test]
+    fn text_merge_after_nested_content_keeps_values_intact() {
+        // A value-carrying node between two text() calls must prevent the
+        // merge (the arena tail moved on).
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.text("one");
+        b.open_element("e");
+        b.text("inner");
+        b.close_element();
+        b.text("two");
+        b.text("three");
+        b.close_element();
+        let d = b.finish();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.children(a).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(d.value(kids[0]), Some("one"));
+        assert_eq!(d.value(kids[2]), Some("twothree"));
+        let e = kids[1];
+        assert_eq!(d.value(d.first_child(e).unwrap()), Some("inner"));
     }
 
     #[test]

@@ -30,19 +30,25 @@
 //!   ([`generate`]);
 //! * the tiered word-sweep kernels under every set operation ([`simd`]):
 //!   scalar reference loops, a portable 4-wide unrolled fallback, and
-//!   runtime-detected AVX2/AVX-512 vector paths — the one module in the
-//!   workspace with a scoped, documented `unsafe` exemption;
+//!   runtime-detected AVX2/AVX-512 vector paths;
 //! * thread-local buffer recycling ([`pool`]) behind [`NodeSet`]'s
 //!   `Clone`/`Drop`, giving repeated evaluation an allocation-free steady
-//!   state.
+//!   state;
+//! * zero-copy document storage: every arena is an array handle over
+//!   either heap memory or an mmap'd byte region (`bytes`, internal),
+//!   and the on-disk snapshot format ([`snap`]) reloads a parsed
+//!   document — axis index, id/ref tables and all — with one `mmap(2)`
+//!   and zero parse work.
 
-// `simd` carries the workspace's single scoped `unsafe` exemption (the
-// workspace lints pin `unsafe_code = deny`; a crate-level `forbid` would
-// make that module-level allow impossible).
+// `simd` and `bytes` carry the workspace's two scoped `unsafe`
+// exemptions (the workspace lints pin `unsafe_code = deny`; a
+// crate-level `forbid` would make those module-level allows impossible).
+// Each module's docs open with the safety argument for its exemption.
 #![warn(missing_docs)]
 
 pub mod axis_index;
 mod builder;
+mod bytes;
 mod document;
 pub mod dtd;
 mod error;
@@ -55,11 +61,13 @@ mod parser;
 pub mod pool;
 pub mod rng;
 pub mod simd;
+pub mod snap;
 pub mod stats;
 
 pub use axis_index::AxisIndex;
 pub use builder::DocumentBuilder;
-pub use document::{Children, Document, IdPolicy, NameId};
+pub use bytes::NO_MMAP_ENV;
+pub use document::{Children, Document, IdPolicy, NameId, Refs};
 pub use error::ParseError;
 pub use events::StreamEvent;
 pub use node::{NodeId, NodeKind};

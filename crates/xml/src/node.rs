@@ -42,30 +42,52 @@ impl fmt::Display for NodeId {
 }
 
 /// The seven node types of the XPath 1.0 data model (paper §4).
+///
+/// `repr(u8)` with pinned discriminants: the kinds are stored as one byte
+/// per node in the document arena and in on-disk snapshots
+/// ([`crate::snap`]), so the numeric values are part of the snapshot
+/// format and must never be reordered.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
 pub enum NodeKind {
     /// The unique root node of the document (parent of the document element).
-    Root,
+    Root = 0,
     /// An element node; has a name and may have children.
-    Element,
+    Element = 1,
     /// A text node; unnamed, carries character data.
-    Text,
+    Text = 2,
     /// A comment node; unnamed, carries the comment text.
-    Comment,
+    Comment = 3,
     /// An attribute node; named, carries the attribute value. In the abstract
     /// tree of §4 attributes are children of their element (`child0`) that
     /// every axis except `attribute` filters out.
-    Attribute,
+    Attribute = 4,
     /// A namespace node; named (prefix), carries the namespace URI. The
     /// parser does not synthesize these (documented substitution in
     /// DESIGN.md) but the builder can create them and the `namespace` axis
     /// handles them.
-    Namespace,
+    Namespace = 5,
     /// A processing-instruction node; named (target), carries the PI data.
-    ProcessingInstruction,
+    ProcessingInstruction = 6,
 }
 
 impl NodeKind {
+    /// Decode a stored kind byte; `None` for out-of-range bytes (which
+    /// only corrupt snapshot data can produce).
+    #[inline]
+    pub(crate) fn from_u8(b: u8) -> Option<NodeKind> {
+        Some(match b {
+            0 => NodeKind::Root,
+            1 => NodeKind::Element,
+            2 => NodeKind::Text,
+            3 => NodeKind::Comment,
+            4 => NodeKind::Attribute,
+            5 => NodeKind::Namespace,
+            6 => NodeKind::ProcessingInstruction,
+            _ => return None,
+        })
+    }
+
     /// Whether nodes of this kind carry a name (paper §4: all types besides
     /// "text" and "comment" have a name).
     pub fn has_name(self) -> bool {

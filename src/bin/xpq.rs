@@ -5,9 +5,19 @@
 //! xpq [OPTIONS] <QUERY> [FILE]
 //! xpq [OPTIONS] -e EXPR [-e EXPR]... [FILE]
 //! xpq [OPTIONS] --query-file QUERIES [FILE]
+//! xpq snapshot build [--ns] <XML> <SNAP>
+//! xpq snapshot info <SNAP>
+//! xpq snapshot verify <SNAP>
 //!
 //! Reads FILE (or stdin) as XML and evaluates the query — or the whole
-//! batch of queries — at the document root.
+//! batch of queries — at the document root. With --snapshot, the
+//! document comes from an mmap'd snapshot file instead of XML text.
+//!
+//! The snapshot subcommand manages on-disk document snapshots
+//! (`xpath_xml::snap` format): `build` parses an XML file once and
+//! serializes it; `info` prints the header of a snapshot without
+//! loading it; `verify` additionally checks every section checksum and
+//! the semantic invariants of the node arenas.
 //!
 //! Options:
 //!   -e, --expr <EXPR>       add one query to the batch (repeatable). Two
@@ -65,6 +75,9 @@
 //!                           differential oracle) before printing results
 //!       --stats             print document statistics after parsing
 //!       --ns                synthesize namespace nodes from xmlns declarations
+//!       --snapshot <SNAP>   evaluate against the snapshot file SNAP
+//!                           (mmap'd, zero parse work) instead of
+//!                           reading XML; excludes a FILE argument
 //!       --time              print parse, compile and evaluation wall times
 //!       --exists            print "true"/"false" and exit 0/1 on whether the
 //!                           query matches at all — early-exits on the first
@@ -128,6 +141,7 @@ struct Options {
     first: bool,
     limit: Option<usize>,
     timeout_ms: Option<u64>,
+    snapshot: Option<String>,
     exprs: Vec<String>,
     query_file: Option<String>,
     query: Option<String>,
@@ -142,7 +156,9 @@ fn usage() -> &'static str {
      --lint: static-analyze the queries (no document); exits 1 on error-severity diagnostics\n\
      --exists/--first/--limit: early-exit evaluation via the lazy cursor (single node-set query)\n\
      --timeout-ms: deadline for the whole evaluation; exits 124 when it trips\n\
-     --bench-info: print detected CPU features, the active kernel tier and the GKP_NO_SIMD state, then exit"
+     --snapshot: evaluate against an mmap'd snapshot file instead of XML (see `xpq snapshot`)\n\
+     --bench-info: print detected CPU features, the active kernel tier and the GKP_NO_SIMD state, then exit\n\
+     snapshot subcommand: xpq snapshot (build [--ns] <XML> <SNAP> | info <SNAP> | verify <SNAP>)"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -167,6 +183,7 @@ fn parse_args() -> Result<Options, String> {
         first: false,
         limit: None,
         timeout_ms: None,
+        snapshot: None,
         exprs: Vec::new(),
         query_file: None,
         query: None,
@@ -238,6 +255,9 @@ fn parse_args() -> Result<Options, String> {
                 o.timeout_ms =
                     Some(n.parse::<u64>().map_err(|_| format!("invalid timeout {n:?}"))?);
             }
+            "--snapshot" => {
+                o.snapshot = Some(args.next().ok_or("missing path after --snapshot")?);
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             _ if o.query.is_none() => o.query = Some(a),
             _ if o.file.is_none() => o.file = Some(a),
@@ -261,6 +281,16 @@ fn parse_args() -> Result<Options, String> {
         o.file = o.query.take();
     } else if o.query.is_none() && !o.bench_info {
         return Err(usage().to_string());
+    }
+    if o.snapshot.is_some() {
+        if o.file.is_some() {
+            return Err("--snapshot and an XML FILE argument are mutually exclusive".to_string());
+        }
+        if o.namespaces {
+            return Err(
+                "--ns applies at parse time; rebuild with `xpq snapshot build --ns`".to_string()
+            );
+        }
     }
     Ok(o)
 }
@@ -291,6 +321,12 @@ fn collect_queries(opts: &Options) -> Result<Vec<String>, String> {
 }
 
 fn read_document(opts: &Options) -> Result<Document, (String, u8)> {
+    if let Some(path) = &opts.snapshot {
+        // Quick open: O(header) validation, arenas mapped in place. Deep
+        // per-section verification is available via `xpq snapshot verify`.
+        return gkp_xpath::xml::snap::load(std::path::Path::new(path))
+            .map_err(|e| (format!("snapshot error in {path}: {e}"), 1u8));
+    }
     let xml = match &opts.file {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| (format!("cannot read {path}: {e}"), 1u8))?
@@ -506,7 +542,100 @@ fn print_bench_info(threads: u32) {
     println!("threads:      {resolved}{}", if threads == 0 { " (auto)" } else { "" });
 }
 
+/// `xpq snapshot (build|info|verify)` — manage on-disk document
+/// snapshots. Dispatched before normal option parsing.
+fn snapshot_cmd(args: &[String]) -> ExitCode {
+    use gkp_xpath::xml::snap;
+    use std::path::Path;
+
+    const USAGE: &str =
+        "usage: xpq snapshot (build [--ns] <XML> <SNAP> | info <SNAP> | verify <SNAP>)";
+    fn info_lines(verb: &str, path: &str, info: &snap::SnapshotInfo) {
+        println!("{verb} {path}:");
+        println!("  format version: {}", info.version);
+        println!("  file bytes:     {}", info.file_bytes);
+        println!("  nodes:          {}", info.nodes);
+        println!("  names:          {}", info.names);
+        println!("  text bytes:     {}", info.text_bytes);
+        println!("  ids:            {}", info.ids);
+        println!("  refs:           {}", info.refs);
+    }
+
+    let sub = args.first().map(String::as_str);
+    match sub {
+        Some("build") => {
+            let mut rest = &args[1..];
+            let namespaces = rest.first().is_some_and(|a| a == "--ns");
+            if namespaces {
+                rest = &rest[1..];
+            }
+            let [xml_path, snap_path] = rest else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let xml = match std::fs::read_to_string(xml_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {xml_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            let doc = match Document::parse_str_opts(
+                &xml,
+                gkp_xpath::xml::ParseOptions { namespaces, ..Default::default() },
+            ) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("XML error in {xml_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            match snap::write(&doc, Path::new(snap_path)) {
+                Ok(info) => {
+                    info_lines("wrote", snap_path, &info);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("snapshot error writing {snap_path}: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        Some(verb @ ("info" | "verify")) => {
+            let [path] = &args[1..] else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let result = if verb == "verify" {
+                snap::verify(Path::new(path))
+            } else {
+                snap::info(Path::new(path))
+            };
+            match result {
+                Ok(info) => {
+                    info_lines(if verb == "verify" { "verified" } else { "snapshot" }, path, &info);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("snapshot error in {path}: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    // The snapshot subcommand has its own argument grammar; peel it off
+    // before the flag parser sees anything.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_some_and(|a| a == "snapshot") {
+        return snapshot_cmd(&raw[1..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
