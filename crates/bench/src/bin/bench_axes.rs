@@ -553,6 +553,12 @@ fn check(doc: &Document) -> Result<(), String> {
             return Err(failure);
         }
     }
+    // Serve guard: a single-client socket round trip through the query
+    // server must stay within 5x of a direct in-process evaluation (+1ms
+    // fixed allowance) — the protocol layer may tax, not dominate. The
+    // measurement (and its retry policy) lives in
+    // `xpath_bench::serve_bench`, shared with `bench_serve --check`.
+    xpath_bench::serve_bench::check_serve(doc)?;
     let mut last_failures = String::new();
     for attempt in 1..=CHECK_ATTEMPTS {
         let failures = check_pass(doc);

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_bench;
 pub mod shape;
 pub mod workloads;
 

@@ -26,6 +26,7 @@
 //! | [`parallel`] | — | sharded parallel CVT passes on a scoped thread pool |
 //! | [`batch`] | — | [`QuerySet`]: batched multi-query evaluation with shared axis passes |
 //! | [`store`] | — | [`DocumentStore`]: directory of mmap'd snapshots, generational reload |
+//! | [`serve`] | — | [`serve::Server`]: line-JSON query server, admission control, metrics |
 //! | [`engine`] | — | back-compat facade over `query` + `cache` |
 
 #![forbid(unsafe_code)]
@@ -54,6 +55,7 @@ pub mod plan;
 pub mod pool;
 pub mod query;
 pub mod relev;
+pub mod serve;
 pub mod store;
 pub mod streaming;
 pub mod topdown;
@@ -72,5 +74,6 @@ pub use engine::{Engine, Strategy};
 pub use fragment::{classify, Classification, Fragment};
 pub use plan::Plan;
 pub use query::{CompiledQuery, Compiler};
+pub use serve::{ServeConfig, Server};
 pub use store::{DocumentStore, StoreError, StoreStats};
 pub use value::Value;

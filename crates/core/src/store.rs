@@ -148,6 +148,8 @@ pub struct StoreStats {
     pub misses: u64,
     /// Opens that found a newer generation on disk and remapped.
     pub reloads: u64,
+    /// Snapshots published (streamed to a temp file and renamed in).
+    pub publishes: u64,
 }
 
 /// A directory of named document snapshots, opened as shared
@@ -242,9 +244,11 @@ impl DocumentStore {
 
     /// Serialize `doc` as the new generation of `name`, atomically.
     ///
-    /// Writes into a temp file in the store directory and `rename`s it
-    /// over `<name>.gksnap`: readers observe either the old complete
-    /// snapshot or the new complete snapshot, never a partial write.
+    /// Streams the encoding into a temp file in the store directory
+    /// section-by-section (`snap::write` never buffers the whole image
+    /// in memory), syncs it, and `rename`s it over `<name>.gksnap`:
+    /// readers observe either the old complete snapshot or the new
+    /// complete snapshot, never a partial write.
     pub fn publish(&self, name: &str, doc: &Document) -> Result<SnapshotInfo, StoreError> {
         let path = self.path_of(name)?;
         let tmp = self.dir.join(format!(".{name}.{SNAPSHOT_EXT}.tmp"));
@@ -259,6 +263,7 @@ impl DocumentStore {
             let _ = fs::remove_file(&tmp);
             return Err(StoreError::Io(e));
         }
+        self.inner.lock().unwrap().stats.publishes += 1;
         Ok(info)
     }
 

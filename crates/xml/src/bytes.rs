@@ -20,8 +20,8 @@
 //!
 //! # Safety
 //!
-//! This module is one of the workspace's two scoped `unsafe` exemptions
-//! (the other is [`crate::simd`]; the workspace lints pin
+//! This module is one of the workspace's scoped `unsafe` exemptions
+//! (with [`crate::simd`] and [`crate::signal`]; the workspace lints pin
 //! `unsafe_code = deny`). The argument:
 //!
 //! * a `ByteRegion`'s pointer/length pair is established once at

@@ -40,8 +40,8 @@
 //!   document — axis index, id/ref tables and all — with one `mmap(2)`
 //!   and zero parse work.
 
-// `simd` and `bytes` carry the workspace's two scoped `unsafe`
-// exemptions (the workspace lints pin `unsafe_code = deny`; a
+// `simd`, `bytes` and `signal` carry the workspace's three scoped
+// `unsafe` exemptions (the workspace lints pin `unsafe_code = deny`; a
 // crate-level `forbid` would make those module-level allows impossible).
 // Each module's docs open with the safety argument for its exemption.
 #![warn(missing_docs)]
@@ -60,6 +60,7 @@ pub mod nodeset;
 mod parser;
 pub mod pool;
 pub mod rng;
+pub mod signal;
 pub mod simd;
 pub mod snap;
 pub mod stats;

@@ -351,9 +351,14 @@ fn decode_id_policy(bytes: &[u8]) -> Result<IdPolicy, SnapError> {
     Ok(IdPolicy { id_attributes, scoped_id_attributes })
 }
 
-/// Serialize `doc` into snapshot bytes (header + directory + sections).
+/// Stream a snapshot of `doc` into `w`: the header and directory first
+/// (one buffered write — checksums are computed from the live arena
+/// slices, so nothing needs to be staged), then each section payload
+/// followed by its 8-alignment padding. Peak writer-side memory is
+/// O(header + directory), not O(file): the arenas themselves are written
+/// straight from the document's storage in section-sized `write` calls.
 /// Forces the axis index and id/ref tables so loads get them for free.
-fn encode(doc: &Document) -> Vec<u8> {
+pub fn write_to(doc: &Document, w: &mut dyn io::Write) -> Result<SnapshotInfo, SnapError> {
     let ix = doc.axis_index();
     let ids = doc.id_table();
     let refs = doc.ref_table();
@@ -385,41 +390,56 @@ fn encode(doc: &Document) -> Vec<u8> {
 
     // Lay out sections 8-aligned after the directory.
     let dir_len = sections.len() * DIR_ENTRY_LEN;
-    let mut off = (HEADER_LEN + dir_len).next_multiple_of(8) as u64;
+    let head_end = (HEADER_LEN + dir_len).next_multiple_of(8);
+    let mut off = head_end as u64;
     let mut entries = Vec::with_capacity(sections.len());
     for (tag, bytes) in &sections {
         entries.push((*tag, off, bytes.len() as u64, checksum(bytes)));
         off = (off + bytes.len() as u64).next_multiple_of(8);
     }
-    let total_len = entries
-        .last()
-        .map_or((HEADER_LEN + dir_len) as u64, |&(_, o, l, _)| (o + l).next_multiple_of(8));
+    let total_len =
+        entries.last().map_or(head_end as u64, |&(_, o, l, _)| (o + l).next_multiple_of(8));
 
-    let mut out = vec![0u8; total_len as usize];
-    out[0..8].copy_from_slice(&MAGIC);
-    out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out[12..16].copy_from_slice(&(sections.len() as u32).to_le_bytes());
-    out[16..24].copy_from_slice(&total_len.to_le_bytes());
-    out[24..28].copy_from_slice(&(doc.len() as u32).to_le_bytes());
-    out[28..32].copy_from_slice(&(d.name_sorted.len() as u32).to_le_bytes());
-    out[32..36].copy_from_slice(&(ids.key_node.len() as u32).to_le_bytes());
-    out[36..40].copy_from_slice(&(refs.from.len() as u32).to_le_bytes());
+    let mut head = vec![0u8; head_end];
+    head[0..8].copy_from_slice(&MAGIC);
+    head[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    head[12..16].copy_from_slice(&(sections.len() as u32).to_le_bytes());
+    head[16..24].copy_from_slice(&total_len.to_le_bytes());
+    head[24..28].copy_from_slice(&(doc.len() as u32).to_le_bytes());
+    head[28..32].copy_from_slice(&(d.name_sorted.len() as u32).to_le_bytes());
+    head[32..36].copy_from_slice(&(ids.key_node.len() as u32).to_le_bytes());
+    head[36..40].copy_from_slice(&(refs.from.len() as u32).to_le_bytes());
     for (i, &(tag, off, len, sum)) in entries.iter().enumerate() {
         let e = HEADER_LEN + i * DIR_ENTRY_LEN;
-        out[e..e + 4].copy_from_slice(&tag.to_le_bytes());
-        out[e + 8..e + 16].copy_from_slice(&off.to_le_bytes());
-        out[e + 16..e + 24].copy_from_slice(&len.to_le_bytes());
-        out[e + 24..e + 32].copy_from_slice(&sum.to_le_bytes());
+        head[e..e + 4].copy_from_slice(&tag.to_le_bytes());
+        head[e + 8..e + 16].copy_from_slice(&off.to_le_bytes());
+        head[e + 16..e + 24].copy_from_slice(&len.to_le_bytes());
+        head[e + 24..e + 32].copy_from_slice(&sum.to_le_bytes());
     }
     // Header checksum covers the fixed fields and the whole directory —
     // so the stored per-section checksums are themselves tamper-evident.
-    let hsum = header_checksum(&out, sections.len());
-    out[40..48].copy_from_slice(&hsum.to_le_bytes());
-    for (&(_, off, _, _), (_, bytes)) in entries.iter().zip(&sections) {
-        let off = off as usize;
-        out[off..off + bytes.len()].copy_from_slice(bytes);
+    let hsum = header_checksum(&head, sections.len());
+    head[40..48].copy_from_slice(&hsum.to_le_bytes());
+    w.write_all(&head)?;
+
+    const PAD: [u8; 8] = [0u8; 8];
+    for (&(_, off, len, _), (_, bytes)) in entries.iter().zip(&sections) {
+        w.write_all(bytes)?;
+        let pad = (off + len).next_multiple_of(8) - (off + len);
+        if pad > 0 {
+            w.write_all(&PAD[..pad as usize])?;
+        }
     }
-    out
+    w.flush()?;
+    Ok(SnapshotInfo {
+        version: FORMAT_VERSION,
+        file_bytes: total_len,
+        nodes: doc.len() as u32,
+        names: d.name_sorted.len() as u32,
+        ids: ids.key_node.len() as u32,
+        refs: refs.from.len() as u32,
+        text_bytes: d.text.len() as u64,
+    })
 }
 
 fn header_checksum(file: &[u8], section_count: usize) -> u64 {
@@ -430,22 +450,19 @@ fn header_checksum(file: &[u8], section_count: usize) -> u64 {
     checksum(&covered)
 }
 
-/// Write a snapshot of `doc` to `path` (create or truncate). Returns a
-/// summary of what was written. Not atomic by itself — the
+/// Write a snapshot of `doc` to `path` (create or truncate), streaming
+/// section-by-section via [`write_to`] — the whole-file image is never
+/// buffered in memory. Returns a summary of what was written. Not atomic
+/// by itself — the
 /// [`DocumentStore`](../../xpath_core/store/struct.DocumentStore.html)
 /// publishes through a temp file + rename.
 pub fn write(doc: &Document, path: &Path) -> Result<SnapshotInfo, SnapError> {
-    let bytes = encode(doc);
-    fs::write(path, &bytes)?;
-    Ok(SnapshotInfo {
-        version: FORMAT_VERSION,
-        file_bytes: bytes.len() as u64,
-        nodes: doc.len() as u32,
-        names: doc.data.name_sorted.len() as u32,
-        ids: doc.id_table().key_node.len() as u32,
-        refs: doc.ref_table().from.len() as u32,
-        text_bytes: doc.data.text.len() as u64,
-    })
+    let mut file = fs::File::create(path)?;
+    let info = write_to(doc, &mut file)?;
+    // Seal the contents before any rename that may follow: a publish
+    // must never expose a file whose data is still in flight.
+    file.sync_all()?;
+    Ok(info)
 }
 
 // ---------------------------------------------------------------------
@@ -870,6 +887,20 @@ mod tests {
             crate::axis_index::verify_against(&loaded, loaded.axis_index());
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn streamed_write_matches_file_and_declared_length() {
+        let doc = doc_bookstore();
+        let path = tmp("stream.gksnap");
+        let info = write(&doc, &path).unwrap();
+        let mut streamed = Vec::new();
+        let info2 = write_to(&doc, &mut streamed).unwrap();
+        assert_eq!(info.file_bytes, info2.file_bytes);
+        assert_eq!(streamed.len() as u64, info.file_bytes);
+        assert_eq!(std::fs::read(&path).unwrap(), streamed);
+        verify(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

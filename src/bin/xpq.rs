@@ -8,6 +8,9 @@
 //! xpq snapshot build [--ns] <XML> <SNAP>
 //! xpq snapshot info <SNAP>
 //! xpq snapshot verify <SNAP>
+//! xpq serve --store DIR (--unix PATH | --tcp ADDR) [--permits N]
+//!           [--max-threads N] [--cache N] [--admission-ms N] [--verify]
+//! xpq client (--unix PATH | --tcp ADDR) [--timeout-ms N]
 //!
 //! Reads FILE (or stdin) as XML and evaluates the query — or the whole
 //! batch of queries — at the document root. With --snapshot, the
@@ -18,6 +21,12 @@
 //! serializes it; `info` prints the header of a snapshot without
 //! loading it; `verify` additionally checks every section checksum and
 //! the semantic invariants of the node arenas.
+//!
+//! The serve subcommand runs the long-lived line-JSON query server of
+//! `xpath_core::serve` over a snapshot store directory (see the README
+//! "Serving" section for the protocol); `client` is the matching
+//! scriptable client — request lines on stdin, response lines on
+//! stdout — used by CI and handy wherever `nc` isn't.
 //!
 //! Options:
 //!   -e, --expr <EXPR>       add one query to the batch (repeatable). Two
@@ -629,12 +638,230 @@ fn snapshot_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+fn serve_cmd(args: &[String]) -> ExitCode {
+    use gkp_xpath::core::serve::{ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const USAGE: &str = "usage: xpq serve --store DIR (--unix PATH | --tcp ADDR) \
+         [--permits N] [--max-threads N] [--cache N] [--admission-ms N] [--verify]";
+
+    let mut store: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut permits: Option<usize> = None;
+    let mut max_threads: Option<u32> = None;
+    let mut cache: Option<usize> = None;
+    let mut admission_ms: Option<u64> = None;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--store" => take("--store").map(|v| store = Some(v)),
+            "--unix" => take("--unix").map(|v| unix = Some(v)),
+            "--tcp" => take("--tcp").map(|v| tcp = Some(v)),
+            "--permits" => take("--permits")
+                .and_then(|v| v.parse().map_err(|_| "--permits: not a number".into()))
+                .map(|v| permits = Some(v)),
+            "--max-threads" => take("--max-threads")
+                .and_then(|v| v.parse().map_err(|_| "--max-threads: not a number".into()))
+                .map(|v| max_threads = Some(v)),
+            "--cache" => take("--cache")
+                .and_then(|v| v.parse().map_err(|_| "--cache: not a number".into()))
+                .map(|v| cache = Some(v)),
+            "--admission-ms" => take("--admission-ms")
+                .and_then(|v| v.parse().map_err(|_| "--admission-ms: not a number".into()))
+                .map(|v| admission_ms = Some(v)),
+            "--verify" => {
+                verify = true;
+                Ok(())
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("xpq serve: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(store) = store else {
+        eprintln!("xpq serve: --store is required\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    if unix.is_some() == tcp.is_some() {
+        eprintln!("xpq serve: exactly one of --unix / --tcp is required\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut config = ServeConfig::new(&store);
+    if let Some(p) = permits {
+        config.permits = p.max(1);
+    }
+    if let Some(t) = max_threads {
+        config.max_request_threads = t.max(1);
+    }
+    if let Some(c) = cache {
+        config.cache_capacity = c.max(1);
+    }
+    if let Some(ms) = admission_ms {
+        config.admission_timeout = Duration::from_millis(ms);
+    }
+    config.verify_snapshots = verify;
+
+    let mut server = match Server::new(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xpq serve: cannot open store {store}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // Install the signal watcher from the main thread before the accept
+    // loop spawns anything, so SIGTERM/SIGINT stay observable (blocked
+    // masks are inherited) and trigger a graceful drain.
+    server.watch_signals();
+    let server = Arc::new(server);
+    let result = if let Some(path) = unix {
+        eprintln!("xpq serve: listening on unix:{path} (store {store})");
+        server.serve_unix(std::path::Path::new(&path))
+    } else {
+        let addr = tcp.expect("checked above");
+        eprintln!("xpq serve: listening on tcp:{addr} (store {store})");
+        server.serve_tcp(&addr)
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("xpq serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xpq serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn client_cmd(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::Duration;
+
+    const USAGE: &str = "usage: xpq client (--unix PATH | --tcp ADDR) [--timeout-ms N]\n\
+         reads request lines from stdin, prints one response line each";
+
+    let mut unix: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut timeout_ms: u64 = 10_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match (arg.as_str(), it.next()) {
+            ("--unix", Some(v)) => unix = Some(v.clone()),
+            ("--tcp", Some(v)) => tcp = Some(v.clone()),
+            ("--timeout-ms", Some(v)) => match v.parse() {
+                Ok(ms) => timeout_ms = ms,
+                Err(_) => {
+                    eprintln!("xpq client: --timeout-ms: not a number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("xpq client: bad arguments\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if unix.is_some() == tcp.is_some() {
+        eprintln!("xpq client: exactly one of --unix / --tcp is required\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // One request line in, one response line out, over either stream
+    // type, erased behind boxed Read/Write halves.
+    let timeout = Some(Duration::from_millis(timeout_ms.max(1)));
+    let (reader, mut writer): (Box<dyn std::io::Read>, Box<dyn Write>) = if let Some(path) = unix {
+        match std::os::unix::net::UnixStream::connect(&path) {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(timeout);
+                let r = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("xpq client: {e}");
+                        return ExitCode::from(1);
+                    }
+                };
+                (Box::new(r), Box::new(stream))
+            }
+            Err(e) => {
+                eprintln!("xpq client: cannot connect to unix:{path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        let addr = tcp.expect("checked above");
+        match std::net::TcpStream::connect(&addr) {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(timeout);
+                let r = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("xpq client: {e}");
+                        return ExitCode::from(1);
+                    }
+                };
+                (Box::new(r), Box::new(stream))
+            }
+            Err(e) => {
+                eprintln!("xpq client: cannot connect to tcp:{addr}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let mut responses = BufReader::new(reader);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("xpq client: stdin: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            eprintln!("xpq client: connection closed while writing");
+            return ExitCode::from(1);
+        }
+        let _ = writer.flush();
+        let mut response = String::new();
+        match responses.read_line(&mut response) {
+            Ok(0) => {
+                eprintln!("xpq client: server closed the connection");
+                return ExitCode::from(1);
+            }
+            Ok(_) => print!("{response}"),
+            Err(e) => {
+                eprintln!("xpq client: read: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    // The snapshot subcommand has its own argument grammar; peel it off
-    // before the flag parser sees anything.
+    // The snapshot/serve/client subcommands have their own argument
+    // grammars; peel them off before the flag parser sees anything.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().is_some_and(|a| a == "snapshot") {
         return snapshot_cmd(&raw[1..]);
+    }
+    if raw.first().is_some_and(|a| a == "serve") {
+        return serve_cmd(&raw[1..]);
+    }
+    if raw.first().is_some_and(|a| a == "client") {
+        return client_cmd(&raw[1..]);
     }
     let opts = match parse_args() {
         Ok(o) => o,

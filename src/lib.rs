@@ -114,6 +114,7 @@ pub use xpath_core::context::{EvalBudget, EvalError};
 pub use xpath_core::cursor::{NodeCursor, QueryCursor};
 pub use xpath_core::engine::{Engine, Strategy};
 pub use xpath_core::query::{CompiledQuery, Compiler};
+pub use xpath_core::serve::{ServeConfig, Server};
 pub use xpath_core::store::{DocumentStore, StoreError, StoreStats};
 pub use xpath_core::value::Value;
 pub use xpath_xml::{Document, DocumentBuilder, NodeId, NodeKind, NodeSet};
